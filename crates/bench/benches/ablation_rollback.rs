@@ -1,0 +1,79 @@
+//! Ablation: rollback distance (paper §II-D/E).
+//!
+//! "A rollback to a checkpoint and re-execution represents a significant
+//! delay to output of results. … In a convolution layer … the
+//! rollback-distance can be reduced to one operation."
+//!
+//! Compares Algorithm 3 (one-operation rollback) against layer-level
+//! duplication-with-comparison (full-layer re-execution on mismatch) at
+//! fault pressures where the layer-level scheme must re-run the whole
+//! convolution while the operation-level scheme retries single MACs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcnn_faults::{BerInjector, FaultSite};
+use relcnn_relexec::conv::{duplicated_conv2d, reliable_conv2d, ReliableConvConfig};
+use relcnn_relexec::{BucketConfig, DmrAlu, PlainAlu, RetryPolicy};
+use relcnn_tensor::conv::ConvGeometry;
+use relcnn_tensor::init::{Init, Rand};
+use relcnn_tensor::Shape;
+
+fn bench_rollback_granularity(c: &mut Criterion) {
+    let mut rng = Rand::seeded(9);
+    let input = rng.tensor(Shape::d3(3, 20, 20), Init::Uniform { lo: -1.0, hi: 1.0 });
+    let weights = rng.tensor(Shape::d4(6, 3, 3, 3), Init::HeNormal { fan_in: 27 });
+    let geom = ConvGeometry::new(20, 20, 3, 3, 1, 0).expect("geometry");
+    let config = ReliableConvConfig {
+        bucket: BucketConfig::new(1, u32::MAX),
+        retry: RetryPolicy::with_retries(4),
+        pe_count: 8,
+    };
+
+    let mut group = c.benchmark_group("ablation_rollback");
+    group.sample_size(10);
+    // Fault pressure chosen so a layer-scale run sees a handful of faults:
+    // ops ≈ 35k, so ber 3e-5 injects ~1 fault per pass on average.
+    for ber in [0.0f64, 3e-5] {
+        group.bench_with_input(
+            BenchmarkId::new("op_level_alg3_dmr", format!("ber_{ber:.0e}")),
+            &ber,
+            |b, &ber| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let inj = BerInjector::new(seed, ber)
+                        .with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
+                    let mut alu = DmrAlu::new(inj);
+                    reliable_conv2d(&input, &weights, None, &geom, &mut alu, &config)
+                        .expect("op-level recovery")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("layer_level_dwc", format!("ber_{ber:.0e}")),
+            &ber,
+            |b, &ber| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let inj = BerInjector::new(seed, ber)
+                        .with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
+                    let mut alu = PlainAlu::new(inj);
+                    // Layer-level scheme may legitimately give up under
+                    // sustained noise; count that as one full attempt set.
+                    let _ = duplicated_conv2d(
+                        &input,
+                        &weights,
+                        None,
+                        &geom,
+                        &mut alu,
+                        RetryPolicy::with_retries(4),
+                    );
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollback_granularity);
+criterion_main!(benches);

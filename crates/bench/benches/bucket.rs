@@ -1,0 +1,37 @@
+//! Leaky-bucket micro-benchmark: the error counter sits on the critical
+//! path of every qualified operation, so its cost must be negligible
+//! against a multiply (it is: two integer ops).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relcnn_relexec::{BucketConfig, LeakyBucket};
+use std::hint::black_box;
+
+fn bench_bucket(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket");
+    group.bench_function("success_stream_1k", |b| {
+        b.iter(|| {
+            let mut bucket = LeakyBucket::new(BucketConfig::default());
+            for _ in 0..1000 {
+                bucket.record_success();
+            }
+            black_box(bucket.level())
+        })
+    });
+    group.bench_function("mixed_stream_1k", |b| {
+        b.iter(|| {
+            let mut bucket = LeakyBucket::new(BucketConfig::new(1, u32::MAX));
+            for i in 0..1000u32 {
+                if i % 97 == 0 {
+                    black_box(bucket.record_error());
+                } else {
+                    bucket.record_success();
+                }
+            }
+            black_box(bucket.level())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bucket);
+criterion_main!(benches);

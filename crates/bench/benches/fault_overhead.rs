@@ -1,0 +1,45 @@
+//! **X4 companion** — runtime overhead of rollback under increasing fault
+//! pressure: the same DMR convolution at BER 0 / 1e-4 / 1e-3. Each
+//! detected fault costs one rollback + re-execution, so the slowdown
+//! should track `1 + O(ber)` — negligible until faults become frequent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcnn_faults::{BerInjector, FaultSite};
+use relcnn_relexec::conv::{reliable_conv2d, ReliableConvConfig};
+use relcnn_relexec::{BucketConfig, DmrAlu, RetryPolicy};
+use relcnn_tensor::conv::ConvGeometry;
+use relcnn_tensor::init::{Init, Rand};
+use relcnn_tensor::Shape;
+
+fn bench_fault_overhead(c: &mut Criterion) {
+    let mut rng = Rand::seeded(5);
+    let input = rng.tensor(Shape::d3(3, 24, 24), Init::Uniform { lo: -1.0, hi: 1.0 });
+    let weights = rng.tensor(Shape::d4(8, 3, 3, 3), Init::HeNormal { fan_in: 27 });
+    let geom = ConvGeometry::new(24, 24, 3, 3, 1, 0).expect("geometry");
+    // Bucket that tolerates sustained random transients.
+    let config = ReliableConvConfig {
+        bucket: BucketConfig::new(1, u32::MAX),
+        retry: RetryPolicy::with_retries(4),
+        pe_count: 8,
+    };
+
+    let mut group = c.benchmark_group("fault_overhead");
+    group.sample_size(10);
+    for ber in [0.0f64, 1e-4, 1e-3] {
+        group.bench_with_input(BenchmarkId::new("dmr_conv", format!("ber_{ber:.0e}")), &ber, |b, &ber| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let inj = BerInjector::new(seed, ber)
+                    .with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
+                let mut alu = DmrAlu::new(inj);
+                reliable_conv2d(&input, &weights, None, &geom, &mut alu, &config)
+                    .expect("recoverable")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_overhead);
+criterion_main!(benches);

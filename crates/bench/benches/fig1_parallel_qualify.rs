@@ -1,0 +1,38 @@
+//! **Figure 1** — latency of the parallel-qualification architecture: the
+//! CNN classification path vs the reliably executed qualifier path, and
+//! the fused end-to-end classification. Demonstrates the architecture's
+//! premise: the deterministic qualifier is far cheaper than the CNN, so
+//! qualifying a single safety-relevant class costs little.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relcnn_core::{HybridCnn, HybridConfig, ShapeQualifier};
+use relcnn_gtsrb::{RenderParams, ShapeKind, SignClass, SignRenderer};
+use relcnn_relexec::RedundancyMode;
+use relcnn_tensor::init::Rand;
+use relcnn_vision::rgb_to_gray;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut config = HybridConfig::tiny(42);
+    config.redundancy = RedundancyMode::Plain; // isolate the architecture cost
+    let mut hybrid = HybridCnn::untrained(&config).expect("hybrid");
+    let image = SignRenderer::new(48).render(
+        SignClass::Stop,
+        &RenderParams::nominal(),
+        &mut Rand::seeded(7),
+    );
+    let gray = rgb_to_gray(&image).expect("gray");
+    let qualifier = ShapeQualifier::default();
+
+    let mut group = c.benchmark_group("fig1_parallel_qualify");
+    group.sample_size(20);
+    group.bench_function("qualifier_path_only", |b| {
+        b.iter(|| qualifier.assess_image(&gray, ShapeKind::Octagon).expect("verdict"))
+    });
+    group.bench_function("fused_classification", |b| {
+        b.iter(|| hybrid.classify(&image).expect("verdict"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! **Figure 2** — the hybrid (shared-DCNN) architecture: the qualifier
+//! consumes the reliably executed conv-1 Sobel feature maps instead of
+//! recomputing its own edges. Benchmarked against the Figure-1 parallel
+//! variant on identical inputs: the hybrid path saves the qualifier's
+//! separate edge extraction at the price of qualifying on stride-coarse
+//! evidence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relcnn_core::{HybridCnn, HybridConfig, QualificationMode};
+use relcnn_gtsrb::{RenderParams, SignClass, SignRenderer};
+use relcnn_relexec::RedundancyMode;
+use relcnn_tensor::init::Rand;
+
+fn bench_fig2(c: &mut Criterion) {
+    let image = SignRenderer::new(48).render(
+        SignClass::Stop,
+        &RenderParams::nominal(),
+        &mut Rand::seeded(7),
+    );
+
+    let mut group = c.benchmark_group("fig2_hybrid_path");
+    group.sample_size(20);
+    for (name, mode) in [
+        ("parallel_fig1", QualificationMode::Parallel),
+        ("hybrid_fig2", QualificationMode::Hybrid),
+    ] {
+        let mut config = HybridConfig::tiny(42);
+        config.qualification = mode;
+        if mode == QualificationMode::Hybrid {
+            config.qualifier = relcnn_core::QualifierConfig::coarse();
+        }
+        config.redundancy = RedundancyMode::Plain;
+        let mut hybrid = HybridCnn::untrained(&config).expect("hybrid");
+        group.bench_function(name, |b| {
+            b.iter(|| hybrid.classify(&image).expect("verdict"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

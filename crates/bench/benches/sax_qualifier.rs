@@ -1,0 +1,43 @@
+//! Timing of the SAX shape-determination pipeline — the paper's in-text
+//! reference "a naïve version of the SAX algorithm to determine shape
+//! completes in 1.942 seconds", broken into stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relcnn_sax::{SaxConfig, SaxEncoder};
+use relcnn_tensor::{Shape, Tensor};
+use relcnn_vision::{draw, radial, sobel, threshold};
+
+fn bench_sax_pipeline(c: &mut Criterion) {
+    let mut img = Tensor::zeros(Shape::d2(227, 227));
+    draw::fill_regular_polygon(&mut img, 8, (113.5, 113.5), 80.0, 0.12, 1.0);
+    let edges = sobel::gradient_magnitude(&img).expect("edges");
+    let mask = threshold::binarize(&edges, threshold::otsu_threshold(&edges));
+    let sig = radial::radial_signature(&mask, 256).expect("signature");
+    let encoder = SaxEncoder::new(SaxConfig::default());
+
+    let mut group = c.benchmark_group("sax_qualifier");
+    group.bench_function("sobel_227", |b| {
+        b.iter(|| sobel::gradient_magnitude(&img).expect("edges"))
+    });
+    group.bench_function("otsu_binarize", |b| {
+        b.iter(|| threshold::binarize(&edges, threshold::otsu_threshold(&edges)))
+    });
+    group.bench_function("radial_signature_256", |b| {
+        b.iter(|| radial::radial_signature(&mask, 256).expect("signature"))
+    });
+    group.bench_function("sax_encode", |b| {
+        b.iter(|| encoder.encode(sig.samples()).expect("word"))
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| {
+            let edges = sobel::gradient_magnitude(&img).expect("edges");
+            let mask = threshold::binarize(&edges, threshold::otsu_threshold(&edges));
+            let sig = radial::radial_signature(&mask, 256).expect("signature");
+            encoder.encode(sig.samples()).expect("word")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sax_pipeline);
+criterion_main!(benches);

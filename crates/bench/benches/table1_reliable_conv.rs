@@ -1,0 +1,62 @@
+//! Criterion companion to the `table1` binary: statistically robust
+//! timing of Algorithm 3 under each operator flavour, at a reduced
+//! geometry so the suite stays fast. The quantity of interest is the
+//! redundant/plain ratio (paper: 648.87/301.91 ≈ 2.15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcnn_faults::NoFaults;
+use relcnn_relexec::conv::{reliable_conv2d, ReliableConvConfig};
+use relcnn_relexec::{DmrAlu, PlainAlu, TmrAlu};
+use relcnn_tensor::conv::{conv2d_im2col, ConvGeometry};
+use relcnn_tensor::init::{Init, Rand};
+use relcnn_tensor::{Shape, Tensor};
+
+fn setup(size: usize, filters: usize) -> (Tensor, Tensor, Tensor, ConvGeometry) {
+    let mut rng = Rand::seeded(1);
+    let input = rng.tensor(Shape::d3(3, size, size), Init::Uniform { lo: 0.0, hi: 1.0 });
+    let weights = rng.tensor(
+        Shape::d4(filters, 3, 11, 11),
+        Init::HeNormal { fan_in: 363 },
+    );
+    let bias = Tensor::zeros(Shape::d1(filters));
+    let geom = ConvGeometry::new(size, size, 11, 11, 4, 0).expect("geometry");
+    (input, weights, bias, geom)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    // 64x64, 8 filters: same kernel/stride as AlexNet conv-1, ~1/400 the
+    // MACs — ratios carry over, iterations stay sub-second.
+    let (input, weights, bias, geom) = setup(64, 8);
+    let config = ReliableConvConfig::default();
+    let mut group = c.benchmark_group("table1_reliable_conv");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("native_im2col", "64x64x8"), |b| {
+        b.iter(|| conv2d_im2col(&input, &weights, Some(&bias), &geom).expect("conv"))
+    });
+    group.bench_function(BenchmarkId::new("alg3_plain", "64x64x8"), |b| {
+        b.iter(|| {
+            let mut alu = PlainAlu::new(NoFaults::new());
+            reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config)
+                .expect("conv")
+        })
+    });
+    group.bench_function(BenchmarkId::new("alg3_dmr", "64x64x8"), |b| {
+        b.iter(|| {
+            let mut alu = DmrAlu::new(NoFaults::new());
+            reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config)
+                .expect("conv")
+        })
+    });
+    group.bench_function(BenchmarkId::new("alg3_tmr", "64x64x8"), |b| {
+        b.iter(|| {
+            let mut alu = TmrAlu::new(NoFaults::new());
+            reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config)
+                .expect("conv")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **X5** — determinism of qualified-operation timing (§IV: "the
+//! best-case execution and worst-case execution time are, given
+//! constant-time adders and multipliers, determinable and, in hardware,
+//! constant").
+//!
+//! Measures per-operation latency of each ALU flavour and checks the
+//! cost-model cycle ratios against measured time ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relcnn_faults::NoFaults;
+use relcnn_relexec::cost::OpCost;
+use relcnn_relexec::{DmrAlu, PlainAlu, QualifiedAlu, RedundancyMode, TmrAlu};
+use std::hint::black_box;
+
+fn bench_wcet_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcet_ops");
+
+    group.bench_function("plain_mul_1k", |b| {
+        let mut alu = PlainAlu::new(NoFaults::new());
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1000 {
+                acc += alu.mul(black_box(i as f32), black_box(1.0001)).value();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("dmr_mul_1k", |b| {
+        let mut alu = DmrAlu::new(NoFaults::new());
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1000 {
+                acc += alu.mul(black_box(i as f32), black_box(1.0001)).value();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("tmr_mul_1k", |b| {
+        let mut alu = TmrAlu::new(NoFaults::new());
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1000 {
+                acc += alu.mul(black_box(i as f32), black_box(1.0001)).value();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    // Print the analytic cost-model ratios alongside (picked up from the
+    // bench log; asserted in the integration tests).
+    let cost = OpCost::default();
+    eprintln!(
+        "cost-model mul-op cycle ratios: dmr/plain = {:.2}, tmr/plain = {:.2}",
+        cost.mul_op(RedundancyMode::Dmr) as f64 / cost.mul_op(RedundancyMode::Plain) as f64,
+        cost.mul_op(RedundancyMode::Tmr) as f64 / cost.mul_op(RedundancyMode::Plain) as f64,
+    );
+}
+
+criterion_group!(benches, bench_wcet_ops);
+criterion_main!(benches);

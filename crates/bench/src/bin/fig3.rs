@@ -1,0 +1,43 @@
+//! **Figure 3** — "The time-series generated from a real-world (GTSRB),
+//! slightly angled stop sign. The eight corners can be clearly identified.
+//! The SAX word is visible above the time-series plot."
+//!
+//! The real GTSRB photo is substituted by the synthetic renderer's stop
+//! sign at the same slight tilt; the artefact is the same: the radial
+//! time series, an ASCII rendering of the plot, and the SAX word.
+
+use relcnn_bench::{ascii_plot, write_csv};
+use relcnn_core::experiments::fig3_series;
+use relcnn_sax::SaxConfig;
+
+fn main() {
+    let tilt = 0.12f32; // the "slightly angled" pose
+    let out = fig3_series(227, tilt, 256, SaxConfig::default(), 7)
+        .expect("fig3 series generation");
+
+    println!("== Figure 3: radial time series of a slightly angled stop sign ==");
+    println!("tilt: {tilt} rad, 256 ray angles, SAX 16 segments / 8 letters\n");
+    println!("SAX word: {}", out.word);
+    println!("{}", ascii_plot(&out.series, 96, 14));
+    println!(
+        "radial max/min ratio: {:.3} (analytic octagon: {:.3})",
+        out.radial_ratio,
+        1.0 / (std::f32::consts::PI / 8.0).cos()
+    );
+    println!("detected corners: {} (paper: 'the eight corners can be clearly identified')", out.corners);
+
+    let rows: Vec<String> = out
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, v)| format!("{i},{v}"))
+        .collect();
+    let path = write_csv("fig3_series.csv", "angle_index,radius_px", &rows);
+    println!("wrote {}", path.display());
+
+    assert!(
+        (6..=10).contains(&out.corners),
+        "octagon corners not identifiable: got {}",
+        out.corners
+    );
+}

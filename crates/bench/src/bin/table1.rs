@@ -1,0 +1,148 @@
+//! **Table 1** — execution time of the reliable convolution (Algorithm 3)
+//! over AlexNet conv-1 (96 filters, 11×11×3, 227×227×3 input), with
+//! Algorithm-1 (plain) vs Algorithm-2 (redundant) multiplication, plus the
+//! in-text reference points: native execution and the naïve SAX shape
+//! determination.
+//!
+//! Paper numbers (Python, i9-9900): plain 301.91 s, redundant 648.87 s,
+//! native TensorFlow 0.05 s, SAX 1.942 s. Absolute values differ in Rust;
+//! the reproduction targets are the *ratios*: redundant/plain ≈ 2.15,
+//! both ≫ native, SAX ≪ reliable conv.
+
+use relcnn_bench::{quick_mode, write_csv};
+use relcnn_faults::NoFaults;
+use relcnn_relexec::conv::{reliable_conv2d, ReliableConvConfig};
+use relcnn_relexec::{DmrAlu, PlainAlu, TmrAlu};
+use relcnn_sax::{SaxConfig, SaxEncoder};
+use relcnn_tensor::conv::{conv2d_im2col, ConvGeometry};
+use relcnn_tensor::init::{Init, Rand};
+use relcnn_tensor::{Shape, Tensor};
+use relcnn_vision::{radial, sobel, threshold};
+use std::time::Instant;
+
+fn main() {
+    let quick = quick_mode();
+    let (size, filters) = if quick { (64, 16) } else { (227, 96) };
+    println!("== Table 1: reliable convolution of AlexNet conv-1 ==");
+    println!(
+        "input {size}x{size}x3, {filters} filters 11x11x3 stride 4{}",
+        if quick { " (--quick scale)" } else { "" }
+    );
+
+    let mut rng = Rand::seeded(1);
+    let input = rng.tensor(Shape::d3(3, size, size), Init::Uniform { lo: 0.0, hi: 1.0 });
+    let weights = rng.tensor(
+        Shape::d4(filters, 3, 11, 11),
+        Init::HeNormal { fan_in: 363 },
+    );
+    let bias = Tensor::zeros(Shape::d1(filters));
+    let geom = ConvGeometry::new(size, size, 11, 11, 4, 0).expect("valid geometry");
+    let config = ReliableConvConfig::default();
+    let macs = geom.mac_count(3, filters);
+    println!("MAC count: {macs}");
+
+    // Native (unprotected im2col) — the paper's "0.05 s TensorFlow" line.
+    let t0 = Instant::now();
+    let native_out = conv2d_im2col(&input, &weights, Some(&bias), &geom).expect("native conv");
+    let native = t0.elapsed();
+
+    // Algorithm 3 with Algorithm 1 (plain qualified) operations.
+    let mut plain_alu = PlainAlu::new(NoFaults::new());
+    let t0 = Instant::now();
+    let plain_out = reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut plain_alu, &config)
+        .expect("plain reliable conv");
+    let plain = t0.elapsed();
+
+    // Algorithm 3 with Algorithm 2 (redundant) operations.
+    let mut dmr_alu = DmrAlu::new(NoFaults::new());
+    let t0 = Instant::now();
+    let dmr_out = reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut dmr_alu, &config)
+        .expect("dmr reliable conv");
+    let dmr = t0.elapsed();
+
+    // TMR (the voting variant §IV mentions) — beyond Table 1's two columns.
+    let mut tmr_alu = TmrAlu::new(NoFaults::new());
+    let t0 = Instant::now();
+    let _ = reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut tmr_alu, &config)
+        .expect("tmr reliable conv");
+    let tmr = t0.elapsed();
+
+    // Sanity: all outputs agree with native.
+    for (a, b) in native_out.iter().zip(plain_out.output.iter()) {
+        assert!((a - b).abs() < 1e-2, "plain deviates from native");
+    }
+    for (a, b) in native_out.iter().zip(dmr_out.output.iter()) {
+        assert!((a - b).abs() < 1e-2, "dmr deviates from native");
+    }
+
+    // The SAX qualifier reference (paper: naïve SAX completes in 1.942 s).
+    let mut img = Tensor::zeros(Shape::d2(size, size));
+    relcnn_vision::draw::fill_regular_polygon(
+        &mut img,
+        8,
+        (size as f32 / 2.0, size as f32 / 2.0),
+        size as f32 * 0.35,
+        0.1,
+        1.0,
+    );
+    let t0 = Instant::now();
+    let edges = sobel::gradient_magnitude(&img).expect("edges");
+    let mask = threshold::binarize(&edges, threshold::otsu_threshold(&edges));
+    let sig = radial::radial_signature(&mask, 256).expect("signature");
+    let word = SaxEncoder::new(SaxConfig::default())
+        .encode(sig.samples())
+        .expect("sax word");
+    let sax_time = t0.elapsed();
+
+    let rows = [
+        ("native (unprotected im2col)", native, "0.05 s"),
+        ("Algorithm 3 + Algorithm 1 (plain)", plain, "301.91 s"),
+        ("Algorithm 3 + Algorithm 2 (DMR)", dmr, "648.87 s"),
+        ("Algorithm 3 + TMR (voting)", tmr, "(not reported)"),
+        ("SAX shape determination", sax_time, "1.942 s"),
+    ];
+    println!("\n{:<38}{:>14}{:>18}", "configuration", "measured", "paper (Python)");
+    for (name, t, paper) in rows {
+        println!("{:<38}{:>12.4?}{:>18}", name, t, paper);
+    }
+    let ratio = dmr.as_secs_f64() / plain.as_secs_f64();
+    // Hardware-model ratio from the ALUs' cycle accounting — the quantity
+    // the paper's FPGA target exhibits ("in hardware, constant").
+    let cycle_ratio = dmr_out.stats.cycles as f64 / plain_out.stats.cycles as f64;
+    let paper_ratio = 648.87 / 301.91;
+    println!("\nredundant/plain ratio: wall-clock {ratio:.3}, cycle-model {cycle_ratio:.3}, paper {paper_ratio:.3}");
+    println!(
+        "  (the Rust wall-clock ratio is bookkeeping-dominated: a native f32\n\
+         multiply costs ~1ns against ~2ns of qualifier/checkpoint overhead,\n\
+         whereas the paper's Python pays ~1us per overloaded call, so its\n\
+         ratio isolates the 2 muls + compare of Algorithm 2. The cycle model\n\
+         prices the hardware operators the paper targets and lands in the\n\
+         paper's band.)"
+    );
+    println!(
+        "plain/native ratio:    measured {:.1}x",
+        plain.as_secs_f64() / native.as_secs_f64()
+    );
+    println!("SAX word: {word}");
+
+    let csv_rows: Vec<String> = vec![
+        format!("native,{}", native.as_secs_f64()),
+        format!("alg3_plain,{}", plain.as_secs_f64()),
+        format!("alg3_dmr,{}", dmr.as_secs_f64()),
+        format!("alg3_tmr,{}", tmr.as_secs_f64()),
+        format!("sax,{}", sax_time.as_secs_f64()),
+        format!("dmr_over_plain_wall,{ratio}"),
+        format!("dmr_over_plain_cycles,{cycle_ratio}"),
+    ];
+    let path = write_csv("table1.csv", "configuration,seconds", &csv_rows);
+    println!("\nwrote {}", path.display());
+
+    assert!(
+        ratio > 1.1,
+        "redundant execution must cost measurably more than plain (got {ratio})"
+    );
+    assert!(
+        (1.8..2.5).contains(&cycle_ratio),
+        "cycle-model redundant/plain ratio {cycle_ratio} outside the Table-1 band"
+    );
+}

@@ -1,0 +1,95 @@
+//! Shared plumbing for the `relcnn` benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper (see `DESIGN.md` §4 for the experiment index); the Criterion
+//! benches in `benches/` provide statistically robust timing for the
+//! quantities Table 1 reports. This library holds the small amount of
+//! shared output plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory where experiment binaries drop their CSV/JSON artefacts.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir).ok();
+    dir.canonicalize().unwrap_or(dir)
+}
+
+/// Writes a CSV file under [`results_dir`], returning its path.
+///
+/// # Panics
+///
+/// Panics on I/O failure — experiment binaries want loud failures.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
+/// Renders a crude ASCII plot of a series (for Figure-3-style terminal
+/// output).
+pub fn ascii_plot(series: &[f32], width: usize, height: usize) -> String {
+    if series.is_empty() || height == 0 || width == 0 {
+        return String::new();
+    }
+    let min = series.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = series.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let span = (max - min).max(1e-6);
+    let mut grid = vec![vec![' '; width]; height];
+    for (i, &v) in series.iter().enumerate() {
+        let x = i * width / series.len();
+        let y = ((v - min) / span * (height as f32 - 1.0)).round() as usize;
+        let row = height - 1 - y.min(height - 1);
+        grid[row][x.min(width - 1)] = '*';
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out
+}
+
+/// Returns true when the binary should run at smoke scale
+/// (`RELCNN_QUICK=1` or `--quick` argument).
+pub fn quick_mode() -> bool {
+    std::env::var("RELCNN_QUICK").map(|v| v == "1").unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// Checks whether a path exists (checkpoint reuse helper).
+pub fn exists(path: &Path) -> bool {
+    path.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_plot_shape() {
+        let series: Vec<f32> = (0..64).map(|i| (i as f32 / 5.0).sin()).collect();
+        let plot = ascii_plot(&series, 32, 8);
+        assert_eq!(plot.lines().count(), 8);
+        assert!(plot.contains('*'));
+        assert!(ascii_plot(&[], 10, 5).is_empty());
+    }
+
+    #[test]
+    fn results_dir_exists() {
+        assert!(results_dir().is_dir());
+    }
+}

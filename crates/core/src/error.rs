@@ -1,0 +1,119 @@
+use std::fmt;
+
+/// Error type for the hybrid network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HybridError {
+    /// Configuration inconsistency (class counts, thresholds, …).
+    BadConfig {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// The reliable partition reported a persistent failure — the
+    /// explicitly signalled error exit of Algorithm 3. The classification
+    /// MUST NOT be used; availability-oriented callers may fall back to a
+    /// degraded mode.
+    ReliablePathFailed(relcnn_relexec::ExecError),
+    /// Error from the CNN substrate.
+    Nn(relcnn_nn::NnError),
+    /// Error from the vision substrate (qualifier front end).
+    Vision(relcnn_vision::VisionError),
+    /// Error from the SAX substrate.
+    Sax(relcnn_sax::SaxError),
+    /// Error from the tensor substrate.
+    Tensor(relcnn_tensor::TensorError),
+    /// Error from the dataset substrate.
+    Gtsrb(relcnn_gtsrb::GtsrbError),
+}
+
+impl fmt::Display for HybridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HybridError::BadConfig { reason } => write!(f, "bad hybrid config: {reason}"),
+            HybridError::ReliablePathFailed(e) => {
+                write!(f, "reliable partition failed persistently: {e}")
+            }
+            HybridError::Nn(e) => write!(f, "cnn error: {e}"),
+            HybridError::Vision(e) => write!(f, "vision error: {e}"),
+            HybridError::Sax(e) => write!(f, "sax error: {e}"),
+            HybridError::Tensor(e) => write!(f, "tensor error: {e}"),
+            HybridError::Gtsrb(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HybridError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HybridError::ReliablePathFailed(e) => Some(e),
+            HybridError::Nn(e) => Some(e),
+            HybridError::Vision(e) => Some(e),
+            HybridError::Sax(e) => Some(e),
+            HybridError::Tensor(e) => Some(e),
+            HybridError::Gtsrb(e) => Some(e),
+            HybridError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<relcnn_nn::NnError> for HybridError {
+    fn from(e: relcnn_nn::NnError) -> Self {
+        HybridError::Nn(e)
+    }
+}
+
+impl From<relcnn_vision::VisionError> for HybridError {
+    fn from(e: relcnn_vision::VisionError) -> Self {
+        HybridError::Vision(e)
+    }
+}
+
+impl From<relcnn_sax::SaxError> for HybridError {
+    fn from(e: relcnn_sax::SaxError) -> Self {
+        HybridError::Sax(e)
+    }
+}
+
+impl From<relcnn_tensor::TensorError> for HybridError {
+    fn from(e: relcnn_tensor::TensorError) -> Self {
+        HybridError::Tensor(e)
+    }
+}
+
+impl From<relcnn_gtsrb::GtsrbError> for HybridError {
+    fn from(e: relcnn_gtsrb::GtsrbError) -> Self {
+        HybridError::Gtsrb(e)
+    }
+}
+
+impl From<relcnn_relexec::ExecError> for HybridError {
+    fn from(e: relcnn_relexec::ExecError) -> Self {
+        HybridError::ReliablePathFailed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = HybridError::BadConfig {
+            reason: "0 classes".into(),
+        };
+        assert!(e.to_string().contains("0 classes"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: HybridError = relcnn_relexec::ExecError::PersistentFailure {
+            op_index: 1,
+            bucket_level: 3,
+            errors: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("persistently"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: HybridError = relcnn_sax::SaxError::EmptySeries.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

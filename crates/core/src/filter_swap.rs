@@ -1,0 +1,159 @@
+//! The §III-B filter-replacement workflow behind Figure 4.
+//!
+//! "We naively replace the first of the filters with a Sobel-x, Sobel-y,
+//! Sobel-x filter. … Replacing all the 96 filters one at a time with the
+//! Sobel filters results in the plot of class confidence values shown in
+//! Figure 4."
+
+use crate::error::HybridError;
+use relcnn_nn::Network;
+use relcnn_tensor::Tensor;
+use relcnn_vision::sobel::sobel_bank;
+
+/// Saved state of one replaced filter, restoring on demand (RAII is
+/// deliberately avoided: the sweep wants explicit restore points).
+#[derive(Debug, Clone)]
+pub struct FilterSwap {
+    layer: usize,
+    filter: usize,
+    original: Tensor,
+}
+
+impl FilterSwap {
+    /// Replaces filter `filter` of the convolution at `layer` with the
+    /// paper's Sobel bank (x, y, x channel pattern), returning a handle
+    /// that can restore the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError`] when the layer is not a convolution or the
+    /// index is out of range.
+    pub fn replace_with_sobel(
+        net: &mut Network,
+        layer: usize,
+        filter: usize,
+    ) -> Result<FilterSwap, HybridError> {
+        let conv = net
+            .conv2d_at_mut(layer)
+            .ok_or_else(|| HybridError::BadConfig {
+                reason: format!("layer {layer} is not a Conv2d"),
+            })?;
+        let original = conv.filter(filter)?;
+        let bank = sobel_bank(conv.in_channels(), conv.kernel_size())?;
+        conv.set_filter(filter, &bank)?;
+        Ok(FilterSwap {
+            layer,
+            filter,
+            original,
+        })
+    }
+
+    /// Replaces the filter with arbitrary values instead of the Sobel bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError`] for bad indices or shapes.
+    pub fn replace_with(
+        net: &mut Network,
+        layer: usize,
+        filter: usize,
+        values: &Tensor,
+    ) -> Result<FilterSwap, HybridError> {
+        let conv = net
+            .conv2d_at_mut(layer)
+            .ok_or_else(|| HybridError::BadConfig {
+                reason: format!("layer {layer} is not a Conv2d"),
+            })?;
+        let original = conv.filter(filter)?;
+        conv.set_filter(filter, values)?;
+        Ok(FilterSwap {
+            layer,
+            filter,
+            original,
+        })
+    }
+
+    /// The replaced filter's index.
+    pub fn filter(&self) -> usize {
+        self.filter
+    }
+
+    /// The original values (before replacement).
+    pub fn original(&self) -> &Tensor {
+        &self.original
+    }
+
+    /// Restores the original filter values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError`] if the network changed structurally since
+    /// the swap.
+    pub fn restore(self, net: &mut Network) -> Result<(), HybridError> {
+        let conv = net
+            .conv2d_at_mut(self.layer)
+            .ok_or_else(|| HybridError::BadConfig {
+                reason: format!("layer {} is not a Conv2d", self.layer),
+            })?;
+        conv.set_filter(self.filter, &self.original)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcnn_nn::alexnet::tiny_cnn;
+    use relcnn_tensor::init::Rand;
+
+    #[test]
+    fn swap_and_restore_roundtrip() {
+        let mut rng = Rand::seeded(1);
+        let mut net = tiny_cnn(4, 16, &mut rng).unwrap();
+        let before = net.conv2d_at(0).unwrap().filter(2).unwrap();
+        let swap = FilterSwap::replace_with_sobel(&mut net, 0, 2).unwrap();
+        let during = net.conv2d_at(0).unwrap().filter(2).unwrap();
+        assert_ne!(before, during, "filter actually replaced");
+        assert_eq!(swap.original(), &before);
+        assert_eq!(swap.filter(), 2);
+        swap.restore(&mut net).unwrap();
+        let after = net.conv2d_at(0).unwrap().filter(2).unwrap();
+        assert_eq!(before, after, "restore is exact");
+    }
+
+    #[test]
+    fn sobel_bank_channel_pattern_installed() {
+        let mut rng = Rand::seeded(2);
+        let mut net = tiny_cnn(4, 16, &mut rng).unwrap();
+        FilterSwap::replace_with_sobel(&mut net, 0, 0).unwrap();
+        let f = net.conv2d_at(0).unwrap().filter(0).unwrap();
+        // Channels 0 and 2 (Sobel-x) identical; channel 1 (Sobel-y) not.
+        let c0 = f.index_axis0(0).unwrap();
+        let c1 = f.index_axis0(1).unwrap();
+        let c2 = f.index_axis0(2).unwrap();
+        assert_eq!(c0, c2);
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn replace_with_custom_values() {
+        let mut rng = Rand::seeded(3);
+        let mut net = tiny_cnn(4, 16, &mut rng).unwrap();
+        let custom = Tensor::full(
+            relcnn_tensor::Shape::d3(3, 3, 3),
+            0.25,
+        );
+        let swap = FilterSwap::replace_with(&mut net, 0, 1, &custom).unwrap();
+        assert_eq!(net.conv2d_at(0).unwrap().filter(1).unwrap(), custom);
+        swap.restore(&mut net).unwrap();
+    }
+
+    #[test]
+    fn invalid_targets_error() {
+        let mut rng = Rand::seeded(4);
+        let mut net = tiny_cnn(4, 16, &mut rng).unwrap();
+        assert!(FilterSwap::replace_with_sobel(&mut net, 1, 0).is_err(), "relu");
+        assert!(FilterSwap::replace_with_sobel(&mut net, 0, 99).is_err());
+        assert!(FilterSwap::replace_with_sobel(&mut net, 42, 0).is_err());
+    }
+}

@@ -1,0 +1,331 @@
+//! Seeded, parallel fault-injection campaigns.
+//!
+//! A *campaign* runs many independent trials — each with its own derived
+//! seed — and aggregates how often injected faults were detected,
+//! recovered, escalated or silently corrupted data. This is the measurement
+//! machinery behind experiments X3/X4 (detection coverage vs bit error
+//! rate; leaky-bucket availability).
+
+use crate::injector::InjectorStats;
+use serde::{Deserialize, Serialize};
+
+/// The end state of one fault-injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TrialOutcome {
+    /// Output equalled the golden (fault-free) result, and no fault needed
+    /// recovery — either nothing was injected or injection was masked.
+    Correct,
+    /// At least one fault was detected and recovered (e.g. by rollback);
+    /// final output equalled the golden result.
+    DetectedRecovered,
+    /// Faults were detected but recovery gave up (persistent-failure abort
+    /// via the leaky bucket); no wrong data was emitted.
+    DetectedAborted,
+    /// Output differed from the golden result with no error signalled —
+    /// silent data corruption, the outcome a safety case must bound.
+    SilentCorruption,
+}
+
+impl TrialOutcome {
+    /// Whether the trial ended safely (no undetected wrong output).
+    pub fn is_safe(&self) -> bool {
+        !matches!(self, TrialOutcome::SilentCorruption)
+    }
+}
+
+/// Result of a single campaign trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// How the trial ended.
+    pub outcome: TrialOutcome,
+    /// Injector counters for the trial.
+    pub injector: InjectorStats,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of independent trials.
+    pub trials: u64,
+    /// Base seed; trial `i` derives seed `base_seed + i` (documented so
+    /// reports can cite exact reproduction commands).
+    pub base_seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// Creates a config with the given trial count and seed, auto threads.
+    pub fn new(trials: u64, base_seed: u64) -> Self {
+        CampaignConfig {
+            trials,
+            base_seed,
+            threads: 0,
+        }
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Trials executed.
+    pub trials: u64,
+    /// Trials per [`TrialOutcome`]: correct, recovered, aborted, silent.
+    pub correct: u64,
+    /// Trials that detected and recovered.
+    pub detected_recovered: u64,
+    /// Trials that detected and aborted.
+    pub detected_aborted: u64,
+    /// Trials that silently corrupted output.
+    pub silent: u64,
+    /// Sum of injector exposures over all trials.
+    pub exposures: u64,
+    /// Sum of fired faults over all trials.
+    pub injected: u64,
+    /// Sum of masked-at-source faults.
+    pub masked: u64,
+}
+
+impl CampaignReport {
+    /// Fraction of trials that ended safely.
+    pub fn safety_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        1.0 - self.silent as f64 / self.trials as f64
+    }
+
+    /// Detection coverage among trials where an *effective* (non-masked)
+    /// fault fired: detected / (detected + silent).
+    ///
+    /// Returns `None` when no effective fault fired in any trial.
+    pub fn detection_coverage(&self) -> Option<f64> {
+        let detected = self.detected_recovered + self.detected_aborted;
+        let denom = detected + self.silent;
+        if denom == 0 {
+            None
+        } else {
+            Some(detected as f64 / denom as f64)
+        }
+    }
+
+    /// Availability: fraction of trials that produced a (correct) output
+    /// rather than aborting.
+    pub fn availability(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        (self.correct + self.detected_recovered) as f64 / self.trials as f64
+    }
+
+    /// Wilson 95% confidence interval on the silent-corruption rate.
+    pub fn silent_rate_ci95(&self) -> (f64, f64) {
+        wilson_interval(self.silent, self.trials, 1.96)
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(lo, hi)`; `(0, 1)` when `n == 0`.
+pub fn wilson_interval(successes: u64, n: u64, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let centre = p + z2 / (2.0 * n_f);
+    let margin = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    (
+        ((centre - margin) / denom).max(0.0),
+        ((centre + margin) / denom).min(1.0),
+    )
+}
+
+/// Runs `config.trials` independent trials of `trial_fn` (called with the
+/// trial's derived seed) across worker threads, aggregating the outcomes.
+///
+/// `trial_fn` must be deterministic in its seed argument for the campaign
+/// to be reproducible.
+pub fn run_campaign<F>(config: &CampaignConfig, trial_fn: F) -> CampaignReport
+where
+    F: Fn(u64) -> TrialResult + Sync,
+{
+    let threads = config.effective_threads().max(1);
+    let trials = config.trials;
+    let results = parking_lot::Mutex::new(Vec::with_capacity(trials as usize));
+    let next = std::sync::atomic::AtomicU64::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(trials.max(1) as usize) {
+            scope.spawn(|_| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    local.push(trial_fn(config.base_seed.wrapping_add(i)));
+                }
+                results.lock().extend(local);
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    let results = results.into_inner();
+    let mut report = CampaignReport {
+        trials: results.len() as u64,
+        correct: 0,
+        detected_recovered: 0,
+        detected_aborted: 0,
+        silent: 0,
+        exposures: 0,
+        injected: 0,
+        masked: 0,
+    };
+    for r in &results {
+        match r.outcome {
+            TrialOutcome::Correct => report.correct += 1,
+            TrialOutcome::DetectedRecovered => report.detected_recovered += 1,
+            TrialOutcome::DetectedAborted => report.detected_aborted += 1,
+            TrialOutcome::SilentCorruption => report.silent += 1,
+        }
+        report.exposures += r.injector.exposures;
+        report.injected += r.injector.injected;
+        report.masked += r.injector.masked;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BerInjector, FaultInjector, FaultSite, OpContext};
+
+    fn fake_trial(outcome: TrialOutcome) -> TrialResult {
+        TrialResult {
+            outcome,
+            injector: InjectorStats {
+                exposures: 10,
+                injected: 1,
+                masked: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_counts() {
+        let config = CampaignConfig::new(100, 0).with_threads(4);
+        let report = run_campaign(&config, |seed| {
+            fake_trial(if seed % 4 == 0 {
+                TrialOutcome::SilentCorruption
+            } else {
+                TrialOutcome::Correct
+            })
+        });
+        assert_eq!(report.trials, 100);
+        assert_eq!(report.silent, 25);
+        assert_eq!(report.correct, 75);
+        assert_eq!(report.exposures, 1000);
+        assert!((report.safety_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // Outcome depends only on seed, so aggregation must not depend on
+        // scheduling.
+        let run = |threads| {
+            let config = CampaignConfig::new(64, 7).with_threads(threads);
+            run_campaign(&config, |seed| {
+                let mut inj = BerInjector::new(seed, 0.5);
+                let v = inj.perturb(OpContext::new(FaultSite::Multiplier, 0), 1.0);
+                fake_trial(if v == 1.0 {
+                    TrialOutcome::Correct
+                } else {
+                    TrialOutcome::DetectedRecovered
+                })
+            })
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coverage_and_availability() {
+        let report = CampaignReport {
+            trials: 10,
+            correct: 5,
+            detected_recovered: 3,
+            detected_aborted: 1,
+            silent: 1,
+            exposures: 0,
+            injected: 0,
+            masked: 0,
+        };
+        assert_eq!(report.detection_coverage(), Some(0.8));
+        assert!((report.availability() - 0.8).abs() < 1e-12);
+        let clean = CampaignReport {
+            trials: 5,
+            correct: 5,
+            detected_recovered: 0,
+            detected_aborted: 0,
+            silent: 0,
+            exposures: 0,
+            injected: 0,
+            masked: 0,
+        };
+        assert_eq!(clean.detection_coverage(), None);
+        assert_eq!(clean.safety_rate(), 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_sane() {
+        let (lo, hi) = wilson_interval(0, 0, 1.96);
+        assert_eq!((lo, hi), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 0.5 && hi > 0.5);
+        assert!(lo > 0.39 && hi < 0.61);
+        let (lo, hi) = wilson_interval(0, 1000, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi < 0.005);
+        let (lo, hi) = wilson_interval(1000, 1000, 1.96);
+        assert!(lo > 0.995);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn zero_trials_report() {
+        let config = CampaignConfig::new(0, 0).with_threads(2);
+        let report = run_campaign(&config, |_| fake_trial(TrialOutcome::Correct));
+        assert_eq!(report.trials, 0);
+        assert_eq!(report.safety_rate(), 1.0);
+    }
+
+    #[test]
+    fn outcome_safety_classification() {
+        assert!(TrialOutcome::Correct.is_safe());
+        assert!(TrialOutcome::DetectedRecovered.is_safe());
+        assert!(TrialOutcome::DetectedAborted.is_safe());
+        assert!(!TrialOutcome::SilentCorruption.is_safe());
+    }
+}

@@ -1,0 +1,198 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where in the dataflow a fault strikes.
+///
+/// These mirror the paper's threat statement (§II): upsets may act on "the
+/// processing element" (multiplier/accumulator) or cause "data corruption
+/// of the weights and input data" (the two load sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// Corruption of a filter weight as it is fetched from memory.
+    WeightLoad,
+    /// Corruption of an input/activation value as it is fetched.
+    ActivationLoad,
+    /// Corruption of a multiplier's output inside a processing element.
+    Multiplier,
+    /// Corruption of the accumulator/adder output inside a processing
+    /// element.
+    Accumulator,
+    /// Corruption of a comparator/max unit output (ReLU, pooling) inside
+    /// a processing element.
+    Comparator,
+}
+
+impl FaultSite {
+    /// All injectable sites, for campaign sweeps.
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::WeightLoad,
+        FaultSite::ActivationLoad,
+        FaultSite::Multiplier,
+        FaultSite::Accumulator,
+        FaultSite::Comparator,
+    ];
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultSite::WeightLoad => "weight-load",
+            FaultSite::ActivationLoad => "activation-load",
+            FaultSite::Multiplier => "multiplier",
+            FaultSite::Accumulator => "accumulator",
+            FaultSite::Comparator => "comparator",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The corruption applied when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Flip one specific bit.
+    BitFlip {
+        /// Bit index (0 = mantissa LSB, 31 = sign).
+        bit: u32,
+    },
+    /// Flip one uniformly random bit (classic SEU model).
+    RandomBitFlip,
+    /// Flip `count` distinct uniformly random bits (multi-bit upset, as
+    /// observed in modern dense SRAM).
+    MultiBitFlip {
+        /// Number of distinct bits flipped (clamped to 32).
+        count: u32,
+    },
+    /// Stick a specific bit at a level (manufacturing/permanent defect).
+    StuckBit {
+        /// Bit index.
+        bit: u32,
+        /// Stuck level.
+        high: bool,
+    },
+    /// Replace the value entirely (worst-case data corruption).
+    Replace {
+        /// The replacement value.
+        value: f32,
+    },
+}
+
+/// How long a fault condition persists.
+///
+/// The paper distinguishes random transient SEUs (one strike, gone on
+/// re-execution — rollback recovers) from *persistent* failures that the
+/// leaky bucket must escalate (§IV: "Only persistent failures are
+/// explicitly reported").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultDuration {
+    /// Fires exactly once; re-execution sees a healthy unit.
+    Transient,
+    /// Fires with the given probability on every exposure (flaky joint,
+    /// marginal timing) — some retries succeed, some fail.
+    Intermittent {
+        /// Probability the fault is active at each exposure.
+        activation: f64,
+    },
+    /// Fires on every exposure; retries can never succeed.
+    Permanent,
+}
+
+/// Identifies one elementary operation exposure for the injector.
+///
+/// The qualified ALU in `relcnn-relexec` constructs an `OpContext` for
+/// every value it pulls through the injector: the global operation index,
+/// which redundant replica is executing (faults strike replicas
+/// *independently* — this is what makes DMR comparison effective), and the
+/// processing-element id (so permanent faults can be pinned to one PE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpContext {
+    /// Dataflow site being exercised.
+    pub site: FaultSite,
+    /// Global elementary-operation index (monotone within an execution).
+    pub op_index: u64,
+    /// Redundant-execution replica (0 = first/only, 1 = second, 2 = third).
+    pub replica: u8,
+    /// Processing-element id executing the operation.
+    pub pe: u32,
+}
+
+impl OpContext {
+    /// Creates a context for replica 0 on PE 0.
+    pub fn new(site: FaultSite, op_index: u64) -> Self {
+        OpContext {
+            site,
+            op_index,
+            replica: 0,
+            pe: 0,
+        }
+    }
+
+    /// Sets the replica index.
+    pub fn with_replica(mut self, replica: u8) -> Self {
+        self.replica = replica;
+        self
+    }
+
+    /// Sets the processing-element id.
+    pub fn with_pe(mut self, pe: u32) -> Self {
+        self.pe = pe;
+        self
+    }
+}
+
+impl fmt::Display for OpContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "op#{} site={} replica={} pe={}",
+            self.op_index, self.site, self.replica, self.pe
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sites_listed_once() {
+        let mut seen = std::collections::HashSet::new();
+        for s in FaultSite::ALL {
+            assert!(seen.insert(s));
+            assert!(!s.to_string().is_empty());
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn context_builder() {
+        let ctx = OpContext::new(FaultSite::Multiplier, 17)
+            .with_replica(1)
+            .with_pe(5);
+        assert_eq!(ctx.op_index, 17);
+        assert_eq!(ctx.replica, 1);
+        assert_eq!(ctx.pe, 5);
+        assert!(ctx.to_string().contains("op#17"));
+    }
+
+    #[test]
+    fn kinds_and_durations_are_serializable() {
+        let kinds = vec![
+            FaultKind::BitFlip { bit: 30 },
+            FaultKind::RandomBitFlip,
+            FaultKind::MultiBitFlip { count: 2 },
+            FaultKind::StuckBit { bit: 3, high: true },
+            FaultKind::Replace { value: 0.0 },
+        ];
+        for k in &kinds {
+            let json = serde_json::to_string(k).unwrap();
+            let back: FaultKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(*k, back);
+        }
+        let d = FaultDuration::Intermittent { activation: 0.5 };
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(d, serde_json::from_str::<FaultDuration>(&json).unwrap());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the fault-injection substrate.
+
+use proptest::prelude::*;
+use relcnn_faults::bits;
+use relcnn_faults::{
+    BerInjector, FaultInjector, FaultSite, NoFaults, OpContext, ScriptedFault, ScriptedInjector,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// flip_bit is a self-inverse that changes exactly one bit.
+    #[test]
+    fn flip_bit_involution(v in any::<f32>(), bit in 0u32..32) {
+        let flipped = bits::flip_bit(v, bit);
+        prop_assert_eq!(bits::hamming_f32(v, flipped), 1);
+        prop_assert_eq!(bits::flip_bit(flipped, bit).to_bits(), v.to_bits());
+    }
+
+    /// stick_bit is idempotent and forces the bit to the requested level.
+    #[test]
+    fn stick_bit_idempotent(v in any::<f32>(), bit in 0u32..32, high in any::<bool>()) {
+        let once = bits::stick_bit(v, bit, high);
+        prop_assert_eq!(bits::stick_bit(once, bit, high).to_bits(), once.to_bits());
+        prop_assert_eq!(bits::bit_is_set(once, bit), high);
+        prop_assert!(bits::hamming_f32(v, once) <= 1);
+    }
+
+    /// NoFaults never modifies any value.
+    #[test]
+    fn no_faults_is_identity(v in any::<f32>(), op in 0u64..1000) {
+        let mut inj = NoFaults::new();
+        let out = inj.perturb(OpContext::new(FaultSite::Multiplier, op), v);
+        prop_assert_eq!(out.to_bits(), v.to_bits());
+    }
+
+    /// BerInjector with the same seed produces the identical corruption
+    /// stream; different seeds diverge somewhere.
+    #[test]
+    fn ber_determinism(seed in 0u64..1000, v in any::<f32>()) {
+        let stream = |s: u64| {
+            let mut inj = BerInjector::new(s, 0.5);
+            (0..32u64)
+                .map(|i| inj.perturb(OpContext::new(FaultSite::Multiplier, i), v).to_bits())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(stream(seed), stream(seed));
+    }
+
+    /// A scripted transient fires exactly once however often the op index
+    /// is presented.
+    #[test]
+    fn scripted_transient_single_shot(
+        op in 0u64..64,
+        bit in 0u32..32,
+        presentations in 2usize..10,
+        v in prop::num::f32::NORMAL,
+    ) {
+        let mut inj = ScriptedInjector::new([ScriptedFault::transient_flip(op, bit)]);
+        let mut corrupted = 0;
+        for _ in 0..presentations {
+            let out = inj.perturb(OpContext::new(FaultSite::Multiplier, op), v);
+            if out.to_bits() != v.to_bits() {
+                corrupted += 1;
+            }
+        }
+        prop_assert_eq!(corrupted, 1, "transient must fire exactly once");
+        prop_assert_eq!(inj.stats().injected, 1);
+    }
+
+    /// Replica filters are strict: a fault pinned to replica r never
+    /// touches other replicas.
+    #[test]
+    fn replica_pinning(target in 0u8..3, other in 0u8..3, bit in 0u32..32) {
+        prop_assume!(target != other);
+        let mut inj = ScriptedInjector::new([
+            ScriptedFault::transient_flip(0, bit).on_replica(target).permanent(),
+        ]);
+        let clean = inj.perturb(
+            OpContext::new(FaultSite::Multiplier, 0).with_replica(other),
+            1.0,
+        );
+        prop_assert_eq!(clean.to_bits(), 1.0f32.to_bits());
+        let hit = inj.perturb(
+            OpContext::new(FaultSite::Multiplier, 0).with_replica(target),
+            1.0,
+        );
+        prop_assert_eq!(bits::hamming_f32(1.0, hit), 1);
+    }
+}

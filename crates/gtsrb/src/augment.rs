@@ -1,0 +1,201 @@
+//! Post-hoc augmentation of rendered samples.
+//!
+//! The renderer already varies pose and photometrics; these helpers apply
+//! *additional* perturbations to existing tensors, used by training-time
+//! augmentation and by robustness tests of the qualifier.
+
+use relcnn_tensor::init::Rand;
+use relcnn_tensor::Tensor;
+
+/// Adds i.i.d. Gaussian noise (clamping to `[0, 1]`).
+pub fn gaussian_noise(image: &Tensor, std_dev: f32, rng: &mut Rand) -> Tensor {
+    let mut out = image.clone();
+    for v in out.iter_mut() {
+        *v = (*v + rng.normal(0.0, std_dev)).clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Scales brightness by `factor` (clamping to `[0, 1]`).
+pub fn brightness(image: &Tensor, factor: f32) -> Tensor {
+    image.map(|v| (v * factor).clamp(0.0, 1.0))
+}
+
+/// Occludes a random axis-aligned rectangle with mid-gray — simulating a
+/// sticker or dirt patch on the sign.
+///
+/// `max_fraction` bounds each rectangle side as a fraction of the image
+/// side; CHW and HW tensors are both supported.
+///
+/// # Panics
+///
+/// Panics if the tensor is neither rank 2 nor rank 3.
+pub fn occlude(image: &Tensor, max_fraction: f32, rng: &mut Rand) -> Tensor {
+    let (h, w, channels) = match image.shape().rank() {
+        2 => (image.shape().dim(0), image.shape().dim(1), 1),
+        3 => (
+            image.shape().dim(1),
+            image.shape().dim(2),
+            image.shape().dim(0),
+        ),
+        r => panic!("occlude expects HW or CHW tensor, got rank {r}"),
+    };
+    let frac = max_fraction.clamp(0.0, 1.0);
+    let rect_h = ((h as f32 * frac * rng.uniform(0.3, 1.0)) as usize).max(1);
+    let rect_w = ((w as f32 * frac * rng.uniform(0.3, 1.0)) as usize).max(1);
+    let y0 = rng.below(h.saturating_sub(rect_h).max(1));
+    let x0 = rng.below(w.saturating_sub(rect_w).max(1));
+    let mut out = image.clone();
+    let plane = h * w;
+    let data = out.as_mut_slice();
+    for c in 0..channels {
+        for y in y0..(y0 + rect_h).min(h) {
+            for x in x0..(x0 + rect_w).min(w) {
+                data[c * plane + y * w + x] = 0.5;
+            }
+        }
+    }
+    out
+}
+
+/// Per-channel mean/std normalisation statistics over a set of images —
+/// the training-input preprocessing step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelStats {
+    /// Per-channel means.
+    pub mean: [f32; 3],
+    /// Per-channel standard deviations.
+    pub std_dev: [f32; 3],
+}
+
+impl ChannelStats {
+    /// Computes statistics over CHW images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or any image is not `[3, h, w]`.
+    pub fn measure(images: &[Tensor]) -> ChannelStats {
+        assert!(!images.is_empty(), "need at least one image");
+        let mut mean = [0.0f64; 3];
+        let mut m2 = [0.0f64; 3];
+        let mut count = 0u64;
+        for img in images {
+            assert_eq!(img.shape().rank(), 3, "CHW expected");
+            assert_eq!(img.shape().dim(0), 3, "3 channels expected");
+            let plane = img.shape().dim(1) * img.shape().dim(2);
+            let data = img.as_slice();
+            for c in 0..3 {
+                for &v in &data[c * plane..(c + 1) * plane] {
+                    mean[c] += v as f64;
+                    m2[c] += (v as f64) * (v as f64);
+                }
+            }
+            count += plane as u64;
+        }
+        let mut out = ChannelStats {
+            mean: [0.0; 3],
+            std_dev: [0.0; 3],
+        };
+        for c in 0..3 {
+            let m = mean[c] / count as f64;
+            let var = (m2[c] / count as f64 - m * m).max(0.0);
+            out.mean[c] = m as f32;
+            out.std_dev[c] = (var.sqrt() as f32).max(1e-6);
+        }
+        out
+    }
+
+    /// Applies `(x - mean) / std` per channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not `[3, h, w]`.
+    pub fn normalize(&self, image: &Tensor) -> Tensor {
+        assert_eq!(image.shape().rank(), 3);
+        assert_eq!(image.shape().dim(0), 3);
+        let plane = image.shape().dim(1) * image.shape().dim(2);
+        let mut out = image.clone();
+        let data = out.as_mut_slice();
+        for c in 0..3 {
+            for v in &mut data[c * plane..(c + 1) * plane] {
+                *v = (*v - self.mean[c]) / self.std_dev[c];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcnn_tensor::Shape;
+
+    #[test]
+    fn noise_changes_pixels_within_bounds() {
+        let img = Tensor::full(Shape::d3(3, 8, 8), 0.5);
+        let mut rng = Rand::seeded(1);
+        let noisy = gaussian_noise(&img, 0.1, &mut rng);
+        assert_ne!(noisy, img);
+        assert!(noisy.min() >= 0.0 && noisy.max() <= 1.0);
+        let clean = gaussian_noise(&img, 0.0, &mut rng);
+        assert_eq!(clean, img);
+    }
+
+    #[test]
+    fn brightness_scaling() {
+        let img = Tensor::full(Shape::d3(3, 4, 4), 0.4);
+        assert!((brightness(&img, 0.5).mean() - 0.2).abs() < 1e-6);
+        assert!((brightness(&img, 4.0).mean() - 1.0).abs() < 1e-6, "clamped");
+    }
+
+    #[test]
+    fn occlusion_paints_gray_rectangle() {
+        let img = Tensor::zeros(Shape::d3(3, 32, 32));
+        let mut rng = Rand::seeded(2);
+        let occluded = occlude(&img, 0.4, &mut rng);
+        let grays = occluded.iter().filter(|&&v| v == 0.5).count();
+        assert!(grays > 0);
+        assert_eq!(grays % 3, 0, "same rectangle in all channels");
+    }
+
+    #[test]
+    fn occlusion_works_on_grayscale() {
+        let img = Tensor::zeros(Shape::d2(16, 16));
+        let mut rng = Rand::seeded(3);
+        let occluded = occlude(&img, 0.3, &mut rng);
+        assert!(occluded.iter().any(|&v| v == 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "HW or CHW")]
+    fn occlusion_rejects_rank1() {
+        occlude(&Tensor::zeros(Shape::d1(8)), 0.2, &mut Rand::seeded(0));
+    }
+
+    #[test]
+    fn channel_stats_roundtrip() {
+        let mut rng = Rand::seeded(5);
+        let images: Vec<Tensor> = (0..4)
+            .map(|_| {
+                rng.tensor(
+                    Shape::d3(3, 8, 8),
+                    relcnn_tensor::init::Init::Uniform { lo: 0.2, hi: 0.8 },
+                )
+            })
+            .collect();
+        let stats = ChannelStats::measure(&images);
+        // Normalised images have ~zero mean, ~unit std per channel.
+        let normed: Vec<Tensor> = images.iter().map(|i| stats.normalize(i)).collect();
+        let post = ChannelStats::measure(&normed);
+        for c in 0..3 {
+            assert!(post.mean[c].abs() < 0.05, "mean[{c}]={}", post.mean[c]);
+            assert!((post.std_dev[c] - 1.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one image")]
+    fn stats_reject_empty() {
+        ChannelStats::measure(&[]);
+    }
+}

@@ -1,0 +1,225 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The geometric outline of a traffic sign — the property the paper's
+/// qualifier verifies ("any shape recognised by a CNN is not a 'Stop' sign
+/// unless the shape has been confirmed as octagonal", §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ShapeKind {
+    /// Eight-sided regular polygon (stop signs).
+    Octagon,
+    /// Circle (prohibitions, mandatory actions, speed limits).
+    Circle,
+    /// Equilateral triangle, point up (warnings).
+    TriangleUp,
+    /// Equilateral triangle, point down (yield).
+    TriangleDown,
+    /// Square rotated 45° (priority road).
+    Diamond,
+    /// Axis-aligned square (information, parking).
+    Square,
+}
+
+impl ShapeKind {
+    /// Number of polygon sides, `None` for the circle.
+    pub fn sides(&self) -> Option<usize> {
+        match self {
+            ShapeKind::Octagon => Some(8),
+            ShapeKind::Circle => None,
+            ShapeKind::TriangleUp | ShapeKind::TriangleDown => Some(3),
+            ShapeKind::Diamond | ShapeKind::Square => Some(4),
+        }
+    }
+
+    /// Canonical rotation (radians) drawing the shape in its traffic-sign
+    /// orientation (flat-top octagon, point-down yield triangle, …).
+    pub fn canonical_rotation(&self) -> f32 {
+        use std::f32::consts::PI;
+        match self {
+            // Flat-top octagon: vertices offset half a segment.
+            ShapeKind::Octagon => PI / 8.0,
+            ShapeKind::Circle => 0.0,
+            // Image y grows downward: +π/2 puts a vertex at the bottom.
+            ShapeKind::TriangleUp => -PI / 2.0,
+            ShapeKind::TriangleDown => PI / 2.0,
+            ShapeKind::Diamond => 0.0,
+            ShapeKind::Square => PI / 4.0,
+        }
+    }
+}
+
+impl fmt::Display for ShapeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ShapeKind::Octagon => "octagon",
+            ShapeKind::Circle => "circle",
+            ShapeKind::TriangleUp => "triangle-up",
+            ShapeKind::TriangleDown => "triangle-down",
+            ShapeKind::Diamond => "diamond",
+            ShapeKind::Square => "square",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The eight sign classes of the synthetic dataset.
+///
+/// Stand-ins for GTSRB's 43 classes, chosen so that every outline family
+/// is represented and so that both safety-critical and non-critical
+/// classes exist (the paper's architecture only qualifies the former).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SignClass {
+    /// Stop — red octagon. THE safety-critical class of the paper.
+    Stop,
+    /// Yield ("give way") — point-down triangle, white with red border.
+    Yield,
+    /// No-entry — red circle with a white bar.
+    NoEntry,
+    /// Speed limit — white circle with red ring and dark digits.
+    SpeedLimit,
+    /// General warning — point-up triangle, white with red border.
+    Warning,
+    /// Priority road — yellow diamond with white border.
+    PriorityRoad,
+    /// Parking — blue square with white glyph (the paper's example of a
+    /// classification that needs no qualification).
+    Parking,
+    /// Mandatory direction — blue circle with white arrow.
+    Mandatory,
+}
+
+impl SignClass {
+    /// All classes in index order.
+    pub const ALL: [SignClass; 8] = [
+        SignClass::Stop,
+        SignClass::Yield,
+        SignClass::NoEntry,
+        SignClass::SpeedLimit,
+        SignClass::Warning,
+        SignClass::PriorityRoad,
+        SignClass::Parking,
+        SignClass::Mandatory,
+    ];
+
+    /// The class's dense index (0..8), usable as a network output unit.
+    pub fn index(&self) -> usize {
+        SignClass::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("class listed in ALL")
+    }
+
+    /// Inverse of [`SignClass::index`].
+    pub fn from_index(index: usize) -> Option<SignClass> {
+        SignClass::ALL.get(index).copied()
+    }
+
+    /// Number of classes.
+    pub const COUNT: usize = 8;
+
+    /// The sign's outline shape.
+    pub fn shape(&self) -> ShapeKind {
+        match self {
+            SignClass::Stop => ShapeKind::Octagon,
+            SignClass::Yield => ShapeKind::TriangleDown,
+            SignClass::NoEntry => ShapeKind::Circle,
+            SignClass::SpeedLimit => ShapeKind::Circle,
+            SignClass::Warning => ShapeKind::TriangleUp,
+            SignClass::PriorityRoad => ShapeKind::Diamond,
+            SignClass::Parking => ShapeKind::Square,
+            SignClass::Mandatory => ShapeKind::Circle,
+        }
+    }
+
+    /// Whether a misclassification of this class is safety-relevant, i.e.
+    /// whether the hybrid network must qualify it before the result may be
+    /// trusted ("classifications that are not considered safety critical
+    /// (e.g., a parking prohibition) can be used without any
+    /// qualification", §III-A).
+    pub fn is_safety_critical(&self) -> bool {
+        matches!(
+            self,
+            SignClass::Stop | SignClass::Yield | SignClass::NoEntry
+        )
+    }
+}
+
+impl fmt::Display for SignClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SignClass::Stop => "stop",
+            SignClass::Yield => "yield",
+            SignClass::NoEntry => "no-entry",
+            SignClass::SpeedLimit => "speed-limit",
+            SignClass::Warning => "warning",
+            SignClass::PriorityRoad => "priority-road",
+            SignClass::Parking => "parking",
+            SignClass::Mandatory => "mandatory",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_roundtrip() {
+        for (i, c) in SignClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(SignClass::from_index(i), Some(*c));
+        }
+        assert_eq!(SignClass::from_index(99), None);
+        assert_eq!(SignClass::COUNT, SignClass::ALL.len());
+    }
+
+    #[test]
+    fn stop_is_the_octagon() {
+        assert_eq!(SignClass::Stop.shape(), ShapeKind::Octagon);
+        assert_eq!(SignClass::Stop.index(), 0);
+        assert!(SignClass::Stop.is_safety_critical());
+    }
+
+    #[test]
+    fn parking_is_not_safety_critical() {
+        assert!(!SignClass::Parking.is_safety_critical());
+        assert!(!SignClass::SpeedLimit.is_safety_critical());
+        assert!(SignClass::Yield.is_safety_critical());
+        assert!(SignClass::NoEntry.is_safety_critical());
+    }
+
+    #[test]
+    fn shape_metadata_consistent() {
+        assert_eq!(ShapeKind::Octagon.sides(), Some(8));
+        assert_eq!(ShapeKind::Circle.sides(), None);
+        assert_eq!(ShapeKind::TriangleDown.sides(), Some(3));
+        assert_eq!(ShapeKind::Diamond.sides(), Some(4));
+        for k in [
+            ShapeKind::Octagon,
+            ShapeKind::Circle,
+            ShapeKind::TriangleUp,
+            ShapeKind::TriangleDown,
+            ShapeKind::Diamond,
+            ShapeKind::Square,
+        ] {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let names: std::collections::HashSet<String> =
+            SignClass::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names.len(), SignClass::COUNT);
+    }
+
+    #[test]
+    fn every_shape_family_represented() {
+        let shapes: std::collections::HashSet<_> =
+            SignClass::ALL.iter().map(|c| c.shape()).collect();
+        assert!(shapes.len() >= 5, "outline diversity: {shapes:?}");
+    }
+}

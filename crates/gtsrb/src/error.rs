@@ -1,0 +1,58 @@
+use relcnn_tensor::TensorError;
+use std::fmt;
+
+/// Error type for dataset generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GtsrbError {
+    /// A configuration parameter was out of range.
+    BadConfig {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// Error propagated from the tensor substrate.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for GtsrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GtsrbError::BadConfig { reason } => write!(f, "bad dataset config: {reason}"),
+            GtsrbError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GtsrbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GtsrbError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for GtsrbError {
+    fn from(e: TensorError) -> Self {
+        GtsrbError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = GtsrbError::BadConfig {
+            reason: "zero image size".into(),
+        };
+        assert!(e.to_string().contains("zero image size"));
+        let t: GtsrbError = TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(std::error::Error::source(&t).is_some());
+    }
+}

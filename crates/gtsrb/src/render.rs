@@ -1,0 +1,392 @@
+//! Procedural traffic-sign rendering.
+//!
+//! Each class renders as its canonical geometry — outline shape, border
+//! ring and a simple inner glyph — onto a cluttered background, under a
+//! pose sampled from [`RenderParams`]. The renderer is pure: identical
+//! parameters produce identical images.
+
+use crate::classes::SignClass;
+use relcnn_tensor::init::Rand;
+use relcnn_tensor::{Shape, Tensor};
+use relcnn_vision::draw;
+use relcnn_vision::Rgb;
+use serde::{Deserialize, Serialize};
+
+/// Pose and photometric parameters of one rendered sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RenderParams {
+    /// Sign centre as a fraction of image size (0.5 = centred).
+    pub center: (f32, f32),
+    /// Sign circumradius as a fraction of the half image size.
+    pub scale: f32,
+    /// Additional rotation (radians) on top of the canonical orientation —
+    /// the "slightly angled" pose of Figure 3.
+    pub rotation: f32,
+    /// Multiplicative brightness (1.0 = nominal).
+    pub brightness: f32,
+    /// Standard deviation of additive Gaussian pixel noise.
+    pub noise_std: f32,
+    /// Number of random background clutter shapes.
+    pub clutter: usize,
+    /// Whether to apply a 3×3 box blur after compositing.
+    pub blur: bool,
+}
+
+impl RenderParams {
+    /// A clean, centred, nominal pose — the easiest possible sample.
+    pub fn nominal() -> Self {
+        RenderParams {
+            center: (0.5, 0.5),
+            scale: 0.75,
+            rotation: 0.0,
+            brightness: 1.0,
+            noise_std: 0.0,
+            clutter: 0,
+            blur: false,
+        }
+    }
+
+    /// Samples a randomised pose within dataset-realistic ranges.
+    pub fn sampled(rng: &mut Rand) -> Self {
+        RenderParams {
+            center: (rng.uniform(0.42, 0.58), rng.uniform(0.42, 0.58)),
+            scale: rng.uniform(0.55, 0.85),
+            rotation: rng.uniform(-0.18, 0.18),
+            brightness: rng.uniform(0.6, 1.25),
+            noise_std: rng.uniform(0.0, 0.05),
+            clutter: rng.below(6),
+            blur: rng.chance(0.25),
+        }
+    }
+}
+
+impl Default for RenderParams {
+    fn default() -> Self {
+        RenderParams::nominal()
+    }
+}
+
+/// Renders sign classes into CHW images of a fixed size.
+#[derive(Debug, Clone)]
+pub struct SignRenderer {
+    size: usize,
+}
+
+impl SignRenderer {
+    /// Creates a renderer producing `[3, size, size]` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 16` — too small for any shape to survive edge
+    /// detection.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 16, "image size {size} too small to render signs");
+        SignRenderer { size }
+    }
+
+    /// Image side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Renders one sample. `rng` drives background clutter and noise only;
+    /// pose comes entirely from `params`.
+    pub fn render(&self, class: SignClass, params: &RenderParams, rng: &mut Rand) -> Tensor {
+        let s = self.size as f32;
+        let mut img = Tensor::zeros(Shape::d3(3, self.size, self.size));
+
+        self.paint_background(&mut img, params, rng);
+
+        let center = (params.center.0 * s, params.center.1 * s);
+        let radius = params.scale * s * 0.5;
+        self.paint_sign(&mut img, class, center, radius, params.rotation);
+
+        // Photometrics: brightness, then noise, then optional blur.
+        if (params.brightness - 1.0).abs() > f32::EPSILON {
+            img.map_inplace(|v| v * params.brightness);
+        }
+        if params.noise_std > 0.0 {
+            for v in img.iter_mut() {
+                *v += rng.normal(0.0, params.noise_std);
+            }
+        }
+        if params.blur {
+            img = box_blur3(&img);
+        }
+        img.map_inplace(|v| v.clamp(0.0, 1.0));
+        img
+    }
+
+    fn paint_background(&self, img: &mut Tensor, params: &RenderParams, rng: &mut Rand) {
+        // Vertical sky-to-road gradient with a random tint.
+        let tint = rng.uniform(-0.05, 0.05);
+        let top = Rgb::new(0.55 + tint, 0.65 + tint, 0.75 + tint);
+        let bottom = Rgb::new(0.35 + tint, 0.35 + tint, 0.33 + tint);
+        let (h, w) = (self.size, self.size);
+        let plane = h * w;
+        let data = img.as_mut_slice();
+        for y in 0..h {
+            let c = top.lerp(bottom, y as f32 / h as f32);
+            for x in 0..w {
+                data[y * w + x] = c.r;
+                data[plane + y * w + x] = c.g;
+                data[2 * plane + y * w + x] = c.b;
+            }
+        }
+        // Muted clutter: small circles and quadrilaterals well away from
+        // the sign's own colour family.
+        for _ in 0..params.clutter {
+            let color = Rgb::new(
+                rng.uniform(0.2, 0.55),
+                rng.uniform(0.25, 0.6),
+                rng.uniform(0.2, 0.55),
+            );
+            let cx = rng.uniform(0.0, self.size as f32);
+            let cy = rng.uniform(0.0, self.size as f32);
+            let r = rng.uniform(0.03, 0.12) * self.size as f32;
+            if rng.chance(0.5) {
+                draw::fill_circle_rgb(img, (cx, cy), r, color);
+            } else {
+                let rot = rng.uniform(0.0, std::f32::consts::TAU);
+                let poly = draw::regular_polygon(4, (cx, cy), r, rot);
+                draw::fill_polygon_rgb(img, &poly, color);
+            }
+        }
+    }
+
+    fn paint_sign(
+        &self,
+        img: &mut Tensor,
+        class: SignClass,
+        center: (f32, f32),
+        radius: f32,
+        rotation: f32,
+    ) {
+        let shape = class.shape();
+        let rot = shape.canonical_rotation() + rotation;
+        let (border, fill) = sign_colors(class);
+
+        // Outline at full radius, fill at 82% — the border ring.
+        match shape.sides() {
+            Some(sides) => {
+                let outer = draw::regular_polygon(sides, center, radius, rot);
+                draw::fill_polygon_rgb(img, &outer, border);
+                let inner = draw::regular_polygon(sides, center, radius * 0.82, rot);
+                draw::fill_polygon_rgb(img, &inner, fill);
+            }
+            None => {
+                draw::fill_circle_rgb(img, center, radius, border);
+                draw::fill_circle_rgb(img, center, radius * 0.82, fill);
+            }
+        }
+        self.paint_glyph(img, class, center, radius, rotation);
+    }
+
+    /// Simple geometric stand-ins for legends ("STOP", digits, arrows…).
+    fn paint_glyph(
+        &self,
+        img: &mut Tensor,
+        class: SignClass,
+        center: (f32, f32),
+        radius: f32,
+        rotation: f32,
+    ) {
+        let bar = |img: &mut Tensor, half_w: f32, half_h: f32, color: Rgb| {
+            let (cx, cy) = center;
+            let (sin, cos) = rotation.sin_cos();
+            let corners = [
+                (-half_w, -half_h),
+                (half_w, -half_h),
+                (half_w, half_h),
+                (-half_w, half_h),
+            ]
+            .map(|(x, y)| (cx + x * cos - y * sin, cy + x * sin + y * cos));
+            draw::fill_polygon_rgb(img, &corners, color);
+        };
+        match class {
+            SignClass::Stop => bar(img, radius * 0.55, radius * 0.14, Rgb::white()),
+            SignClass::NoEntry => bar(img, radius * 0.55, radius * 0.16, Rgb::white()),
+            SignClass::SpeedLimit => {
+                bar(img, radius * 0.12, radius * 0.3, Rgb::black());
+                let (cx, cy) = center;
+                let dx = radius * 0.3;
+                let (sin, cos) = rotation.sin_cos();
+                draw::fill_circle_rgb(
+                    img,
+                    (cx + dx * cos, cy + dx * sin),
+                    radius * 0.18,
+                    Rgb::black(),
+                );
+            }
+            SignClass::Warning => bar(img, radius * 0.08, radius * 0.3, Rgb::black()),
+            SignClass::Parking => bar(img, radius * 0.12, radius * 0.4, Rgb::white()),
+            SignClass::Mandatory => bar(img, radius * 0.4, radius * 0.12, Rgb::white()),
+            SignClass::Yield | SignClass::PriorityRoad => {}
+        }
+    }
+}
+
+/// Border and fill colours of each class.
+fn sign_colors(class: SignClass) -> (Rgb, Rgb) {
+    match class {
+        SignClass::Stop => (Rgb::white(), Rgb::sign_red()),
+        SignClass::Yield => (Rgb::sign_red(), Rgb::white()),
+        SignClass::NoEntry => (Rgb::white(), Rgb::sign_red()),
+        SignClass::SpeedLimit => (Rgb::sign_red(), Rgb::white()),
+        SignClass::Warning => (Rgb::sign_red(), Rgb::white()),
+        SignClass::PriorityRoad => (Rgb::white(), Rgb::new(0.95, 0.8, 0.1)),
+        SignClass::Parking => (Rgb::white(), Rgb::sign_blue()),
+        SignClass::Mandatory => (Rgb::white(), Rgb::sign_blue()),
+    }
+}
+
+/// 3×3 box blur on a CHW image (border pixels average their in-bounds
+/// neighbourhood).
+fn box_blur3(img: &Tensor) -> Tensor {
+    let (c, h, w) = (
+        img.shape().dim(0),
+        img.shape().dim(1),
+        img.shape().dim(2),
+    );
+    let src = img.as_slice();
+    let mut out = vec![0.0f32; src.len()];
+    for ch in 0..c {
+        let base = ch * h * w;
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0.0f32;
+                let mut n = 0u32;
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let ny = y as i64 + dy;
+                        let nx = x as i64 + dx;
+                        if ny < 0 || nx < 0 || ny >= h as i64 || nx >= w as i64 {
+                            continue;
+                        }
+                        acc += src[base + ny as usize * w + nx as usize];
+                        n += 1;
+                    }
+                }
+                out[base + y * w + x] = acc / n as f32;
+            }
+        }
+    }
+    Tensor::from_vec(img.shape().clone(), out).expect("same volume")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcnn_vision::{radial, rgb_to_gray, sobel, threshold};
+
+    fn render(class: SignClass, params: RenderParams, seed: u64) -> Tensor {
+        SignRenderer::new(96).render(class, &params, &mut Rand::seeded(seed))
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_params() {
+        let p = RenderParams::sampled(&mut Rand::seeded(1));
+        let a = render(SignClass::Stop, p, 42);
+        let b = render(SignClass::Stop, p, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ_in_background() {
+        let mut p = RenderParams::nominal();
+        p.clutter = 4;
+        let a = render(SignClass::Stop, p, 1);
+        let b = render(SignClass::Stop, p, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn values_clamped_to_unit_interval() {
+        let mut p = RenderParams::nominal();
+        p.brightness = 3.0;
+        p.noise_std = 0.5;
+        let img = render(SignClass::Warning, p, 3);
+        assert!(img.min() >= 0.0 && img.max() <= 1.0);
+    }
+
+    #[test]
+    fn stop_sign_is_red_at_centre() {
+        let img = render(SignClass::Stop, RenderParams::nominal(), 0);
+        // Centre is inside the white glyph bar; probe just above it.
+        let y = 96 / 2 - 96 / 6;
+        let r = img.get(&[0, y, 48]);
+        let g = img.get(&[1, y, 48]);
+        assert!(r > 0.5 && g < 0.3, "stop fill red: r={r} g={g}");
+    }
+
+    #[test]
+    fn stop_sign_shape_recoverable_by_qualifier_frontend() {
+        // The end-to-end property the whole dataset exists for: the
+        // octagon must survive render -> gray -> Sobel -> threshold ->
+        // radial signature.
+        let mut p = RenderParams::nominal();
+        p.rotation = 0.12; // Figure 3's "slightly angled"
+        let img = render(SignClass::Stop, p, 7);
+        let gray = rgb_to_gray(&img).unwrap();
+        let edges = sobel::gradient_magnitude(&gray).unwrap();
+        let mask = threshold::binarize(&edges, threshold::otsu_threshold(&edges));
+        let sig = radial::radial_signature(&mask, 256).unwrap();
+        assert!(
+            sig.radial_ratio() < 1.25,
+            "octagon flatness, got {}",
+            sig.radial_ratio()
+        );
+        assert!(sig.mean_radius() > 20.0, "sign dominates the image");
+    }
+
+    #[test]
+    fn yield_triangle_recoverable() {
+        let img = render(SignClass::Yield, RenderParams::nominal(), 9);
+        let gray = rgb_to_gray(&img).unwrap();
+        let edges = sobel::gradient_magnitude(&gray).unwrap();
+        let mask = threshold::binarize(&edges, threshold::otsu_threshold(&edges));
+        let sig = radial::radial_signature(&mask, 256).unwrap();
+        // Triangle: R/r = 2.0 — far from circle/octagon.
+        assert!(sig.radial_ratio() > 1.5, "ratio {}", sig.radial_ratio());
+    }
+
+    #[test]
+    fn all_classes_render_without_panic() {
+        let mut rng = Rand::seeded(11);
+        let renderer = SignRenderer::new(64);
+        for class in SignClass::ALL {
+            let p = RenderParams::sampled(&mut rng);
+            let img = renderer.render(class, &p, &mut rng);
+            assert_eq!(img.shape().dims(), &[3, 64, 64]);
+            assert!(img.max() > 0.0, "{class} rendered something");
+        }
+    }
+
+    #[test]
+    fn blur_smooths_noise() {
+        let mut p = RenderParams::nominal();
+        p.noise_std = 0.2;
+        p.blur = false;
+        let noisy = render(SignClass::Parking, p, 5);
+        p.blur = true;
+        let blurred = render(SignClass::Parking, p, 5);
+        // Blur reduces high-frequency energy: compare local variation.
+        let tv = |t: &Tensor| {
+            let (h, w) = (96usize, 96usize);
+            let mut acc = 0.0f32;
+            for y in 0..h {
+                for x in 1..w {
+                    acc += (t.get(&[0, y, x]) - t.get(&[0, y, x - 1])).abs();
+                }
+            }
+            acc
+        };
+        assert!(tv(&blurred) < tv(&noisy));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_renderer_rejected() {
+        SignRenderer::new(8);
+    }
+}

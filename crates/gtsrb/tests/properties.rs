@@ -1,0 +1,85 @@
+//! Property-based tests for the synthetic dataset substrate.
+
+use proptest::prelude::*;
+use relcnn_gtsrb::{DatasetConfig, RenderParams, SignClass, SignRenderer, SyntheticGtsrb};
+use relcnn_tensor::init::Rand;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Rendering is a pure function of (class, params, rng seed).
+    #[test]
+    fn render_is_pure(
+        class_idx in 0usize..8,
+        seed in 0u64..500,
+        rot in -0.2f32..0.2,
+    ) {
+        let class = SignClass::from_index(class_idx).unwrap();
+        let mut params = RenderParams::nominal();
+        params.rotation = rot;
+        let renderer = SignRenderer::new(48);
+        let a = renderer.render(class, &params, &mut Rand::seeded(seed));
+        let b = renderer.render(class, &params, &mut Rand::seeded(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    /// All pixels stay in [0, 1] under any pose/photometric combination.
+    #[test]
+    fn pixels_in_unit_interval(seed in 0u64..500) {
+        let mut rng = Rand::seeded(seed);
+        let params = RenderParams::sampled(&mut rng);
+        let class = SignClass::from_index(seed as usize % 8).unwrap();
+        let img = SignRenderer::new(32).render(class, &params, &mut rng);
+        prop_assert!(img.min() >= 0.0);
+        prop_assert!(img.max() <= 1.0);
+    }
+
+    /// Sampled poses stay within their documented ranges.
+    #[test]
+    fn sampled_params_in_range(seed in 0u64..1000) {
+        let mut rng = Rand::seeded(seed);
+        let p = RenderParams::sampled(&mut rng);
+        prop_assert!(p.scale >= 0.55 && p.scale <= 0.85);
+        prop_assert!(p.rotation.abs() <= 0.18);
+        prop_assert!(p.brightness >= 0.6 && p.brightness <= 1.25);
+        prop_assert!(p.noise_std >= 0.0 && p.noise_std <= 0.05);
+        prop_assert!(p.clutter < 6);
+    }
+
+    /// Dataset splits have exactly the configured sizes and class balance
+    /// for any per-class counts.
+    #[test]
+    fn split_sizes_exact(
+        train in 1usize..6,
+        test in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let data = SyntheticGtsrb::generate(&DatasetConfig {
+            image_size: 32,
+            train_per_class: train,
+            test_per_class: test,
+            seed,
+            classes: SignClass::ALL.to_vec(),
+        }).unwrap();
+        prop_assert_eq!(data.train().len(), 8 * train);
+        prop_assert_eq!(data.test().len(), 8 * test);
+        prop_assert_eq!(data.train_class_counts(), [train; 8]);
+    }
+
+    /// Train and test splits never share an image (independent streams).
+    #[test]
+    fn splits_disjoint(seed in 0u64..50) {
+        let data = SyntheticGtsrb::generate(&DatasetConfig {
+            image_size: 32,
+            train_per_class: 2,
+            test_per_class: 2,
+            seed,
+            classes: vec![SignClass::Stop, SignClass::Parking],
+        }).unwrap();
+        for tr in data.train() {
+            for te in data.test() {
+                prop_assert_ne!(&tr.image, &te.image);
+            }
+        }
+    }
+}

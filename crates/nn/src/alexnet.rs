@@ -1,0 +1,238 @@
+//! AlexNet architecture builders.
+//!
+//! Three variants:
+//!
+//! * [`alexnet_227`] — the full AlexNet of Krizhevsky et al. (paper
+//!   reference \[51\]) for 227×227×3 inputs, exactly the network whose
+//!   first convolution layer ("96 11×11×3 filters") the paper instruments.
+//!   CPU-forwardable; training it is not attempted here.
+//! * [`alexnet_gtsrb`] — the scaled, CPU-trainable variant used by the
+//!   Figure-4 and confusion-matrix experiments. **Conv-1 is identical to
+//!   AlexNet's** (96 filters, 11×11×3, stride 4) because conv-1 is what
+//!   every experiment manipulates; the tail is shrunk to keep training on
+//!   synthetic 96×96 GTSRB tractable in seconds.
+//! * [`tiny_cnn`] — a minimal CNN for unit tests and doctests.
+
+use crate::error::NnError;
+use crate::layers::{Conv2d, Dense, Dropout, Flatten, LocalResponseNorm, MaxPool2d, ReLU};
+use crate::network::Network;
+use relcnn_tensor::init::Rand;
+
+/// Number of first-layer filters in every AlexNet variant (the paper's
+/// "96 feature maps by 96 11*11*3 filters").
+pub const CONV1_FILTERS: usize = 96;
+
+/// First-layer kernel size.
+pub const CONV1_KERNEL: usize = 11;
+
+/// First-layer stride.
+pub const CONV1_STRIDE: usize = 4;
+
+/// Computes the spatial output size of a conv/pool stage.
+fn out_size(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    (input + 2 * padding - kernel) / stride + 1
+}
+
+/// Full AlexNet for `[3, 227, 227]` inputs.
+///
+/// Grouped convolutions of the original are implemented ungrouped (the
+/// grouping was a dual-GPU memory workaround, not a modelling choice);
+/// LRN uses the published constants.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTraining`] when `num_classes == 0`.
+pub fn alexnet_227(num_classes: usize, rng: &mut Rand) -> Result<Network, NnError> {
+    if num_classes == 0 {
+        return Err(NnError::BadTraining {
+            reason: "network needs at least one class".into(),
+        });
+    }
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, CONV1_FILTERS, CONV1_KERNEL, CONV1_STRIDE, 0, rng)); // 96x55x55
+    net.push(ReLU::new());
+    net.push(LocalResponseNorm::alexnet());
+    net.push(MaxPool2d::new(3, 2)); // 96x27x27
+    net.push(Conv2d::new(96, 256, 5, 1, 2, rng)); // 256x27x27
+    net.push(ReLU::new());
+    net.push(LocalResponseNorm::alexnet());
+    net.push(MaxPool2d::new(3, 2)); // 256x13x13
+    net.push(Conv2d::new(256, 384, 3, 1, 1, rng)); // 384x13x13
+    net.push(ReLU::new());
+    net.push(Conv2d::new(384, 384, 3, 1, 1, rng)); // 384x13x13
+    net.push(ReLU::new());
+    net.push(Conv2d::new(384, 256, 3, 1, 1, rng)); // 256x13x13
+    net.push(ReLU::new());
+    net.push(MaxPool2d::new(3, 2)); // 256x6x6
+    net.push(Flatten::new()); // 9216
+    net.push(Dense::new(256 * 6 * 6, 4096, rng));
+    net.push(ReLU::new());
+    net.push(Dropout::new(0.5, rng));
+    net.push(Dense::new(4096, 4096, rng));
+    net.push(ReLU::new());
+    net.push(Dropout::new(0.5, rng));
+    net.push(Dense::new(4096, num_classes, rng));
+    Ok(net)
+}
+
+/// Scaled AlexNet for `[3, input_size, input_size]` synthetic-GTSRB inputs
+/// (default experiments use 96×96). Conv-1 matches full AlexNet exactly.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTraining`] when `num_classes == 0` or the input
+/// is too small for the conv-1 geometry.
+pub fn alexnet_gtsrb(
+    num_classes: usize,
+    input_size: usize,
+    rng: &mut Rand,
+) -> Result<Network, NnError> {
+    if num_classes == 0 {
+        return Err(NnError::BadTraining {
+            reason: "network needs at least one class".into(),
+        });
+    }
+    if input_size < 32 {
+        return Err(NnError::BadTraining {
+            reason: format!("input size {input_size} too small for 11x11 stride-4 conv"),
+        });
+    }
+    let c1 = out_size(input_size, CONV1_KERNEL, CONV1_STRIDE, 0); // 96 -> 22
+    let p1 = out_size(c1, 3, 2, 0); // 22 -> 10
+    let c2 = out_size(p1, 3, 1, 1); // 10 -> 10
+    let p2 = out_size(c2, 2, 2, 0); // 10 -> 5
+    let flat = 64 * p2 * p2;
+
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, CONV1_FILTERS, CONV1_KERNEL, CONV1_STRIDE, 0, rng));
+    net.push(ReLU::new());
+    net.push(MaxPool2d::new(3, 2));
+    net.push(Conv2d::new(CONV1_FILTERS, 64, 3, 1, 1, rng));
+    net.push(ReLU::new());
+    net.push(MaxPool2d::new(2, 2));
+    net.push(Flatten::new());
+    net.push(Dense::new(flat, 128, rng));
+    net.push(ReLU::new());
+    net.push(Dropout::new(0.3, rng));
+    net.push(Dense::new(128, num_classes, rng));
+    Ok(net)
+}
+
+/// Minimal CNN (8 3×3 filters, one dense head) for tests and doctests.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTraining`] when `num_classes == 0` or
+/// `input_size < 8`.
+pub fn tiny_cnn(num_classes: usize, input_size: usize, rng: &mut Rand) -> Result<Network, NnError> {
+    if num_classes == 0 {
+        return Err(NnError::BadTraining {
+            reason: "network needs at least one class".into(),
+        });
+    }
+    if input_size < 8 {
+        return Err(NnError::BadTraining {
+            reason: format!("input size {input_size} too small"),
+        });
+    }
+    let c1 = out_size(input_size, 3, 2, 1);
+    let p1 = out_size(c1, 2, 2, 0);
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 8, 3, 2, 1, rng));
+    net.push(ReLU::new());
+    net.push(MaxPool2d::new(2, 2));
+    net.push(Flatten::new());
+    net.push(Dense::new(8 * p1 * p1, num_classes, rng));
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Mode;
+    use relcnn_tensor::{Shape, Tensor};
+
+    #[test]
+    fn alexnet_227_forward_shape() {
+        let mut rng = Rand::seeded(0);
+        let mut net = alexnet_227(43, &mut rng).unwrap();
+        // Forward one image through the full network: the expensive part
+        // is conv2 (256x27x27x96x25 ≈ 450M MACs) — acceptable once.
+        let x = Tensor::zeros(Shape::d3(3, 227, 227));
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape().dims(), &[43]);
+        // Conv-1 is the paper's: 96 filters of 11x11x3 stride 4.
+        let conv1 = net.conv2d_at(0).unwrap();
+        assert_eq!(conv1.out_channels(), 96);
+        assert_eq!(conv1.kernel_size(), 11);
+        assert_eq!(conv1.stride(), 4);
+        assert_eq!(conv1.filters().shape().dims(), &[96, 3, 11, 11]);
+    }
+
+    #[test]
+    fn alexnet_227_param_count_plausible() {
+        let mut rng = Rand::seeded(1);
+        let mut net = alexnet_227(1000, &mut rng).unwrap();
+        let count = net.param_count();
+        // Ungrouped AlexNet ≈ 62.4M parameters at 1000 classes.
+        assert!(
+            (55_000_000..70_000_000).contains(&count),
+            "param count {count}"
+        );
+    }
+
+    #[test]
+    fn alexnet_gtsrb_trains_shape_and_conv1_identity() {
+        let mut rng = Rand::seeded(2);
+        let mut net = alexnet_gtsrb(8, 96, &mut rng).unwrap();
+        let x = Tensor::zeros(Shape::d3(3, 96, 96));
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape().dims(), &[8]);
+        let conv1 = net.conv2d_at(0).unwrap();
+        assert_eq!(
+            (
+                conv1.out_channels(),
+                conv1.kernel_size(),
+                conv1.stride(),
+                conv1.in_channels()
+            ),
+            (96, 11, 4, 3),
+            "conv-1 must match full AlexNet"
+        );
+    }
+
+    #[test]
+    fn gtsrb_variant_backward_works() {
+        let mut rng = Rand::seeded(3);
+        let mut net = alexnet_gtsrb(4, 48, &mut rng).unwrap();
+        let x = Tensor::zeros(Shape::d3(3, 48, 48));
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(y.shape().clone());
+        net.backward(&g).unwrap();
+    }
+
+    #[test]
+    fn tiny_cnn_works() {
+        let mut rng = Rand::seeded(4);
+        let mut net = tiny_cnn(4, 16, &mut rng).unwrap();
+        let x = Tensor::zeros(Shape::d3(3, 16, 16));
+        assert_eq!(net.forward(&x, Mode::Eval).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn builders_validate() {
+        let mut rng = Rand::seeded(5);
+        assert!(alexnet_227(0, &mut rng).is_err());
+        assert!(alexnet_gtsrb(0, 96, &mut rng).is_err());
+        assert!(alexnet_gtsrb(8, 16, &mut rng).is_err());
+        assert!(tiny_cnn(0, 16, &mut rng).is_err());
+        assert!(tiny_cnn(4, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn out_size_formula() {
+        assert_eq!(out_size(227, 11, 4, 0), 55);
+        assert_eq!(out_size(96, 11, 4, 0), 22);
+        assert_eq!(out_size(22, 3, 2, 0), 10);
+    }
+}

@@ -1,0 +1,94 @@
+use relcnn_tensor::TensorError;
+use std::fmt;
+
+/// Error type for network construction, training and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A layer received an input of the wrong shape.
+    BadInput {
+        /// Layer that rejected the input.
+        layer: &'static str,
+        /// Description of the expectation.
+        reason: String,
+    },
+    /// `backward` was called without a preceding `forward` (no cache).
+    NoForwardCache {
+        /// Layer that was asked to run backward.
+        layer: &'static str,
+    },
+    /// Training-loop configuration error (zero batch, empty dataset…).
+    BadTraining {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// Checkpoint (de)serialisation failure.
+    Checkpoint {
+        /// Description of the corruption or mismatch.
+        reason: String,
+    },
+    /// Error propagated from the tensor substrate.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::BadInput { layer, reason } => {
+                write!(f, "bad input to {layer}: {reason}")
+            }
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward before forward in {layer}")
+            }
+            NnError::BadTraining { reason } => write!(f, "bad training setup: {reason}"),
+            NnError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_source() {
+        let errs: Vec<NnError> = vec![
+            NnError::BadInput {
+                layer: "conv2d",
+                reason: "expected CHW".into(),
+            },
+            NnError::NoForwardCache { layer: "relu" },
+            NnError::BadTraining {
+                reason: "batch size 0".into(),
+            },
+            NnError::Checkpoint {
+                reason: "tensor count mismatch".into(),
+            },
+            NnError::Tensor(TensorError::LengthMismatch {
+                expected: 1,
+                actual: 2,
+            }),
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(std::error::Error::source(&errs[4]).is_some());
+        assert!(std::error::Error::source(&errs[0]).is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the CNN substrate: gradient correctness on
+//! random configurations (the property that makes training trustworthy)
+//! and training-loop invariants.
+
+use proptest::prelude::*;
+use relcnn_nn::{
+    Conv2d, CrossEntropyLoss, Dense, Layer, LocalResponseNorm, MaxPool2d, Mode, ReLU,
+};
+use relcnn_tensor::init::{Init, Rand};
+use relcnn_tensor::{Shape, Tensor};
+
+/// Central-difference input-gradient check against `backward`.
+fn input_grad_matches(layer: &mut dyn Layer, input: &Tensor, probes: &[usize], tol: f32) -> bool {
+    let out = layer.forward(input, Mode::Train).unwrap();
+    let dy = Tensor::ones(out.shape().clone());
+    let dx = layer.backward(&dy).unwrap();
+    let eps = 1e-2f32;
+    for &i in probes {
+        let i = i % input.len();
+        let mut plus = input.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = input.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let f_plus = layer.forward(&plus, Mode::Eval).unwrap().sum();
+        let f_minus = layer.forward(&minus, Mode::Eval).unwrap().sum();
+        let numeric = (f_plus - f_minus) / (2.0 * eps);
+        let analytic = dx.as_slice()[i];
+        if (numeric - analytic).abs() > tol * (1.0 + numeric.abs()) {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conv2d input gradients are correct for random geometries.
+    #[test]
+    fn conv_gradients_correct(
+        seed in 0u64..1000,
+        in_c in 1usize..3,
+        out_c in 1usize..4,
+        k in 2usize..4,
+        stride in 1usize..3,
+    ) {
+        let size = 7usize;
+        let mut rng = Rand::seeded(seed);
+        let mut conv = Conv2d::new(in_c, out_c, k, stride, 1, &mut rng);
+        let input = rng.tensor(
+            Shape::d3(in_c, size, size),
+            Init::Uniform { lo: -1.0, hi: 1.0 },
+        );
+        prop_assert!(input_grad_matches(&mut conv, &input, &[0, 7, 19, 40], 3e-2));
+    }
+
+    /// Dense input gradients are correct for random sizes.
+    #[test]
+    fn dense_gradients_correct(
+        seed in 0u64..1000,
+        in_dim in 2usize..24,
+        out_dim in 1usize..12,
+    ) {
+        let mut rng = Rand::seeded(seed);
+        let mut dense = Dense::new(in_dim, out_dim, &mut rng);
+        let input = rng.tensor(Shape::d1(in_dim), Init::Uniform { lo: -1.0, hi: 1.0 });
+        prop_assert!(input_grad_matches(&mut dense, &input, &[0, 1, in_dim / 2], 2e-2));
+    }
+
+    /// LRN gradients are correct for random channel counts and constants.
+    #[test]
+    fn lrn_gradients_correct(
+        seed in 0u64..1000,
+        c in 2usize..6,
+        alpha in 0.01f32..0.5,
+    ) {
+        let mut rng = Rand::seeded(seed);
+        let mut lrn = LocalResponseNorm::new(3, 2.0, alpha, 0.75);
+        let input = rng.tensor(Shape::d3(c, 3, 3), Init::Uniform { lo: -1.0, hi: 1.0 });
+        prop_assert!(input_grad_matches(&mut lrn, &input, &[0, 3, 8], 3e-2));
+    }
+
+    /// ReLU and MaxPool gradients route correctly on random inputs.
+    #[test]
+    fn routing_layer_gradients(seed in 0u64..1000) {
+        let mut rng = Rand::seeded(seed);
+        let mut relu = ReLU::new();
+        let mut input = rng.tensor(Shape::d1(32), Init::Uniform { lo: -1.0, hi: 1.0 });
+        // Central differences are invalid within eps of the ReLU kink;
+        // push such samples away from zero (the analytic gradient there is
+        // a subgradient choice, not a finite-difference mismatch).
+        input.map_inplace(|v| if v.abs() < 0.05 { 0.1 + v } else { v });
+        prop_assert!(input_grad_matches(&mut relu, &input, &[0, 11, 31], 1e-2));
+
+        // MaxPool: ties at window boundaries break the finite-difference
+        // assumption, so probe away from exact ties via noise.
+        let mut pool = MaxPool2d::new(2, 2);
+        let input = rng.tensor(Shape::d3(1, 6, 6), Init::Uniform { lo: 0.0, hi: 1.0 });
+        let out = pool.forward(&input, Mode::Train).unwrap();
+        let dx = pool.backward(&Tensor::ones(out.shape().clone())).unwrap();
+        // Pool gradient conserves mass: one unit per output element.
+        prop_assert!((dx.sum() - out.len() as f32).abs() < 1e-4);
+    }
+
+    /// Softmax cross-entropy gradient sums to zero (probability mass
+    /// conservation) for random logits.
+    #[test]
+    fn loss_gradient_sums_to_zero(
+        logits in proptest::collection::vec(-5.0f32..5.0, 2..12),
+        target_raw in 0usize..12,
+    ) {
+        let n = logits.len();
+        let target = target_raw % n;
+        let loss = CrossEntropyLoss::new();
+        let t = Tensor::from_vec(Shape::d1(n), logits).unwrap();
+        let (l, probs) = loss.forward(&t, target).unwrap();
+        prop_assert!(l >= 0.0);
+        let g = loss.backward(&probs, target).unwrap();
+        prop_assert!(g.sum().abs() < 1e-5);
+        prop_assert!(g.as_slice()[target] <= 0.0);
+    }
+
+    /// One SGD step on a single sample always reduces that sample's loss
+    /// (for a small enough learning rate).
+    #[test]
+    fn sgd_step_reduces_sample_loss(seed in 0u64..200) {
+        use relcnn_nn::{alexnet, Sgd, SgdConfig};
+        let mut rng = Rand::seeded(seed);
+        let mut net = alexnet::tiny_cnn(3, 8, &mut rng).unwrap();
+        let x = rng.tensor(Shape::d3(3, 8, 8), Init::Uniform { lo: 0.0, hi: 1.0 });
+        let target = (seed % 3) as usize;
+        let loss = CrossEntropyLoss::new();
+
+        let logits = net.forward(&x, Mode::Train).unwrap();
+        let (l0, probs) = loss.forward(&logits, target).unwrap();
+        net.zero_grads();
+        let g = loss.backward(&probs, target).unwrap();
+        net.backward(&g).unwrap();
+        let mut sgd = Sgd::new(SgdConfig::plain(0.01));
+        sgd.step(&mut net.params(), 1).unwrap();
+
+        let logits = net.forward(&x, Mode::Eval).unwrap();
+        let (l1, _) = loss.forward(&logits, target).unwrap();
+        prop_assert!(l1 <= l0 + 1e-5, "loss rose: {} -> {}", l0, l1);
+    }
+}

@@ -1,0 +1,624 @@
+use crate::cost::OpCost;
+use crate::policy::RedundancyMode;
+use crate::qualified::Qualified;
+use relcnn_faults::{FaultInjector, FaultSite, InjectorStats, OpContext};
+
+/// A qualified arithmetic-logic unit: the "overloaded multiplication and
+/// overloaded addition" of Algorithm 3.
+///
+/// Every logical operation (multiply or accumulate) consumes one global
+/// operation index; redundant modes execute the operation once per replica
+/// through the fault injector and derive the qualifier by comparison or
+/// vote. Operand fetches ([`load_weight`](QualifiedAlu::load_weight) /
+/// [`load_activation`](QualifiedAlu::load_activation)) are exposed to the
+/// injector **once**, before replication — faithfully modelling the
+/// common-mode weakness of redundant execution: a value corrupted in
+/// memory feeds *all* replicas identically and no comparison can see it.
+/// (This is why the paper's §II-C points at vendor ECC for memory and
+/// why the guarantee analysis in `relcnn-core` scopes the DMR guarantee to
+/// processing-element faults.)
+pub trait QualifiedAlu {
+    /// The redundancy mode this ALU implements.
+    fn mode(&self) -> RedundancyMode;
+
+    /// Fetches a weight through the (common-mode) fault model.
+    fn load_weight(&mut self, value: f32) -> f32;
+
+    /// Fetches an activation through the (common-mode) fault model.
+    fn load_activation(&mut self, value: f32) -> f32;
+
+    /// Qualified multiplication; advances the operation index.
+    fn mul(&mut self, a: f32, b: f32) -> Qualified<f32>;
+
+    /// Qualified accumulation; advances the operation index.
+    fn acc(&mut self, acc: f32, addend: f32) -> Qualified<f32>;
+
+    /// Qualified rectification `max(a, 0)` — the elementary operation of
+    /// a reliably executed ReLU layer (extending the DCNN partition past
+    /// conv-1, the paper's §V-B future-work direction); advances the
+    /// operation index.
+    fn max_zero(&mut self, a: f32) -> Qualified<f32>;
+
+    /// Rolls the operation index back by one so a retry re-executes the
+    /// *same* logical operation (rollback distance = one operation).
+    fn rollback_op(&mut self);
+
+    /// Sets the processing element executing subsequent operations.
+    fn set_pe(&mut self, pe: u32);
+
+    /// Logical operations issued so far (retries re-use indices and are
+    /// not double counted).
+    fn op_count(&self) -> u64;
+
+    /// Accumulated cost-model cycles.
+    fn cycles(&self) -> u64;
+
+    /// Fault-injector counters.
+    fn injector_stats(&self) -> InjectorStats;
+}
+
+/// State shared by all ALU implementations.
+#[derive(Debug, Clone)]
+struct AluCore<I> {
+    injector: I,
+    op_index: u64,
+    pe: u32,
+    /// Processing-element spacing between redundant replicas.
+    ///
+    /// 0 = *temporal* redundancy: every replica executes on the same PE,
+    /// so a permanent PE defect is common-mode and undetectable by
+    /// comparison (the paper's §II-B caveat). A non-zero spacing models
+    /// *spatial* redundancy: replica `r` executes on `pe + r·spacing`,
+    /// independent hardware, so permanent defects disagree and are caught.
+    replica_spacing: u32,
+    cycles: u64,
+    cost: OpCost,
+}
+
+impl<I: FaultInjector> AluCore<I> {
+    fn new(injector: I) -> Self {
+        AluCore {
+            injector,
+            op_index: 0,
+            pe: 0,
+            replica_spacing: 0,
+            cycles: 0,
+            cost: OpCost::default(),
+        }
+    }
+
+    fn ctx(&self, site: FaultSite, replica: u8) -> OpContext {
+        OpContext::new(site, self.op_index)
+            .with_replica(replica)
+            .with_pe(self.pe + replica as u32 * self.replica_spacing)
+    }
+
+    fn load(&mut self, site: FaultSite, value: f32) -> f32 {
+        self.cycles += self.cost.load;
+        // Loads are common-mode: one exposure, replica 0, shared by all
+        // replicas of the consuming operation.
+        let ctx = self.ctx(site, 0);
+        self.injector.perturb(ctx, value)
+    }
+
+    /// Executes `compute` once per replica through the injector at `site`,
+    /// returning the per-replica results.
+    ///
+    /// Each replica's computation is wrapped in [`std::hint::black_box`]:
+    /// the replicas model physically distinct execution units, so the
+    /// optimiser must not common-subexpression them into a single
+    /// multiply — that would silently turn Algorithm 2 back into
+    /// Algorithm 1 (and falsify every timing comparison against the
+    /// paper's Table 1).
+    fn replicate<const N: usize>(
+        &mut self,
+        site: FaultSite,
+        compute: impl Fn() -> f32,
+    ) -> [f32; N] {
+        let mut out = [0.0f32; N];
+        for (r, slot) in out.iter_mut().enumerate() {
+            let ctx = self.ctx(site, r as u8);
+            *slot = self.injector.perturb(ctx, std::hint::black_box(compute()));
+        }
+        self.op_index += 1;
+        out
+    }
+}
+
+macro_rules! forward_common {
+    () => {
+        fn load_weight(&mut self, value: f32) -> f32 {
+            self.core.load(FaultSite::WeightLoad, value)
+        }
+
+        fn load_activation(&mut self, value: f32) -> f32 {
+            self.core.load(FaultSite::ActivationLoad, value)
+        }
+
+        fn rollback_op(&mut self) {
+            self.core.op_index = self.core.op_index.saturating_sub(1);
+            self.core.cycles += self.core.cost.rollback;
+        }
+
+        fn set_pe(&mut self, pe: u32) {
+            self.core.pe = pe;
+        }
+
+        fn op_count(&self) -> u64 {
+            self.core.op_index
+        }
+
+        fn cycles(&self) -> u64 {
+            self.core.cycles
+        }
+
+        fn injector_stats(&self) -> InjectorStats {
+            self.core.injector.stats()
+        }
+    };
+}
+
+/// **Algorithm 1**: non-redundant execution. "This operation simply returns
+/// a product and a predefined qualifier, set to True. We use operations
+/// like this to determine baseline performance characteristics."
+///
+/// Note the safety implication the paper builds on: a fault striking a
+/// plain operation is *silent* — the constant-true qualifier waves the
+/// corrupted value straight through.
+#[derive(Debug, Clone)]
+pub struct PlainAlu<I> {
+    core: AluCore<I>,
+}
+
+impl<I: FaultInjector> PlainAlu<I> {
+    /// Creates the ALU around a fault injector.
+    pub fn new(injector: I) -> Self {
+        PlainAlu {
+            core: AluCore::new(injector),
+        }
+    }
+
+    /// Overrides the cycle-cost table.
+    pub fn with_cost(mut self, cost: OpCost) -> Self {
+        self.core.cost = cost;
+        self
+    }
+
+    /// Places redundant replicas on spatially distinct processing
+    /// elements `spacing` apart (0 = temporal redundancy on one PE, the
+    /// default). Spatial placement is what lets comparison detect
+    /// *permanent* PE defects — see `AluCore::replica_spacing`.
+    pub fn with_spatial_replicas(mut self, spacing: u32) -> Self {
+        self.core.replica_spacing = spacing;
+        self
+    }
+
+    /// Consumes the ALU, returning its injector (for post-run inspection).
+    pub fn into_injector(self) -> I {
+        self.core.injector
+    }
+}
+
+impl<I: FaultInjector> QualifiedAlu for PlainAlu<I> {
+    fn mode(&self) -> RedundancyMode {
+        RedundancyMode::Plain
+    }
+
+    fn mul(&mut self, a: f32, b: f32) -> Qualified<f32> {
+        self.core.cycles += self.core.cost.mul_op(RedundancyMode::Plain);
+        let [r] = self.core.replicate::<1>(FaultSite::Multiplier, || a * b);
+        Qualified::passed(r)
+    }
+
+    fn acc(&mut self, acc: f32, addend: f32) -> Qualified<f32> {
+        self.core.cycles += self.core.cost.acc_op(RedundancyMode::Plain);
+        let [r] = self
+            .core
+            .replicate::<1>(FaultSite::Accumulator, || acc + addend);
+        Qualified::passed(r)
+    }
+
+    fn max_zero(&mut self, a: f32) -> Qualified<f32> {
+        self.core.cycles += self.core.cost.acc_op(RedundancyMode::Plain);
+        let [r] = self
+            .core
+            .replicate::<1>(FaultSite::Comparator, || a.max(0.0));
+        Qualified::passed(r)
+    }
+
+    forward_common!();
+}
+
+/// **Algorithm 2**: dual modular redundant execution. "Here the qualifier
+/// is set to True should the two products be the same."
+///
+/// Comparison is bit-exact, matching a hardware comparator on the result
+/// bus; both replicas compute from the *same latched operands*, so
+/// identical inputs must yield identical bits on a healthy unit.
+#[derive(Debug, Clone)]
+pub struct DmrAlu<I> {
+    core: AluCore<I>,
+}
+
+impl<I: FaultInjector> DmrAlu<I> {
+    /// Creates the ALU around a fault injector.
+    pub fn new(injector: I) -> Self {
+        DmrAlu {
+            core: AluCore::new(injector),
+        }
+    }
+
+    /// Overrides the cycle-cost table.
+    pub fn with_cost(mut self, cost: OpCost) -> Self {
+        self.core.cost = cost;
+        self
+    }
+
+    /// Places redundant replicas on spatially distinct processing
+    /// elements `spacing` apart (0 = temporal redundancy on one PE, the
+    /// default). Spatial placement is what lets comparison detect
+    /// *permanent* PE defects — see `AluCore::replica_spacing`.
+    pub fn with_spatial_replicas(mut self, spacing: u32) -> Self {
+        self.core.replica_spacing = spacing;
+        self
+    }
+
+    /// Consumes the ALU, returning its injector.
+    pub fn into_injector(self) -> I {
+        self.core.injector
+    }
+}
+
+impl<I: FaultInjector> QualifiedAlu for DmrAlu<I> {
+    fn mode(&self) -> RedundancyMode {
+        RedundancyMode::Dmr
+    }
+
+    fn mul(&mut self, a: f32, b: f32) -> Qualified<f32> {
+        self.core.cycles += self.core.cost.mul_op(RedundancyMode::Dmr);
+        let [r0, r1] = self.core.replicate::<2>(FaultSite::Multiplier, || a * b);
+        Qualified::new(r0, r0.to_bits() == r1.to_bits())
+    }
+
+    fn acc(&mut self, acc: f32, addend: f32) -> Qualified<f32> {
+        self.core.cycles += self.core.cost.acc_op(RedundancyMode::Dmr);
+        let [r0, r1] = self
+            .core
+            .replicate::<2>(FaultSite::Accumulator, || acc + addend);
+        Qualified::new(r0, r0.to_bits() == r1.to_bits())
+    }
+
+    fn max_zero(&mut self, a: f32) -> Qualified<f32> {
+        self.core.cycles += self.core.cost.acc_op(RedundancyMode::Dmr);
+        let [r0, r1] = self
+            .core
+            .replicate::<2>(FaultSite::Comparator, || a.max(0.0));
+        Qualified::new(r0, r0.to_bits() == r1.to_bits())
+    }
+
+    forward_common!();
+}
+
+/// Triple modular redundancy with bitwise 2-of-3 majority vote: the
+/// paper's "in the case of triple modular redundancy, agreed upon by
+/// execution of the algorithm three times and voting on the result".
+///
+/// A fault confined to one replica is *corrected* in place (qualifier
+/// true, no retry needed); three-way disagreement fails the qualifier.
+#[derive(Debug, Clone)]
+pub struct TmrAlu<I> {
+    core: AluCore<I>,
+}
+
+impl<I: FaultInjector> TmrAlu<I> {
+    /// Creates the ALU around a fault injector.
+    pub fn new(injector: I) -> Self {
+        TmrAlu {
+            core: AluCore::new(injector),
+        }
+    }
+
+    /// Overrides the cycle-cost table.
+    pub fn with_cost(mut self, cost: OpCost) -> Self {
+        self.core.cost = cost;
+        self
+    }
+
+    /// Places redundant replicas on spatially distinct processing
+    /// elements `spacing` apart (0 = temporal redundancy on one PE, the
+    /// default). Spatial placement is what lets comparison detect
+    /// *permanent* PE defects — see `AluCore::replica_spacing`.
+    pub fn with_spatial_replicas(mut self, spacing: u32) -> Self {
+        self.core.replica_spacing = spacing;
+        self
+    }
+
+    /// Consumes the ALU, returning its injector.
+    pub fn into_injector(self) -> I {
+        self.core.injector
+    }
+
+    fn vote(r: [f32; 3]) -> Qualified<f32> {
+        let [a, b, c] = r;
+        if a.to_bits() == b.to_bits() || a.to_bits() == c.to_bits() {
+            Qualified::passed(a)
+        } else if b.to_bits() == c.to_bits() {
+            Qualified::passed(b)
+        } else {
+            Qualified::failed(a)
+        }
+    }
+}
+
+impl<I: FaultInjector> QualifiedAlu for TmrAlu<I> {
+    fn mode(&self) -> RedundancyMode {
+        RedundancyMode::Tmr
+    }
+
+    fn mul(&mut self, a: f32, b: f32) -> Qualified<f32> {
+        self.core.cycles += self.core.cost.mul_op(RedundancyMode::Tmr);
+        let r = self.core.replicate::<3>(FaultSite::Multiplier, || a * b);
+        Self::vote(r)
+    }
+
+    fn acc(&mut self, acc: f32, addend: f32) -> Qualified<f32> {
+        self.core.cycles += self.core.cost.acc_op(RedundancyMode::Tmr);
+        let r = self
+            .core
+            .replicate::<3>(FaultSite::Accumulator, || acc + addend);
+        Self::vote(r)
+    }
+
+    fn max_zero(&mut self, a: f32) -> Qualified<f32> {
+        self.core.cycles += self.core.cost.acc_op(RedundancyMode::Tmr);
+        let r = self
+            .core
+            .replicate::<3>(FaultSite::Comparator, || a.max(0.0));
+        Self::vote(r)
+    }
+
+    forward_common!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcnn_faults::{bits, NoFaults, ScriptedFault, ScriptedInjector};
+
+    #[test]
+    fn plain_always_qualifies_even_when_corrupted() {
+        // A transient flip at op 0 silently passes Algorithm 1's constant
+        // qualifier — the motivating failure mode.
+        let mut alu = PlainAlu::new(ScriptedInjector::new([ScriptedFault::transient_flip(
+            0,
+            bits::SIGN_BIT,
+        )]));
+        let q = alu.mul(2.0, 3.0);
+        assert!(q.is_ok(), "Algorithm 1 qualifier is constantly true");
+        assert_eq!(q.value(), -6.0, "…but the value is corrupted");
+    }
+
+    #[test]
+    fn dmr_detects_single_replica_fault() {
+        let mut alu = DmrAlu::new(ScriptedInjector::new([ScriptedFault::transient_flip(
+            0,
+            bits::SIGN_BIT,
+        )
+        .on_replica(1)]));
+        let q = alu.mul(2.0, 3.0);
+        assert!(!q.is_ok(), "replica disagreement must fail the qualifier");
+        assert_eq!(q.value(), 6.0, "replica 0 was healthy");
+    }
+
+    #[test]
+    fn dmr_misses_common_mode_load_fault() {
+        // Fault on the weight load corrupts the shared operand: both
+        // replicas agree on the wrong product.
+        let mut alu = DmrAlu::new(ScriptedInjector::new([ScriptedFault::transient_flip(
+            0,
+            bits::SIGN_BIT,
+        )
+        .at_site(relcnn_faults::FaultSite::WeightLoad)]));
+        let w = alu.load_weight(2.0);
+        assert_eq!(w, -2.0);
+        let q = alu.mul(w, 3.0);
+        assert!(q.is_ok(), "common-mode corruption is invisible to DMR");
+        assert_eq!(q.value(), -6.0);
+    }
+
+    #[test]
+    fn dmr_identical_double_fault_is_undetectable() {
+        // Same bit flipped in both replicas -> comparison passes. This is
+        // the residual risk the guarantee analysis quantifies as ~p².
+        let mut alu = DmrAlu::new(ScriptedInjector::new([
+            ScriptedFault::transient_flip(0, bits::SIGN_BIT).on_replica(0),
+            ScriptedFault::transient_flip(0, bits::SIGN_BIT).on_replica(1),
+        ]));
+        let q = alu.mul(2.0, 3.0);
+        assert!(q.is_ok());
+        assert_eq!(q.value(), -6.0);
+    }
+
+    #[test]
+    fn tmr_corrects_single_replica_fault() {
+        let mut alu = TmrAlu::new(ScriptedInjector::new([ScriptedFault::transient_flip(
+            0,
+            bits::SIGN_BIT,
+        )
+        .on_replica(0)]));
+        let q = alu.mul(2.0, 3.0);
+        assert!(q.is_ok(), "vote masks the minority replica");
+        assert_eq!(q.value(), 6.0, "majority value wins even when replica 0 is bad");
+    }
+
+    #[test]
+    fn tmr_two_identical_bad_replicas_outvote_truth() {
+        let mut alu = TmrAlu::new(ScriptedInjector::new([
+            ScriptedFault::transient_flip(0, bits::SIGN_BIT).on_replica(0),
+            ScriptedFault::transient_flip(0, bits::SIGN_BIT).on_replica(1),
+        ]));
+        let q = alu.mul(2.0, 3.0);
+        assert!(q.is_ok(), "vote cannot distinguish a corrupted majority");
+        assert_eq!(q.value(), -6.0);
+    }
+
+    #[test]
+    fn tmr_three_way_disagreement_fails() {
+        let mut alu = TmrAlu::new(ScriptedInjector::new([
+            ScriptedFault::transient_flip(0, bits::SIGN_BIT).on_replica(0),
+            ScriptedFault::transient_flip(0, 23).on_replica(1),
+        ]));
+        let q = alu.mul(2.0, 3.0);
+        assert!(!q.is_ok());
+    }
+
+    #[test]
+    fn fault_free_all_modes_agree_with_arithmetic() {
+        let mut plain = PlainAlu::new(NoFaults::new());
+        let mut dmr = DmrAlu::new(NoFaults::new());
+        let mut tmr = TmrAlu::new(NoFaults::new());
+        for (a, b) in [(1.5f32, 2.0f32), (-3.0, 0.25), (0.0, 7.0)] {
+            for q in [plain.mul(a, b), dmr.mul(a, b), tmr.mul(a, b)] {
+                assert!(q.is_ok());
+                assert_eq!(q.value(), a * b);
+            }
+            for q in [plain.acc(a, b), dmr.acc(a, b), tmr.acc(a, b)] {
+                assert!(q.is_ok());
+                assert_eq!(q.value(), a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn rollback_reuses_op_index() {
+        // Permanent scripted fault at op 0 must hit the retry too.
+        let mut alu = DmrAlu::new(ScriptedInjector::new([ScriptedFault::transient_flip(
+            0,
+            bits::SIGN_BIT,
+        )
+        .on_replica(1)
+        .permanent()]));
+        let q1 = alu.mul(2.0, 3.0);
+        assert!(!q1.is_ok());
+        assert_eq!(alu.op_count(), 1);
+        alu.rollback_op();
+        assert_eq!(alu.op_count(), 0);
+        let q2 = alu.mul(2.0, 3.0);
+        assert!(!q2.is_ok(), "permanent fault persists across rollback");
+    }
+
+    #[test]
+    fn transient_fault_clears_on_rollback_retry() {
+        let mut alu = DmrAlu::new(ScriptedInjector::new([ScriptedFault::transient_flip(
+            0,
+            bits::SIGN_BIT,
+        )
+        .on_replica(1)]));
+        assert!(!alu.mul(2.0, 3.0).is_ok());
+        alu.rollback_op();
+        let retry = alu.mul(2.0, 3.0);
+        assert!(retry.is_ok(), "transient SEU gone on re-execution");
+        assert_eq!(retry.value(), 6.0);
+    }
+
+    #[test]
+    fn cycle_accounting_ordered_by_mode() {
+        let mut plain = PlainAlu::new(NoFaults::new());
+        let mut dmr = DmrAlu::new(NoFaults::new());
+        let mut tmr = TmrAlu::new(NoFaults::new());
+        for _ in 0..10 {
+            plain.mul(1.0, 1.0);
+            dmr.mul(1.0, 1.0);
+            tmr.mul(1.0, 1.0);
+        }
+        assert!(plain.cycles() < dmr.cycles());
+        assert!(dmr.cycles() < tmr.cycles());
+    }
+
+    #[test]
+    fn op_counting_and_exposures() {
+        let mut dmr = DmrAlu::new(NoFaults::new());
+        dmr.load_weight(1.0);
+        dmr.load_activation(2.0);
+        dmr.mul(1.0, 2.0);
+        dmr.acc(0.0, 2.0);
+        assert_eq!(dmr.op_count(), 2, "loads do not consume op indices");
+        // 2 loads + 2 replicas * 2 ops = 6 exposures.
+        assert_eq!(dmr.injector_stats().exposures, 6);
+        let inj = dmr.into_injector();
+        assert_eq!(inj.stats().injected, 0);
+    }
+
+    #[test]
+    fn temporal_redundancy_blind_to_stuck_pe_spatial_detects() {
+        use relcnn_faults::{FaultSite, StuckBitInjector};
+        // Temporal (default): both replicas on PE 0 — the stuck bit
+        // corrupts both identically, comparison passes: SILENT.
+        let mut temporal = DmrAlu::new(StuckBitInjector::new(
+            0,
+            FaultSite::Multiplier,
+            bits::SIGN_BIT,
+            true,
+        ));
+        let q = temporal.mul(2.0, 3.0);
+        assert!(q.is_ok(), "temporal DMR cannot see a shared-PE defect");
+        assert_eq!(q.value(), -6.0, "…and the value is silently wrong");
+
+        // Spatial: replica 1 executes on PE 1 — only replica 0 corrupted,
+        // comparison fails: DETECTED.
+        let mut spatial = DmrAlu::new(StuckBitInjector::new(
+            0,
+            FaultSite::Multiplier,
+            bits::SIGN_BIT,
+            true,
+        ))
+        .with_spatial_replicas(1);
+        let q = spatial.mul(2.0, 3.0);
+        assert!(!q.is_ok(), "spatial DMR detects the PE defect");
+
+        // Spatial TMR: the two healthy replicas outvote the stuck PE.
+        let mut tmr = TmrAlu::new(StuckBitInjector::new(
+            0,
+            FaultSite::Multiplier,
+            bits::SIGN_BIT,
+            true,
+        ))
+        .with_spatial_replicas(1);
+        let q = tmr.mul(2.0, 3.0);
+        assert!(q.is_ok());
+        assert_eq!(q.value(), 6.0, "spatial TMR corrects the stuck PE");
+    }
+
+    #[test]
+    fn spatial_spacing_offsets_pe_ids() {
+        use relcnn_faults::{FaultSite, StuckBitInjector};
+        // Stuck PE 7; base PE 3, spacing 2 -> replicas on 3 and 5: clean.
+        let mut alu = DmrAlu::new(StuckBitInjector::new(
+            7,
+            FaultSite::Multiplier,
+            bits::SIGN_BIT,
+            true,
+        ))
+        .with_spatial_replicas(2);
+        alu.set_pe(3);
+        assert!(alu.mul(2.0, 3.0).is_ok());
+        // Base PE 5 -> replicas on 5 and 7: replica 1 hits the defect.
+        alu.set_pe(5);
+        assert!(!alu.mul(2.0, 3.0).is_ok());
+    }
+
+    #[test]
+    fn pe_is_threaded_to_injector() {
+        use relcnn_faults::{FaultSite, StuckBitInjector};
+        let mut alu = PlainAlu::new(StuckBitInjector::new(
+            5,
+            FaultSite::Multiplier,
+            bits::SIGN_BIT,
+            true,
+        ));
+        alu.set_pe(4);
+        assert_eq!(alu.mul(2.0, 3.0).value(), 6.0, "healthy PE");
+        alu.set_pe(5);
+        assert_eq!(alu.mul(2.0, 3.0).value(), -6.0, "stuck PE corrupts");
+    }
+}

@@ -1,0 +1,826 @@
+//! Algorithm 3: the reliable convolution kernel.
+//!
+//! "The algorithm … calculates one convolution operation. It assumes that
+//! every operation fails unless explicitly asserted otherwise. … If an
+//! error occurs during the execution of an operation then, following the
+//! leaky bucket pattern, an error counter is incremented by a value and
+//! checked against a ceiling. For every correct operation this error
+//! counter is decremented by one, floor zero. … To increase availability,
+//! should one incorrect operation occur then that operation shall be
+//! repeated." (paper §IV)
+//!
+//! The rollback distance is a single operation: a failed multiply or
+//! accumulate rolls the ALU back one checkpoint and re-executes just that
+//! operation. [`duplicated_conv2d`] provides the layer-granularity
+//! alternative (full re-execution on mismatch) used by the rollback-
+//! distance ablation.
+
+use crate::alu::QualifiedAlu;
+use crate::bucket::{BucketConfig, BucketState, LeakyBucket};
+use crate::error::ExecError;
+use crate::policy::RetryPolicy;
+use crate::qualified::Qualified;
+use relcnn_tensor::conv::ConvGeometry;
+use relcnn_tensor::{Shape, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a reliable convolution run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReliableConvConfig {
+    /// Leaky-bucket parameters (Algorithm 3 lines 2/12/18–19).
+    pub bucket: BucketConfig,
+    /// Per-operation retry budget (the paper repeats once).
+    pub retry: RetryPolicy,
+    /// Number of processing elements the output channels are distributed
+    /// over (Jetson-class edge accelerators have ~128; paper §II).
+    pub pe_count: u32,
+}
+
+impl Default for ReliableConvConfig {
+    fn default() -> Self {
+        ReliableConvConfig {
+            bucket: BucketConfig::default(),
+            retry: RetryPolicy::paper(),
+            pe_count: 128,
+        }
+    }
+}
+
+/// Execution statistics of one reliable convolution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Qualified multiply operations issued (excluding retries).
+    pub mul_ops: u64,
+    /// Qualified accumulate operations issued (excluding retries).
+    pub acc_ops: u64,
+    /// Qualifier failures observed (first attempts and retries).
+    pub failed_ops: u64,
+    /// Rollback + re-execution events.
+    pub retries: u64,
+    /// Retries whose re-execution then qualified.
+    pub recovered: u64,
+    /// Highest leaky-bucket level reached.
+    pub bucket_peak: u32,
+    /// Leaky-bucket level at completion.
+    pub bucket_final: u32,
+    /// Errors the bucket recorded.
+    pub bucket_errors: u64,
+    /// ALU cost-model cycles consumed.
+    pub cycles: u64,
+}
+
+/// Result of a successful reliable convolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvOutput {
+    /// The CHW feature maps.
+    pub output: Tensor,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+/// Runs one qualified operation under Algorithm 3's retry/bucket regime.
+fn run_qualified<A: QualifiedAlu>(
+    alu: &mut A,
+    bucket: &mut LeakyBucket,
+    retry: RetryPolicy,
+    stats: &mut ExecStats,
+    mut op: impl FnMut(&mut A) -> Qualified<f32>,
+) -> Result<f32, ExecError> {
+    let mut q = op(alu);
+    if q.is_ok() {
+        bucket.record_success();
+        return Ok(q.value());
+    }
+    let mut attempts: u32 = 0;
+    loop {
+        stats.failed_ops += 1;
+        if bucket.record_error() == BucketState::Persistent {
+            return Err(ExecError::PersistentFailure {
+                op_index: alu.op_count().saturating_sub(1),
+                bucket_level: bucket.level(),
+                errors: bucket.errors(),
+            });
+        }
+        if attempts >= retry.max_retries {
+            return Err(ExecError::UnrecoverableOperation {
+                op_index: alu.op_count().saturating_sub(1),
+                retries: attempts,
+            });
+        }
+        attempts += 1;
+        stats.retries += 1;
+        // Checkpoint/rollback: re-execute the same logical operation.
+        alu.rollback_op();
+        q = op(alu);
+        if q.is_ok() {
+            stats.recovered += 1;
+            bucket.record_success();
+            return Ok(q.value());
+        }
+    }
+}
+
+fn validate(
+    input: &Tensor,
+    filters: &Tensor,
+    bias: Option<&Tensor>,
+    geom: &ConvGeometry,
+) -> Result<(usize, usize), ExecError> {
+    if input.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.shape().rank(),
+            op: "reliable_conv2d(input)",
+        }
+        .into());
+    }
+    if filters.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: filters.shape().rank(),
+            op: "reliable_conv2d(filters)",
+        }
+        .into());
+    }
+    let in_c = input.shape().dim(0);
+    if input.shape().dim(1) != geom.in_h() || input.shape().dim(2) != geom.in_w() {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![in_c, geom.in_h(), geom.in_w()],
+            actual: input.shape().dims().to_vec(),
+            op: "reliable_conv2d(geometry)",
+        }
+        .into());
+    }
+    let out_c = filters.shape().dim(0);
+    if filters.shape().dim(1) != in_c
+        || filters.shape().dim(2) != geom.k_h()
+        || filters.shape().dim(3) != geom.k_w()
+    {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![out_c, in_c, geom.k_h(), geom.k_w()],
+            actual: filters.shape().dims().to_vec(),
+            op: "reliable_conv2d(filters)",
+        }
+        .into());
+    }
+    if let Some(b) = bias {
+        if b.len() != out_c {
+            return Err(TensorError::LengthMismatch {
+                expected: out_c,
+                actual: b.len(),
+            }
+            .into());
+        }
+    }
+    Ok((in_c, out_c))
+}
+
+/// Algorithm 3: one full convolution layer executed reliably.
+///
+/// Every multiply and every accumulate is a qualified operation on `alu`;
+/// a failed qualifier triggers a single-operation rollback and retry, and
+/// the leaky bucket escalates persistent error patterns into an abort.
+///
+/// # Errors
+///
+/// * [`ExecError::PersistentFailure`] when the bucket crosses its ceiling;
+/// * [`ExecError::UnrecoverableOperation`] when one operation exhausts its
+///   retry budget with bucket head-room remaining;
+/// * [`ExecError::Tensor`] for shape/geometry mismatches.
+pub fn reliable_conv2d<A: QualifiedAlu>(
+    input: &Tensor,
+    filters: &Tensor,
+    bias: Option<&Tensor>,
+    geom: &ConvGeometry,
+    alu: &mut A,
+    config: &ReliableConvConfig,
+) -> Result<ConvOutput, ExecError> {
+    let (in_c, out_c) = validate(input, filters, bias, geom)?;
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let (k_h, k_w) = (geom.k_h(), geom.k_w());
+    let (in_h, in_w) = (geom.in_h(), geom.in_w());
+    let stride = geom.stride();
+    let pad = geom.padding() as isize;
+    let pe_count = config.pe_count.max(1);
+
+    let x = input.as_slice();
+    let f = filters.as_slice();
+    let mut bucket = LeakyBucket::new(config.bucket);
+    let mut stats = ExecStats::default();
+    let mut out = vec![0.0f32; out_c * out_h * out_w];
+
+    for oc in 0..out_c {
+        alu.set_pe(oc as u32 % pe_count);
+        let f_base = oc * in_c * k_h * k_w;
+        let bias_v = bias.map(|b| b.as_slice()[oc]).unwrap_or(0.0);
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                // The bias enters through the (common-mode) weight path.
+                let mut acc = if bias.is_some() {
+                    alu.load_weight(bias_v)
+                } else {
+                    0.0
+                };
+                let iy0 = (oy * stride) as isize - pad;
+                let ix0 = (ox * stride) as isize - pad;
+                for ic in 0..in_c {
+                    let x_base = ic * in_h * in_w;
+                    let f_chan = f_base + ic * k_h * k_w;
+                    for ky in 0..k_h {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= in_h as isize {
+                            continue;
+                        }
+                        let x_row = x_base + iy as usize * in_w;
+                        let f_row = f_chan + ky * k_w;
+                        for kx in 0..k_w {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= in_w as isize {
+                                continue;
+                            }
+                            let w = alu.load_weight(f[f_row + kx]);
+                            let a = alu.load_activation(x[x_row + ix as usize]);
+                            stats.mul_ops += 1;
+                            let m = run_qualified(
+                                alu,
+                                &mut bucket,
+                                config.retry,
+                                &mut stats,
+                                |alu| alu.mul(w, a),
+                            )?;
+                            stats.acc_ops += 1;
+                            acc = run_qualified(
+                                alu,
+                                &mut bucket,
+                                config.retry,
+                                &mut stats,
+                                |alu| alu.acc(acc, m),
+                            )?;
+                        }
+                    }
+                }
+                out[oc * out_h * out_w + oy * out_w + ox] = acc;
+            }
+        }
+    }
+
+    stats.bucket_peak = bucket.peak();
+    stats.bucket_final = bucket.level();
+    stats.bucket_errors = bucket.errors();
+    stats.cycles = alu.cycles();
+    Ok(ConvOutput {
+        output: Tensor::from_vec(Shape::d3(out_c, out_h, out_w), out)?,
+        stats,
+    })
+}
+
+/// Reliable dot product under the same Algorithm-3 regime — used by the
+/// hybrid network when a dense (fully connected) slice falls inside the
+/// reliable partition, and by small-scale tests.
+///
+/// # Errors
+///
+/// Same failure exits as [`reliable_conv2d`], plus a shape error when the
+/// operand lengths differ.
+pub fn reliable_dot<A: QualifiedAlu>(
+    weights: &[f32],
+    activations: &[f32],
+    alu: &mut A,
+    config: &ReliableConvConfig,
+) -> Result<(f32, ExecStats), ExecError> {
+    if weights.len() != activations.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: weights.len(),
+            actual: activations.len(),
+        }
+        .into());
+    }
+    let mut bucket = LeakyBucket::new(config.bucket);
+    let mut stats = ExecStats::default();
+    let mut acc = 0.0f32;
+    for (&w0, &a0) in weights.iter().zip(activations.iter()) {
+        let w = alu.load_weight(w0);
+        let a = alu.load_activation(a0);
+        stats.mul_ops += 1;
+        let m = run_qualified(alu, &mut bucket, config.retry, &mut stats, |alu| {
+            alu.mul(w, a)
+        })?;
+        stats.acc_ops += 1;
+        acc = run_qualified(alu, &mut bucket, config.retry, &mut stats, |alu| {
+            alu.acc(acc, m)
+        })?;
+    }
+    stats.bucket_peak = bucket.peak();
+    stats.bucket_final = bucket.level();
+    stats.bucket_errors = bucket.errors();
+    stats.cycles = alu.cycles();
+    Ok((acc, stats))
+}
+
+/// Reliable elementwise ReLU under the Algorithm-3 regime — the building
+/// block for extending the DCNN partition past conv-1 ("we believe it is
+/// worthwhile investigating under what conditions subsequent layers of
+/// the CNN can be harnessed", paper §V-A).
+///
+/// Every rectification is a qualified comparator operation with the same
+/// retry/rollback/bucket semantics as the convolution's MACs.
+///
+/// # Errors
+///
+/// Same failure exits as [`reliable_conv2d`].
+pub fn reliable_relu<A: QualifiedAlu>(
+    input: &Tensor,
+    alu: &mut A,
+    config: &ReliableConvConfig,
+) -> Result<ConvOutput, ExecError> {
+    let mut bucket = LeakyBucket::new(config.bucket);
+    let mut stats = ExecStats::default();
+    let mut out = Vec::with_capacity(input.len());
+    for &v in input.iter() {
+        // ReLU counts as an "acc-class" op in the statistics: it runs on
+        // the comparator datapath with adder-like cost.
+        stats.acc_ops += 1;
+        let r = run_qualified(alu, &mut bucket, config.retry, &mut stats, |alu| {
+            alu.max_zero(v)
+        })?;
+        out.push(r);
+    }
+    stats.bucket_peak = bucket.peak();
+    stats.bucket_final = bucket.level();
+    stats.bucket_errors = bucket.errors();
+    stats.cycles = alu.cycles();
+    Ok(ConvOutput {
+        output: Tensor::from_vec(input.shape().clone(), out)?,
+        stats,
+    })
+}
+
+/// Layer-granularity duplication-with-comparison: the rollback-distance
+/// ablation.
+///
+/// The whole layer is computed twice through `alu` (qualifiers ignored —
+/// Algorithm-1 style) and the outputs compared element-wise; a mismatch
+/// rolls back the *entire layer* and re-executes both copies, up to
+/// `retry.max_retries` times. This is the checkpointing regime the paper
+/// contrasts its one-operation rollback distance against ("a rollback to a
+/// checkpoint and re-execution represents a significant delay").
+///
+/// # Errors
+///
+/// * [`ExecError::PersistentFailure`] if the layer never converges within
+///   the retry budget;
+/// * [`ExecError::Tensor`] for shape errors.
+pub fn duplicated_conv2d<A: QualifiedAlu>(
+    input: &Tensor,
+    filters: &Tensor,
+    bias: Option<&Tensor>,
+    geom: &ConvGeometry,
+    alu: &mut A,
+    retry: RetryPolicy,
+) -> Result<ConvOutput, ExecError> {
+    let run_once = |alu: &mut A, stats: &mut ExecStats| -> Result<Tensor, ExecError> {
+        // Plain pass: bucket that never trips, no per-op retries; we want
+        // raw (possibly corrupt) layer outputs to compare.
+        let lenient = ReliableConvConfig {
+            bucket: BucketConfig::new(1, u32::MAX),
+            retry: RetryPolicy::none(),
+            pe_count: 128,
+        };
+        // Plain-style execution over whatever ALU was supplied: ignore
+        // qualifiers by treating unrecoverable ops as values (only possible
+        // with Plain ALUs whose qualifier never fails, or healthy runs).
+        let out = reliable_conv2d(input, filters, bias, geom, alu, &lenient)?;
+        stats.mul_ops += out.stats.mul_ops;
+        stats.acc_ops += out.stats.acc_ops;
+        Ok(out.output)
+    };
+
+    let mut stats = ExecStats::default();
+    let mut attempts = 0u32;
+    loop {
+        let first = run_once(alu, &mut stats)?;
+        let second = run_once(alu, &mut stats)?;
+        let agree = first
+            .iter()
+            .zip(second.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        if agree {
+            stats.cycles = alu.cycles();
+            return Ok(ConvOutput {
+                output: first,
+                stats,
+            });
+        }
+        stats.failed_ops += 1;
+        if attempts >= retry.max_retries {
+            return Err(ExecError::PersistentFailure {
+                op_index: alu.op_count(),
+                bucket_level: 0,
+                errors: stats.failed_ops,
+            });
+        }
+        attempts += 1;
+        stats.retries += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alu::{DmrAlu, PlainAlu, TmrAlu};
+    use relcnn_faults::{
+        bits, BerInjector, FaultSite, NoFaults, ScriptedFault, ScriptedInjector,
+    };
+    use relcnn_tensor::conv::conv2d;
+
+    fn small_problem() -> (Tensor, Tensor, Tensor, ConvGeometry) {
+        let input = Tensor::from_fn(Shape::d3(2, 5, 5), |i| {
+            ((i[0] * 31 + i[1] * 7 + i[2] * 3) % 11) as f32 - 5.0
+        });
+        let filters = Tensor::from_fn(Shape::d4(3, 2, 3, 3), |i| {
+            ((i[0] * 5 + i[1] * 3 + i[2] * 2 + i[3]) % 7) as f32 - 3.0
+        });
+        let bias = Tensor::from_vec(Shape::d1(3), vec![0.5, -0.5, 1.0]).unwrap();
+        let geom = ConvGeometry::new(5, 5, 3, 3, 1, 0).unwrap();
+        (input, filters, bias, geom)
+    }
+
+    #[test]
+    fn fault_free_matches_native_conv_all_modes() {
+        let (input, filters, bias, geom) = small_problem();
+        let golden = conv2d(&input, &filters, Some(&bias), &geom).unwrap();
+        let config = ReliableConvConfig::default();
+
+        let mut plain = PlainAlu::new(NoFaults::new());
+        let mut dmr = DmrAlu::new(NoFaults::new());
+        let mut tmr = TmrAlu::new(NoFaults::new());
+
+        for out in [
+            reliable_conv2d(&input, &filters, Some(&bias), &geom, &mut plain, &config).unwrap(),
+            reliable_conv2d(&input, &filters, Some(&bias), &geom, &mut dmr, &config).unwrap(),
+            reliable_conv2d(&input, &filters, Some(&bias), &geom, &mut tmr, &config).unwrap(),
+        ] {
+            assert_eq!(out.output.shape(), golden.shape());
+            for (a, b) in out.output.iter().zip(golden.iter()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+            assert_eq!(out.stats.failed_ops, 0);
+            assert_eq!(out.stats.retries, 0);
+            assert_eq!(out.stats.bucket_errors, 0);
+        }
+    }
+
+    #[test]
+    fn op_counts_match_mac_count() {
+        let (input, filters, bias, geom) = small_problem();
+        let mut alu = DmrAlu::new(NoFaults::new());
+        let out = reliable_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            &ReliableConvConfig::default(),
+        )
+        .unwrap();
+        let macs = geom.mac_count(2, 3);
+        assert_eq!(out.stats.mul_ops, macs);
+        assert_eq!(out.stats.acc_ops, macs);
+        assert_eq!(alu.op_count(), 2 * macs);
+    }
+
+    #[test]
+    fn single_transient_fault_recovered_by_one_rollback() {
+        let (input, filters, bias, geom) = small_problem();
+        let golden = conv2d(&input, &filters, Some(&bias), &geom).unwrap();
+        // Fault in replica 1 of multiply op #100.
+        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(100, bits::SIGN_BIT)
+            .on_replica(1)
+            .at_site(FaultSite::Multiplier)]);
+        let mut alu = DmrAlu::new(inj);
+        let out = reliable_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            &ReliableConvConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.stats.failed_ops, 1);
+        assert_eq!(out.stats.retries, 1);
+        assert_eq!(out.stats.recovered, 1);
+        assert_eq!(out.stats.bucket_final, 0, "success stream drains bucket");
+        for (a, b) in out.output.iter().zip(golden.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn plain_alu_silently_corrupts() {
+        let (input, filters, bias, geom) = small_problem();
+        let golden = conv2d(&input, &filters, Some(&bias), &geom).unwrap();
+        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(100, bits::SIGN_BIT)
+            .at_site(FaultSite::Multiplier)]);
+        let mut alu = PlainAlu::new(inj);
+        let out = reliable_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            &ReliableConvConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.stats.failed_ops, 0, "Algorithm 1 sees nothing");
+        let diffs = out
+            .output
+            .iter()
+            .zip(golden.iter())
+            .filter(|(a, b)| (**a - **b).abs() > 1e-6)
+            .count();
+        assert!(diffs > 0, "corruption reached the output silently");
+    }
+
+    #[test]
+    fn permanent_fault_aborts_as_persistent() {
+        let (input, filters, bias, geom) = small_problem();
+        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(10, bits::SIGN_BIT)
+            .on_replica(1)
+            .at_site(FaultSite::Multiplier)
+            .permanent()]);
+        let mut alu = DmrAlu::new(inj);
+        let err = reliable_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            &ReliableConvConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            ExecError::PersistentFailure { op_index, .. } => {
+                assert_eq!(op_index, 10);
+            }
+            other => panic!("expected persistent failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tmr_corrects_without_retry() {
+        let (input, filters, bias, geom) = small_problem();
+        let golden = conv2d(&input, &filters, Some(&bias), &geom).unwrap();
+        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(50, bits::SIGN_BIT)
+            .on_replica(2)
+            .at_site(FaultSite::Multiplier)]);
+        let mut alu = TmrAlu::new(inj);
+        let out = reliable_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            &ReliableConvConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.stats.failed_ops, 0, "vote corrected in place");
+        assert_eq!(out.stats.retries, 0);
+        for (a, b) in out.output.iter().zip(golden.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn two_isolated_faults_tolerated_two_adjacent_abort() {
+        let (input, filters, bias, geom) = small_problem();
+        // Isolated: ops 100 and 500 — plenty of successes between.
+        let inj = ScriptedInjector::new([
+            ScriptedFault::transient_flip(100, bits::SIGN_BIT)
+                .on_replica(1)
+                .at_site(FaultSite::Multiplier),
+            ScriptedFault::transient_flip(500, bits::SIGN_BIT)
+                .on_replica(1)
+                .at_site(FaultSite::Multiplier),
+        ]);
+        let mut alu = DmrAlu::new(inj);
+        let out = reliable_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            &ReliableConvConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.stats.recovered, 2);
+
+        // Adjacent: ops 100 and 101 — the success between (acc of op 100's
+        // MAC partner) cannot cancel the first error's +2.
+        let inj = ScriptedInjector::new([
+            ScriptedFault::transient_flip(100, bits::SIGN_BIT)
+                .on_replica(1)
+                .at_site(FaultSite::Multiplier),
+            ScriptedFault::transient_flip(101, bits::SIGN_BIT)
+                .on_replica(1)
+                .at_site(FaultSite::Accumulator),
+        ]);
+        let mut alu = DmrAlu::new(inj);
+        let err = reliable_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            &ReliableConvConfig::default(),
+        );
+        assert!(
+            matches!(err, Err(ExecError::PersistentFailure { .. })),
+            "two successive errors must be reported: {err:?}"
+        );
+    }
+
+    #[test]
+    fn no_retry_policy_fails_fast() {
+        let (input, filters, bias, geom) = small_problem();
+        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(10, bits::SIGN_BIT)
+            .on_replica(0)
+            .at_site(FaultSite::Multiplier)]);
+        let mut alu = DmrAlu::new(inj);
+        let config = ReliableConvConfig {
+            bucket: BucketConfig::new(1, 100),
+            retry: RetryPolicy::none(),
+            pe_count: 8,
+        };
+        let err = reliable_conv2d(&input, &filters, Some(&bias), &geom, &mut alu, &config);
+        assert!(matches!(
+            err,
+            Err(ExecError::UnrecoverableOperation { op_index: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn shape_validation_errors() {
+        let (input, filters, bias, geom) = small_problem();
+        let config = ReliableConvConfig::default();
+        let mut alu = PlainAlu::new(NoFaults::new());
+        // Wrong input rank.
+        let flat = input.reshape(vec![2 * 5 * 5]).unwrap();
+        assert!(matches!(
+            reliable_conv2d(&flat, &filters, Some(&bias), &geom, &mut alu, &config),
+            Err(ExecError::Tensor(_))
+        ));
+        // Wrong filter channel count.
+        let bad_filters = Tensor::zeros(Shape::d4(3, 1, 3, 3));
+        assert!(reliable_conv2d(&input, &bad_filters, Some(&bias), &geom, &mut alu, &config).is_err());
+        // Wrong bias length.
+        let bad_bias = Tensor::zeros(Shape::d1(2));
+        assert!(reliable_conv2d(&input, &filters, Some(&bad_bias), &geom, &mut alu, &config).is_err());
+        // Wrong geometry.
+        let bad_geom = ConvGeometry::new(6, 6, 3, 3, 1, 0).unwrap();
+        assert!(reliable_conv2d(&input, &filters, Some(&bias), &bad_geom, &mut alu, &config).is_err());
+    }
+
+    #[test]
+    fn reliable_dot_matches_and_recovers() {
+        let w = [1.0f32, -2.0, 3.0, 0.5];
+        let a = [4.0f32, 1.0, -1.0, 2.0];
+        let expect: f32 = w.iter().zip(a.iter()).map(|(x, y)| x * y).sum();
+
+        let mut alu = DmrAlu::new(NoFaults::new());
+        let (v, stats) = reliable_dot(&w, &a, &mut alu, &ReliableConvConfig::default()).unwrap();
+        assert!((v - expect).abs() < 1e-5);
+        assert_eq!(stats.mul_ops, 4);
+
+        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(2, bits::SIGN_BIT)
+            .on_replica(0)
+            .at_site(FaultSite::Multiplier)]);
+        let mut alu = DmrAlu::new(inj);
+        let (v, stats) = reliable_dot(&w, &a, &mut alu, &ReliableConvConfig::default()).unwrap();
+        assert!((v - expect).abs() < 1e-5);
+        assert_eq!(stats.recovered, 1);
+
+        let mut alu = DmrAlu::new(NoFaults::new());
+        assert!(reliable_dot(&w, &a[..3], &mut alu, &ReliableConvConfig::default()).is_err());
+    }
+
+    #[test]
+    fn reliable_relu_matches_and_recovers() {
+        let input = Tensor::from_vec(
+            Shape::d3(1, 2, 3),
+            vec![-1.5, 2.0, 0.0, -0.25, 3.5, -7.0],
+        )
+        .unwrap();
+        // Fault-free: exact ReLU.
+        let mut alu = DmrAlu::new(NoFaults::new());
+        let out = reliable_relu(&input, &mut alu, &ReliableConvConfig::default()).unwrap();
+        assert_eq!(out.output.as_slice(), &[0.0, 2.0, 0.0, 0.0, 3.5, 0.0]);
+        assert_eq!(out.stats.acc_ops, 6);
+        assert_eq!(out.stats.failed_ops, 0);
+
+        // Transient comparator fault in one replica: detected + recovered.
+        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(1, bits::SIGN_BIT)
+            .on_replica(1)
+            .at_site(FaultSite::Comparator)]);
+        let mut alu = DmrAlu::new(inj);
+        let out = reliable_relu(&input, &mut alu, &ReliableConvConfig::default()).unwrap();
+        assert_eq!(out.stats.recovered, 1);
+        assert_eq!(out.output.as_slice(), &[0.0, 2.0, 0.0, 0.0, 3.5, 0.0]);
+
+        // Permanent comparator fault: escalated.
+        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(1, bits::SIGN_BIT)
+            .on_replica(1)
+            .at_site(FaultSite::Comparator)
+            .permanent()]);
+        let mut alu = DmrAlu::new(inj);
+        let err = reliable_relu(&input, &mut alu, &ReliableConvConfig::default());
+        assert!(matches!(err, Err(ExecError::PersistentFailure { .. })));
+    }
+
+    #[test]
+    fn reliable_relu_plain_is_silent_under_faults() {
+        let input = Tensor::from_vec(Shape::d1(4), vec![1.0, -1.0, 2.0, -2.0]).unwrap();
+        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(0, bits::SIGN_BIT)
+            .at_site(FaultSite::Comparator)]);
+        let mut alu = PlainAlu::new(inj);
+        let out = reliable_relu(&input, &mut alu, &ReliableConvConfig::default()).unwrap();
+        assert_eq!(out.stats.failed_ops, 0, "Algorithm 1 qualifier blind");
+        assert_eq!(out.output.as_slice()[0], -1.0, "corruption passed through");
+    }
+
+    #[test]
+    fn duplicated_layer_agrees_fault_free() {
+        let (input, filters, bias, geom) = small_problem();
+        let golden = conv2d(&input, &filters, Some(&bias), &geom).unwrap();
+        let mut alu = PlainAlu::new(NoFaults::new());
+        let out =
+            duplicated_conv2d(&input, &filters, Some(&bias), &geom, &mut alu, RetryPolicy::paper())
+                .unwrap();
+        for (a, b) in out.output.iter().zip(golden.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert_eq!(out.stats.retries, 0);
+    }
+
+    #[test]
+    fn duplicated_layer_detects_and_reexecutes() {
+        let (input, filters, bias, geom) = small_problem();
+        let golden = conv2d(&input, &filters, Some(&bias), &geom).unwrap();
+        // One transient fault somewhere in the first pass: copies disagree,
+        // full-layer retry must converge. (Even op indices are multiplies:
+        // each MAC issues mul then acc. A value-replace fault guarantees a
+        // visible corruption regardless of the operand values.)
+        let inj = ScriptedInjector::new([ScriptedFault {
+            op_index: 8,
+            replica: None,
+            site: Some(FaultSite::Multiplier),
+            kind: relcnn_faults::FaultKind::Replace { value: 1000.0 },
+            duration: relcnn_faults::FaultDuration::Transient,
+        }]);
+        let mut alu = PlainAlu::new(inj);
+        let out =
+            duplicated_conv2d(&input, &filters, Some(&bias), &geom, &mut alu, RetryPolicy::paper())
+                .unwrap();
+        assert_eq!(out.stats.retries, 1, "layer-level rollback taken");
+        for (a, b) in out.output.iter().zip(golden.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn duplicated_layer_gives_up_on_persistent_noise() {
+        let (input, filters, bias, geom) = small_problem();
+        let mut alu = PlainAlu::new(BerInjector::new(5, 0.02));
+        let err = duplicated_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            RetryPolicy::with_retries(2),
+        );
+        assert!(matches!(err, Err(ExecError::PersistentFailure { .. })));
+    }
+
+    #[test]
+    fn ber_injected_dmr_conv_recovers_sparse_faults() {
+        // Sparse random faults: DMR + rollback should converge to golden.
+        let (input, filters, bias, geom) = small_problem();
+        let golden = conv2d(&input, &filters, Some(&bias), &geom).unwrap();
+        let inj = BerInjector::new(33, 2e-4).with_sites(vec![FaultSite::Multiplier]);
+        let mut alu = DmrAlu::new(inj);
+        let out = reliable_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            &ReliableConvConfig::default(),
+        )
+        .unwrap();
+        for (a, b) in out.output.iter().zip(golden.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert_eq!(out.stats.recovered, out.stats.retries);
+    }
+}

@@ -1,0 +1,105 @@
+use relcnn_tensor::TensorError;
+use std::fmt;
+
+/// Errors raised by reliable execution.
+///
+/// Algorithm 3's "exit conditions are failure or success": these variants
+/// are the failure exits. They are *signalled* failures — the whole point
+/// of the architecture is that wrong data never leaves the kernel silently.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The leaky bucket crossed its ceiling: the error pattern is
+    /// persistent and the application must treat the compute unit as
+    /// failed (paper: "only persistent failures are explicitly reported").
+    PersistentFailure {
+        /// Global index of the operation that tipped the bucket.
+        op_index: u64,
+        /// Bucket level at abort.
+        bucket_level: u32,
+        /// Errors recorded up to the abort.
+        errors: u64,
+    },
+    /// A single operation kept failing after exhausting its retry budget
+    /// even though the bucket had head-room (possible with permissive
+    /// bucket configurations).
+    UnrecoverableOperation {
+        /// Global index of the failing operation.
+        op_index: u64,
+        /// Retries attempted.
+        retries: u32,
+    },
+    /// Shape/geometry error from the tensor substrate.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PersistentFailure {
+                op_index,
+                bucket_level,
+                errors,
+            } => write!(
+                f,
+                "persistent failure at op #{op_index}: bucket level {bucket_level} after {errors} errors"
+            ),
+            ExecError::UnrecoverableOperation { op_index, retries } => write!(
+                f,
+                "operation #{op_index} still failing after {retries} retries"
+            ),
+            ExecError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ExecError {
+    fn from(e: TensorError) -> Self {
+        ExecError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ExecError::PersistentFailure {
+            op_index: 9,
+            bucket_level: 4,
+            errors: 2,
+        };
+        assert!(e.to_string().contains("op #9"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let u = ExecError::UnrecoverableOperation {
+            op_index: 3,
+            retries: 1,
+        };
+        assert!(u.to_string().contains("after 1 retries"));
+
+        let t: ExecError = TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(t.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&t).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExecError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! Reliable execution: the paper's core mechanics.
+//!
+//! This crate implements §IV of *"Hybrid Convolutional Neural Networks with
+//! Reliability Guarantee"* — the qualified operators and the reliable
+//! convolution kernel:
+//!
+//! * [`Qualified`] — every basic operation "returns a value … \[and\] a
+//!   qualifier indicating whether the operation was carried out correctly";
+//! * [`PlainAlu`] — **Algorithm 1**: non-redundant execution, qualifier
+//!   constantly `true` (baseline);
+//! * [`DmrAlu`] — **Algorithm 2**: the operation executes twice and the
+//!   qualifier asserts both results are equal;
+//! * [`TmrAlu`] — triple modular redundancy with majority vote (mentioned
+//!   in §IV as the agreed-upon-by-voting variant);
+//! * [`LeakyBucket`] — the error counter of **Algorithm 3**: increment by
+//!   `factor` on error, check against a ceiling, decrement by one (floor
+//!   zero) on every correct operation;
+//! * [`reliable_conv2d`](conv::reliable_conv2d) — **Algorithm 3** itself:
+//!   a convolution that assumes every operation failed unless asserted
+//!   otherwise, retries failed operations once (checkpoint/rollback with a
+//!   rollback distance of a single operation) and aborts on persistent
+//!   failure.
+//!
+//! Faults enter through the [`relcnn_faults::FaultInjector`] every ALU
+//! owns; with [`relcnn_faults::NoFaults`] the operators run fault-free,
+//! which is how Table 1 is measured.
+//!
+//! # Example
+//!
+//! ```rust
+//! use relcnn_relexec::{DmrAlu, QualifiedAlu};
+//! use relcnn_faults::NoFaults;
+//!
+//! let mut alu = DmrAlu::new(NoFaults::new());
+//! let q = alu.mul(3.0, 4.0);
+//! assert!(q.is_ok());
+//! assert_eq!(q.value(), 12.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod cost;
+
+mod alu;
+mod bucket;
+mod error;
+mod policy;
+mod qualified;
+
+pub use alu::{DmrAlu, PlainAlu, QualifiedAlu, TmrAlu};
+pub use bucket::{BucketConfig, BucketState, LeakyBucket};
+pub use error::ExecError;
+pub use policy::{RedundancyMode, RetryPolicy};
+pub use qualified::Qualified;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, ExecError>;

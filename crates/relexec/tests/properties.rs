@@ -1,0 +1,212 @@
+//! Property-based tests for the reliable-execution core.
+//!
+//! The central guarantees:
+//!  * DMR detects *every* fault confined to a single replica of a single
+//!    operation (the paper's per-operation checkpoint);
+//!  * TMR corrects every such fault in place;
+//!  * the leaky bucket never goes negative, tolerates isolated errors and
+//!    always reports two adjacent errors under the paper configuration;
+//!  * fault-free reliable convolution is exactly direct convolution.
+
+use proptest::prelude::*;
+use relcnn_faults::{FaultSite, NoFaults, ScriptedFault, ScriptedInjector};
+use relcnn_relexec::conv::{reliable_conv2d, ReliableConvConfig};
+use relcnn_relexec::{
+    BucketConfig, BucketState, DmrAlu, LeakyBucket, PlainAlu, QualifiedAlu, TmrAlu,
+};
+use relcnn_tensor::conv::{conv2d, ConvGeometry};
+use relcnn_tensor::{Shape, Tensor};
+
+fn arb_operands() -> impl Strategy<Value = (f32, f32)> {
+    (
+        prop::num::f32::NORMAL.prop_filter("finite", |v| v.is_finite() && v.abs() < 1e15),
+        prop::num::f32::NORMAL.prop_filter("finite", |v| v.is_finite() && v.abs() < 1e15),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any single-bit corruption of one replica's multiply is detected by
+    /// DMR — the per-operation guarantee everything else builds on.
+    #[test]
+    fn dmr_detects_every_single_replica_bit_flip(
+        (a, b) in arb_operands(),
+        bit in 0u32..32,
+        replica in 0u8..2,
+    ) {
+        let product = a * b;
+        prop_assume!(product.is_finite());
+        // A flip that lands on identical bits produces a different value
+        // except… never: XOR with a set bit always changes the word.
+        let inj = ScriptedInjector::new([
+            ScriptedFault::transient_flip(0, bit)
+                .on_replica(replica)
+                .at_site(FaultSite::Multiplier),
+        ]);
+        let mut alu = DmrAlu::new(inj);
+        let q = alu.mul(a, b);
+        prop_assert!(!q.is_ok(), "flip of bit {} in replica {} undetected", bit, replica);
+    }
+
+    /// TMR corrects the same fault class in place: qualifier true AND the
+    /// voted value equals the healthy product.
+    #[test]
+    fn tmr_corrects_every_single_replica_bit_flip(
+        (a, b) in arb_operands(),
+        bit in 0u32..32,
+        replica in 0u8..3,
+    ) {
+        let product = a * b;
+        prop_assume!(product.is_finite());
+        let inj = ScriptedInjector::new([
+            ScriptedFault::transient_flip(0, bit)
+                .on_replica(replica)
+                .at_site(FaultSite::Multiplier),
+        ]);
+        let mut alu = TmrAlu::new(inj);
+        let q = alu.mul(a, b);
+        prop_assert!(q.is_ok());
+        prop_assert_eq!(q.value().to_bits(), product.to_bits());
+    }
+
+    /// Plain execution never raises the qualifier, whatever happens.
+    #[test]
+    fn plain_qualifier_constant_true(
+        (a, b) in arb_operands(),
+        bit in 0u32..32,
+    ) {
+        let inj = ScriptedInjector::new([
+            ScriptedFault::transient_flip(0, bit).at_site(FaultSite::Multiplier),
+        ]);
+        let mut alu = PlainAlu::new(inj);
+        prop_assert!(alu.mul(a, b).is_ok());
+    }
+
+    /// Accumulate-site faults behave identically to multiplier faults.
+    #[test]
+    fn dmr_detects_accumulator_faults(
+        (a, b) in arb_operands(),
+        bit in 0u32..32,
+        replica in 0u8..2,
+    ) {
+        prop_assume!((a + b).is_finite());
+        let inj = ScriptedInjector::new([
+            ScriptedFault::transient_flip(0, bit)
+                .on_replica(replica)
+                .at_site(FaultSite::Accumulator),
+        ]);
+        let mut alu = DmrAlu::new(inj);
+        prop_assert!(!alu.acc(a, b).is_ok());
+    }
+
+    /// Bucket safety: the level is never "negative" (floor zero), never
+    /// exceeds peak, and drains to zero after enough successes.
+    #[test]
+    fn bucket_invariants(events in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut bucket = LeakyBucket::new(BucketConfig::default());
+        for &is_error in &events {
+            if is_error {
+                bucket.record_error();
+            } else {
+                bucket.record_success();
+            }
+            prop_assert!(bucket.level() <= bucket.peak());
+        }
+        let level_before = bucket.level();
+        for _ in 0..=level_before {
+            bucket.record_success();
+        }
+        prop_assert_eq!(bucket.level(), 0);
+    }
+
+    /// Under the paper bucket, any two errors separated by at most one
+    /// success trip the ceiling; any two separated by >= 2 successes with
+    /// an initially empty bucket do not.
+    #[test]
+    fn bucket_adjacency_rule(gap in 0usize..6) {
+        let mut bucket = LeakyBucket::new(BucketConfig::default());
+        assert_eq!(bucket.record_error(), BucketState::Tolerable);
+        for _ in 0..gap {
+            bucket.record_success();
+        }
+        let second = bucket.record_error();
+        if gap >= 2 {
+            prop_assert_eq!(second, BucketState::Tolerable);
+        } else {
+            prop_assert_eq!(second, BucketState::Persistent);
+        }
+    }
+
+    /// Fault-free reliable convolution equals direct convolution for
+    /// arbitrary small geometries, all modes.
+    #[test]
+    fn reliable_conv_matches_direct(
+        in_c in 1usize..3,
+        out_c in 1usize..4,
+        size in 3usize..8,
+        k in 1usize..4,
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= size);
+        let geom = ConvGeometry::new(size, size, k, k, stride, 0).unwrap();
+        let mut rng = relcnn_tensor::init::Rand::seeded(seed);
+        let input = rng.tensor(
+            Shape::d3(in_c, size, size),
+            relcnn_tensor::init::Init::Uniform { lo: -2.0, hi: 2.0 },
+        );
+        let filters = rng.tensor(
+            Shape::d4(out_c, in_c, k, k),
+            relcnn_tensor::init::Init::Uniform { lo: -1.0, hi: 1.0 },
+        );
+        let golden = conv2d(&input, &filters, None, &geom).unwrap();
+        let config = ReliableConvConfig::default();
+
+        let mut dmr = DmrAlu::new(NoFaults::new());
+        let out = reliable_conv2d(&input, &filters, None, &geom, &mut dmr, &config).unwrap();
+        for (x, y) in out.output.iter().zip(golden.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        prop_assert_eq!(out.stats.failed_ops, 0);
+
+        let mut tmr = TmrAlu::new(NoFaults::new());
+        let out = reliable_conv2d(&input, &filters, None, &geom, &mut tmr, &config).unwrap();
+        for (x, y) in out.output.iter().zip(golden.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// A single transient replica fault anywhere in a DMR convolution is
+    /// always recovered by exactly one rollback, and the output is golden.
+    #[test]
+    fn single_transient_anywhere_recovered(
+        op_index in 0u64..128,
+        replica in 0u8..2,
+        bit in 0u32..32,
+    ) {
+        let geom = ConvGeometry::new(4, 4, 2, 2, 1, 0).unwrap();
+        let input = Tensor::from_fn(Shape::d3(1, 4, 4), |i| (i[1] * 4 + i[2]) as f32 + 1.0);
+        let filters = Tensor::from_fn(Shape::d4(2, 1, 2, 2), |i| {
+            (i[0] * 4 + i[2] * 2 + i[3]) as f32 - 3.0
+        });
+        // 9 positions * 4 kernel elements * 2 channels = 72 MACs = 144 ops.
+        prop_assume!(op_index < 144);
+        let site = if op_index % 2 == 0 { FaultSite::Multiplier } else { FaultSite::Accumulator };
+        let golden = conv2d(&input, &filters, None, &geom).unwrap();
+        let inj = ScriptedInjector::new([
+            ScriptedFault::transient_flip(op_index, bit)
+                .on_replica(replica)
+                .at_site(site),
+        ]);
+        let mut alu = DmrAlu::new(inj);
+        let out = reliable_conv2d(
+            &input, &filters, None, &geom, &mut alu, &ReliableConvConfig::default(),
+        ).unwrap();
+        prop_assert_eq!(out.stats.failed_ops, 1);
+        prop_assert_eq!(out.stats.recovered, 1);
+        for (x, y) in out.output.iter().zip(golden.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// Error type for SAX encoding and comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SaxError {
+    /// The input series was empty.
+    EmptySeries,
+    /// The series is shorter than the requested number of PAA segments.
+    SeriesTooShort {
+        /// Series length supplied.
+        len: usize,
+        /// PAA segment count requested.
+        segments: usize,
+    },
+    /// The alphabet size is outside the supported range `2..=26`.
+    BadAlphabet {
+        /// The rejected alphabet size.
+        size: usize,
+    },
+    /// Zero PAA segments requested.
+    ZeroSegments,
+    /// Two words that must share a configuration did not.
+    ConfigMismatch {
+        /// Description of the disagreement.
+        reason: String,
+    },
+    /// A symbol outside the configured alphabet was encountered when
+    /// parsing a word from text.
+    BadSymbol {
+        /// The offending character.
+        symbol: char,
+        /// Alphabet size in effect.
+        alphabet: usize,
+    },
+}
+
+impl fmt::Display for SaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaxError::EmptySeries => write!(f, "cannot encode an empty series"),
+            SaxError::SeriesTooShort { len, segments } => write!(
+                f,
+                "series of length {len} shorter than {segments} PAA segments"
+            ),
+            SaxError::BadAlphabet { size } => {
+                write!(f, "alphabet size {size} outside supported range 2..=26")
+            }
+            SaxError::ZeroSegments => write!(f, "PAA segment count must be non-zero"),
+            SaxError::ConfigMismatch { reason } => {
+                write!(f, "sax configuration mismatch: {reason}")
+            }
+            SaxError::BadSymbol { symbol, alphabet } => write!(
+                f,
+                "symbol {symbol:?} not in alphabet of size {alphabet}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SaxError::EmptySeries,
+            SaxError::SeriesTooShort {
+                len: 3,
+                segments: 8,
+            },
+            SaxError::BadAlphabet { size: 1 },
+            SaxError::ZeroSegments,
+            SaxError::ConfigMismatch {
+                reason: "alphabet 4 vs 8".into(),
+            },
+            SaxError::BadSymbol {
+                symbol: 'z',
+                alphabet: 4,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SaxError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Symbolic Aggregate approXimation (SAX) of time series.
+//!
+//! Implements Lin, Keogh, Lonardi & Chiu, *"A symbolic representation of
+//! time series, with implications for streaming algorithms"* (DMKD 2003) —
+//! reference \[49\] of the reproduced paper. The hybrid CNN's shape
+//! qualifier reduces the centroid-to-edge radial signature of a candidate
+//! shape to a SAX word "which can be cheaply compared to other strings"
+//! (paper §III-B, Fig. 3).
+//!
+//! The pipeline is:
+//!
+//! 1. [z-normalisation](normalize::z_normalize) — zero mean, unit variance;
+//! 2. [PAA](paa::paa) — piecewise aggregate approximation to `w` segments;
+//! 3. symbolisation against equiprobable
+//!    [Gaussian breakpoints](breakpoints::gaussian_breakpoints);
+//! 4. comparison via [`mindist`](dist::mindist), which **lower-bounds** the
+//!    Euclidean distance of the original series (the property that makes
+//!    the qualifier's accept decision sound).
+//!
+//! # Example
+//!
+//! ```rust
+//! use relcnn_sax::{SaxConfig, SaxEncoder};
+//!
+//! # fn main() -> Result<(), relcnn_sax::SaxError> {
+//! let config = SaxConfig::new(16, 4)?; // 16 PAA segments, alphabet {a,b,c,d}
+//! let encoder = SaxEncoder::new(config);
+//! let series: Vec<f32> = (0..128).map(|i| (i as f32 / 20.0).sin()).collect();
+//! let word = encoder.encode(&series)?;
+//! assert_eq!(word.len(), 16);
+//! println!("{word}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakpoints;
+pub mod dist;
+pub mod normalize;
+pub mod paa;
+
+mod error;
+mod word;
+
+pub use error::SaxError;
+pub use word::{SaxConfig, SaxEncoder, SaxWord};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, SaxError>;

@@ -1,0 +1,175 @@
+//! Piecewise Aggregate Approximation (PAA).
+//!
+//! PAA reduces an `n`-point series to `w` segment means. When `w` does not
+//! divide `n`, boundary points are shared between segments with fractional
+//! weights (the exact scheme from Lin et al. 2003 that keeps the MINDIST
+//! lower-bounding proof valid for all `n`, `w`).
+
+use crate::SaxError;
+
+/// Reduces `series` to `segments` means.
+///
+/// # Errors
+///
+/// * [`SaxError::EmptySeries`] for an empty input;
+/// * [`SaxError::ZeroSegments`] when `segments == 0`;
+/// * [`SaxError::SeriesTooShort`] when `series.len() < segments`.
+///
+/// # Example
+///
+/// ```rust
+/// let means = relcnn_sax::paa::paa(&[1.0, 1.0, 5.0, 5.0], 2)?;
+/// assert_eq!(means, vec![1.0, 5.0]);
+/// # Ok::<(), relcnn_sax::SaxError>(())
+/// ```
+pub fn paa(series: &[f32], segments: usize) -> Result<Vec<f32>, SaxError> {
+    if series.is_empty() {
+        return Err(SaxError::EmptySeries);
+    }
+    if segments == 0 {
+        return Err(SaxError::ZeroSegments);
+    }
+    let n = series.len();
+    if n < segments {
+        return Err(SaxError::SeriesTooShort { len: n, segments });
+    }
+    if n == segments {
+        return Ok(series.to_vec());
+    }
+    if n % segments == 0 {
+        let chunk = n / segments;
+        return Ok(series
+            .chunks_exact(chunk)
+            .map(|c| c.iter().sum::<f32>() / chunk as f32)
+            .collect());
+    }
+    // General case: each segment covers n/w points with fractional sharing
+    // of the boundary points. Work in f64 to keep the weights exact enough.
+    let n_f = n as f64;
+    let w_f = segments as f64;
+    let seg_len = n_f / w_f;
+    let mut out = Vec::with_capacity(segments);
+    for s in 0..segments {
+        let start = s as f64 * seg_len;
+        let end = start + seg_len;
+        let mut acc = 0.0f64;
+        let first = start.floor() as usize;
+        let last = (end.ceil() as usize).min(n);
+        for (i, &v) in series.iter().enumerate().take(last).skip(first) {
+            let lo = (i as f64).max(start);
+            let hi = ((i + 1) as f64).min(end);
+            let weight = (hi - lo).max(0.0);
+            acc += v as f64 * weight;
+        }
+        out.push((acc / seg_len) as f32);
+    }
+    Ok(out)
+}
+
+/// Expands `w` PAA means back to an `n`-point piecewise-constant series —
+/// the PAA reconstruction used when visualising Figure 3.
+///
+/// # Errors
+///
+/// * [`SaxError::ZeroSegments`] if `means` is empty;
+/// * [`SaxError::SeriesTooShort`] if `n < means.len()`.
+pub fn paa_inverse(means: &[f32], n: usize) -> Result<Vec<f32>, SaxError> {
+    if means.is_empty() {
+        return Err(SaxError::ZeroSegments);
+    }
+    if n < means.len() {
+        return Err(SaxError::SeriesTooShort {
+            len: n,
+            segments: means.len(),
+        });
+    }
+    let seg_len = n as f64 / means.len() as f64;
+    Ok((0..n)
+        .map(|i| {
+            let seg = ((i as f64 + 0.5) / seg_len) as usize;
+            means[seg.min(means.len() - 1)]
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let means = paa(&[1.0, 3.0, 5.0, 7.0, 2.0, 4.0], 3).unwrap();
+        assert_eq!(means, vec![2.0, 6.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_when_w_equals_n() {
+        let s = [3.0, 1.0, 4.0];
+        assert_eq!(paa(&s, 3).unwrap(), s.to_vec());
+    }
+
+    #[test]
+    fn single_segment_is_mean() {
+        let means = paa(&[2.0, 4.0, 6.0], 1).unwrap();
+        assert!((means[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_segments_preserve_global_mean() {
+        // n=5, w=2: weighted scheme must preserve the overall mean.
+        let series = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let means = paa(&series, 2).unwrap();
+        let global = series.iter().sum::<f32>() / 5.0;
+        let paa_mean = means.iter().sum::<f32>() / 2.0;
+        assert!((global - paa_mean).abs() < 1e-5);
+        // First segment covers points 0,1 and half of 2: (1+2+0.5*3)/2.5 = 1.8
+        assert!((means[0] - 1.8).abs() < 1e-5);
+        assert!((means[1] - 4.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mean_preservation_many_sizes() {
+        let series: Vec<f32> = (0..97).map(|i| ((i * 13) % 23) as f32 - 11.0).collect();
+        let global = series.iter().sum::<f32>() / series.len() as f32;
+        for w in [1, 2, 3, 5, 8, 16, 31, 64, 97] {
+            let means = paa(&series, w).unwrap();
+            assert_eq!(means.len(), w);
+            let m = means.iter().sum::<f32>() / w as f32;
+            assert!(
+                (m - global).abs() < 1e-3,
+                "w={w}: PAA mean {m} vs global {global}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(paa(&[], 4), Err(SaxError::EmptySeries));
+        assert_eq!(paa(&[1.0], 0), Err(SaxError::ZeroSegments));
+        assert_eq!(
+            paa(&[1.0, 2.0], 3),
+            Err(SaxError::SeriesTooShort {
+                len: 2,
+                segments: 3
+            })
+        );
+    }
+
+    #[test]
+    fn inverse_reconstructs_piecewise_constant() {
+        let recon = paa_inverse(&[1.0, 5.0], 4).unwrap();
+        assert_eq!(recon, vec![1.0, 1.0, 5.0, 5.0]);
+        assert!(paa_inverse(&[], 4).is_err());
+        assert!(paa_inverse(&[1.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn inverse_then_paa_is_identity_on_means() {
+        let means = [0.5, -1.0, 2.0, 0.0];
+        let recon = paa_inverse(&means, 16).unwrap();
+        let back = paa(&recon, 4).unwrap();
+        for (a, b) in means.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the SAX substrate.
+//!
+//! The key invariant is the MINDIST lower bound: for arbitrary series, the
+//! symbolic distance must never exceed the true Euclidean distance of the
+//! z-normalised series — this is what makes the hybrid CNN's shape-qualifier
+//! *rejections* sound.
+
+use proptest::prelude::*;
+use relcnn_sax::dist::{euclidean, mindist};
+use relcnn_sax::normalize::z_normalize;
+use relcnn_sax::paa::{paa, paa_inverse};
+use relcnn_sax::{SaxConfig, SaxEncoder};
+
+fn series_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mindist_never_exceeds_euclidean(
+        a in series_strategy(64),
+        b in series_strategy(64),
+        segments in 1usize..32,
+        alphabet in 2usize..12,
+    ) {
+        let enc = SaxEncoder::new(SaxConfig::new(segments, alphabet).unwrap());
+        let za = z_normalize(&a);
+        let zb = z_normalize(&b);
+        let wa = enc.encode_normalized(&za).unwrap();
+        let wb = enc.encode_normalized(&zb).unwrap();
+        let md = mindist(&wa, &wb).unwrap();
+        let ed = euclidean(&za, &zb).unwrap();
+        // Allow a small absolute slack for f32 accumulation.
+        prop_assert!(md <= ed + 1e-3, "MINDIST {} > Euclidean {}", md, ed);
+    }
+
+    #[test]
+    fn znormalize_idempotent(series in series_strategy(48)) {
+        let once = z_normalize(&series);
+        let twice = z_normalize(&once);
+        for (a, b) in once.iter().zip(twice.iter()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn paa_output_within_input_range(
+        series in series_strategy(50),
+        segments in 1usize..50,
+    ) {
+        let means = paa(&series, segments).unwrap();
+        let lo = series.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = series.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for m in means {
+            prop_assert!(m >= lo - 1e-3 && m <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn paa_preserves_global_mean(
+        series in series_strategy(60),
+        segments in prop::sample::select(vec![1usize, 2, 3, 4, 5, 6, 10, 12, 15, 20, 30, 60]),
+    ) {
+        // For any segment count, the length-weighted PAA mean equals the
+        // series mean; with the fractional scheme all weights are n/w so the
+        // plain mean of means also matches.
+        let means = paa(&series, segments).unwrap();
+        let global = series.iter().sum::<f32>() / series.len() as f32;
+        let m = means.iter().sum::<f32>() / means.len() as f32;
+        prop_assert!((m - global).abs() < 1e-2, "{} vs {}", m, global);
+    }
+
+    #[test]
+    fn paa_inverse_roundtrip(
+        means in proptest::collection::vec(-10.0f32..10.0, 1..16),
+        factor in 1usize..8,
+    ) {
+        let n = means.len() * factor;
+        let recon = paa_inverse(&means, n).unwrap();
+        let back = paa(&recon, means.len()).unwrap();
+        for (a, b) in means.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn encoding_deterministic(series in series_strategy(40)) {
+        let enc = SaxEncoder::new(SaxConfig::new(8, 6).unwrap());
+        let w1 = enc.encode(&series).unwrap();
+        let w2 = enc.encode(&series).unwrap();
+        prop_assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn encoding_shift_scale_invariant(
+        series in series_strategy(40),
+        scale in 0.1f32..50.0,
+        shift in -100.0f32..100.0,
+    ) {
+        // Skip degenerate near-constant inputs where scaling crosses the
+        // flatness guard.
+        let (_, std_dev) = relcnn_sax::normalize::moments(&series);
+        prop_assume!(std_dev > 1e-2);
+        let transformed: Vec<f32> = series.iter().map(|v| v * scale + shift).collect();
+        let enc = SaxEncoder::new(SaxConfig::new(8, 4).unwrap());
+        let w1 = enc.encode(&series).unwrap();
+        let w2 = enc.encode(&transformed).unwrap();
+        // Symbols may differ by at most 1 at PAA means that sit within f32
+        // noise of a breakpoint; require near-equality.
+        prop_assert!(w1.max_symbol_gap(&w2).unwrap() <= 1);
+    }
+
+    #[test]
+    fn mindist_symmetric(
+        a in series_strategy(32),
+        b in series_strategy(32),
+    ) {
+        let enc = SaxEncoder::new(SaxConfig::new(8, 8).unwrap());
+        let wa = enc.encode(&a).unwrap();
+        let wb = enc.encode(&b).unwrap();
+        let d1 = mindist(&wa, &wb).unwrap();
+        let d2 = mindist(&wb, &wa).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-12);
+    }
+}

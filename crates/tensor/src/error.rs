@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// Error type for tensor construction and kernel operations.
+///
+/// Every fallible public function in this crate returns
+/// [`TensorError`](crate::TensorError); the variants carry enough context to
+/// diagnose shape mismatches without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Shape that was expected by the operation.
+        expected: Vec<usize>,
+        /// Shape that was actually supplied.
+        actual: Vec<usize>,
+        /// The operation that rejected the shapes.
+        op: &'static str,
+    },
+    /// The element count of a buffer did not match the product of the
+    /// requested dimensions.
+    LengthMismatch {
+        /// Element count implied by the shape.
+        expected: usize,
+        /// Element count of the supplied buffer.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor's dimensions.
+        dims: Vec<usize>,
+    },
+    /// An operation required a tensor of a specific rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+        /// The operation that rejected the rank.
+        op: &'static str,
+    },
+    /// Convolution/pooling geometry is impossible (e.g. kernel larger than
+    /// padded input, or zero stride).
+    InvalidGeometry {
+        /// Human-readable description of the geometry violation.
+        reason: String,
+    },
+    /// Deserialisation found a malformed or truncated byte stream.
+    Corrupt {
+        /// Human-readable description of the corruption.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(
+                f,
+                "shape mismatch in `{op}`: expected {expected:?}, got {actual:?}"
+            ),
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::IndexOutOfBounds { index, dims } => {
+                write!(f, "index {index:?} out of bounds for dims {dims:?}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(
+                f,
+                "rank mismatch in `{op}`: expected rank {expected}, got rank {actual}"
+            ),
+            TensorError::InvalidGeometry { reason } => {
+                write!(f, "invalid geometry: {reason}")
+            }
+            TensorError::Corrupt { reason } => {
+                write!(f, "corrupt tensor byte stream: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::ShapeMismatch {
+                expected: vec![2, 2],
+                actual: vec![3],
+                op: "add",
+            },
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 5,
+            },
+            TensorError::IndexOutOfBounds {
+                index: vec![9],
+                dims: vec![2],
+            },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 1,
+                op: "matmul",
+            },
+            TensorError::InvalidGeometry {
+                reason: "kernel 5 larger than input 3".into(),
+            },
+            TensorError::Corrupt {
+                reason: "truncated header".into(),
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with('b'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,279 @@
+//! Deterministic random initialisers.
+//!
+//! All experiment code in `relcnn` derives randomness from seeded
+//! `ChaCha8Rng` streams so that every table and figure regenerates
+//! identically across runs and machines. Gaussian samples come from a
+//! Box–Muller transform to avoid an extra distribution dependency.
+
+use crate::{Shape, Tensor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Weight-initialisation schemes used by the CNN substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Init {
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f32,
+        /// Upper bound (exclusive).
+        hi: f32,
+    },
+    /// Gaussian with the given mean and standard deviation.
+    Normal {
+        /// Distribution mean.
+        mean: f32,
+        /// Distribution standard deviation.
+        std_dev: f32,
+    },
+    /// He/Kaiming-style fan-in scaled Gaussian: `N(0, sqrt(2 / fan_in))`,
+    /// the standard choice for ReLU CNNs such as AlexNet.
+    HeNormal {
+        /// Number of input connections per output unit.
+        fan_in: usize,
+    },
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform {
+        /// Number of input connections.
+        fan_in: usize,
+        /// Number of output connections.
+        fan_out: usize,
+    },
+}
+
+/// A deterministic random stream for initialisation and augmentation.
+///
+/// Thin wrapper around `ChaCha8Rng` that exposes exactly the sampling
+/// operations `relcnn` needs; the stream is fully determined by the seed.
+///
+/// # Example
+///
+/// ```rust
+/// use relcnn_tensor::init::Rand;
+///
+/// let mut a = Rand::seeded(42);
+/// let mut b = Rand::seeded(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rand {
+    rng: ChaCha8Rng,
+    /// Cached second Box–Muller sample.
+    spare_gaussian: Option<f32>,
+}
+
+impl Rand {
+    /// Creates a stream from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        Rand {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            spare_gaussian: None,
+        }
+    }
+
+    /// Derives an independent child stream; used to give each experiment
+    /// stage its own reproducible randomness.
+    pub fn fork(&mut self, stream: u64) -> Rand {
+        let seed = self.rng.random::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Rand::seeded(seed)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.rng.random::<f32>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.rng.random_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.rng.random::<f64>() < p
+    }
+
+    /// Standard-normal sample via Box–Muller.
+    pub fn gaussian(&mut self) -> f32 {
+        if let Some(z) = self.spare_gaussian.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        let u1: f32 = self.rng.random::<f32>().max(f32::MIN_POSITIVE);
+        let u2: f32 = self.rng.random::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_gaussian = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Gaussian sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f32, std_dev: f32) -> f32 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Raw 64-bit draw (for deriving sub-seeds).
+    pub fn raw_u64(&mut self) -> u64 {
+        self.rng.random()
+    }
+
+    /// Fills a fresh tensor according to `init`.
+    pub fn tensor(&mut self, shape: Shape, init: Init) -> Tensor {
+        let n = shape.volume();
+        let mut data = Vec::with_capacity(n);
+        match init {
+            Init::Uniform { lo, hi } => {
+                for _ in 0..n {
+                    data.push(self.uniform(lo, hi));
+                }
+            }
+            Init::Normal { mean, std_dev } => {
+                for _ in 0..n {
+                    data.push(self.normal(mean, std_dev));
+                }
+            }
+            Init::HeNormal { fan_in } => {
+                let std_dev = (2.0 / fan_in.max(1) as f32).sqrt();
+                for _ in 0..n {
+                    data.push(self.normal(0.0, std_dev));
+                }
+            }
+            Init::XavierUniform { fan_in, fan_out } => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                for _ in 0..n {
+                    data.push(self.uniform(-a, a));
+                }
+            }
+        }
+        Tensor::from_vec(shape, data).expect("generated buffer matches volume")
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = Rand::seeded(7);
+        let mut b = Rand::seeded(7);
+        for _ in 0..32 {
+            assert_eq!(a.raw_u64(), b.raw_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rand::seeded(1);
+        let mut b = Rand::seeded(2);
+        let same = (0..16).filter(|_| a.raw_u64() == b.raw_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut p1 = Rand::seeded(9);
+        let mut p2 = Rand::seeded(9);
+        let mut c1 = p1.fork(0);
+        let mut c2 = p2.fork(0);
+        assert_eq!(c1.raw_u64(), c2.raw_u64());
+        let mut c3 = p1.fork(1);
+        assert_ne!(c1.raw_u64(), c3.raw_u64());
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut r = Rand::seeded(3);
+        for _ in 0..1000 {
+            let v = r.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_within_bounds() {
+        let mut r = Rand::seeded(4);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Rand::seeded(0).below(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rand::seeded(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn gaussian_moments_plausible() {
+        let mut r = Rand::seeded(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut r = Rand::seeded(13);
+        let t = r.tensor(Shape::d1(10_000), Init::HeNormal { fan_in: 200 });
+        let expected = (2.0f32 / 200.0).sqrt();
+        assert!((t.std_dev() - expected).abs() < expected * 0.1);
+    }
+
+    #[test]
+    fn xavier_uniform_within_bound() {
+        let mut r = Rand::seeded(17);
+        let a = (6.0f32 / 30.0).sqrt();
+        let t = r.tensor(
+            Shape::d1(1000),
+            Init::XavierUniform {
+                fan_in: 10,
+                fan_out: 20,
+            },
+        );
+        assert!(t.max() <= a && t.min() >= -a);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rand::seeded(19);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,47 @@
+//! Dense `f32` tensor substrate for the `relcnn` hybrid-CNN reproduction.
+//!
+//! This crate provides the numeric foundation every other `relcnn` crate
+//! builds on: an owned, contiguous, row-major [`Tensor`] with shape/stride
+//! algebra, elementwise and reduction kernels, matrix multiplication,
+//! `im2col`-based and direct convolution, deterministic random
+//! initialisation, and a compact binary serialisation format.
+//!
+//! The paper's evaluation ("native TensorFlow execution achieves this in
+//! 0.05 s") needs an *unprotected, fast* convolution baseline; that baseline
+//! is [`conv::conv2d`] here. The reliable, qualified convolution of
+//! Algorithm 3 lives in the `relcnn-relexec` crate and is measured against
+//! this one.
+//!
+//! # Example
+//!
+//! ```rust
+//! use relcnn_tensor::{Tensor, Shape};
+//!
+//! # fn main() -> Result<(), relcnn_tensor::TensorError> {
+//! let a = Tensor::from_fn(Shape::d2(2, 3), |idx| (idx[0] * 3 + idx[1]) as f32);
+//! let b = Tensor::ones(Shape::d2(3, 2));
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape().dims(), &[2, 2]);
+//! assert_eq!(c.get(&[0, 0]), 3.0); // 0+1+2
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod ops;
+pub mod serial;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,347 @@
+//! Elementwise kernels, reductions and matrix multiplication.
+//!
+//! These are the *unprotected* numeric kernels: they execute once, carry no
+//! qualifier, and serve as the "native execution" baseline the paper
+//! compares its reliable operators against.
+
+use crate::{Shape, Tensor, TensorError};
+
+impl Tensor {
+    /// Elementwise sum of two equal-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(
+            self.shape().clone(),
+            self.iter().map(|&v| f(v)).collect(),
+        )
+        .expect("map preserves length")
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|v| v * k)
+    }
+
+    /// Adds `k` to every element.
+    pub fn shift(&self, k: f32) -> Tensor {
+        self.map(|v| v + k)
+    }
+
+    /// In-place AXPY update: `self += alpha * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) -> Result<(), TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape().dims().to_vec(),
+                actual: rhs.shape().dims().to_vec(),
+                op: "axpy",
+            });
+        }
+        for (a, b) in self.iter_mut().zip(rhs.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Population variance of all elements (0.0 for empty tensors).
+    pub fn variance(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / self.len() as f32
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f32 {
+        self.variance().sqrt()
+    }
+
+    /// Largest element (`-inf` for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element (`+inf` for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Flat index of the largest element (`None` for empty tensors).
+    ///
+    /// Ties resolve to the first occurrence, matching the deterministic
+    /// classification semantics the qualifier block requires.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &v) in self.iter().enumerate() {
+            match best {
+                Some((_, bv)) if v <= bv => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Sum of squared elements (squared L2 norm).
+    pub fn norm_sq(&self) -> f32 {
+        self.iter().map(|&v| v * v).sum()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Dot product of two equal-shaped tensors viewed as flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn dot(&self, rhs: &Tensor) -> Result<f32, TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape().dims().to_vec(),
+                actual: rhs.shape().dims().to_vec(),
+                op: "dot",
+            });
+        }
+        Ok(self.iter().zip(rhs.iter()).map(|(a, b)| a * b).sum())
+    }
+
+    /// Matrix multiplication of two rank-2 tensors.
+    ///
+    /// Uses a cache-friendly i-k-j loop order; this is the throughput kernel
+    /// behind the "native execution" baseline and `im2col` convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if either operand is not a
+    /// matrix, or [`TensorError::ShapeMismatch`] if the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape().rank(),
+                op: "matmul",
+            });
+        }
+        if rhs.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: rhs.shape().rank(),
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (k2, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![k, n],
+                actual: vec![k2, n],
+                op: "matmul",
+            });
+        }
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &b_kj) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+        Tensor::from_vec(Shape::d2(m, n), out)
+    }
+
+    /// Applies `f` pairwise, validating shape equality.
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape().dims().to_vec(),
+                actual: rhs.shape().dims().to_vec(),
+                op,
+            });
+        }
+        Ok(Tensor::from_vec(
+            self.shape().clone(),
+            self.iter().zip(rhs.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        )
+        .expect("zip preserves length"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(Shape::d1(n), v).unwrap()
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = t(vec![1., 2., 3.]);
+        let b = t(vec![4., 5., 6.]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3., 3., 3.]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4., 10., 18.]);
+        let c = Tensor::zeros(Shape::d1(2));
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn map_scale_shift() {
+        let a = t(vec![1., -2., 3.]);
+        assert_eq!(a.map(f32::abs).as_slice(), &[1., 2., 3.]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2., -4., 6.]);
+        assert_eq!(a.shift(1.0).as_slice(), &[2., -1., 4.]);
+        let mut b = a.clone();
+        b.map_inplace(|v| v * v);
+        assert_eq!(b.as_slice(), &[1., 4., 9.]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = t(vec![1., 1.]);
+        let g = t(vec![2., 4.]);
+        a.axpy(-0.5, &g).unwrap();
+        assert_eq!(a.as_slice(), &[0., -1.]);
+        assert!(a.axpy(1.0, &Tensor::zeros(Shape::d1(3))).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(vec![1., 2., 3., 4.]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.argmax(), Some(3));
+        assert!((a.variance() - 1.25).abs() < 1e-6);
+        assert!((a.std_dev() - 1.25f32.sqrt()).abs() < 1e-6);
+        assert_eq!(a.norm_sq(), 30.0);
+    }
+
+    #[test]
+    fn argmax_ties_first_and_empty() {
+        let a = t(vec![3., 1., 3.]);
+        assert_eq!(a.argmax(), Some(0));
+        let e = Tensor::from_vec(Shape::new(vec![0]), vec![]).unwrap();
+        assert_eq!(e.argmax(), None);
+        assert_eq!(e.mean(), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = t(vec![1., 2.]);
+        let b = t(vec![3., 4.]);
+        assert_eq!(a.dot(&b).unwrap(), 11.0);
+        assert!(a.dot(&t(vec![1.])).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(Shape::d2(2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let i = Tensor::from_fn(Shape::d2(2, 2), |x| if x[0] == x[1] { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(Shape::d2(3, 2), vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d2(2, 2));
+        assert!(a.matmul(&b).is_err());
+        assert!(Tensor::zeros(Shape::d1(3)).matmul(&b).is_err());
+        assert!(b.matmul(&Tensor::zeros(Shape::d1(3))).is_err());
+    }
+
+    #[test]
+    fn matmul_agrees_with_naive() {
+        // Pseudo-random fill without an RNG dependency in tests.
+        let a = Tensor::from_fn(Shape::d2(5, 7), |i| ((i[0] * 31 + i[1] * 17) % 13) as f32 - 6.0);
+        let b = Tensor::from_fn(Shape::d2(7, 4), |i| ((i[0] * 19 + i[1] * 29) % 11) as f32 - 5.0);
+        let fast = a.matmul(&b).unwrap();
+        for i in 0..5 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..7 {
+                    acc += a.get(&[i, k]) * b.get(&[k, j]);
+                }
+                assert!((fast.get(&[i, j]) - acc).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use relcnn_tensor::conv::{col2im, conv2d, conv2d_im2col, im2col, ConvGeometry};
+use relcnn_tensor::init::Rand;
+use relcnn_tensor::serial::{from_bytes, to_bytes};
+use relcnn_tensor::{Shape, Tensor};
+
+fn small_tensor(max_len: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-100.0f32..100.0, 1..max_len).prop_map(|v| {
+        let n = v.len();
+        Tensor::from_vec(Shape::d1(n), v).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shape offset/unravel are inverse bijections over the whole volume.
+    #[test]
+    fn shape_offset_unravel_bijection(
+        dims in proptest::collection::vec(1usize..5, 1..4),
+    ) {
+        let shape = Shape::new(dims);
+        let mut seen = std::collections::HashSet::new();
+        for flat in 0..shape.volume() {
+            let idx = shape.unravel(flat).unwrap();
+            prop_assert_eq!(shape.offset(&idx).unwrap(), flat);
+            prop_assert!(seen.insert(idx));
+        }
+    }
+
+    /// Elementwise add/sub are inverse; mul by ones is identity.
+    #[test]
+    fn elementwise_algebra(t in small_tensor(64)) {
+        let ones = Tensor::ones(t.shape().clone());
+        prop_assert_eq!(t.mul(&ones).unwrap(), t.clone());
+        let back = t.add(&t).unwrap().sub(&t).unwrap();
+        for (a, b) in back.iter().zip(t.iter()) {
+            prop_assert!((a - b).abs() <= 1e-3_f32.max(b.abs() * 1e-5));
+        }
+    }
+
+    /// Transpose is an involution and matmul agrees with the transpose
+    /// identity (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000,
+    ) {
+        let mut rng = Rand::seeded(seed);
+        let a = rng.tensor(Shape::d2(m, k), relcnn_tensor::init::Init::Uniform { lo: -2.0, hi: 2.0 });
+        let b = rng.tensor(Shape::d2(k, n), relcnn_tensor::init::Init::Uniform { lo: -2.0, hi: 2.0 });
+        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a.clone());
+        let ab_t = a.matmul(&b).unwrap().transpose().unwrap();
+        let bt_at = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in ab_t.iter().zip(bt_at.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// im2col convolution equals direct convolution for random geometry.
+    #[test]
+    fn conv_implementations_agree(
+        in_c in 1usize..3, out_c in 1usize..3,
+        size in 3usize..9, k in 1usize..4,
+        stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(size + 2 * pad >= k);
+        let geom = ConvGeometry::new(size, size, k, k, stride, pad).unwrap();
+        let mut rng = Rand::seeded(seed);
+        let input = rng.tensor(Shape::d3(in_c, size, size), relcnn_tensor::init::Init::Uniform { lo: -1.0, hi: 1.0 });
+        let filt = rng.tensor(Shape::d4(out_c, in_c, k, k), relcnn_tensor::init::Init::Uniform { lo: -1.0, hi: 1.0 });
+        let direct = conv2d(&input, &filt, None, &geom).unwrap();
+        let fast = conv2d_im2col(&input, &filt, None, &geom).unwrap();
+        prop_assert_eq!(direct.shape(), fast.shape());
+        for (a, b) in direct.iter().zip(fast.iter()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// col2im is the adjoint of im2col: <Ax, y> == <x, Aᵀy>.
+    #[test]
+    fn im2col_adjoint(
+        in_c in 1usize..3, size in 3usize..8, k in 1usize..4,
+        stride in 1usize..3, pad in 0usize..2, seed in 0u64..1000,
+    ) {
+        prop_assume!(size + 2 * pad >= k);
+        let geom = ConvGeometry::new(size, size, k, k, stride, pad).unwrap();
+        let mut rng = Rand::seeded(seed);
+        let x = rng.tensor(Shape::d3(in_c, size, size), relcnn_tensor::init::Init::Uniform { lo: -1.0, hi: 1.0 });
+        let rows = in_c * k * k;
+        let y = rng.tensor(Shape::d2(rows, geom.positions()), relcnn_tensor::init::Init::Uniform { lo: -1.0, hi: 1.0 });
+        let ax = im2col(&x, &geom).unwrap();
+        let aty = col2im(&y, in_c, &geom).unwrap();
+        let lhs = ax.dot(&y).unwrap() as f64;
+        let rhs = x.dot(&aty).unwrap() as f64;
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    /// Binary serialisation round-trips bit-exactly.
+    #[test]
+    fn serial_roundtrip(t in small_tensor(128)) {
+        let bytes = to_bytes(&t);
+        let mut buf = bytes.clone();
+        let back = from_bytes(&mut buf).unwrap();
+        prop_assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.iter().zip(t.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Seeded RNG streams are reproducible and shift/scale statistics of
+    /// initialisers are sane.
+    #[test]
+    fn rng_reproducible(seed in 0u64..10_000) {
+        let mut a = Rand::seeded(seed);
+        let mut b = Rand::seeded(seed);
+        for _ in 0..8 {
+            prop_assert_eq!(a.raw_u64(), b.raw_u64());
+        }
+    }
+}

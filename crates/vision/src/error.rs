@@ -1,0 +1,92 @@
+use relcnn_tensor::TensorError;
+use std::fmt;
+
+/// Error type for image-processing operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VisionError {
+    /// The operation requires a rank-2 grayscale image.
+    NotGrayscale {
+        /// Rank of the offending tensor.
+        rank: usize,
+    },
+    /// The operation requires a rank-3 CHW colour image with 3 channels.
+    NotRgb {
+        /// Dims of the offending tensor.
+        dims: Vec<usize>,
+    },
+    /// The binary mask contained no foreground pixels, so no shape can be
+    /// determined.
+    EmptyMask,
+    /// A parameter was out of its valid range.
+    BadParameter {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// Error propagated from the tensor substrate.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for VisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisionError::NotGrayscale { rank } => {
+                write!(f, "expected a rank-2 grayscale image, got rank {rank}")
+            }
+            VisionError::NotRgb { dims } => {
+                write!(f, "expected a [3,h,w] colour image, got {dims:?}")
+            }
+            VisionError::EmptyMask => write!(f, "mask contains no foreground pixels"),
+            VisionError::BadParameter { reason } => write!(f, "bad parameter: {reason}"),
+            VisionError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VisionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VisionError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for VisionError {
+    fn from(e: TensorError) -> Self {
+        VisionError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            VisionError::NotGrayscale { rank: 3 },
+            VisionError::NotRgb { dims: vec![1, 2] },
+            VisionError::EmptyMask,
+            VisionError::BadParameter {
+                reason: "angle count 0".into(),
+            },
+            VisionError::Tensor(TensorError::LengthMismatch {
+                expected: 1,
+                actual: 2,
+            }),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_tensor_errors() {
+        let e = VisionError::Tensor(TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        });
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&VisionError::EmptyMask).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! Image binarisation: fixed and Otsu thresholds.
+//!
+//! The qualifier needs a deterministic edge mask; Otsu's method picks the
+//! threshold that maximises between-class variance of the gradient
+//! histogram, with no tunable constants — important for the paper's
+//! "fully explainable" certification argument.
+
+use relcnn_tensor::Tensor;
+
+/// Number of histogram bins used by [`otsu_threshold`].
+pub const OTSU_BINS: usize = 256;
+
+/// Binarises an image: `value > threshold` becomes 1.0, else 0.0.
+pub fn binarize(image: &Tensor, threshold: f32) -> Tensor {
+    image.map(|v| if v > threshold { 1.0 } else { 0.0 })
+}
+
+/// Otsu's threshold over a 256-bin histogram of the image's value range.
+///
+/// Returns the lower edge of the chosen bin, mapped back to image values.
+/// Degenerate (constant or empty) images return their minimum value, which
+/// binarises them to all-zeros.
+pub fn otsu_threshold(image: &Tensor) -> f32 {
+    if image.is_empty() {
+        return 0.0;
+    }
+    let lo = image.min();
+    let hi = image.max();
+    if !(hi - lo).is_normal() {
+        return lo;
+    }
+    let scale = (OTSU_BINS as f32 - 1.0) / (hi - lo);
+    let mut hist = [0u64; OTSU_BINS];
+    for &v in image.iter() {
+        let bin = (((v - lo) * scale) as usize).min(OTSU_BINS - 1);
+        hist[bin] += 1;
+    }
+    let total = image.len() as f64;
+    let total_mean: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| i as f64 * c as f64)
+        .sum::<f64>()
+        / total;
+
+    // Ties are common with strongly bimodal data (every bin between the
+    // two modes maximises the variance); average the tied bins, the
+    // standard Otsu tie-breaking rule.
+    let mut best_bins: Vec<usize> = Vec::new();
+    let mut best_var = -1.0f64;
+    let mut w0 = 0.0f64; // background weight
+    let mut m0_acc = 0.0f64; // background mean accumulator
+    for (i, &c) in hist.iter().enumerate() {
+        w0 += c as f64 / total;
+        m0_acc += i as f64 * c as f64 / total;
+        if w0 <= 0.0 || w0 >= 1.0 {
+            continue;
+        }
+        let w1 = 1.0 - w0;
+        let m0 = m0_acc / w0;
+        let m1 = (total_mean - m0_acc) / w1;
+        let var = w0 * w1 * (m0 - m1) * (m0 - m1);
+        if var > best_var + 1e-12 {
+            best_var = var;
+            best_bins.clear();
+            best_bins.push(i);
+        } else if (var - best_var).abs() <= 1e-12 {
+            best_bins.push(i);
+        }
+    }
+    if best_bins.is_empty() {
+        return lo;
+    }
+    let avg_bin = best_bins.iter().sum::<usize>() as f32 / best_bins.len() as f32;
+    lo + avg_bin / scale
+}
+
+/// Fraction of pixels above the threshold — a quick mask-density probe
+/// used in sanity checks.
+pub fn foreground_fraction(image: &Tensor, threshold: f32) -> f32 {
+    if image.is_empty() {
+        return 0.0;
+    }
+    image.iter().filter(|&&v| v > threshold).count() as f32 / image.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcnn_tensor::Shape;
+
+    #[test]
+    fn binarize_basic() {
+        let t = Tensor::from_vec(Shape::d1(4), vec![0.1, 0.5, 0.9, 0.5]).unwrap();
+        let b = binarize(&t, 0.5);
+        assert_eq!(b.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn otsu_separates_bimodal() {
+        // Two well-separated clusters around 0.1 and 0.9.
+        let mut data = vec![0.1f32; 500];
+        data.extend(vec![0.9f32; 500]);
+        let t = Tensor::from_vec(Shape::d1(1000), data).unwrap();
+        let thr = otsu_threshold(&t);
+        assert!(thr > 0.15 && thr < 0.85, "threshold {thr}");
+        let mask = binarize(&t, thr);
+        assert_eq!(mask.sum(), 500.0);
+    }
+
+    #[test]
+    fn otsu_with_unbalanced_classes() {
+        let mut data = vec![0.0f32; 950];
+        data.extend(vec![1.0f32; 50]);
+        let t = Tensor::from_vec(Shape::d1(1000), data).unwrap();
+        let thr = otsu_threshold(&t);
+        assert!(thr >= 0.0 && thr < 1.0);
+        let fg = foreground_fraction(&t, thr);
+        assert!((fg - 0.05).abs() < 0.01, "foreground {fg}");
+    }
+
+    #[test]
+    fn otsu_constant_image_degenerates_safely() {
+        let t = Tensor::full(Shape::d2(8, 8), 0.4);
+        let thr = otsu_threshold(&t);
+        let mask = binarize(&t, thr);
+        assert_eq!(mask.sum(), 0.0, "constant image has no foreground");
+    }
+
+    #[test]
+    fn otsu_empty_image() {
+        let t = Tensor::from_vec(Shape::new(vec![0]), vec![]).unwrap();
+        assert_eq!(otsu_threshold(&t), 0.0);
+        assert_eq!(foreground_fraction(&t, 0.0), 0.0);
+    }
+
+    #[test]
+    fn otsu_shift_invariance_of_split() {
+        // Shifting all values must not change which pixels are foreground.
+        let base: Vec<f32> = (0..200)
+            .map(|i| if i % 3 == 0 { 0.8 } else { 0.2 })
+            .collect();
+        let a = Tensor::from_vec(Shape::d1(200), base.clone()).unwrap();
+        let b = Tensor::from_vec(Shape::d1(200), base.iter().map(|v| v + 5.0).collect()).unwrap();
+        let ma = binarize(&a, otsu_threshold(&a));
+        let mb = binarize(&b, otsu_threshold(&b));
+        assert_eq!(ma.as_slice(), mb.as_slice());
+    }
+}

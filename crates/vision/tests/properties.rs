@@ -1,0 +1,110 @@
+//! Property-based tests for the vision substrate.
+
+use proptest::prelude::*;
+use relcnn_tensor::{Shape, Tensor};
+use relcnn_vision::blob::{connected_components, largest_component};
+use relcnn_vision::draw;
+use relcnn_vision::radial::radial_signature;
+use relcnn_vision::sobel::{extended_sobel, gradient_magnitude, SobelAxis};
+use relcnn_vision::threshold::{binarize, foreground_fraction, otsu_threshold};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gradient magnitude is non-negative and zero on constant images.
+    #[test]
+    fn gradient_magnitude_nonnegative(level in 0.0f32..1.0) {
+        let img = Tensor::full(Shape::d2(12, 12), level);
+        let mag = gradient_magnitude(&img).unwrap();
+        prop_assert!(mag.iter().all(|&v| v >= 0.0));
+        prop_assert!(mag.max() < 1e-4);
+    }
+
+    /// Extended Sobel kernels of any odd size have zero total sum
+    /// (no DC response) and exact antisymmetry.
+    #[test]
+    fn extended_sobel_zero_dc(half in 1usize..8) {
+        let size = 2 * half + 1;
+        for axis in [SobelAxis::X, SobelAxis::Y] {
+            let k = extended_sobel(size, axis).unwrap();
+            prop_assert!(k.sum().abs() < 1e-2, "size {} sum {}", size, k.sum());
+        }
+    }
+
+    /// Otsu binarisation of a two-level image recovers the bright set
+    /// exactly, regardless of the levels chosen.
+    #[test]
+    fn otsu_recovers_bimodal_split(
+        dark in 0.0f32..0.4,
+        bright_delta in 0.2f32..0.6,
+        bright_count in 20usize..200,
+    ) {
+        let bright = dark + bright_delta;
+        let n = 256usize;
+        let mut data = vec![dark; n];
+        for v in data.iter_mut().take(bright_count) {
+            *v = bright;
+        }
+        let t = Tensor::from_vec(Shape::d1(n), data).unwrap();
+        let thr = otsu_threshold(&t);
+        let frac = foreground_fraction(&t, thr);
+        prop_assert!(
+            (frac - bright_count as f32 / n as f32).abs() < 1e-6,
+            "split fraction {} vs expected {}",
+            frac,
+            bright_count as f32 / n as f32
+        );
+    }
+
+    /// A single filled circle yields exactly one connected component whose
+    /// area matches the drawn area and whose centroid is the centre.
+    #[test]
+    fn circle_component_properties(
+        cx in 20.0f32..44.0,
+        cy in 20.0f32..44.0,
+        r in 5.0f32..12.0,
+    ) {
+        let mut mask = Tensor::zeros(Shape::d2(64, 64));
+        draw::fill_circle(&mut mask, (cx, cy), r, 1.0);
+        let blobs = connected_components(&mask).unwrap();
+        prop_assert_eq!(blobs.len(), 1);
+        let blob = largest_component(&mask).unwrap();
+        prop_assert_eq!(blob.area() as f32, mask.sum());
+        let (by, bx) = blob.centroid();
+        prop_assert!((bx - (cx - 0.5)).abs() < 1.0, "cx {} vs {}", bx, cx);
+        prop_assert!((by - (cy - 0.5)).abs() < 1.0);
+    }
+
+    /// The radial signature of a filled regular polygon has ratio close to
+    /// the analytic 1/cos(pi/k), for any rotation.
+    #[test]
+    fn polygon_radial_ratio_analytic(
+        sides in prop::sample::select(vec![3usize, 4, 6, 8]),
+        rotation in 0.0f32..std::f32::consts::TAU,
+    ) {
+        let mut mask = Tensor::zeros(Shape::d2(160, 160));
+        draw::fill_regular_polygon(&mut mask, sides, (80.0, 80.0), 60.0, rotation, 1.0);
+        let sig = radial_signature(&mask, 256).unwrap();
+        let analytic = 1.0 / (std::f32::consts::PI / sides as f32).cos();
+        // Half-pixel ray quantisation + centroid rounding: sharper corners
+        // (triangles) carry the largest relative error.
+        prop_assert!(
+            (sig.radial_ratio() - analytic).abs() < analytic * 0.08,
+            "{}-gon ratio {} vs analytic {}",
+            sides,
+            sig.radial_ratio(),
+            analytic
+        );
+    }
+
+    /// Binarize is idempotent: thresholding an already-binary mask with
+    /// any threshold in (0,1) returns the same mask.
+    #[test]
+    fn binarize_idempotent(thr in 0.01f32..0.99) {
+        let mut mask = Tensor::zeros(Shape::d2(16, 16));
+        draw::fill_circle(&mut mask, (8.0, 8.0), 5.0, 1.0);
+        let once = binarize(&mask, thr);
+        let twice = binarize(&once, thr);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,47 @@
+//! Exports the deployment manifest — the platform-agnostic description of
+//! a hybrid CNN that the paper's future work calls for ("extensions to
+//! the ONNX standard to facilitate the platform-agnostic description of
+//! hybrid-CNNs").
+//!
+//! ```text
+//! cargo run --release --example deployment_manifest
+//! ```
+//!
+//! The manifest carries everything a safety assessor needs: the
+//! architecture, the reliable partition and its redundancy policy, the
+//! qualifier's a-priori bounds, and the quantified silent-corruption
+//! guarantee at a declared reference bit error rate.
+
+use relcnn::core::manifest::DeploymentManifest;
+use relcnn::core::{HybridCnn, HybridConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hybrid = HybridCnn::untrained(&HybridConfig::standard(42))?;
+
+    // A Jetson-class soft-error assumption for the guarantee statement.
+    let reference_ber = 1e-9;
+    let manifest = hybrid.deployment_manifest(reference_ber)?;
+
+    println!("{}", manifest.to_json());
+
+    let g = &manifest.reliability.conv1_guarantee;
+    eprintln!("\n--- guarantee summary (stderr) ---");
+    eprintln!(
+        "conv-1: {} qualified ops under {}, reference BER {:.0e}",
+        g.ops, g.mode, manifest.reliability.reference_ber
+    );
+    eprintln!(
+        "silent-corruption bound per inference: {:.3e}",
+        g.silent_bound
+    );
+    eprintln!(
+        "expected detections per inference: {:.3e} (each recovered by a one-op rollback)",
+        g.expected_detections
+    );
+    eprintln!("BCET {} / WCET {} cycles", g.bcet_cycles, g.wcet_cycles);
+
+    // Round-trip: the JSON is the interchange artefact.
+    let parsed = DeploymentManifest::from_json(&manifest.to_json())?;
+    assert_eq!(parsed, manifest);
+    Ok(())
+}

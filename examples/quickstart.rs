@@ -1,0 +1,55 @@
+//! Quickstart: build a hybrid CNN, classify two signs, inspect the
+//! qualified results.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the paper's central behaviour: a safety-critical
+//! classification (stop sign) is only *reliable* when the deterministic
+//! shape qualifier confirms the octagon, while a non-critical class
+//! (parking) "can be used without any qualification".
+
+use relcnn::core::{HybridCnn, HybridConfig};
+use relcnn::gtsrb::{RenderParams, SignClass, SignRenderer};
+use relcnn::tensor::init::Rand;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An untrained tiny network: the classification itself is arbitrary,
+    // but the qualification plumbing — reliable conv-1, shape qualifier,
+    // result fusion — runs exactly as in production.
+    let config = HybridConfig::tiny(42);
+    let mut hybrid = HybridCnn::untrained(&config)?;
+
+    let renderer = SignRenderer::new(config.image_size);
+    let mut rng = Rand::seeded(7);
+
+    for class in [SignClass::Stop, SignClass::Parking, SignClass::Yield] {
+        let image = renderer.render(class, &RenderParams::nominal(), &mut rng);
+        let verdict = hybrid.classify(&image)?;
+        println!("rendered a {class} sign:");
+        println!(
+            "  predicted class ........ {} ({:?})",
+            verdict.class(),
+            verdict.label()
+        );
+        println!("  confidence ............. {:.3}", verdict.confidence());
+        println!("  safety critical ........ {}", verdict.is_safety_critical());
+        println!("  qualified .............. {}", verdict.is_qualified());
+        if let Some(q) = verdict.qualifier() {
+            println!(
+                "  qualifier evidence ..... ratio {:.3}, corners {}, mindist {:?}",
+                q.radial_ratio, q.corners, q.mindist
+            );
+            if !q.accepted {
+                println!("  reject reasons ......... {:?}", q.reject_reasons);
+            }
+        }
+        let g = verdict.guarantee();
+        println!(
+            "  reliable partition ..... {} ops under {}, {} faults detected\n",
+            g.ops, g.mode, g.detected
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! The deterministic shape qualifier in isolation: radial signatures, SAX
+//! words and the acceptance matrix across all sign outline shapes — the
+//! "surrogate function whose upper and lower bounds can be determined a
+//! priori" (§III-B).
+//!
+//! ```text
+//! cargo run --release --example shape_qualifier
+//! ```
+
+use relcnn::core::ShapeQualifier;
+use relcnn::gtsrb::{RenderParams, ShapeKind, SignClass, SignRenderer};
+use relcnn::tensor::init::Rand;
+use relcnn::vision::rgb_to_gray;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let qualifier = ShapeQualifier::default();
+    let renderer = SignRenderer::new(128);
+    let mut rng = Rand::seeded(3);
+
+    // Reference words of the polygon families.
+    for sides in [3usize, 4, 8] {
+        println!(
+            "reference word, regular {sides}-gon: {}",
+            qualifier.reference_word(sides)?
+        );
+    }
+    println!();
+
+    // Acceptance matrix: every rendered class against every expected shape.
+    let expectations = [
+        ShapeKind::Octagon,
+        ShapeKind::TriangleDown,
+        ShapeKind::Circle,
+    ];
+    println!(
+        "{:<16}{:>12}{:>16}{:>12}",
+        "rendered sign", "as octagon", "as triangle", "as circle"
+    );
+    let mut params = RenderParams::nominal();
+    params.rotation = 0.1; // slightly angled, as in Figure 3
+    for class in SignClass::ALL {
+        let image = renderer.render(class, &params, &mut rng);
+        let gray = rgb_to_gray(&image)?;
+        let mut cells = Vec::new();
+        for expected in expectations {
+            let verdict = qualifier.assess_image(&gray, expected)?;
+            cells.push(if verdict.accepted { "ACCEPT" } else { "reject" });
+        }
+        println!(
+            "{:<16}{:>12}{:>16}{:>12}",
+            class.to_string(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+
+    // Detailed evidence for the stop sign.
+    let stop = renderer.render(SignClass::Stop, &params, &mut rng);
+    let verdict = qualifier.assess_image(&rgb_to_gray(&stop)?, ShapeKind::Octagon)?;
+    println!("\nstop-sign evidence:");
+    println!("  SAX word ....... {}", verdict.word.as_deref().unwrap_or("-"));
+    println!("  MINDIST ........ {:?}", verdict.mindist);
+    println!("  radial ratio ... {:.3}", verdict.radial_ratio);
+    println!("  corners ........ {}", verdict.corners);
+    println!("  accepted ....... {}", verdict.accepted);
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! End-to-end integration tests: dataset → training → hybrid
+//! classification with qualification, fault injection and failure
+//! escalation, across crate boundaries.
+
+use relcnn::core::{HybridCnn, HybridConfig, HybridError, QualificationMode};
+use relcnn::faults::{BerInjector, FaultInjector, FaultSite, ScriptedFault, ScriptedInjector};
+use relcnn::gtsrb::{DatasetConfig, RenderParams, SignClass, SignRenderer, SyntheticGtsrb};
+use relcnn::nn::train::TrainConfig;
+use relcnn::nn::SgdConfig;
+use relcnn::relexec::RedundancyMode;
+use relcnn::tensor::init::Rand;
+
+fn trained_hybrid(seed: u64) -> (HybridCnn, SyntheticGtsrb) {
+    let data = SyntheticGtsrb::generate(&DatasetConfig {
+        image_size: 48,
+        train_per_class: 10,
+        test_per_class: 4,
+        seed,
+        classes: SignClass::ALL.to_vec(),
+    })
+    .expect("dataset");
+    let mut hybrid = HybridCnn::untrained(&HybridConfig::tiny(seed ^ 0xA5)).expect("hybrid");
+    let tc = TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        sgd: SgdConfig::alexnet(0.02),
+        seed: seed ^ 0x5A,
+    };
+    hybrid.train_on(&data, &tc).expect("training");
+    (hybrid, data)
+}
+
+#[test]
+fn trained_pipeline_classifies_and_qualifies() {
+    let (mut hybrid, data) = trained_hybrid(100);
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut stop_qualified = 0usize;
+    let mut stop_total = 0usize;
+    for sample in data.test() {
+        let verdict = hybrid.classify(&sample.image).expect("classification");
+        total += 1;
+        if verdict.class() == sample.label.index() {
+            correct += 1;
+        }
+        if sample.label == SignClass::Stop && verdict.class() == SignClass::Stop.index() {
+            stop_total += 1;
+            if verdict.is_qualified() {
+                stop_qualified += 1;
+            }
+        }
+        // Fault-free runs never report detections.
+        assert!(verdict.guarantee().is_clean());
+    }
+    let accuracy = correct as f64 / total as f64;
+    assert!(
+        accuracy > 0.5,
+        "trained model should beat chance comfortably, got {accuracy}"
+    );
+    if stop_total > 0 {
+        assert!(
+            stop_qualified * 2 >= stop_total,
+            "most correctly recognised stop signs should qualify: {stop_qualified}/{stop_total}"
+        );
+    }
+}
+
+#[test]
+fn misrendered_stop_is_never_qualified_as_octagon() {
+    // A triangle that the CNN might call "stop" must fail qualification:
+    // feed yield-sign images and check no octagon confirmation happens.
+    let (mut hybrid, data) = trained_hybrid(200);
+    for sample in data.test_of(SignClass::Yield) {
+        let verdict = hybrid.classify(&sample.image).expect("classification");
+        if verdict.class() == SignClass::Stop.index() {
+            assert!(
+                !verdict.is_qualified(),
+                "a triangle qualified as an octagonal stop sign"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_injection_recovers_and_matches_clean_run() {
+    let (mut hybrid, data) = trained_hybrid(300);
+    let image = &data.test()[0].image;
+    let clean = hybrid.classify(image).expect("clean");
+    let mut injector = BerInjector::new(77, 1e-5)
+        .with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
+    let noisy = hybrid
+        .classify_under_faults(image, &mut injector)
+        .expect("recovered classification");
+    assert_eq!(clean.class(), noisy.class(), "DMR + rollback masks transients");
+    assert_eq!(noisy.guarantee().detected, noisy.guarantee().recovered);
+    assert!(injector.stats().exposures > 0, "injector state advanced");
+}
+
+#[test]
+fn permanent_fault_escalates_not_corrupts() {
+    let (mut hybrid, data) = trained_hybrid(400);
+    let image = &data.test()[0].image;
+    let mut injector = ScriptedInjector::new([ScriptedFault::transient_flip(40, 30)
+        .on_replica(0)
+        .at_site(FaultSite::Multiplier)
+        .permanent()]);
+    match hybrid.classify_under_faults(image, &mut injector) {
+        Err(HybridError::ReliablePathFailed(e)) => {
+            assert!(e.to_string().contains("persistent"));
+        }
+        other => panic!("expected persistent-failure escalation, got {other:?}"),
+    }
+}
+
+#[test]
+fn classification_is_deterministic() {
+    let image = SignRenderer::new(48).render(
+        SignClass::Stop,
+        &RenderParams::nominal(),
+        &mut Rand::seeded(1),
+    );
+    let run = |seed: u64| {
+        let mut hybrid = HybridCnn::untrained(&HybridConfig::tiny(seed)).expect("hybrid");
+        let v = hybrid.classify(&image).expect("classification");
+        (v.class(), v.confidence().to_bits(), v.is_qualified())
+    };
+    assert_eq!(run(9), run(9));
+}
+
+#[test]
+fn figure1_and_figure2_modes_both_work_at_96px() {
+    let image = SignRenderer::new(96).render(
+        SignClass::Stop,
+        &RenderParams::nominal(),
+        &mut Rand::seeded(2),
+    );
+    for (mode, config) in [
+        (QualificationMode::Parallel, HybridConfig::standard(50)),
+        (QualificationMode::Hybrid, HybridConfig::hybrid_path(50)),
+    ] {
+        let mut config = config;
+        config.redundancy = RedundancyMode::Plain; // keep runtime down
+        assert_eq!(config.qualification, mode);
+        let mut hybrid = HybridCnn::untrained(&config).expect("hybrid");
+        let verdict = hybrid.classify(&image).expect("classification");
+        if verdict.is_safety_critical() {
+            assert!(
+                verdict.qualifier().is_some(),
+                "{mode:?}: qualifier must run for critical classes"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_redundancy_modes_agree_on_class() {
+    let image = SignRenderer::new(48).render(
+        SignClass::Mandatory,
+        &RenderParams::nominal(),
+        &mut Rand::seeded(3),
+    );
+    let mut classes = Vec::new();
+    for mode in RedundancyMode::ALL {
+        let mut config = HybridConfig::tiny(60);
+        config.redundancy = mode;
+        let mut hybrid = HybridCnn::untrained(&config).expect("hybrid");
+        classes.push(hybrid.classify(&image).expect("classification").class());
+    }
+    assert_eq!(classes[0], classes[1]);
+    assert_eq!(classes[1], classes[2]);
+}

@@ -1,0 +1,98 @@
+//! Statistical separation test of the shape qualifier over the rendered
+//! dataset: genuine octagons must (almost) always qualify, impostor
+//! shapes must never qualify as octagons — the property that makes the
+//! qualification sound rather than decorative.
+
+use relcnn::core::{QualifierConfig, ShapeQualifier};
+use relcnn::gtsrb::{DatasetConfig, ShapeKind, SignClass, SyntheticGtsrb};
+use relcnn::vision::rgb_to_gray;
+
+#[test]
+fn strict_qualifier_separates_on_96px_dataset() {
+    let data = SyntheticGtsrb::generate(&DatasetConfig {
+        image_size: 96,
+        train_per_class: 0,
+        test_per_class: 12,
+        seed: 71,
+        classes: SignClass::ALL.to_vec(),
+    })
+    .expect("dataset");
+    let qualifier = ShapeQualifier::new(QualifierConfig::strict());
+
+    let mut stop_accepts = 0usize;
+    let mut stop_total = 0usize;
+    let mut impostor_accepts = 0usize;
+    let mut impostor_total = 0usize;
+    for sample in data.test() {
+        let gray = rgb_to_gray(&sample.image).expect("gray");
+        let verdict = qualifier
+            .assess_image(&gray, ShapeKind::Octagon)
+            .expect("verdict");
+        if sample.label == SignClass::Stop {
+            stop_total += 1;
+            if verdict.accepted {
+                stop_accepts += 1;
+            }
+        } else {
+            impostor_total += 1;
+            if verdict.accepted {
+                impostor_accepts += 1;
+            }
+        }
+    }
+    assert_eq!(
+        impostor_accepts, 0,
+        "no non-octagon may ever qualify as a stop-sign shape ({impostor_accepts}/{impostor_total})"
+    );
+    // Rendered signs include blur, noise, clutter and extreme poses; the
+    // qualifier is deliberately conservative, so some true rejections are
+    // expected — but the majority must qualify.
+    assert!(
+        stop_accepts * 10 >= stop_total * 6,
+        "stop acceptance too low: {stop_accepts}/{stop_total}"
+    );
+}
+
+#[test]
+fn yield_triangle_separation() {
+    let data = SyntheticGtsrb::generate(&DatasetConfig {
+        image_size: 96,
+        train_per_class: 0,
+        test_per_class: 10,
+        seed: 72,
+        classes: vec![SignClass::Yield, SignClass::Stop, SignClass::Parking],
+    })
+    .expect("dataset");
+    let qualifier = ShapeQualifier::new(QualifierConfig::strict());
+
+    let mut false_accepts = 0usize;
+    for sample in data.test() {
+        let gray = rgb_to_gray(&sample.image).expect("gray");
+        let verdict = qualifier
+            .assess_image(&gray, ShapeKind::TriangleDown)
+            .expect("verdict");
+        if sample.label != SignClass::Yield && verdict.accepted {
+            false_accepts += 1;
+        }
+    }
+    assert_eq!(false_accepts, 0, "non-triangles qualified as yield");
+}
+
+#[test]
+fn qualifier_determinism_over_dataset() {
+    let data = SyntheticGtsrb::generate(&DatasetConfig {
+        image_size: 96,
+        train_per_class: 0,
+        test_per_class: 3,
+        seed: 73,
+        classes: vec![SignClass::Stop, SignClass::Warning],
+    })
+    .expect("dataset");
+    let qualifier = ShapeQualifier::new(QualifierConfig::strict());
+    for sample in data.test() {
+        let gray = rgb_to_gray(&sample.image).expect("gray");
+        let a = qualifier.assess_image(&gray, ShapeKind::Octagon).expect("a");
+        let b = qualifier.assess_image(&gray, ShapeKind::Octagon).expect("b");
+        assert_eq!(a, b, "verdicts must be bit-identical across runs");
+    }
+}
