@@ -26,17 +26,21 @@ fn bench_fault_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_overhead");
     group.sample_size(10);
     for ber in [0.0f64, 1e-4, 1e-3] {
-        group.bench_with_input(BenchmarkId::new("dmr_conv", format!("ber_{ber:.0e}")), &ber, |b, &ber| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let inj = BerInjector::new(seed, ber)
-                    .with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
-                let mut alu = DmrAlu::new(inj);
-                reliable_conv2d(&input, &weights, None, &geom, &mut alu, &config)
-                    .expect("recoverable")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dmr_conv", format!("ber_{ber:.0e}")),
+            &ber,
+            |b, &ber| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let inj = BerInjector::new(seed, ber)
+                        .with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
+                    let mut alu = DmrAlu::new(inj);
+                    reliable_conv2d(&input, &weights, None, &geom, &mut alu, &config)
+                        .expect("recoverable")
+                })
+            },
+        );
     }
     group.finish();
 }

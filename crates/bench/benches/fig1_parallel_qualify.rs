@@ -26,7 +26,11 @@ fn bench_fig1(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_parallel_qualify");
     group.sample_size(20);
     group.bench_function("qualifier_path_only", |b| {
-        b.iter(|| qualifier.assess_image(&gray, ShapeKind::Octagon).expect("verdict"))
+        b.iter(|| {
+            qualifier
+                .assess_image(&gray, ShapeKind::Octagon)
+                .expect("verdict")
+        })
     });
     group.bench_function("fused_classification", |b| {
         b.iter(|| hybrid.classify(&image).expect("verdict"))

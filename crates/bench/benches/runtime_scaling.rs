@@ -1,0 +1,157 @@
+//! Campaign throughput scaling across the `relcnn-runtime` worker pool.
+//!
+//! Two workloads bound the engine's behaviour:
+//!
+//! * **cpu_bound** — seeded BER fault-injection trials over a qualified
+//!   operation stream. Scales with physical cores; on a single-core host
+//!   it stays flat (and must not *regress* under more workers).
+//! * **latency_bound** — trials dominated by a fixed 2 ms wait,
+//!   modelling device/IO-bound inference requests. Scales with *worker*
+//!   count on any host, because the pool overlaps the waits; this is the
+//!   scaling headroom a serving deployment cares about.
+//!
+//! Besides the criterion timings, the bench writes
+//! `results/runtime_scaling.json` with trials/s per worker count and the
+//! 8-vs-1 speedups, so later PRs have a machine-readable trajectory to
+//! beat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relcnn_faults::{BerInjector, FaultInjector, FaultSite, OpContext};
+use relcnn_runtime::{run_campaign, CampaignConfig, RunStats, TrialOutcome, TrialResult};
+use std::time::Duration;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn cpu_bound_trial(seed: u64) -> TrialResult {
+    // A few thousand injector exposures per trial: representative of a
+    // small qualified kernel without making the 1-worker baseline slow.
+    let mut inj = BerInjector::new(seed, 1e-3).with_sites(vec![FaultSite::Multiplier]);
+    let mut acc = 0.0f32;
+    let mut corrupted = false;
+    for op in 0..2_000u64 {
+        let v = inj.perturb(OpContext::new(FaultSite::Multiplier, op), 1.0);
+        if v != 1.0 {
+            corrupted = true;
+        }
+        acc += v;
+    }
+    std::hint::black_box(acc);
+    TrialResult {
+        outcome: if corrupted {
+            TrialOutcome::DetectedRecovered
+        } else {
+            TrialOutcome::Correct
+        },
+        injector: inj.stats(),
+    }
+}
+
+fn latency_bound_trial(seed: u64) -> TrialResult {
+    std::thread::sleep(Duration::from_millis(2));
+    TrialResult {
+        outcome: if seed.is_multiple_of(2) {
+            TrialOutcome::Correct
+        } else {
+            TrialOutcome::DetectedRecovered
+        },
+        injector: Default::default(),
+    }
+}
+
+fn campaign_stats(workers: usize, trials: u64, f: fn(u64) -> TrialResult) -> RunStats {
+    let config = CampaignConfig::new(trials, 0xBEE5)
+        .with_threads(workers)
+        .with_shards(32);
+    relcnn_runtime::run_campaign_with(&config, relcnn_runtime::EarlyStop::never(), f).stats
+}
+
+fn bench_runtime_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_scaling");
+    group.sample_size(3);
+    for workers in WORKER_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("cpu_bound_campaign", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let config = CampaignConfig::new(256, 7)
+                        .with_threads(workers)
+                        .with_shards(32);
+                    run_campaign(&config, cpu_bound_trial)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("latency_bound_campaign", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let config = CampaignConfig::new(128, 7)
+                        .with_threads(workers)
+                        .with_shards(32);
+                    run_campaign(&config, latency_bound_trial)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Direct throughput measurement for the JSON trajectory artefact.
+    let mut cpu = Vec::new();
+    let mut lat = Vec::new();
+    for workers in WORKER_COUNTS {
+        cpu.push((workers, campaign_stats(workers, 256, cpu_bound_trial)));
+        lat.push((workers, campaign_stats(workers, 256, latency_bound_trial)));
+    }
+    let speedup = |series: &[(usize, RunStats)]| {
+        let t1 = series.first().expect("1-worker run").1.throughput;
+        let t8 = series.last().expect("8-worker run").1.throughput;
+        if t1 > 0.0 {
+            t8 / t1
+        } else {
+            0.0
+        }
+    };
+    let fmt_series = |series: &[(usize, RunStats)]| {
+        series
+            .iter()
+            .map(|(w, s)| {
+                format!(
+                    "{{\"workers\":{w},\"trials_per_s\":{:.3},\"mean_trial_ns\":{}}}",
+                    s.throughput,
+                    s.mean_trial.as_nanos()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let cpu_speedup = speedup(&cpu);
+    let lat_speedup = speedup(&lat);
+    let json = format!(
+        "{{\n  \"bench\": \"runtime_scaling\",\n  \"worker_counts\": [1,2,4,8],\n  \
+         \"cpu_bound\": [{}],\n  \"latency_bound\": [{}],\n  \
+         \"cpu_bound_speedup_8x_over_1x\": {:.3},\n  \
+         \"speedup_8x_over_1x\": {:.3}\n}}\n",
+        fmt_series(&cpu),
+        fmt_series(&lat),
+        cpu_speedup,
+        lat_speedup
+    );
+    let path = relcnn_bench::results_dir().join("runtime_scaling.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!(
+        "\nscaling: latency-bound 8x/1x speedup {lat_speedup:.2}x, \
+         cpu-bound {cpu_speedup:.2}x (host has {} cores)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    println!("wrote {}", path.display());
+    assert!(
+        lat_speedup >= 3.0,
+        "worker pool must overlap latency-bound trials ≥3x at 8 workers (got {lat_speedup:.2}x)"
+    );
+}
+
+criterion_group!(benches, bench_runtime_scaling);
+criterion_main!(benches);

@@ -37,22 +37,19 @@ fn bench_table1(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("alg3_plain", "64x64x8"), |b| {
         b.iter(|| {
             let mut alu = PlainAlu::new(NoFaults::new());
-            reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config)
-                .expect("conv")
+            reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config).expect("conv")
         })
     });
     group.bench_function(BenchmarkId::new("alg3_dmr", "64x64x8"), |b| {
         b.iter(|| {
             let mut alu = DmrAlu::new(NoFaults::new());
-            reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config)
-                .expect("conv")
+            reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config).expect("conv")
         })
     });
     group.bench_function(BenchmarkId::new("alg3_tmr", "64x64x8"), |b| {
         b.iter(|| {
             let mut alu = TmrAlu::new(NoFaults::new());
-            reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config)
-                .expect("conv")
+            reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config).expect("conv")
         })
     });
     group.finish();

@@ -38,7 +38,10 @@ fn main() {
         "\naccuracy delta: {:+.4} (paper: 'no substantial difference')",
         cmp.accuracy_delta
     );
-    println!("matrix distance (element-wise |diff| sum): {}", cmp.matrix_distance);
+    println!(
+        "matrix distance (element-wise |diff| sum): {}",
+        cmp.matrix_distance
+    );
 
     let rows = vec![
         format!("original,{}", cmp.original.accuracy()),

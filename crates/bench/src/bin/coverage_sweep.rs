@@ -5,16 +5,31 @@
 //! measured silent-corruption rate against the analytic bound of
 //! `relcnn_core::guarantee` (plain: `n·ber`; DMR: `n·ber²/32`;
 //! TMR: `3n·ber²/32`).
+//!
+//! Campaigns execute on the `relcnn-runtime` worker pool: trials are
+//! sharded deterministically, every `(ber, mode)` point streams its trial
+//! outcomes into `results/coverage_sweep_trials.jsonl`, and a Wilson-CI
+//! early-stop cuts a point short once the silent-corruption rate is
+//! pinned down tightly enough.
+//!
+//! JSONL format: each point opens with a `{"point":{"ber":..,"mode":..}}`
+//! header, followed by its `{"trial":..}` lines (indices restart at 0 per
+//! point) and a `{"run":..}` footer with the engine counters.
 
-use relcnn_bench::{quick_mode, write_csv};
+use relcnn_bench::{quick_mode, results_dir, write_csv};
 use relcnn_core::guarantee::{silent_layer_bound, silent_layer_probability};
-use relcnn_faults::campaign::{run_campaign, CampaignConfig, TrialOutcome, TrialResult};
 use relcnn_faults::{BerInjector, FaultInjector, FaultSite};
 use relcnn_relexec::conv::{reliable_conv2d, ReliableConvConfig};
 use relcnn_relexec::{BucketConfig, DmrAlu, PlainAlu, RedundancyMode, RetryPolicy, TmrAlu};
+use relcnn_runtime::{
+    run_campaign_sink, CampaignConfig, CampaignSink, EarlyStop, JsonlSink, TrialOutcome,
+    TrialResult,
+};
 use relcnn_tensor::conv::{conv2d, ConvGeometry};
 use relcnn_tensor::init::{Init, Rand};
 use relcnn_tensor::Shape;
+use std::fs::File;
+use std::io::{BufWriter, Write};
 
 fn main() {
     let quick = quick_mode();
@@ -28,7 +43,10 @@ fn main() {
     let geom = ConvGeometry::new(10, 10, 3, 3, 1, 0).expect("geometry");
     let golden = conv2d(&input, &weights, None, &geom).expect("golden");
     let ops = 2 * geom.mac_count(2, 4);
-    println!("layer: {} qualified ops per trial, {} trials per point\n", ops, trials);
+    println!(
+        "layer: {} qualified ops per trial, up to {} trials per point\n",
+        ops, trials
+    );
 
     // Generous bucket so random transients don't abort: we measure
     // silent-vs-detected, not availability (X3 covers that).
@@ -38,20 +56,33 @@ fn main() {
         pe_count: 8,
     };
 
+    let jsonl_path = results_dir().join("coverage_sweep_trials.jsonl");
+    let mut jsonl = BufWriter::new(File::create(&jsonl_path).expect("jsonl artefact"));
+
     println!(
-        "{:>8} {:>7} {:>12} {:>12} {:>12} {:>10}",
-        "ber", "mode", "silent rate", "exact model", "bound", "coverage"
+        "{:>8} {:>7} {:>8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "ber", "mode", "trials", "silent rate", "exact model", "bound", "coverage", "trials/s"
     );
     let mut rows = Vec::new();
     for ber in [1e-5f64, 1e-4, 1e-3] {
         for mode in RedundancyMode::ALL {
             let campaign = CampaignConfig::new(trials, 0xC0FFEE ^ (ber.to_bits()));
-            let report = run_campaign(&campaign, |seed| {
-                let injector =
-                    BerInjector::new(seed, ber).with_sites(vec![
-                        FaultSite::Multiplier,
-                        FaultSite::Accumulator,
-                    ]);
+            // Point header: the trial/footer lines that follow (until the
+            // next header) belong to this (ber, mode) campaign. Trial
+            // indices restart at 0 per point.
+            writeln!(
+                jsonl,
+                "{{\"point\":{{\"ber\":{ber:?},\"mode\":\"{mode}\"}}}}"
+            )
+            .expect("jsonl point header");
+            // The guarantee experiment pins a *rate*; once the Wilson CI
+            // on the silent rate is tighter than ±1%, more trials buy
+            // nothing. The stop point is a deterministic shard boundary.
+            let policy = EarlyStop::on_ci_width(0.02, trials / 4);
+            let sink = JsonlSink::new(&mut jsonl, CampaignSink::new(policy));
+            let outcome = run_campaign_sink(&campaign, sink, |seed| {
+                let injector = BerInjector::new(seed, ber)
+                    .with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
                 let run = |out: Result<relcnn_relexec::conv::ConvOutput, _>| match out {
                     Err(_) => (TrialOutcome::DetectedAborted, Default::default()),
                     Ok(out) => {
@@ -73,17 +104,23 @@ fn main() {
                 let (outcome, _stats, injector_stats) = match mode {
                     RedundancyMode::Plain => {
                         let mut alu = PlainAlu::new(injector);
-                        let r = run(reliable_conv2d(&input, &weights, None, &geom, &mut alu, &config));
+                        let r = run(reliable_conv2d(
+                            &input, &weights, None, &geom, &mut alu, &config,
+                        ));
                         (r.0, r.1, alu.into_injector().stats())
                     }
                     RedundancyMode::Dmr => {
                         let mut alu = DmrAlu::new(injector);
-                        let r = run(reliable_conv2d(&input, &weights, None, &geom, &mut alu, &config));
+                        let r = run(reliable_conv2d(
+                            &input, &weights, None, &geom, &mut alu, &config,
+                        ));
                         (r.0, r.1, alu.into_injector().stats())
                     }
                     RedundancyMode::Tmr => {
                         let mut alu = TmrAlu::new(injector);
-                        let r = run(reliable_conv2d(&input, &weights, None, &geom, &mut alu, &config));
+                        let r = run(reliable_conv2d(
+                            &input, &weights, None, &geom, &mut alu, &config,
+                        ));
                         (r.0, r.1, alu.into_injector().stats())
                     }
                 };
@@ -92,6 +129,7 @@ fn main() {
                     injector: injector_stats,
                 }
             });
+            let report = outcome.summary;
 
             let silent_rate = report.silent as f64 / report.trials as f64;
             let exact = silent_layer_probability(mode, ber, ops);
@@ -101,18 +139,27 @@ fn main() {
                 .map(|c| format!("{c:.4}"))
                 .unwrap_or_else(|| "n/a".into());
             println!(
-                "{:>8.0e} {:>7} {:>12.5} {:>12.5} {:>12.5} {:>10}",
-                ber, mode.to_string(), silent_rate, exact, bound, coverage
+                "{:>8.0e} {:>7} {:>8} {:>12.5} {:>12.5} {:>12.5} {:>10} {:>10.0}",
+                ber,
+                mode.to_string(),
+                report.trials,
+                silent_rate,
+                exact,
+                bound,
+                coverage,
+                outcome.stats.throughput
             );
             let (_, ci_hi) = report.silent_rate_ci95();
             rows.push(format!(
-                "{ber},{mode},{silent_rate},{exact},{bound},{ci_hi}"
+                "{ber},{mode},{},{silent_rate},{exact},{bound},{ci_hi}",
+                report.trials
             ));
 
             // The guarantee: measured silent rate must sit within the
             // 95% CI of the analytic model (and under the bound).
             assert!(
-                silent_rate <= bound + 3.0 * (bound * (1.0 - bound) / trials as f64).sqrt() + 0.05,
+                silent_rate
+                    <= bound + 3.0 * (bound * (1.0 - bound) / report.trials as f64).sqrt() + 0.05,
                 "{mode} at ber {ber}: measured {silent_rate} violates bound {bound}"
             );
         }
@@ -124,8 +171,9 @@ fn main() {
     );
     let path = write_csv(
         "coverage_sweep.csv",
-        "ber,mode,silent_rate,exact_model,bound,ci95_hi",
+        "ber,mode,trials,silent_rate,exact_model,bound,ci95_hi",
         &rows,
     );
     println!("wrote {}", path.display());
+    println!("wrote {}", jsonl_path.display());
 }

@@ -12,8 +12,7 @@ use relcnn_sax::SaxConfig;
 
 fn main() {
     let tilt = 0.12f32; // the "slightly angled" pose
-    let out = fig3_series(227, tilt, 256, SaxConfig::default(), 7)
-        .expect("fig3 series generation");
+    let out = fig3_series(227, tilt, 256, SaxConfig::default(), 7).expect("fig3 series generation");
 
     println!("== Figure 3: radial time series of a slightly angled stop sign ==");
     println!("tilt: {tilt} rad, 256 ray angles, SAX 16 segments / 8 letters\n");
@@ -24,7 +23,10 @@ fn main() {
         out.radial_ratio,
         1.0 / (std::f32::consts::PI / 8.0).cos()
     );
-    println!("detected corners: {} (paper: 'the eight corners can be clearly identified')", out.corners);
+    println!(
+        "detected corners: {} (paper: 'the eight corners can be clearly identified')",
+        out.corners
+    );
 
     let rows: Vec<String> = out
         .series

@@ -11,11 +11,10 @@
 //! substantially depending on which filter has been replaced".
 
 use relcnn_bench::{ascii_plot, quick_mode, write_csv};
-use relcnn_core::experiments::{
-    fig4_filter_sweep, paper_train_config, train_gtsrb_model, SweepDepth,
-};
+use relcnn_core::experiments::{paper_train_config, train_gtsrb_model, SweepDepth};
 use relcnn_gtsrb::{DatasetConfig, SignClass, SyntheticGtsrb};
 use relcnn_nn::serial;
+use relcnn_runtime::{experiments::fig4_filter_sweep_parallel, Engine};
 
 fn main() {
     let quick = quick_mode();
@@ -74,9 +73,25 @@ fn main() {
         );
     }
 
-    let (points, baseline) =
-        fig4_filter_sweep(&mut net, &data, SignClass::Stop, SweepDepth::ConfidenceOnly)
-            .expect("sweep");
+    // The 96 per-filter evaluations are independent: fan them out over
+    // the runtime's worker pool (one filter per shard, deterministic
+    // result order).
+    let outcome = fig4_filter_sweep_parallel(
+        &Engine::default(),
+        &net,
+        &data,
+        SignClass::Stop,
+        SweepDepth::ConfidenceOnly,
+    )
+    .expect("sweep");
+    let (points, baseline) = outcome.summary;
+    println!(
+        "sweep: {} filters in {:?} ({:.2} filters/s across {} workers)",
+        points.len(),
+        outcome.stats.wall,
+        outcome.stats.throughput,
+        outcome.stats.workers
+    );
 
     println!(
         "\nbaseline stop confidence {:.4}, accuracy {:.4} (the red dotted line)",

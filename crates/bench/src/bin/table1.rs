@@ -8,17 +8,36 @@
 //! native TensorFlow 0.05 s, SAX 1.942 s. Absolute values differ in Rust;
 //! the reproduction targets are the *ratios*: redundant/plain ≈ 2.15,
 //! both ≫ native, SAX ≪ reliable conv.
+//!
+//! Every configuration executes as a single-shard `relcnn-runtime` run,
+//! so the measurement carries the engine's latency counters; the per-run
+//! stats are appended to `results/table1_runs.jsonl` for the perf
+//! trajectory.
 
-use relcnn_bench::{quick_mode, write_csv};
+use relcnn_bench::{quick_mode, results_dir, write_csv};
 use relcnn_faults::NoFaults;
-use relcnn_relexec::conv::{reliable_conv2d, ReliableConvConfig};
+use relcnn_relexec::conv::{reliable_conv2d, ConvOutput, ReliableConvConfig};
 use relcnn_relexec::{DmrAlu, PlainAlu, TmrAlu};
+use relcnn_runtime::{CollectSink, Engine, FnTrial, RunPlan, RunStats, TrialCtx};
 use relcnn_sax::{SaxConfig, SaxEncoder};
 use relcnn_tensor::conv::{conv2d_im2col, ConvGeometry};
 use relcnn_tensor::init::{Init, Rand};
 use relcnn_tensor::{Shape, Tensor};
 use relcnn_vision::{radial, sobel, threshold};
-use std::time::Instant;
+use std::time::Duration;
+
+/// Runs `f` once through the engine (one trial, one shard, one worker)
+/// and returns its output with the run's latency counters.
+fn timed<T: Send>(name: &str, f: impl Fn() -> T + Sync) -> (T, Duration, RunStats) {
+    let outcome = Engine::with_workers(1).run(
+        &RunPlan::new(1, 0).with_shards(1),
+        &FnTrial::new(|_ctx: &mut TrialCtx| f()),
+        CollectSink::new(),
+    );
+    let mut results = outcome.summary;
+    let value = results.pop().unwrap_or_else(|| panic!("{name}: no result"));
+    (value, outcome.stats.mean_trial, outcome.stats)
+}
 
 fn main() {
     let quick = quick_mode();
@@ -41,31 +60,49 @@ fn main() {
     let macs = geom.mac_count(3, filters);
     println!("MAC count: {macs}");
 
+    let mut run_log: Vec<String> = Vec::new();
+
     // Native (unprotected im2col) — the paper's "0.05 s TensorFlow" line.
-    let t0 = Instant::now();
-    let native_out = conv2d_im2col(&input, &weights, Some(&bias), &geom).expect("native conv");
-    let native = t0.elapsed();
+    let (native_out, native, stats) = timed("native", || {
+        conv2d_im2col(&input, &weights, Some(&bias), &geom).expect("native conv")
+    });
+    run_log.push(format!(
+        "{{\"config\":\"native\",\"run\":{}}}",
+        stats.to_json()
+    ));
 
     // Algorithm 3 with Algorithm 1 (plain qualified) operations.
-    let mut plain_alu = PlainAlu::new(NoFaults::new());
-    let t0 = Instant::now();
-    let plain_out = reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut plain_alu, &config)
-        .expect("plain reliable conv");
-    let plain = t0.elapsed();
+    let (plain_out, plain, stats) = timed("plain", || {
+        let mut alu = PlainAlu::new(NoFaults::new());
+        reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config)
+            .expect("plain reliable conv")
+    });
+    run_log.push(format!(
+        "{{\"config\":\"alg3_plain\",\"run\":{}}}",
+        stats.to_json()
+    ));
 
     // Algorithm 3 with Algorithm 2 (redundant) operations.
-    let mut dmr_alu = DmrAlu::new(NoFaults::new());
-    let t0 = Instant::now();
-    let dmr_out = reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut dmr_alu, &config)
-        .expect("dmr reliable conv");
-    let dmr = t0.elapsed();
+    let (dmr_out, dmr, stats) = timed("dmr", || {
+        let mut alu = DmrAlu::new(NoFaults::new());
+        reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config)
+            .expect("dmr reliable conv")
+    });
+    run_log.push(format!(
+        "{{\"config\":\"alg3_dmr\",\"run\":{}}}",
+        stats.to_json()
+    ));
 
     // TMR (the voting variant §IV mentions) — beyond Table 1's two columns.
-    let mut tmr_alu = TmrAlu::new(NoFaults::new());
-    let t0 = Instant::now();
-    let _ = reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut tmr_alu, &config)
-        .expect("tmr reliable conv");
-    let tmr = t0.elapsed();
+    let (_tmr_out, tmr, stats): (ConvOutput, _, _) = timed("tmr", || {
+        let mut alu = TmrAlu::new(NoFaults::new());
+        reliable_conv2d(&input, &weights, Some(&bias), &geom, &mut alu, &config)
+            .expect("tmr reliable conv")
+    });
+    run_log.push(format!(
+        "{{\"config\":\"alg3_tmr\",\"run\":{}}}",
+        stats.to_json()
+    ));
 
     // Sanity: all outputs agree with native.
     for (a, b) in native_out.iter().zip(plain_out.output.iter()) {
@@ -85,14 +122,18 @@ fn main() {
         0.1,
         1.0,
     );
-    let t0 = Instant::now();
-    let edges = sobel::gradient_magnitude(&img).expect("edges");
-    let mask = threshold::binarize(&edges, threshold::otsu_threshold(&edges));
-    let sig = radial::radial_signature(&mask, 256).expect("signature");
-    let word = SaxEncoder::new(SaxConfig::default())
-        .encode(sig.samples())
-        .expect("sax word");
-    let sax_time = t0.elapsed();
+    let (word, sax_time, stats) = timed("sax", || {
+        let edges = sobel::gradient_magnitude(&img).expect("edges");
+        let mask = threshold::binarize(&edges, threshold::otsu_threshold(&edges));
+        let sig = radial::radial_signature(&mask, 256).expect("signature");
+        SaxEncoder::new(SaxConfig::default())
+            .encode(sig.samples())
+            .expect("sax word")
+    });
+    run_log.push(format!(
+        "{{\"config\":\"sax\",\"run\":{}}}",
+        stats.to_json()
+    ));
 
     let rows = [
         ("native (unprotected im2col)", native, "0.05 s"),
@@ -101,7 +142,10 @@ fn main() {
         ("Algorithm 3 + TMR (voting)", tmr, "(not reported)"),
         ("SAX shape determination", sax_time, "1.942 s"),
     ];
-    println!("\n{:<38}{:>14}{:>18}", "configuration", "measured", "paper (Python)");
+    println!(
+        "\n{:<38}{:>14}{:>18}",
+        "configuration", "measured", "paper (Python)"
+    );
     for (name, t, paper) in rows {
         println!("{:<38}{:>12.4?}{:>18}", name, t, paper);
     }
@@ -136,6 +180,11 @@ fn main() {
     ];
     let path = write_csv("table1.csv", "configuration,seconds", &csv_rows);
     println!("\nwrote {}", path.display());
+
+    let jsonl_path = results_dir().join("table1_runs.jsonl");
+    std::fs::write(&jsonl_path, run_log.join("\n") + "\n")
+        .unwrap_or_else(|e| panic!("write {}: {e}", jsonl_path.display()));
+    println!("wrote {}", jsonl_path.display());
 
     assert!(
         ratio > 1.1,

@@ -66,7 +66,9 @@ pub fn ascii_plot(series: &[f32], width: usize, height: usize) -> String {
 /// Returns true when the binary should run at smoke scale
 /// (`RELCNN_QUICK=1` or `--quick` argument).
 pub fn quick_mode() -> bool {
-    std::env::var("RELCNN_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("RELCNN_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
         || std::env::args().any(|a| a == "--quick")
 }
 

@@ -116,20 +116,50 @@ pub fn fig4_filter_sweep(
 
     let mut points = Vec::with_capacity(filters);
     for k in 0..filters {
-        let swap = FilterSwap::replace_with_sobel(net, 0, k)?;
-        let stop_confidence = mean_class_confidence(net, &stop_images, stop_class.index())?;
-        let accuracy = match depth {
-            SweepDepth::Full => evaluate(net, &test, classes)?.accuracy(),
-            SweepDepth::ConfidenceOnly => f64::NAN,
-        };
-        swap.restore(net)?;
-        points.push(SweepPoint {
-            filter: k,
-            stop_confidence,
-            accuracy,
-        });
+        points.push(sweep_filter_point(
+            net,
+            &test,
+            &stop_images,
+            stop_class,
+            classes,
+            k,
+            depth,
+        )?);
     }
     Ok((points, baseline))
+}
+
+/// Measures one point of the Figure-4 sweep: replaces conv-1 filter
+/// `filter` with the Sobel bank, evaluates, restores. The shared building
+/// block of the serial sweep above and the parallel sweep in
+/// `relcnn-runtime`.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; the filter is restored on the success
+/// path.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_filter_point(
+    net: &mut Network,
+    test: &[(Tensor, usize)],
+    stop_images: &[&Tensor],
+    stop_class: SignClass,
+    classes: usize,
+    filter: usize,
+    depth: SweepDepth,
+) -> Result<SweepPoint, HybridError> {
+    let swap = FilterSwap::replace_with_sobel(net, 0, filter)?;
+    let stop_confidence = mean_class_confidence(net, stop_images, stop_class.index())?;
+    let accuracy = match depth {
+        SweepDepth::Full => evaluate(net, test, classes)?.accuracy(),
+        SweepDepth::ConfidenceOnly => f64::NAN,
+    };
+    swap.restore(net)?;
+    Ok(SweepPoint {
+        filter,
+        stop_confidence,
+        accuracy,
+    })
 }
 
 /// Result of the in-text §III-B confusion-matrix comparison (X1).
@@ -264,11 +294,8 @@ pub fn fig3_series(
 ) -> Result<Fig3Series, HybridError> {
     let mut params = RenderParams::nominal();
     params.rotation = tilt_radians;
-    let image = SignRenderer::new(image_size).render(
-        SignClass::Stop,
-        &params,
-        &mut Rand::seeded(seed),
-    );
+    let image =
+        SignRenderer::new(image_size).render(SignClass::Stop, &params, &mut Rand::seeded(seed));
     let gray = rgb_to_gray(&image)?;
     let edges = sobel::gradient_magnitude(&gray)?;
     let mask = threshold::binarize(&edges, threshold::otsu_threshold(&edges));
@@ -382,7 +409,11 @@ mod tests {
         let out = fig3_series(128, 0.12, 256, SaxConfig::default(), 13).unwrap();
         assert_eq!(out.series.len(), 256);
         assert_eq!(out.word.len(), 16);
-        assert!(out.radial_ratio < 1.25, "octagon flatness {}", out.radial_ratio);
+        assert!(
+            out.radial_ratio < 1.25,
+            "octagon flatness {}",
+            out.radial_ratio
+        );
         assert!(
             (6..=10).contains(&out.corners),
             "eight corners visible, got {}",

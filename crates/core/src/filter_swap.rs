@@ -139,10 +139,7 @@ mod tests {
     fn replace_with_custom_values() {
         let mut rng = Rand::seeded(3);
         let mut net = tiny_cnn(4, 16, &mut rng).unwrap();
-        let custom = Tensor::full(
-            relcnn_tensor::Shape::d3(3, 3, 3),
-            0.25,
-        );
+        let custom = Tensor::full(relcnn_tensor::Shape::d3(3, 3, 3), 0.25);
         let swap = FilterSwap::replace_with(&mut net, 0, 1, &custom).unwrap();
         assert_eq!(net.conv2d_at(0).unwrap().filter(1).unwrap(), custom);
         swap.restore(&mut net).unwrap();
@@ -152,7 +149,10 @@ mod tests {
     fn invalid_targets_error() {
         let mut rng = Rand::seeded(4);
         let mut net = tiny_cnn(4, 16, &mut rng).unwrap();
-        assert!(FilterSwap::replace_with_sobel(&mut net, 1, 0).is_err(), "relu");
+        assert!(
+            FilterSwap::replace_with_sobel(&mut net, 1, 0).is_err(),
+            "relu"
+        );
         assert!(FilterSwap::replace_with_sobel(&mut net, 0, 99).is_err());
         assert!(FilterSwap::replace_with_sobel(&mut net, 42, 0).is_err());
     }

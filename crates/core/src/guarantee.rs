@@ -252,11 +252,15 @@ mod tests {
     fn plain_guarantee_is_vacuous_by_comparison() {
         let geom = ConvGeometry::new(32, 32, 3, 3, 1, 0).unwrap();
         let plain = conv_layer_guarantee(
-            &geom, 3, 8, RedundancyMode::Plain, 1e-6, RetryPolicy::none(),
+            &geom,
+            3,
+            8,
+            RedundancyMode::Plain,
+            1e-6,
+            RetryPolicy::none(),
         );
-        let dmr = conv_layer_guarantee(
-            &geom, 3, 8, RedundancyMode::Dmr, 1e-6, RetryPolicy::paper(),
-        );
+        let dmr =
+            conv_layer_guarantee(&geom, 3, 8, RedundancyMode::Dmr, 1e-6, RetryPolicy::paper());
         assert!(plain.silent_bound > 1e4 * dmr.silent_bound);
     }
 

@@ -4,9 +4,9 @@ use crate::qualifier::{QualifierConfig, QualifierVerdict, ShapeQualifier};
 use relcnn_faults::{FaultInjector, NoFaults};
 use relcnn_gtsrb::{ShapeKind, SignClass, SyntheticGtsrb};
 use relcnn_nn::freeze::{FilterPin, FreezePolicy};
-use relcnn_nn::softmax;
-use relcnn_nn::train::{train, evaluate, TrainConfig};
 use relcnn_nn::metrics::ConfusionMatrix;
+use relcnn_nn::softmax;
+use relcnn_nn::train::{evaluate, train, TrainConfig};
 use relcnn_nn::{alexnet, Mode, Network};
 use relcnn_relexec::conv::{reliable_conv2d, ReliableConvConfig};
 use relcnn_relexec::{DmrAlu, PlainAlu, RedundancyMode, TmrAlu};
@@ -60,7 +60,10 @@ pub struct HybridConfig {
 
 impl HybridConfig {
     fn with_catalogue(image_size: usize, qualification: QualificationMode, seed: u64) -> Self {
-        let safety_critical = SignClass::ALL.iter().map(|c| c.is_safety_critical()).collect();
+        let safety_critical = SignClass::ALL
+            .iter()
+            .map(|c| c.is_safety_critical())
+            .collect();
         let class_shapes = SignClass::ALL.iter().map(|c| Some(c.shape())).collect();
         let qualifier = match qualification {
             QualificationMode::Parallel => QualifierConfig::strict(),
@@ -197,7 +200,7 @@ impl QualifiedClassification {
 /// The hybrid CNN: a conventionally trained network whose first
 /// convolution layer executes reliably and carries pinned Sobel filters
 /// feeding a deterministic shape qualifier.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HybridCnn {
     net: Network,
     config: HybridConfig,
@@ -263,9 +266,11 @@ impl HybridCnn {
     /// 3-input-channel convolution with at least two filters.
     pub fn from_network(mut net: Network, config: HybridConfig) -> Result<HybridCnn, HybridError> {
         config.validate()?;
-        let conv_idx = net.first_conv_index().ok_or_else(|| HybridError::BadConfig {
-            reason: "network has no convolution layer".into(),
-        })?;
+        let conv_idx = net
+            .first_conv_index()
+            .ok_or_else(|| HybridError::BadConfig {
+                reason: "network has no convolution layer".into(),
+            })?;
         if conv_idx != 0 {
             return Err(HybridError::BadConfig {
                 reason: "first layer must be the convolution (DCNN partition boundary)".into(),
@@ -402,22 +407,40 @@ impl HybridCnn {
         let (conv_out, stats) = match self.config.redundancy {
             RedundancyMode::Plain => {
                 let mut alu = PlainAlu::new(injector.clone());
-                let out =
-                    reliable_conv2d(image, &filters, Some(&bias), &geom, &mut alu, &self.config.conv)?;
+                let out = reliable_conv2d(
+                    image,
+                    &filters,
+                    Some(&bias),
+                    &geom,
+                    &mut alu,
+                    &self.config.conv,
+                )?;
                 *injector = alu.into_injector();
                 (out.output, out.stats)
             }
             RedundancyMode::Dmr => {
                 let mut alu = DmrAlu::new(injector.clone());
-                let out =
-                    reliable_conv2d(image, &filters, Some(&bias), &geom, &mut alu, &self.config.conv)?;
+                let out = reliable_conv2d(
+                    image,
+                    &filters,
+                    Some(&bias),
+                    &geom,
+                    &mut alu,
+                    &self.config.conv,
+                )?;
                 *injector = alu.into_injector();
                 (out.output, out.stats)
             }
             RedundancyMode::Tmr => {
                 let mut alu = TmrAlu::new(injector.clone());
-                let out =
-                    reliable_conv2d(image, &filters, Some(&bias), &geom, &mut alu, &self.config.conv)?;
+                let out = reliable_conv2d(
+                    image,
+                    &filters,
+                    Some(&bias),
+                    &geom,
+                    &mut alu,
+                    &self.config.conv,
+                )?;
                 *injector = alu.into_injector();
                 (out.output, out.stats)
             }
@@ -436,19 +459,31 @@ impl HybridCnn {
             let relu_out = match self.config.redundancy {
                 RedundancyMode::Plain => {
                     let mut alu = PlainAlu::new(injector.clone());
-                    let out = relcnn_relexec::conv::reliable_relu(&conv_out, &mut alu, &self.config.conv)?;
+                    let out = relcnn_relexec::conv::reliable_relu(
+                        &conv_out,
+                        &mut alu,
+                        &self.config.conv,
+                    )?;
                     *injector = alu.into_injector();
                     out
                 }
                 RedundancyMode::Dmr => {
                     let mut alu = DmrAlu::new(injector.clone());
-                    let out = relcnn_relexec::conv::reliable_relu(&conv_out, &mut alu, &self.config.conv)?;
+                    let out = relcnn_relexec::conv::reliable_relu(
+                        &conv_out,
+                        &mut alu,
+                        &self.config.conv,
+                    )?;
                     *injector = alu.into_injector();
                     out
                 }
                 RedundancyMode::Tmr => {
                     let mut alu = TmrAlu::new(injector.clone());
-                    let out = relcnn_relexec::conv::reliable_relu(&conv_out, &mut alu, &self.config.conv)?;
+                    let out = relcnn_relexec::conv::reliable_relu(
+                        &conv_out,
+                        &mut alu,
+                        &self.config.conv,
+                    )?;
                     *injector = alu.into_injector();
                     out
                 }
@@ -751,7 +786,6 @@ mod tests {
             Err(HybridError::BadConfig { .. })
         ));
     }
-
 
     #[test]
     fn stop_with_failed_qualifier_is_unqualified() {

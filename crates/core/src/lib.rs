@@ -49,9 +49,7 @@ mod hybrid;
 mod qualifier;
 
 pub use error::HybridError;
-pub use hybrid::{
-    HybridCnn, HybridConfig, QualificationMode, QualifiedClassification,
-};
+pub use hybrid::{HybridCnn, HybridConfig, QualificationMode, QualifiedClassification};
 pub use qualifier::{QualifierConfig, QualifierVerdict, ShapeQualifier};
 
 /// Convenience alias for results returned by this crate.

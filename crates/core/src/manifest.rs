@@ -104,7 +104,10 @@ impl HybridCnn {
     /// Returns [`HybridError::BadConfig`] if the network's conv-1
     /// geometry cannot be reconstructed (cannot occur for networks built
     /// by this crate).
-    pub fn deployment_manifest(&self, reference_ber: f64) -> Result<DeploymentManifest, HybridError> {
+    pub fn deployment_manifest(
+        &self,
+        reference_ber: f64,
+    ) -> Result<DeploymentManifest, HybridError> {
         let config = self.config();
         let conv = self
             .network_ref()
@@ -221,7 +224,10 @@ mod tests {
         assert_eq!(manifest.format, MANIFEST_FORMAT);
         assert_eq!(manifest.classes.len(), 8);
         assert!(manifest.classes[0].safety_critical, "stop is critical");
-        assert_eq!(manifest.classes[0].expected_shape.as_deref(), Some("octagon"));
+        assert_eq!(
+            manifest.classes[0].expected_shape.as_deref(),
+            Some("octagon")
+        );
         assert!(!manifest.layers.is_empty());
         assert!(manifest.layers[0].reliable);
         assert!(manifest.layers[1..].iter().all(|l| !l.reliable));

@@ -239,11 +239,7 @@ impl ShapeQualifier {
     }
 
     /// Assesses an already-extracted radial signature.
-    pub fn assess_signature(
-        &self,
-        sig: &RadialSignature,
-        expected: ShapeKind,
-    ) -> QualifierVerdict {
+    pub fn assess_signature(&self, sig: &RadialSignature, expected: ShapeKind) -> QualifierVerdict {
         let mut reasons = Vec::new();
         // Feature extraction runs on the de-spiked signature; the verdict
         // reports the smoothed features (they are what was decided on).
@@ -296,9 +292,7 @@ impl ShapeQualifier {
         if expected == ShapeKind::Octagon {
             if let Some((c_lo, c_hi)) = self.config.corner_window {
                 if corners < c_lo || corners > c_hi {
-                    reasons.push(format!(
-                        "corner count {corners} outside [{c_lo}, {c_hi}]"
-                    ));
+                    reasons.push(format!("corner count {corners} outside [{c_lo}, {c_hi}]"));
                 }
             }
         }
@@ -307,8 +301,8 @@ impl ShapeQualifier {
         // rotation (the signature of a rotated shape is a circular shift).
         // The threshold carries 1/R slack: rasterisation noise in the
         // z-normalised signature grows as the shape shrinks.
-        let effective_max = self.config.max_mindist
-            + (self.config.radius_slack / mean_radius.max(1.0)) as f64;
+        let effective_max =
+            self.config.max_mindist + (self.config.radius_slack / mean_radius.max(1.0)) as f64;
         let (md, word) = self.min_mindist(sig.samples(), sides);
         if let Some(md_val) = md {
             if md_val > effective_max {
@@ -397,7 +391,10 @@ mod tests {
         let max = sig.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let min = sig.iter().cloned().fold(f32::INFINITY, f32::min);
         assert!((max - 1.0).abs() < 1e-3, "unit circumradius");
-        assert!((min - (std::f32::consts::PI / 8.0).cos()).abs() < 1e-3, "apothem");
+        assert!(
+            (min - (std::f32::consts::PI / 8.0).cos()).abs() < 1e-3,
+            "apothem"
+        );
         // 8-periodic.
         for i in 0..256 {
             let j = (i + 32) % 256;
@@ -423,7 +420,11 @@ mod tests {
     #[test]
     fn triangle_and_square_rejected_as_octagon() {
         let q = ShapeQualifier::default();
-        for kind in [ShapeKind::TriangleDown, ShapeKind::Square, ShapeKind::Diamond] {
+        for kind in [
+            ShapeKind::TriangleDown,
+            ShapeKind::Square,
+            ShapeKind::Diamond,
+        ] {
             let img = filled_shape(kind, 0.1);
             let v = q.assess_image(&img, ShapeKind::Octagon).unwrap();
             assert!(!v.accepted, "{kind} must not qualify as octagon");
@@ -471,10 +472,7 @@ mod tests {
         draw::fill_regular_polygon(&mut img, 8, (64.0, 64.0), 5.0, 0.0, 1.0);
         let v = q.assess_image(&img, ShapeKind::Octagon).unwrap();
         assert!(!v.accepted);
-        assert!(v
-            .reject_reasons
-            .iter()
-            .any(|r| r.contains("mean radius")));
+        assert!(v.reject_reasons.iter().any(|r| r.contains("mean radius")));
     }
 
     #[test]

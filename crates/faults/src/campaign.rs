@@ -1,10 +1,18 @@
-//! Seeded, parallel fault-injection campaigns.
+//! Campaign vocabulary and streaming aggregation.
 //!
 //! A *campaign* runs many independent trials — each with its own derived
 //! seed — and aggregates how often injected faults were detected,
 //! recovered, escalated or silently corrupted data. This is the measurement
 //! machinery behind experiments X3/X4 (detection coverage vs bit error
 //! rate; leaky-bucket availability).
+//!
+//! This module defines the *data* side of that story: trial outcomes,
+//! campaign parameters, and the [`CampaignReport`] aggregate with its
+//! streaming [`record`](CampaignReport::record)/[`merge`](CampaignReport::merge)
+//! operations. *Execution* — the sharded, multi-threaded worker pool that
+//! actually runs trials and feeds this aggregation — lives in the
+//! `relcnn-runtime` crate (`relcnn_runtime::run_campaign`), which layers
+//! deterministic sharding and early-abort hooks on top of these types.
 
 use crate::injector::InjectorStats;
 use serde::{Deserialize, Serialize};
@@ -44,6 +52,11 @@ pub struct TrialResult {
 }
 
 /// Campaign parameters.
+///
+/// Worker-thread count is an *execution* knob: it never changes the
+/// aggregate statistics. The runtime partitions trials into `shards`
+/// fixed, scheduling-independent blocks, so a campaign's results are a
+/// pure function of `(trials, base_seed, shards)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Number of independent trials.
@@ -53,15 +66,20 @@ pub struct CampaignConfig {
     pub base_seed: u64,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Work-queue shards (0 = runtime default). Part of the experiment's
+    /// identity: shard boundaries fix the early-abort decision points.
+    pub shards: usize,
 }
 
 impl CampaignConfig {
-    /// Creates a config with the given trial count and seed, auto threads.
+    /// Creates a config with the given trial count and seed, auto
+    /// threads/shards.
     pub fn new(trials: u64, base_seed: u64) -> Self {
         CampaignConfig {
             trials,
             base_seed,
             threads: 0,
+            shards: 0,
         }
     }
 
@@ -71,14 +89,10 @@ impl CampaignConfig {
         self
     }
 
-    fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
+    /// Overrides the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 }
 
@@ -104,6 +118,46 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
+    /// An all-zero report, ready for streaming accumulation.
+    pub fn empty() -> Self {
+        CampaignReport {
+            trials: 0,
+            correct: 0,
+            detected_recovered: 0,
+            detected_aborted: 0,
+            silent: 0,
+            exposures: 0,
+            injected: 0,
+            masked: 0,
+        }
+    }
+
+    /// Folds one trial result into the aggregate.
+    pub fn record(&mut self, result: &TrialResult) {
+        self.trials += 1;
+        match result.outcome {
+            TrialOutcome::Correct => self.correct += 1,
+            TrialOutcome::DetectedRecovered => self.detected_recovered += 1,
+            TrialOutcome::DetectedAborted => self.detected_aborted += 1,
+            TrialOutcome::SilentCorruption => self.silent += 1,
+        }
+        self.exposures += result.injector.exposures;
+        self.injected += result.injector.injected;
+        self.masked += result.injector.masked;
+    }
+
+    /// Merges another aggregate into this one (shard combination).
+    pub fn merge(&mut self, other: &CampaignReport) {
+        self.trials += other.trials;
+        self.correct += other.correct;
+        self.detected_recovered += other.detected_recovered;
+        self.detected_aborted += other.detected_aborted;
+        self.silent += other.silent;
+        self.exposures += other.exposures;
+        self.injected += other.injected;
+        self.masked += other.masked;
+    }
+
     /// Fraction of trials that ended safely.
     pub fn safety_rate(&self) -> f64 {
         if self.trials == 0 {
@@ -160,66 +214,9 @@ pub fn wilson_interval(successes: u64, n: u64, z: f64) -> (f64, f64) {
     )
 }
 
-/// Runs `config.trials` independent trials of `trial_fn` (called with the
-/// trial's derived seed) across worker threads, aggregating the outcomes.
-///
-/// `trial_fn` must be deterministic in its seed argument for the campaign
-/// to be reproducible.
-pub fn run_campaign<F>(config: &CampaignConfig, trial_fn: F) -> CampaignReport
-where
-    F: Fn(u64) -> TrialResult + Sync,
-{
-    let threads = config.effective_threads().max(1);
-    let trials = config.trials;
-    let results = parking_lot::Mutex::new(Vec::with_capacity(trials as usize));
-    let next = std::sync::atomic::AtomicU64::new(0);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(trials.max(1) as usize) {
-            scope.spawn(|_| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= trials {
-                        break;
-                    }
-                    local.push(trial_fn(config.base_seed.wrapping_add(i)));
-                }
-                results.lock().extend(local);
-            });
-        }
-    })
-    .expect("campaign worker panicked");
-
-    let results = results.into_inner();
-    let mut report = CampaignReport {
-        trials: results.len() as u64,
-        correct: 0,
-        detected_recovered: 0,
-        detected_aborted: 0,
-        silent: 0,
-        exposures: 0,
-        injected: 0,
-        masked: 0,
-    };
-    for r in &results {
-        match r.outcome {
-            TrialOutcome::Correct => report.correct += 1,
-            TrialOutcome::DetectedRecovered => report.detected_recovered += 1,
-            TrialOutcome::DetectedAborted => report.detected_aborted += 1,
-            TrialOutcome::SilentCorruption => report.silent += 1,
-        }
-        report.exposures += r.injector.exposures;
-        report.injected += r.injector.injected;
-        report.masked += r.injector.masked;
-    }
-    report
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BerInjector, FaultInjector, FaultSite, OpContext};
 
     fn fake_trial(outcome: TrialOutcome) -> TrialResult {
         TrialResult {
@@ -233,15 +230,15 @@ mod tests {
     }
 
     #[test]
-    fn aggregates_counts() {
-        let config = CampaignConfig::new(100, 0).with_threads(4);
-        let report = run_campaign(&config, |seed| {
-            fake_trial(if seed % 4 == 0 {
+    fn record_aggregates_counts() {
+        let mut report = CampaignReport::empty();
+        for i in 0..100u64 {
+            report.record(&fake_trial(if i % 4 == 0 {
                 TrialOutcome::SilentCorruption
             } else {
                 TrialOutcome::Correct
-            })
-        });
+            }));
+        }
         assert_eq!(report.trials, 100);
         assert_eq!(report.silent, 25);
         assert_eq!(report.correct, 75);
@@ -250,24 +247,34 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_across_thread_counts() {
-        // Outcome depends only on seed, so aggregation must not depend on
-        // scheduling.
-        let run = |threads| {
-            let config = CampaignConfig::new(64, 7).with_threads(threads);
-            run_campaign(&config, |seed| {
-                let mut inj = BerInjector::new(seed, 0.5);
-                let v = inj.perturb(OpContext::new(FaultSite::Multiplier, 0), 1.0);
-                fake_trial(if v == 1.0 {
-                    TrialOutcome::Correct
-                } else {
-                    TrialOutcome::DetectedRecovered
-                })
-            })
-        };
-        let a = run(1);
-        let b = run(8);
-        assert_eq!(a, b);
+    fn merge_is_order_independent() {
+        let mut left = CampaignReport::empty();
+        let mut right = CampaignReport::empty();
+        let outcomes = [
+            TrialOutcome::Correct,
+            TrialOutcome::DetectedRecovered,
+            TrialOutcome::DetectedAborted,
+            TrialOutcome::SilentCorruption,
+        ];
+        for (i, outcome) in outcomes.iter().cycle().take(40).enumerate() {
+            if i % 3 == 0 {
+                left.record(&fake_trial(*outcome));
+            } else {
+                right.record(&fake_trial(*outcome));
+            }
+        }
+        let mut ab = CampaignReport::empty();
+        ab.merge(&left);
+        ab.merge(&right);
+        let mut ba = CampaignReport::empty();
+        ba.merge(&right);
+        ba.merge(&left);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.trials, 40);
+        assert_eq!(
+            ab.correct + ab.detected_recovered + ab.detected_aborted + ab.silent,
+            40
+        );
     }
 
     #[test]
@@ -315,10 +322,10 @@ mod tests {
 
     #[test]
     fn zero_trials_report() {
-        let config = CampaignConfig::new(0, 0).with_threads(2);
-        let report = run_campaign(&config, |_| fake_trial(TrialOutcome::Correct));
+        let report = CampaignReport::empty();
         assert_eq!(report.trials, 0);
         assert_eq!(report.safety_rate(), 1.0);
+        assert_eq!(report.availability(), 1.0);
     }
 
     #[test]

@@ -413,7 +413,9 @@ mod tests {
     fn ber_is_deterministic_per_seed() {
         let run = |seed| {
             let mut inj = BerInjector::new(seed, 0.3);
-            (0..64).map(|i| inj.perturb(ctx(i), 5.5).to_bits()).collect::<Vec<_>>()
+            (0..64)
+                .map(|i| inj.perturb(ctx(i), 5.5).to_bits())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
@@ -430,8 +432,7 @@ mod tests {
 
     #[test]
     fn scripted_transient_fires_once() {
-        let mut inj =
-            ScriptedInjector::new([ScriptedFault::transient_flip(5, bits::SIGN_BIT)]);
+        let mut inj = ScriptedInjector::new([ScriptedFault::transient_flip(5, bits::SIGN_BIT)]);
         assert_eq!(inj.perturb(ctx(4), 1.0), 1.0);
         assert_eq!(inj.perturb(ctx(5), 1.0), -1.0); // fires
         assert_eq!(inj.perturb(ctx(5), 1.0), 1.0); // consumed: retry sees clean
@@ -440,9 +441,8 @@ mod tests {
 
     #[test]
     fn scripted_permanent_fires_every_time() {
-        let mut inj = ScriptedInjector::new([
-            ScriptedFault::transient_flip(2, bits::SIGN_BIT).permanent()
-        ]);
+        let mut inj =
+            ScriptedInjector::new([ScriptedFault::transient_flip(2, bits::SIGN_BIT).permanent()]);
         assert_eq!(inj.perturb(ctx(2), 1.0), -1.0);
         assert_eq!(inj.perturb(ctx(2), 1.0), -1.0);
         assert_eq!(inj.stats().injected, 2);

@@ -243,11 +243,7 @@ fn sign_colors(class: SignClass) -> (Rgb, Rgb) {
 /// 3×3 box blur on a CHW image (border pixels average their in-bounds
 /// neighbourhood).
 fn box_blur3(img: &Tensor) -> Tensor {
-    let (c, h, w) = (
-        img.shape().dim(0),
-        img.shape().dim(1),
-        img.shape().dim(2),
-    );
+    let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
     let src = img.as_slice();
     let mut out = vec![0.0f32; src.len()];
     for ch in 0..c {

@@ -49,7 +49,14 @@ pub fn alexnet_227(num_classes: usize, rng: &mut Rand) -> Result<Network, NnErro
         });
     }
     let mut net = Network::new();
-    net.push(Conv2d::new(3, CONV1_FILTERS, CONV1_KERNEL, CONV1_STRIDE, 0, rng)); // 96x55x55
+    net.push(Conv2d::new(
+        3,
+        CONV1_FILTERS,
+        CONV1_KERNEL,
+        CONV1_STRIDE,
+        0,
+        rng,
+    )); // 96x55x55
     net.push(ReLU::new());
     net.push(LocalResponseNorm::alexnet());
     net.push(MaxPool2d::new(3, 2)); // 96x27x27
@@ -104,7 +111,14 @@ pub fn alexnet_gtsrb(
     let flat = 64 * p2 * p2;
 
     let mut net = Network::new();
-    net.push(Conv2d::new(3, CONV1_FILTERS, CONV1_KERNEL, CONV1_STRIDE, 0, rng));
+    net.push(Conv2d::new(
+        3,
+        CONV1_FILTERS,
+        CONV1_KERNEL,
+        CONV1_STRIDE,
+        0,
+        rng,
+    ));
     net.push(ReLU::new());
     net.push(MaxPool2d::new(3, 2));
     net.push(Conv2d::new(CONV1_FILTERS, 64, 3, 1, 1, rng));

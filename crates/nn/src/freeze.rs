@@ -278,8 +278,7 @@ mod tests {
         let mut rng = Rand::seeded(4);
         let mut net = net_with_conv(&mut rng);
         let pin =
-            FilterPin::install(&mut net, 0, 0, sobel_values(), FreezePolicy::PinEachBatch)
-                .unwrap();
+            FilterPin::install(&mut net, 0, 0, sobel_values(), FreezePolicy::PinEachBatch).unwrap();
         // Simulate optimiser drift.
         let noisy = sobel_values().shift(0.01);
         net.conv2d_at_mut(0).unwrap().set_filter(0, &noisy).unwrap();
@@ -297,8 +296,7 @@ mod tests {
         let mut rng = Rand::seeded(5);
         let mut net = net_with_conv(&mut rng);
         let pin =
-            FilterPin::install(&mut net, 0, 0, sobel_values(), FreezePolicy::PinEachEpoch)
-                .unwrap();
+            FilterPin::install(&mut net, 0, 0, sobel_values(), FreezePolicy::PinEachEpoch).unwrap();
         let noisy = sobel_values().shift(0.02);
         net.conv2d_at_mut(0).unwrap().set_filter(0, &noisy).unwrap();
         pin.after_batch(&mut net).unwrap();
@@ -355,8 +353,8 @@ mod tests {
         net.push(crate::layers::ReLU::new());
         net.push(crate::layers::Flatten::new());
         net.push(crate::layers::Dense::new(4 * 8 * 8, 3, &mut rng));
-        let pin = FilterPin::install(&mut net, 0, 1, sobel_values(), FreezePolicy::PinEachBatch)
-            .unwrap();
+        let pin =
+            FilterPin::install(&mut net, 0, 1, sobel_values(), FreezePolicy::PinEachBatch).unwrap();
 
         let x = rng.tensor(
             Shape::d3(3, 16, 16),

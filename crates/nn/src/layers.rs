@@ -37,7 +37,7 @@ impl fmt::Debug for Param<'_> {
 /// returns the gradient with respect to the layer input. Gradients
 /// accumulate across samples of a batch; the optimiser divides by the
 /// batch size.
-pub trait Layer: fmt::Debug + Send {
+pub trait Layer: fmt::Debug + Send + Sync {
     /// Short layer name for diagnostics.
     fn name(&self) -> &'static str;
 
@@ -73,6 +73,10 @@ pub trait Layer: fmt::Debug + Send {
     fn as_conv2d_mut(&mut self) -> Option<&mut Conv2d> {
         None
     }
+
+    /// Clones the layer behind the trait object — the hook that lets the
+    /// runtime hand each worker its own copy of a network.
+    fn clone_box(&self) -> Box<dyn Layer>;
 }
 
 // ---------------------------------------------------------------------------
@@ -83,7 +87,7 @@ pub trait Layer: fmt::Debug + Send {
 ///
 /// Supports per-filter gradient masking — the mechanism behind the paper's
 /// §III-B "frozen" Sobel filter experiments.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Tensor,
     bias: Tensor,
@@ -99,7 +103,7 @@ pub struct Conv2d {
     cache: Option<ConvCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ConvCache {
     cols: Tensor,
     geom: ConvGeometry,
@@ -116,7 +120,10 @@ impl Conv2d {
         rng: &mut Rand,
     ) -> Self {
         let fan_in = in_c * kernel * kernel;
-        let weight = rng.tensor(Shape::d4(out_c, in_c, kernel, kernel), Init::HeNormal { fan_in });
+        let weight = rng.tensor(
+            Shape::d4(out_c, in_c, kernel, kernel),
+            Init::HeNormal { fan_in },
+        );
         Conv2d {
             w_grad: Tensor::zeros(weight.shape().clone()),
             weight,
@@ -237,11 +244,7 @@ impl Conv2d {
         if input.shape().rank() != 3 || input.shape().dim(0) != self.in_c {
             return Err(NnError::BadInput {
                 layer: "conv2d",
-                reason: format!(
-                    "expected [{}, h, w], got {}",
-                    self.in_c,
-                    input.shape()
-                ),
+                reason: format!("expected [{}, h, w], got {}", self.in_c, input.shape()),
             });
         }
         ConvGeometry::new(
@@ -257,6 +260,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "conv2d"
     }
@@ -287,9 +294,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self.cache.take().ok_or(NnError::NoForwardCache {
-            layer: "conv2d",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "conv2d" })?;
         let positions = cache.geom.positions();
         let dy = grad_output.reshape(vec![self.out_c, positions])?;
 
@@ -316,13 +324,13 @@ impl Layer for Conv2d {
                 if self.frozen[oc] {
                     continue;
                 }
-                bg[oc] += dy_s[oc * positions..(oc + 1) * positions].iter().sum::<f32>();
+                bg[oc] += dy_s[oc * positions..(oc + 1) * positions]
+                    .iter()
+                    .sum::<f32>();
             }
         }
         // dX = col2im(Wᵀ · dY)
-        let w = self
-            .weight
-            .reshape(vec![self.out_c, per_filter])?;
+        let w = self.weight.reshape(vec![self.out_c, per_filter])?;
         let dcols = w.transpose()?.matmul(&dy)?;
         let dx = col2im(&dcols, self.in_c, &cache.geom)?;
         Ok(dx)
@@ -362,7 +370,7 @@ impl Layer for Conv2d {
 // ---------------------------------------------------------------------------
 
 /// Rectified linear unit.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ReLU {
     mask: Option<Vec<bool>>,
 }
@@ -375,6 +383,10 @@ impl ReLU {
 }
 
 impl Layer for ReLU {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "relu"
     }
@@ -387,17 +399,14 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self.mask.take().ok_or(NnError::NoForwardCache {
-            layer: "relu",
-        })?;
+        let mask = self
+            .mask
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "relu" })?;
         if mask.len() != grad_output.len() {
             return Err(NnError::BadInput {
                 layer: "relu",
-                reason: format!(
-                    "grad length {} != cached {}",
-                    grad_output.len(),
-                    mask.len()
-                ),
+                reason: format!("grad length {} != cached {}", grad_output.len(), mask.len()),
             });
         }
         let data = grad_output
@@ -415,14 +424,14 @@ impl Layer for ReLU {
 
 /// 2-D max pooling (padding-free, AlexNet-style overlapping windows
 /// supported).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     kernel: usize,
     stride: usize,
     cache: Option<PoolCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PoolCache {
     argmax: Vec<usize>,
     input_shape: Shape,
@@ -440,6 +449,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "max_pool2d"
     }
@@ -495,7 +508,7 @@ impl Layer for MaxPool2d {
 // ---------------------------------------------------------------------------
 
 /// Flattens any tensor to rank 1.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Flatten {
     input_shape: Option<Shape>,
 }
@@ -508,6 +521,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "flatten"
     }
@@ -520,9 +537,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
-        let shape = self.input_shape.take().ok_or(NnError::NoForwardCache {
-            layer: "flatten",
-        })?;
+        let shape = self
+            .input_shape
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "flatten" })?;
         Ok(grad_output.reshape(shape.dims().to_vec())?)
     }
 }
@@ -532,7 +550,7 @@ impl Layer for Flatten {
 // ---------------------------------------------------------------------------
 
 /// Fully connected layer: `y = W·x + b`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     weight: Tensor, // [out, in]
     bias: Tensor,   // [out]
@@ -581,6 +599,10 @@ impl Dense {
 }
 
 impl Layer for Dense {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "dense"
     }
@@ -606,17 +628,14 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
-        let x = self.cache.take().ok_or(NnError::NoForwardCache {
-            layer: "dense",
-        })?;
+        let x = self
+            .cache
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "dense" })?;
         if grad_output.len() != self.out_dim {
             return Err(NnError::BadInput {
                 layer: "dense",
-                reason: format!(
-                    "expected {} grads, got {}",
-                    self.out_dim,
-                    grad_output.len()
-                ),
+                reason: format!("expected {} grads, got {}", self.out_dim, grad_output.len()),
             });
         }
         // dW += dy ⊗ x
@@ -678,7 +697,7 @@ impl Layer for Dense {
 // ---------------------------------------------------------------------------
 
 /// Inverted dropout: active only in training mode.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     rng: Rand,
@@ -698,6 +717,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "dropout"
     }
@@ -728,9 +751,10 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self.mask.take().ok_or(NnError::NoForwardCache {
-            layer: "dropout",
-        })?;
+        let mask = self
+            .mask
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "dropout" })?;
         let data = grad_output
             .iter()
             .zip(mask.iter())
@@ -746,7 +770,7 @@ impl Layer for Dropout {
 
 /// AlexNet's local response normalisation across channels:
 /// `y_i = x_i / (k + α/n · Σ_{j∈window} x_j²)^β`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LocalResponseNorm {
     n: usize,
     k: f32,
@@ -755,7 +779,7 @@ pub struct LocalResponseNorm {
     cache: Option<LrnCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LrnCache {
     input: Tensor,
     denom: Vec<f32>, // (k + α/n Σ x²) per element
@@ -770,7 +794,7 @@ impl LocalResponseNorm {
             k: 2.0,
             alpha: 1e-4,
             beta: 0.75,
-        cache: None,
+            cache: None,
         }
     }
 
@@ -812,6 +836,10 @@ impl LocalResponseNorm {
 }
 
 impl Layer for LocalResponseNorm {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "lrn"
     }
@@ -842,9 +870,10 @@ impl Layer for LocalResponseNorm {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self.cache.take().ok_or(NnError::NoForwardCache {
-            layer: "lrn",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "lrn" })?;
         let input = &cache.input;
         let (c, h, w) = (
             input.shape().dim(0),
@@ -1115,7 +1144,9 @@ mod tests {
     #[test]
     fn lrn_rejects_non_chw() {
         let mut lrn = LocalResponseNorm::alexnet();
-        assert!(lrn.forward(&Tensor::zeros(Shape::d1(4)), Mode::Eval).is_err());
+        assert!(lrn
+            .forward(&Tensor::zeros(Shape::d1(4)), Mode::Eval)
+            .is_err());
     }
 
     #[test]

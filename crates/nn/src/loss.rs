@@ -10,7 +10,9 @@ pub fn softmax(logits: &Tensor) -> Tensor {
     let sum: f32 = exps.iter().sum();
     Tensor::from_vec(
         logits.shape().clone(),
-        exps.into_iter().map(|e| e / sum.max(f32::MIN_POSITIVE)).collect(),
+        exps.into_iter()
+            .map(|e| e / sum.max(f32::MIN_POSITIVE))
+            .collect(),
     )
     .expect("same length")
 }

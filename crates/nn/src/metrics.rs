@@ -136,7 +136,11 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "confusion matrix ({} classes, rows=actual):", self.classes)?;
+        writeln!(
+            f,
+            "confusion matrix ({} classes, rows=actual):",
+            self.classes
+        )?;
         write!(f, "      ")?;
         for p in 0..self.classes {
             write!(f, "{p:>6}")?;

@@ -9,6 +9,14 @@ pub struct Network {
     layers: Vec<Box<dyn Layer>>,
 }
 
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Network {
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+        }
+    }
+}
+
 impl Network {
     /// Creates an empty network.
     pub fn new() -> Self {

@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn clamp_value_semantics() {
-        let r = ActivationRange { min: -1.0, max: 1.0 };
+        let r = ActivationRange {
+            min: -1.0,
+            max: 1.0,
+        };
         assert_eq!(r.clamp_value(0.5), (0.5, false));
         assert_eq!(r.clamp_value(3.0), (1.0, true));
         assert_eq!(r.clamp_value(-9.0), (-1.0, true));

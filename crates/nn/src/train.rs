@@ -164,10 +164,14 @@ pub fn mean_class_confidence(
     let mut acc = 0.0f64;
     for image in samples {
         let probs = net.predict(image)?;
-        let p = probs.as_slice().get(class).copied().ok_or(NnError::BadInput {
-            layer: "confidence",
-            reason: format!("class {class} out of range"),
-        })?;
+        let p = probs
+            .as_slice()
+            .get(class)
+            .copied()
+            .ok_or(NnError::BadInput {
+                layer: "confidence",
+                reason: format!("class {class} out of range"),
+            })?;
         acc += p as f64;
     }
     Ok(acc / samples.len() as f64)
@@ -189,12 +193,7 @@ mod tests {
                 let mut img = Tensor::zeros(Shape::d3(3, 16, 16));
                 for c in 0..3 {
                     let base = if c == class { 0.8 } else { 0.2 };
-                    for v in img
-                        .as_mut_slice()
-                        .iter_mut()
-                        .skip(c * 256)
-                        .take(256)
-                    {
+                    for v in img.as_mut_slice().iter_mut().skip(c * 256).take(256) {
                         *v = base + rng.uniform(-0.1, 0.1);
                     }
                 }
@@ -230,7 +229,11 @@ mod tests {
         // Held-out evaluation.
         let test = toy_dataset(5, 99);
         let matrix = evaluate(&mut net, &test, 3).unwrap();
-        assert!(matrix.accuracy() > 0.8, "test accuracy {}", matrix.accuracy());
+        assert!(
+            matrix.accuracy() > 0.8,
+            "test accuracy {}",
+            matrix.accuracy()
+        );
     }
 
     #[test]

@@ -3,9 +3,7 @@
 //! and training-loop invariants.
 
 use proptest::prelude::*;
-use relcnn_nn::{
-    Conv2d, CrossEntropyLoss, Dense, Layer, LocalResponseNorm, MaxPool2d, Mode, ReLU,
-};
+use relcnn_nn::{Conv2d, CrossEntropyLoss, Dense, Layer, LocalResponseNorm, MaxPool2d, Mode, ReLU};
 use relcnn_tensor::init::{Init, Rand};
 use relcnn_tensor::{Shape, Tensor};
 

@@ -448,7 +448,11 @@ mod tests {
         .on_replica(0)]));
         let q = alu.mul(2.0, 3.0);
         assert!(q.is_ok(), "vote masks the minority replica");
-        assert_eq!(q.value(), 6.0, "majority value wins even when replica 0 is bad");
+        assert_eq!(
+            q.value(),
+            6.0,
+            "majority value wins even when replica 0 is bad"
+        );
     }
 
     #[test]

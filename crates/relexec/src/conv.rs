@@ -241,21 +241,15 @@ pub fn reliable_conv2d<A: QualifiedAlu>(
                             let w = alu.load_weight(f[f_row + kx]);
                             let a = alu.load_activation(x[x_row + ix as usize]);
                             stats.mul_ops += 1;
-                            let m = run_qualified(
-                                alu,
-                                &mut bucket,
-                                config.retry,
-                                &mut stats,
-                                |alu| alu.mul(w, a),
-                            )?;
+                            let m =
+                                run_qualified(alu, &mut bucket, config.retry, &mut stats, |alu| {
+                                    alu.mul(w, a)
+                                })?;
                             stats.acc_ops += 1;
-                            acc = run_qualified(
-                                alu,
-                                &mut bucket,
-                                config.retry,
-                                &mut stats,
-                                |alu| alu.acc(acc, m),
-                            )?;
+                            acc =
+                                run_qualified(alu, &mut bucket, config.retry, &mut stats, |alu| {
+                                    alu.acc(acc, m)
+                                })?;
                         }
                     }
                 }
@@ -428,9 +422,7 @@ pub fn duplicated_conv2d<A: QualifiedAlu>(
 mod tests {
     use super::*;
     use crate::alu::{DmrAlu, PlainAlu, TmrAlu};
-    use relcnn_faults::{
-        bits, BerInjector, FaultSite, NoFaults, ScriptedFault, ScriptedInjector,
-    };
+    use relcnn_faults::{bits, BerInjector, FaultSite, NoFaults, ScriptedFault, ScriptedInjector};
     use relcnn_tensor::conv::conv2d;
 
     fn small_problem() -> (Tensor, Tensor, Tensor, ConvGeometry) {
@@ -520,8 +512,9 @@ mod tests {
     fn plain_alu_silently_corrupts() {
         let (input, filters, bias, geom) = small_problem();
         let golden = conv2d(&input, &filters, Some(&bias), &geom).unwrap();
-        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(100, bits::SIGN_BIT)
-            .at_site(FaultSite::Multiplier)]);
+        let inj = ScriptedInjector::new([
+            ScriptedFault::transient_flip(100, bits::SIGN_BIT).at_site(FaultSite::Multiplier)
+        ]);
         let mut alu = PlainAlu::new(inj);
         let out = reliable_conv2d(
             &input,
@@ -672,13 +665,19 @@ mod tests {
         ));
         // Wrong filter channel count.
         let bad_filters = Tensor::zeros(Shape::d4(3, 1, 3, 3));
-        assert!(reliable_conv2d(&input, &bad_filters, Some(&bias), &geom, &mut alu, &config).is_err());
+        assert!(
+            reliable_conv2d(&input, &bad_filters, Some(&bias), &geom, &mut alu, &config).is_err()
+        );
         // Wrong bias length.
         let bad_bias = Tensor::zeros(Shape::d1(2));
-        assert!(reliable_conv2d(&input, &filters, Some(&bad_bias), &geom, &mut alu, &config).is_err());
+        assert!(
+            reliable_conv2d(&input, &filters, Some(&bad_bias), &geom, &mut alu, &config).is_err()
+        );
         // Wrong geometry.
         let bad_geom = ConvGeometry::new(6, 6, 3, 3, 1, 0).unwrap();
-        assert!(reliable_conv2d(&input, &filters, Some(&bias), &bad_geom, &mut alu, &config).is_err());
+        assert!(
+            reliable_conv2d(&input, &filters, Some(&bias), &bad_geom, &mut alu, &config).is_err()
+        );
     }
 
     #[test]
@@ -706,11 +705,8 @@ mod tests {
 
     #[test]
     fn reliable_relu_matches_and_recovers() {
-        let input = Tensor::from_vec(
-            Shape::d3(1, 2, 3),
-            vec![-1.5, 2.0, 0.0, -0.25, 3.5, -7.0],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(Shape::d3(1, 2, 3), vec![-1.5, 2.0, 0.0, -0.25, 3.5, -7.0]).unwrap();
         // Fault-free: exact ReLU.
         let mut alu = DmrAlu::new(NoFaults::new());
         let out = reliable_relu(&input, &mut alu, &ReliableConvConfig::default()).unwrap();
@@ -740,8 +736,9 @@ mod tests {
     #[test]
     fn reliable_relu_plain_is_silent_under_faults() {
         let input = Tensor::from_vec(Shape::d1(4), vec![1.0, -1.0, 2.0, -2.0]).unwrap();
-        let inj = ScriptedInjector::new([ScriptedFault::transient_flip(0, bits::SIGN_BIT)
-            .at_site(FaultSite::Comparator)]);
+        let inj = ScriptedInjector::new([
+            ScriptedFault::transient_flip(0, bits::SIGN_BIT).at_site(FaultSite::Comparator)
+        ]);
         let mut alu = PlainAlu::new(inj);
         let out = reliable_relu(&input, &mut alu, &ReliableConvConfig::default()).unwrap();
         assert_eq!(out.stats.failed_ops, 0, "Algorithm 1 qualifier blind");
@@ -753,9 +750,15 @@ mod tests {
         let (input, filters, bias, geom) = small_problem();
         let golden = conv2d(&input, &filters, Some(&bias), &geom).unwrap();
         let mut alu = PlainAlu::new(NoFaults::new());
-        let out =
-            duplicated_conv2d(&input, &filters, Some(&bias), &geom, &mut alu, RetryPolicy::paper())
-                .unwrap();
+        let out = duplicated_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            RetryPolicy::paper(),
+        )
+        .unwrap();
         for (a, b) in out.output.iter().zip(golden.iter()) {
             assert!((a - b).abs() < 1e-4);
         }
@@ -778,9 +781,15 @@ mod tests {
             duration: relcnn_faults::FaultDuration::Transient,
         }]);
         let mut alu = PlainAlu::new(inj);
-        let out =
-            duplicated_conv2d(&input, &filters, Some(&bias), &geom, &mut alu, RetryPolicy::paper())
-                .unwrap();
+        let out = duplicated_conv2d(
+            &input,
+            &filters,
+            Some(&bias),
+            &geom,
+            &mut alu,
+            RetryPolicy::paper(),
+        )
+        .unwrap();
         assert_eq!(out.stats.retries, 1, "layer-level rollback taken");
         for (a, b) in out.output.iter().zip(golden.iter()) {
             assert!((a - b).abs() < 1e-4);

@@ -210,3 +210,78 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Saturation edge: with factors near `u32::MAX` the level saturates
+    /// instead of wrapping, the verdict is immediately persistent, and
+    /// further errors keep the level pinned at the ceiling of the type.
+    #[test]
+    fn bucket_saturates_at_type_ceiling(
+        factor in (u32::MAX - 8)..=u32::MAX,
+        extra_errors in 1usize..5,
+    ) {
+        let mut bucket = LeakyBucket::new(BucketConfig::new(factor, u32::MAX));
+        let mut last = bucket.record_error();
+        for _ in 0..extra_errors {
+            prop_assert!(bucket.level() >= factor);
+            last = bucket.record_error();
+        }
+        if factor == u32::MAX {
+            prop_assert_eq!(last, BucketState::Persistent);
+            prop_assert_eq!(bucket.level(), u32::MAX);
+        }
+        prop_assert_eq!(bucket.peak(), bucket.level());
+        prop_assert_eq!(bucket.errors(), extra_errors as u64 + 1);
+    }
+
+    /// Decrement edge: successes drain exactly one unit down to the zero
+    /// floor, never below, and never touch peak or the lifetime counters.
+    #[test]
+    fn bucket_decrement_floors_at_zero(
+        errors in 0u32..6,
+        factor in 1u32..5,
+        successes in 0u32..40,
+    ) {
+        let mut bucket = LeakyBucket::new(BucketConfig::new(factor, u32::MAX));
+        for _ in 0..errors {
+            bucket.record_error();
+        }
+        let filled = bucket.level();
+        prop_assert_eq!(filled, errors.saturating_mul(factor));
+        let peak = bucket.peak();
+        for i in 0..successes {
+            bucket.record_success();
+            let expected = filled.saturating_sub(i + 1);
+            prop_assert_eq!(bucket.level(), expected);
+        }
+        prop_assert_eq!(bucket.peak(), peak, "drain must not rewrite the peak");
+        prop_assert_eq!(bucket.errors(), errors as u64);
+        prop_assert_eq!(bucket.successes(), successes as u64);
+    }
+
+    /// `drain` is idempotent, zeroes level and peak, and preserves the
+    /// lifetime counters regardless of prior history.
+    #[test]
+    fn bucket_drain_idempotent(events in proptest::collection::vec(any::<bool>(), 0..60)) {
+        let mut bucket = LeakyBucket::default();
+        let mut errors = 0u64;
+        for &is_error in &events {
+            if is_error {
+                bucket.record_error();
+                errors += 1;
+            } else {
+                bucket.record_success();
+            }
+        }
+        bucket.drain();
+        let snapshot = bucket;
+        bucket.drain();
+        prop_assert_eq!(bucket, snapshot);
+        prop_assert_eq!(bucket.level(), 0);
+        prop_assert_eq!(bucket.peak(), 0);
+        prop_assert_eq!(bucket.errors(), errors);
+        prop_assert!(!bucket.has_overflowed(), "drained bucket reports clean");
+    }
+}

@@ -1,0 +1,141 @@
+//! Batched hybrid-CNN inference on the engine.
+//!
+//! `HybridCnn::classify` is a single-image, `&mut self` path; serving
+//! traffic means classifying many images at once. [`BatchClassify`]
+//! fans a batch out across the worker pool — each worker owns a clone of
+//! the network — and returns verdicts in input order. Classification is
+//! deterministic per image, so the batch output is independent of the
+//! worker count by construction *and* by the engine's ordered result
+//! stream.
+
+use crate::engine::{Engine, RunOutcome, RunPlan};
+use crate::sink::CollectSink;
+use crate::trial::{Trial, TrialCtx};
+use relcnn_core::{HybridCnn, HybridError, QualifiedClassification};
+use relcnn_tensor::Tensor;
+
+struct ClassifyTrial<'a> {
+    hybrid: &'a HybridCnn,
+    images: &'a [Tensor],
+}
+
+impl Trial for ClassifyTrial<'_> {
+    type State = HybridCnn;
+    type Output = Result<QualifiedClassification, HybridError>;
+
+    fn init(&self, _worker_index: usize) -> HybridCnn {
+        self.hybrid.clone()
+    }
+
+    fn run(&self, state: &mut HybridCnn, ctx: &mut TrialCtx) -> Self::Output {
+        state.classify(&self.images[ctx.index as usize])
+    }
+}
+
+/// Batched classification through the runtime engine.
+pub trait BatchClassify {
+    /// Classifies `images` across `engine`'s worker pool, preserving
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-image error in input order, as the serial
+    /// loop would.
+    fn classify_many(
+        &self,
+        engine: &Engine,
+        images: &[Tensor],
+    ) -> Result<Vec<QualifiedClassification>, HybridError>;
+
+    /// Like [`classify_many`](BatchClassify::classify_many) but also
+    /// returns the engine's throughput/latency counters.
+    fn classify_many_stats(
+        &self,
+        engine: &Engine,
+        images: &[Tensor],
+    ) -> RunOutcome<Result<Vec<QualifiedClassification>, HybridError>>;
+}
+
+impl BatchClassify for HybridCnn {
+    fn classify_many(
+        &self,
+        engine: &Engine,
+        images: &[Tensor],
+    ) -> Result<Vec<QualifiedClassification>, HybridError> {
+        self.classify_many_stats(engine, images).summary
+    }
+
+    fn classify_many_stats(
+        &self,
+        engine: &Engine,
+        images: &[Tensor],
+    ) -> RunOutcome<Result<Vec<QualifiedClassification>, HybridError>> {
+        // One image per trial; seeds are irrelevant (fault-free path).
+        let plan = RunPlan::new(images.len() as u64, 0);
+        let outcome = engine.run(
+            &plan,
+            &ClassifyTrial {
+                hybrid: self,
+                images,
+            },
+            CollectSink::new(),
+        );
+        RunOutcome {
+            summary: outcome.summary.into_iter().collect(),
+            stats: outcome.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcnn_core::HybridConfig;
+    use relcnn_gtsrb::{DatasetConfig, SyntheticGtsrb};
+
+    #[test]
+    fn batch_matches_serial_and_is_ordered() {
+        let data = SyntheticGtsrb::generate(&DatasetConfig::tiny(21)).expect("dataset");
+        let mut hybrid = HybridCnn::untrained(&HybridConfig::tiny(22)).expect("hybrid");
+        let images: Vec<_> = data
+            .test()
+            .iter()
+            .take(6)
+            .map(|s| s.image.clone())
+            .collect();
+
+        let serial: Vec<_> = images
+            .iter()
+            .map(|im| hybrid.classify(im).expect("serial verdict"))
+            .collect();
+
+        for workers in [1, 3] {
+            let batched = hybrid
+                .classify_many(&Engine::with_workers(workers), &images)
+                .expect("batched verdicts");
+            assert_eq!(batched.len(), serial.len());
+            for (a, b) in serial.iter().zip(&batched) {
+                assert_eq!(a.class(), b.class());
+                assert_eq!(a.confidence().to_bits(), b.confidence().to_bits());
+                assert_eq!(a.is_qualified(), b.is_qualified());
+            }
+        }
+    }
+
+    #[test]
+    fn bad_image_surfaces_first_error() {
+        let hybrid = HybridCnn::untrained(&HybridConfig::tiny(5)).expect("hybrid");
+        let bad = Tensor::zeros(relcnn_tensor::Shape::d2(4, 4));
+        let err = hybrid.classify_many(&Engine::with_workers(2), &[bad]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let hybrid = HybridCnn::untrained(&HybridConfig::tiny(6)).expect("hybrid");
+        let out = hybrid
+            .classify_many(&Engine::with_workers(2), &[])
+            .expect("empty");
+        assert!(out.is_empty());
+    }
+}

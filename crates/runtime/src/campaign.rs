@@ -1,0 +1,282 @@
+//! Fault-injection campaigns on the engine.
+//!
+//! The data types ([`CampaignConfig`], [`CampaignReport`], …) live in
+//! `relcnn_faults::campaign`; this module supplies their *execution*: a
+//! sharded, multi-threaded run whose aggregate is bit-identical for any
+//! worker count, with optional statistical early stopping.
+
+use crate::engine::{Engine, RunOutcome, RunPlan, RunStats};
+use crate::sink::{Control, Sink};
+use crate::trial::{FnTrial, TrialCtx};
+pub use relcnn_faults::campaign::{
+    wilson_interval, CampaignConfig, CampaignReport, TrialOutcome, TrialResult,
+};
+
+/// Statistical early-stop policy, evaluated at shard boundaries.
+///
+/// Stopping decisions only ever see the contiguous prefix of completed
+/// shards, so for a fixed `(config, policy)` the campaign stops after the
+/// same shard regardless of thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    /// Stop once the Wilson 95% CI on the silent-corruption rate is
+    /// narrower than this (absolute width).
+    pub max_silent_ci_width: Option<f64>,
+    /// Stop once this many trials escalated to a persistent-failure abort
+    /// (the leaky bucket reported an irrecoverable pattern).
+    pub max_escalations: Option<u64>,
+    /// Never stop before this many trials have been aggregated.
+    pub min_trials: u64,
+}
+
+impl EarlyStop {
+    /// No early stopping at all.
+    pub fn never() -> Self {
+        EarlyStop {
+            max_silent_ci_width: None,
+            max_escalations: None,
+            min_trials: 0,
+        }
+    }
+
+    /// Stop when the silent-corruption CI width drops below `width`.
+    pub fn on_ci_width(width: f64, min_trials: u64) -> Self {
+        EarlyStop {
+            max_silent_ci_width: Some(width),
+            max_escalations: None,
+            min_trials,
+        }
+    }
+
+    /// Stop once `n` trials ended in a persistent-failure abort.
+    pub fn on_escalations(n: u64) -> Self {
+        EarlyStop {
+            max_silent_ci_width: None,
+            max_escalations: Some(n),
+            min_trials: 0,
+        }
+    }
+
+    fn should_stop(&self, report: &CampaignReport) -> bool {
+        if report.trials < self.min_trials {
+            return false;
+        }
+        if let Some(width) = self.max_silent_ci_width {
+            let (lo, hi) = report.silent_rate_ci95();
+            if hi - lo < width {
+                return true;
+            }
+        }
+        if let Some(n) = self.max_escalations {
+            if report.detected_aborted >= n {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Streaming campaign aggregator with early-abort hooks.
+#[derive(Debug)]
+pub struct CampaignSink {
+    report: CampaignReport,
+    policy: EarlyStop,
+}
+
+impl CampaignSink {
+    /// An empty aggregate under the given stop policy.
+    pub fn new(policy: EarlyStop) -> Self {
+        CampaignSink {
+            report: CampaignReport::empty(),
+            policy,
+        }
+    }
+}
+
+impl Sink<TrialResult> for CampaignSink {
+    type Summary = CampaignReport;
+
+    fn absorb(&mut self, _index: u64, item: TrialResult) {
+        self.report.record(&item);
+    }
+
+    fn checkpoint(&mut self, _shard: usize) -> Control {
+        if self.policy.should_stop(&self.report) {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    }
+
+    fn finish(self, _stats: &RunStats) -> CampaignReport {
+        self.report
+    }
+}
+
+fn plan_of(config: &CampaignConfig) -> RunPlan {
+    let mut plan = RunPlan::new(config.trials, config.base_seed);
+    if config.shards > 0 {
+        plan = plan.with_shards(config.shards);
+    }
+    plan
+}
+
+/// Runs a campaign through the engine with a custom sink wrapped around
+/// the aggregation (e.g. [`JsonlSink`](crate::JsonlSink)).
+pub fn run_campaign_sink<F, S>(
+    config: &CampaignConfig,
+    sink: S,
+    trial_fn: F,
+) -> RunOutcome<S::Summary>
+where
+    F: Fn(u64) -> TrialResult + Sync,
+    S: Sink<TrialResult>,
+{
+    Engine::with_workers(config.threads).run(
+        &plan_of(config),
+        &FnTrial::new(move |ctx: &mut TrialCtx| trial_fn(ctx.seed)),
+        sink,
+    )
+}
+
+/// Runs a campaign with an early-stop policy, returning the aggregate and
+/// the engine's throughput/latency counters.
+pub fn run_campaign_with<F>(
+    config: &CampaignConfig,
+    policy: EarlyStop,
+    trial_fn: F,
+) -> RunOutcome<CampaignReport>
+where
+    F: Fn(u64) -> TrialResult + Sync,
+{
+    run_campaign_sink(config, CampaignSink::new(policy), trial_fn)
+}
+
+/// Runs `config.trials` independent trials of `trial_fn` (called with the
+/// trial's derived seed `base_seed + i`) across the worker pool,
+/// aggregating the outcomes.
+///
+/// `trial_fn` must be deterministic in its seed argument; the aggregate is
+/// then bit-identical for every `threads` setting.
+pub fn run_campaign<F>(config: &CampaignConfig, trial_fn: F) -> CampaignReport
+where
+    F: Fn(u64) -> TrialResult + Sync,
+{
+    run_campaign_with(config, EarlyStop::never(), trial_fn).summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcnn_faults::{BerInjector, FaultInjector, FaultSite, InjectorStats, OpContext};
+
+    fn fake_trial(outcome: TrialOutcome) -> TrialResult {
+        TrialResult {
+            outcome,
+            injector: InjectorStats {
+                exposures: 10,
+                injected: 1,
+                masked: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_counts() {
+        let config = CampaignConfig::new(100, 0).with_threads(4);
+        let report = run_campaign(&config, |seed| {
+            fake_trial(if seed % 4 == 0 {
+                TrialOutcome::SilentCorruption
+            } else {
+                TrialOutcome::Correct
+            })
+        });
+        assert_eq!(report.trials, 100);
+        assert_eq!(report.silent, 25);
+        assert_eq!(report.correct, 75);
+        assert_eq!(report.exposures, 1000);
+        assert!((report.safety_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // Outcome depends only on seed, so aggregation must not depend on
+        // scheduling.
+        let run = |threads| {
+            let config = CampaignConfig::new(64, 7).with_threads(threads);
+            run_campaign(&config, |seed| {
+                let mut inj = BerInjector::new(seed, 0.5);
+                let v = inj.perturb(OpContext::new(FaultSite::Multiplier, 0), 1.0);
+                fake_trial(if v == 1.0 {
+                    TrialOutcome::Correct
+                } else {
+                    TrialOutcome::DetectedRecovered
+                })
+            })
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_trials_report() {
+        let config = CampaignConfig::new(0, 0).with_threads(2);
+        let report = run_campaign(&config, |_| fake_trial(TrialOutcome::Correct));
+        assert_eq!(report.trials, 0);
+        assert_eq!(report.safety_rate(), 1.0);
+    }
+
+    #[test]
+    fn ci_early_stop_is_thread_count_invariant() {
+        // All-correct trials tighten the silent-rate CI rapidly; the stop
+        // point (a shard boundary) must not depend on the worker count.
+        let run = |threads| {
+            let config = CampaignConfig::new(10_000, 3)
+                .with_threads(threads)
+                .with_shards(50);
+            run_campaign_with(&config, EarlyStop::on_ci_width(0.02, 100), |_| {
+                fake_trial(TrialOutcome::Correct)
+            })
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.summary, b.summary);
+        assert!(a.stats.aborted, "CI width should stop the run early");
+        assert!(
+            a.summary.trials < 10_000,
+            "stopped run must not execute everything"
+        );
+        assert_eq!(a.summary.trials % 200, 0, "stop lands on a shard boundary");
+    }
+
+    #[test]
+    fn escalation_early_stop_fires() {
+        let config = CampaignConfig::new(5_000, 11).with_shards(25);
+        let outcome = run_campaign_with(&config, EarlyStop::on_escalations(5), |seed| {
+            fake_trial(if seed % 100 == 0 {
+                TrialOutcome::DetectedAborted
+            } else {
+                TrialOutcome::Correct
+            })
+        });
+        assert!(outcome.stats.aborted);
+        assert!(outcome.summary.detected_aborted >= 5);
+        assert!(outcome.summary.trials < 5_000);
+    }
+
+    #[test]
+    fn throughput_counters_populated() {
+        let config = CampaignConfig::new(500, 1).with_threads(2);
+        let outcome = run_campaign_with(&config, EarlyStop::never(), |seed| {
+            fake_trial(if seed % 2 == 0 {
+                TrialOutcome::Correct
+            } else {
+                TrialOutcome::DetectedRecovered
+            })
+        });
+        assert_eq!(outcome.stats.trials, 500);
+        assert!(outcome.stats.throughput > 0.0);
+        assert!(outcome.stats.wall > std::time::Duration::ZERO);
+    }
+}

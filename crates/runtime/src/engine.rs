@@ -1,0 +1,400 @@
+//! The sharded worker-pool execution engine.
+//!
+//! # Determinism model
+//!
+//! A run partitions `trials` into a fixed number of *shards* — contiguous
+//! index blocks whose count depends only on the [`RunPlan`], never on the
+//! worker count. Each shard owns a ChaCha8 stream derived from
+//! `(plan.seed, shard_index)`, so the values a trial draws are a pure
+//! function of the plan. Workers claim shards from an atomic queue in any
+//! order, but results are buffered and released to the [`Sink`] in shard
+//! order (and in trial order within a shard). Aggregation therefore sees
+//! exactly the same stream of results whether the pool has 1 worker or 64,
+//! and the sink's [`checkpoint`](Sink::checkpoint) early-abort decision —
+//! evaluated once per shard, on the contiguous prefix of completed shards —
+//! is scheduling-independent too: a stopped run always aggregates shards
+//! `0..k` for a deterministic `k`.
+
+use crate::sink::{Control, Sink};
+use crate::trial::{Trial, TrialCtx};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Default shard count when the plan does not pin one.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineConfig {
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+}
+
+/// What to execute: the deterministic identity of a run.
+///
+/// Two runs with equal plans produce bit-identical sink streams,
+/// regardless of the engine's worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPlan {
+    /// Number of trials.
+    pub trials: u64,
+    /// Campaign seed: the root of every derived RNG stream.
+    pub seed: u64,
+    /// Shard count (0 = `min(DEFAULT_SHARDS, trials)`).
+    pub shards: usize,
+}
+
+impl RunPlan {
+    /// A plan with the default shard count.
+    pub fn new(trials: u64, seed: u64) -> Self {
+        RunPlan {
+            trials,
+            seed,
+            shards: 0,
+        }
+    }
+
+    /// Overrides the shard count (clamped to at least 1 at run time).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    fn effective_shards(&self) -> usize {
+        let requested = if self.shards > 0 {
+            self.shards
+        } else {
+            DEFAULT_SHARDS
+        };
+        requested.min(self.trials.max(1) as usize)
+    }
+
+    /// Trial-index range of one shard (balanced contiguous blocks).
+    fn shard_range(&self, shard: usize, shards: usize) -> std::ops::Range<u64> {
+        let shards_u = shards as u64;
+        let base = self.trials / shards_u;
+        let rem = self.trials % shards_u;
+        let s = shard as u64;
+        let start = s * base + s.min(rem);
+        let len = base + u64::from(s < rem);
+        start..start + len
+    }
+}
+
+/// Derives the RNG stream owned by one shard of a plan.
+///
+/// ChaCha key material comes from the campaign seed; the shard index
+/// selects the cipher's stream words, giving `2^64` independent
+/// keystreams per seed.
+pub fn shard_rng(campaign_seed: u64, shard_index: u64) -> ChaCha8Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(campaign_seed);
+    rng.set_stream(shard_index);
+    rng
+}
+
+/// Observability counters for one engine run.
+///
+/// Timing fields describe the *execution* and are not part of the
+/// deterministic result; everything the sink aggregated is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Trials whose results reached the sink.
+    pub trials: u64,
+    /// Shards whose results reached the sink.
+    pub shards: usize,
+    /// Shards the plan would have run without an early abort.
+    pub planned_shards: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Whether a sink checkpoint stopped the run early.
+    pub aborted: bool,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Sum of per-shard execution time across workers (busy time).
+    pub busy: Duration,
+    /// Aggregated trials per wall-clock second.
+    pub throughput: f64,
+    /// Mean per-trial execution time (busy time / trials).
+    pub mean_trial: Duration,
+    /// Longest single-shard execution time (tail latency proxy).
+    pub max_shard: Duration,
+}
+
+impl RunStats {
+    fn new(workers: usize, planned_shards: usize) -> Self {
+        RunStats {
+            trials: 0,
+            shards: 0,
+            planned_shards,
+            workers,
+            aborted: false,
+            wall: Duration::ZERO,
+            busy: Duration::ZERO,
+            throughput: 0.0,
+            mean_trial: Duration::ZERO,
+            max_shard: Duration::ZERO,
+        }
+    }
+
+    /// Renders the counters as a JSON object (for JSONL run logs).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"trials\":{},\"shards\":{},\"planned_shards\":{},\"workers\":{},\
+             \"aborted\":{},\"wall_us\":{},\"busy_us\":{},\"throughput_per_s\":{:.3},\
+             \"mean_trial_ns\":{},\"max_shard_us\":{}}}",
+            self.trials,
+            self.shards,
+            self.planned_shards,
+            self.workers,
+            self.aborted,
+            self.wall.as_micros(),
+            self.busy.as_micros(),
+            self.throughput,
+            self.mean_trial.as_nanos(),
+            self.max_shard.as_micros()
+        )
+    }
+}
+
+/// Result of [`Engine::run`]: the sink's summary plus run counters.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<S> {
+    /// What the sink distilled from the result stream.
+    pub summary: S,
+    /// Execution counters.
+    pub stats: RunStats,
+}
+
+struct ShardBatch<T> {
+    shard: usize,
+    elapsed: Duration,
+    results: Vec<T>,
+}
+
+/// The worker-pool engine. Cheap to construct; holds no threads between
+/// runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with explicit configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// An engine with a fixed worker count (0 = available parallelism).
+    pub fn with_workers(workers: usize) -> Self {
+        Engine {
+            config: EngineConfig { workers },
+        }
+    }
+
+    fn effective_workers(&self, shards: usize) -> usize {
+        let requested = if self.config.workers > 0 {
+            self.config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        requested.clamp(1, shards.max(1))
+    }
+
+    /// Runs `plan.trials` trials through the worker pool, streaming
+    /// results into `sink` in deterministic order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from trial code (the pool is fail-fast: a
+    /// panicking worker aborts the run).
+    pub fn run<T, S>(&self, plan: &RunPlan, trial: &T, mut sink: S) -> RunOutcome<S::Summary>
+    where
+        T: Trial,
+        S: Sink<T::Output>,
+    {
+        let shards = plan.effective_shards();
+        let workers = self.effective_workers(shards);
+        let mut stats = RunStats::new(workers, shards);
+        let started = Instant::now();
+
+        if plan.trials > 0 {
+            let next_shard = AtomicUsize::new(0);
+            let cancel = AtomicBool::new(false);
+            let (tx, rx) = mpsc::channel::<ShardBatch<T::Output>>();
+
+            std::thread::scope(|scope| {
+                for worker_index in 0..workers {
+                    let tx = tx.clone();
+                    let next_shard = &next_shard;
+                    let cancel = &cancel;
+                    scope.spawn(move || {
+                        let mut state = trial.init(worker_index);
+                        loop {
+                            let shard = next_shard.fetch_add(1, Ordering::Relaxed);
+                            if shard >= shards || cancel.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let range = plan.shard_range(shard, shards);
+                            let mut rng = shard_rng(plan.seed, shard as u64);
+                            let t0 = Instant::now();
+                            let mut results =
+                                Vec::with_capacity((range.end - range.start) as usize);
+                            for index in range {
+                                let mut ctx = TrialCtx {
+                                    index,
+                                    shard,
+                                    seed: plan.seed.wrapping_add(index),
+                                    rng: ChaCha8Rng::seed_from_u64(rng.random::<u64>()),
+                                };
+                                results.push(trial.run(&mut state, &mut ctx));
+                            }
+                            let batch = ShardBatch {
+                                shard,
+                                elapsed: t0.elapsed(),
+                                results,
+                            };
+                            if tx.send(batch).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+
+                // The calling thread is the aggregator: it releases shard
+                // batches to the sink in shard order and evaluates the
+                // early-abort checkpoint on the completed prefix.
+                let mut pending: BTreeMap<usize, ShardBatch<T::Output>> = BTreeMap::new();
+                let mut frontier = 0usize;
+                while let Ok(batch) = rx.recv() {
+                    if stats.aborted {
+                        continue; // drain: results beyond the abort point are discarded
+                    }
+                    pending.insert(batch.shard, batch);
+                    while let Some(batch) = pending.remove(&frontier) {
+                        stats.trials += batch.results.len() as u64;
+                        stats.busy += batch.elapsed;
+                        stats.max_shard = stats.max_shard.max(batch.elapsed);
+                        let base_index = plan.shard_range(frontier, shards).start;
+                        for (offset, result) in batch.results.into_iter().enumerate() {
+                            sink.absorb(base_index + offset as u64, result);
+                        }
+                        frontier += 1;
+                        stats.shards = frontier;
+                        if matches!(sink.checkpoint(frontier - 1), Control::Stop)
+                            && frontier < shards
+                        {
+                            stats.aborted = true;
+                            cancel.store(true, Ordering::Relaxed);
+                            pending.clear();
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+
+        stats.wall = started.elapsed();
+        if stats.trials > 0 {
+            let secs = stats.wall.as_secs_f64();
+            if secs > 0.0 {
+                stats.throughput = stats.trials as f64 / secs;
+            }
+            stats.mean_trial = stats.busy / (stats.trials as u32).max(1);
+        }
+        RunOutcome {
+            summary: sink.finish(&stats),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use crate::trial::FnTrial;
+
+    #[test]
+    fn shard_ranges_partition_the_trials() {
+        let plan = RunPlan::new(103, 0).with_shards(8);
+        let mut covered = Vec::new();
+        for s in 0..8 {
+            covered.extend(plan.shard_range(s, 8));
+        }
+        assert_eq!(covered, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_arrive_in_index_order_any_worker_count() {
+        let plan = RunPlan::new(200, 42).with_shards(16);
+        for workers in [1, 2, 8] {
+            let outcome = Engine::with_workers(workers).run(
+                &plan,
+                &FnTrial::new(|ctx: &mut TrialCtx| ctx.index * 3),
+                CollectSink::new(),
+            );
+            let expected: Vec<u64> = (0..200).map(|i| i * 3).collect();
+            assert_eq!(outcome.summary, expected, "workers={workers}");
+            assert_eq!(outcome.stats.trials, 200);
+            assert!(!outcome.stats.aborted);
+        }
+    }
+
+    #[test]
+    fn shard_rng_streams_are_deterministic_and_distinct() {
+        let mut a = shard_rng(7, 3);
+        let mut b = shard_rng(7, 3);
+        let mut c = shard_rng(7, 4);
+        let xs: Vec<u64> = (0..4).map(|_| a.random::<u64>()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.random::<u64>()).collect();
+        let zs: Vec<u64> = (0..4).map(|_| c.random::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn trial_rng_independent_of_worker_count() {
+        let plan = RunPlan::new(64, 9).with_shards(8);
+        let run = |workers| {
+            Engine::with_workers(workers)
+                .run(
+                    &plan,
+                    &FnTrial::new(|ctx: &mut TrialCtx| ctx.rng.random::<u64>()),
+                    CollectSink::new(),
+                )
+                .summary
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn zero_trials_is_a_noop() {
+        let outcome = Engine::with_workers(4).run(
+            &RunPlan::new(0, 1),
+            &FnTrial::new(|_ctx: &mut TrialCtx| 1u32),
+            CollectSink::new(),
+        );
+        assert!(outcome.summary.is_empty());
+        assert_eq!(outcome.stats.trials, 0);
+    }
+
+    #[test]
+    fn stats_json_is_wellformed() {
+        let outcome = Engine::with_workers(2).run(
+            &RunPlan::new(10, 5),
+            &FnTrial::new(|ctx: &mut TrialCtx| ctx.seed),
+            CollectSink::new(),
+        );
+        let json = outcome.stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"trials\":10"));
+        assert!(json.contains("throughput_per_s"));
+    }
+}

@@ -1,0 +1,84 @@
+//! # relcnn-runtime — sharded campaign & batched-inference engine
+//!
+//! The single execution substrate for everything in the `relcnn`
+//! workspace that runs *many independent units of work*: fault-injection
+//! campaigns, batched hybrid-CNN classification, and per-filter
+//! experiment sweeps.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   RunPlan { trials, seed, shards }
+//!        │            ┌──────────────┐  claim shard   ┌─────────┐
+//!        ├── shards ──│ atomic queue │───────────────▶│ worker 0│──┐
+//!        │            └──────────────┘        ...     │ ...     │  │ ShardBatch
+//!        │                                            │ worker N│──┤ (mpsc)
+//!        │                                            └─────────┘  ▼
+//!        │        prefix-ordered release        ┌──────────────────────┐
+//!        └─────────────────────────────────────▶│ aggregator  ──▶ Sink │
+//!                 checkpoint / early-abort      └──────────────────────┘
+//! ```
+//!
+//! * **Deterministic sharding** — trials are split into fixed contiguous
+//!   shards; each shard's RNG stream is derived from
+//!   `(campaign_seed, shard_index)` via ChaCha8. Thread count is pure
+//!   execution detail: aggregates are **bit-identical** at 1, 2 or 64
+//!   workers.
+//! * **Streaming aggregation** — a [`Sink`] sees results in trial order
+//!   and may stop the run at any shard boundary
+//!   ([`Sink::checkpoint`]), e.g. once a confidence interval is tight
+//!   enough ([`EarlyStop::on_ci_width`]) or the leaky bucket escalated
+//!   ([`EarlyStop::on_escalations`]). Abort decisions only ever see the
+//!   completed shard *prefix*, so they are scheduling-independent too.
+//! * **Observability** — every run yields [`RunStats`] (throughput,
+//!   busy time, mean trial latency, tail shard latency) and results can
+//!   be teed to a JSONL artefact with [`JsonlSink`].
+//!
+//! ## Quickstart: a campaign
+//!
+//! ```rust
+//! use relcnn_runtime::{run_campaign, CampaignConfig, TrialOutcome, TrialResult};
+//!
+//! let config = CampaignConfig::new(1_000, 0xC0FFEE).with_threads(4);
+//! let report = run_campaign(&config, |seed| TrialResult {
+//!     outcome: if seed % 97 == 0 {
+//!         TrialOutcome::DetectedRecovered
+//!     } else {
+//!         TrialOutcome::Correct
+//!     },
+//!     injector: Default::default(),
+//! });
+//! assert_eq!(report.trials, 1_000);
+//! // Identical for any `with_threads(..)` value.
+//! ```
+//!
+//! ## Quickstart: batched inference
+//!
+//! ```rust,no_run
+//! use relcnn_runtime::{BatchClassify, Engine};
+//! # use relcnn_core::{HybridCnn, HybridConfig};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let hybrid = HybridCnn::untrained(&HybridConfig::tiny(1))?;
+//! let images: Vec<relcnn_tensor::Tensor> = vec![];
+//! let verdicts = hybrid.classify_many(&Engine::default(), &images)?;
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+pub mod campaign;
+mod engine;
+pub mod experiments;
+mod sink;
+mod trial;
+
+pub use batch::BatchClassify;
+pub use campaign::{
+    run_campaign, run_campaign_sink, run_campaign_with, CampaignConfig, CampaignReport,
+    CampaignSink, EarlyStop, TrialOutcome, TrialResult,
+};
+pub use engine::{shard_rng, Engine, EngineConfig, RunOutcome, RunPlan, RunStats, DEFAULT_SHARDS};
+pub use sink::{CollectSink, Control, CountSink, JsonlSink, Sink};
+pub use trial::{FnTrial, Trial, TrialCtx};

@@ -1,0 +1,199 @@
+//! Streaming result consumers.
+//!
+//! A [`Sink`] receives trial results in deterministic order (ascending
+//! trial index — see the engine's determinism model) and distils them
+//! into a summary. After each completed shard the engine polls
+//! [`Sink::checkpoint`], the early-abort hook: returning
+//! [`Control::Stop`] cancels the remaining shards.
+
+use crate::engine::RunStats;
+use serde::Serialize;
+use std::io::Write;
+
+/// Checkpoint verdict: keep executing or stop the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep going.
+    Continue,
+    /// Cancel all shards after the current prefix.
+    Stop,
+}
+
+/// A streaming consumer of trial results.
+pub trait Sink<T> {
+    /// What the sink reduces the stream to.
+    type Summary;
+
+    /// Consumes the result of trial `index`. Called in ascending index
+    /// order.
+    fn absorb(&mut self, index: u64, item: T);
+
+    /// Early-abort hook, polled after shard `shard` (0-based) completes.
+    fn checkpoint(&mut self, _shard: usize) -> Control {
+        Control::Continue
+    }
+
+    /// Finalises the summary once the run ends.
+    fn finish(self, stats: &RunStats) -> Self::Summary;
+}
+
+/// Collects every result into a `Vec`, in trial order.
+#[derive(Debug, Default)]
+pub struct CollectSink<T> {
+    items: Vec<T>,
+}
+
+impl<T> CollectSink<T> {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectSink { items: Vec::new() }
+    }
+}
+
+impl<T> Sink<T> for CollectSink<T> {
+    type Summary = Vec<T>;
+
+    fn absorb(&mut self, _index: u64, item: T) {
+        self.items.push(item);
+    }
+
+    fn finish(self, _stats: &RunStats) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Writes every result as one JSON line (`{"trial":i,"result":...}`),
+/// then forwards it to an inner sink.
+///
+/// The trailing line of the stream is a run footer with the engine's
+/// throughput/latency counters, so a JSONL artefact is self-describing.
+///
+/// # Panics
+///
+/// I/O failures panic: an experiment artefact that silently truncates is
+/// worse than an aborted run (matching `relcnn-bench`'s loud-failure
+/// convention).
+pub struct JsonlSink<W: Write, S> {
+    writer: W,
+    inner: S,
+}
+
+impl<W: Write, S> JsonlSink<W, S> {
+    /// Wraps `writer`, forwarding results to `inner`.
+    pub fn new(writer: W, inner: S) -> Self {
+        JsonlSink { writer, inner }
+    }
+}
+
+impl<T: Serialize, W: Write, S: Sink<T>> Sink<T> for JsonlSink<W, S> {
+    type Summary = S::Summary;
+
+    fn absorb(&mut self, index: u64, item: T) {
+        let json = serde_json::to_string(&item).unwrap_or_else(|e| format!("\"<error: {e}>\""));
+        writeln!(self.writer, "{{\"trial\":{index},\"result\":{json}}}")
+            .unwrap_or_else(|e| panic!("JSONL sink: write of trial {index} failed: {e}"));
+        self.inner.absorb(index, item);
+    }
+
+    fn checkpoint(&mut self, shard: usize) -> Control {
+        self.inner.checkpoint(shard)
+    }
+
+    fn finish(mut self, stats: &RunStats) -> S::Summary {
+        writeln!(self.writer, "{{\"run\":{}}}", stats.to_json())
+            .unwrap_or_else(|e| panic!("JSONL sink: write of run footer failed: {e}"));
+        self.writer
+            .flush()
+            .unwrap_or_else(|e| panic!("JSONL sink: flush failed: {e}"));
+        self.inner.finish(stats)
+    }
+}
+
+/// Counts results without retaining them (smoke/throughput runs).
+#[derive(Debug, Default)]
+pub struct CountSink {
+    count: u64,
+}
+
+impl CountSink {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        CountSink::default()
+    }
+}
+
+impl<T> Sink<T> for CountSink {
+    type Summary = u64;
+
+    fn absorb(&mut self, _index: u64, _item: T) {
+        self.count += 1;
+    }
+
+    fn finish(self, _stats: &RunStats) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, RunPlan};
+    use crate::trial::{FnTrial, TrialCtx};
+
+    #[test]
+    fn jsonl_sink_writes_lines_and_footer() {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let sink = JsonlSink::new(&mut buf, CountSink::new());
+            let outcome = Engine::with_workers(2).run(
+                &RunPlan::new(6, 3).with_shards(3),
+                &FnTrial::new(|ctx: &mut TrialCtx| ctx.index as u32),
+                sink,
+            );
+            assert_eq!(outcome.summary, 6);
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7, "6 results + run footer:\n{text}");
+        assert!(lines[0].starts_with("{\"trial\":0,"));
+        assert!(lines[6].starts_with("{\"run\":{"));
+        assert!(lines[6].contains("\"trials\":6"));
+    }
+
+    #[test]
+    fn early_abort_stops_at_a_shard_boundary() {
+        struct StopAfter {
+            shards: usize,
+            seen: u64,
+        }
+        impl Sink<u64> for StopAfter {
+            type Summary = u64;
+            fn absorb(&mut self, _index: u64, _item: u64) {
+                self.seen += 1;
+            }
+            fn checkpoint(&mut self, shard: usize) -> Control {
+                if shard + 1 >= self.shards {
+                    Control::Stop
+                } else {
+                    Control::Continue
+                }
+            }
+            fn finish(self, _stats: &RunStats) -> u64 {
+                self.seen
+            }
+        }
+
+        // 100 trials over 10 shards, stop after 3 shards => exactly 30
+        // trials aggregated, independent of worker count.
+        for workers in [1, 2, 8] {
+            let outcome = Engine::with_workers(workers).run(
+                &RunPlan::new(100, 1).with_shards(10),
+                &FnTrial::new(|ctx: &mut TrialCtx| ctx.index),
+                StopAfter { shards: 3, seen: 0 },
+            );
+            assert_eq!(outcome.summary, 30, "workers={workers}");
+            assert!(outcome.stats.aborted);
+            assert_eq!(outcome.stats.shards, 3);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The runtime's headline contract, property-tested: campaign aggregates
+//! are bit-identical across worker counts for a fixed seed.
+
+use proptest::prelude::*;
+use relcnn_faults::{BerInjector, FaultInjector, FaultSite, OpContext};
+use relcnn_runtime::{
+    run_campaign, run_campaign_with, CampaignConfig, EarlyStop, TrialOutcome, TrialResult,
+};
+
+/// A seeded trial whose outcome mixes every `TrialOutcome` variant.
+fn trial(seed: u64) -> TrialResult {
+    let mut inj = BerInjector::new(seed, 0.3).with_sites(vec![FaultSite::Multiplier]);
+    let mut flips = 0u32;
+    for op in 0..16u64 {
+        if inj.perturb(OpContext::new(FaultSite::Multiplier, op), 1.0) != 1.0 {
+            flips += 1;
+        }
+    }
+    let outcome = match flips {
+        0 => TrialOutcome::Correct,
+        1..=3 => TrialOutcome::DetectedRecovered,
+        4..=6 => TrialOutcome::DetectedAborted,
+        _ => TrialOutcome::SilentCorruption,
+    };
+    TrialResult {
+        outcome,
+        injector: inj.stats(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance criterion of the runtime subsystem: identical
+    /// `TrialOutcome` aggregates at 1, 2 and 8 worker threads, for any
+    /// trial count, seed and shard layout.
+    #[test]
+    fn campaign_aggregates_identical_at_1_2_8_threads(
+        trials in 1u64..300,
+        base_seed in any::<u64>(),
+        shards in 1usize..40,
+    ) {
+        let report_at = |threads: usize| {
+            let config = CampaignConfig::new(trials, base_seed)
+                .with_threads(threads)
+                .with_shards(shards);
+            run_campaign(&config, trial)
+        };
+        let one = report_at(1);
+        let two = report_at(2);
+        let eight = report_at(8);
+        prop_assert_eq!(one, two);
+        prop_assert_eq!(one, eight);
+        prop_assert_eq!(one.trials, trials);
+    }
+
+    /// Early-stopped campaigns make the same (shard-aligned) stopping
+    /// decision at every worker count.
+    #[test]
+    fn early_stopped_aggregates_identical_across_threads(
+        trials in 50u64..400,
+        base_seed in any::<u64>(),
+    ) {
+        let outcome_at = |threads: usize| {
+            let config = CampaignConfig::new(trials, base_seed)
+                .with_threads(threads)
+                .with_shards(20);
+            run_campaign_with(&config, EarlyStop::on_escalations(3), trial)
+        };
+        let one = outcome_at(1);
+        let eight = outcome_at(8);
+        prop_assert_eq!(one.summary, eight.summary);
+        prop_assert_eq!(one.stats.aborted, eight.stats.aborted);
+        prop_assert_eq!(one.stats.shards, eight.stats.shards);
+    }
+}
+
+#[test]
+fn documented_seed_contract_holds() {
+    // The campaign docs promise trial `i` sees seed `base_seed + i`.
+    let seen = std::sync::Mutex::new(Vec::new());
+    let config = CampaignConfig::new(20, 1000).with_threads(3);
+    run_campaign(&config, |seed| {
+        seen.lock().unwrap().push(seed);
+        TrialResult {
+            outcome: TrialOutcome::Correct,
+            injector: Default::default(),
+        }
+    });
+    let mut seen = seen.into_inner().unwrap();
+    seen.sort_unstable();
+    assert_eq!(seen, (1000..1020).collect::<Vec<_>>());
+}

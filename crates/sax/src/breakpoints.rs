@@ -29,7 +29,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -195,7 +195,9 @@ mod tests {
         let mut next = move || {
             let mut acc = 0.0f64;
             for _ in 0..12 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 acc += (state >> 11) as f64 / (1u64 << 53) as f64;
             }
             acc - 6.0 // ~N(0,1)

@@ -23,7 +23,11 @@ pub fn dist_table(alphabet: usize) -> Result<Vec<Vec<f64>>, SaxError> {
     for (r, row) in table.iter_mut().enumerate() {
         for (c, cell) in row.iter_mut().enumerate() {
             let (lo, hi) = if r < c { (r, c) } else { (c, r) };
-            *cell = if hi - lo <= 1 { 0.0 } else { bp[hi - 1] - bp[lo] };
+            *cell = if hi - lo <= 1 {
+                0.0
+            } else {
+                bp[hi - 1] - bp[lo]
+            };
         }
     }
     Ok(table)
@@ -171,10 +175,7 @@ mod tests {
                 let w2 = enc.encode_normalized(&z2).unwrap();
                 let md = mindist(&w1, &w2).unwrap();
                 let ed = euclidean(&z1, &z2).unwrap();
-                assert!(
-                    md <= ed + 1e-6,
-                    "MINDIST {md} exceeds Euclidean {ed}"
-                );
+                assert!(md <= ed + 1e-6, "MINDIST {md} exceeds Euclidean {ed}");
             }
         }
     }

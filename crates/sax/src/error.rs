@@ -50,10 +50,9 @@ impl fmt::Display for SaxError {
             SaxError::ConfigMismatch { reason } => {
                 write!(f, "sax configuration mismatch: {reason}")
             }
-            SaxError::BadSymbol { symbol, alphabet } => write!(
-                f,
-                "symbol {symbol:?} not in alphabet of size {alphabet}"
-            ),
+            SaxError::BadSymbol { symbol, alphabet } => {
+                write!(f, "symbol {symbol:?} not in alphabet of size {alphabet}")
+            }
         }
     }
 }

@@ -58,7 +58,9 @@ mod tests {
 
     #[test]
     fn normalized_series_has_zero_mean_unit_var() {
-        let series: Vec<f32> = (0..100).map(|i| (i as f32 * 0.3).cos() * 5.0 + 2.0).collect();
+        let series: Vec<f32> = (0..100)
+            .map(|i| (i as f32 * 0.3).cos() * 5.0 + 2.0)
+            .collect();
         let z = z_normalize(&series);
         let (mean, std_dev) = moments(&z);
         assert!(mean.abs() < 1e-4, "mean {mean}");

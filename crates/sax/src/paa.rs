@@ -36,7 +36,7 @@ pub fn paa(series: &[f32], segments: usize) -> Result<Vec<f32>, SaxError> {
     if n == segments {
         return Ok(series.to_vec());
     }
-    if n % segments == 0 {
+    if n.is_multiple_of(segments) {
         let chunk = n / segments;
         return Ok(series
             .chunks_exact(chunk)

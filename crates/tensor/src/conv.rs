@@ -324,10 +324,7 @@ pub fn col2im(cols: &Tensor, in_c: usize, geom: &ConvGeometry) -> Result<Tensor,
     let (out_h, out_w) = (geom.out_h(), geom.out_w());
     let positions = out_h * out_w;
     let rows = in_c * k_h * k_w;
-    if cols.shape().rank() != 2
-        || cols.shape().dim(0) != rows
-        || cols.shape().dim(1) != positions
-    {
+    if cols.shape().rank() != 2 || cols.shape().dim(0) != rows || cols.shape().dim(1) != positions {
         return Err(TensorError::ShapeMismatch {
             expected: vec![rows, positions],
             actual: cols.shape().dims().to_vec(),
@@ -546,7 +543,9 @@ mod tests {
 
     #[test]
     fn im2col_matches_direct_conv() {
-        let input = chw(3, 9, 9, |i| ((i[0] * 37 + i[1] * 11 + i[2] * 5) % 17) as f32 - 8.0);
+        let input = chw(3, 9, 9, |i| {
+            ((i[0] * 37 + i[1] * 11 + i[2] * 5) % 17) as f32 - 8.0
+        });
         let filt = Tensor::from_fn(Shape::d4(4, 3, 3, 3), |i| {
             ((i[0] * 7 + i[1] * 13 + i[2] * 3 + i[3]) % 9) as f32 - 4.0
         });
@@ -556,7 +555,10 @@ mod tests {
             let fast = conv2d_im2col(&input, &filt, None, &g).unwrap();
             assert_eq!(direct.shape(), fast.shape());
             for (a, b) in direct.iter().zip(fast.iter()) {
-                assert!((a - b).abs() < 1e-3, "stride={stride} pad={pad}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-3,
+                    "stride={stride} pad={pad}: {a} vs {b}"
+                );
             }
         }
     }
@@ -594,7 +596,9 @@ mod tests {
         // defining property of the adjoint, which is exactly what makes
         // conv backward correct.
         let g = ConvGeometry::new(6, 6, 3, 3, 2, 1).unwrap();
-        let x = chw(2, 6, 6, |i| ((i[0] * 13 + i[1] * 5 + i[2]) % 7) as f32 - 3.0);
+        let x = chw(2, 6, 6, |i| {
+            ((i[0] * 13 + i[1] * 5 + i[2]) % 7) as f32 - 3.0
+        });
         let cols_shape = Shape::d2(2 * 9, g.positions());
         let y = Tensor::from_fn(cols_shape, |i| ((i[0] * 3 + i[1] * 11) % 5) as f32 - 2.0);
         let ax = im2col(&x, &g).unwrap();

@@ -36,11 +36,8 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(
-            self.shape().clone(),
-            self.iter().map(|&v| f(v)).collect(),
-        )
-        .expect("map preserves length")
+        Tensor::from_vec(self.shape().clone(), self.iter().map(|&v| f(v)).collect())
+            .expect("map preserves length")
     }
 
     /// Applies `f` to every element in place.
@@ -227,7 +224,10 @@ impl Tensor {
         }
         Ok(Tensor::from_vec(
             self.shape().clone(),
-            self.iter().zip(rhs.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            self.iter()
+                .zip(rhs.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         )
         .expect("zip preserves length"))
     }
@@ -331,8 +331,12 @@ mod tests {
     #[test]
     fn matmul_agrees_with_naive() {
         // Pseudo-random fill without an RNG dependency in tests.
-        let a = Tensor::from_fn(Shape::d2(5, 7), |i| ((i[0] * 31 + i[1] * 17) % 13) as f32 - 6.0);
-        let b = Tensor::from_fn(Shape::d2(7, 4), |i| ((i[0] * 19 + i[1] * 29) % 11) as f32 - 5.0);
+        let a = Tensor::from_fn(Shape::d2(5, 7), |i| {
+            ((i[0] * 31 + i[1] * 17) % 13) as f32 - 6.0
+        });
+        let b = Tensor::from_fn(Shape::d2(7, 4), |i| {
+            ((i[0] * 19 + i[1] * 29) % 11) as f32 - 5.0
+        });
         let fast = a.matmul(&b).unwrap();
         for i in 0..5 {
             for j in 0..4 {

@@ -102,7 +102,9 @@ mod tests {
         for t in [
             Tensor::scalar(3.25),
             Tensor::from_fn(Shape::d1(7), |i| i[0] as f32 - 3.0),
-            Tensor::from_fn(Shape::d3(2, 3, 4), |i| (i[0] + 10 * i[1] + 100 * i[2]) as f32),
+            Tensor::from_fn(Shape::d3(2, 3, 4), |i| {
+                (i[0] + 10 * i[1] + 100 * i[2]) as f32
+            }),
             Tensor::zeros(Shape::new(vec![0])),
         ] {
             let bytes = to_bytes(&t);
@@ -115,11 +117,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_special_values() {
-        let t = Tensor::from_vec(
-            Shape::d1(4),
-            vec![f32::MAX, f32::MIN_POSITIVE, -0.0, 1e-38],
-        )
-        .unwrap();
+        let t =
+            Tensor::from_vec(Shape::d1(4), vec![f32::MAX, f32::MIN_POSITIVE, -0.0, 1e-38]).unwrap();
         let mut b = to_bytes(&t);
         let back = from_bytes(&mut b).unwrap();
         for (a, x) in t.iter().zip(back.iter()) {

@@ -367,7 +367,9 @@ mod tests {
 
     #[test]
     fn index_axis0_extracts_slab() {
-        let t = Tensor::from_fn(Shape::d3(2, 2, 2), |i| (i[0] * 100 + i[1] * 10 + i[2]) as f32);
+        let t = Tensor::from_fn(Shape::d3(2, 2, 2), |i| {
+            (i[0] * 100 + i[1] * 10 + i[2]) as f32
+        });
         let s = t.index_axis0(1).unwrap();
         assert_eq!(s.shape().dims(), &[2, 2]);
         assert_eq!(s.get(&[0, 1]), 101.0);

@@ -1,0 +1,313 @@
+//! Minimal, offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`], [`BytesMut`], [`Buf`] and [`BufMut`] with the
+//! little-endian accessors the `relcnn` serial formats use. [`Bytes`] is a
+//! cheaply cloneable view into shared storage, as upstream; the rest is a
+//! straightforward `Vec<u8>` wrapper.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+macro_rules! buf_get_le {
+    ($($name:ident => $t:ty),*) => {
+        $(
+            /// Reads one little-endian value, advancing the cursor.
+            ///
+            /// # Panics
+            ///
+            /// Panics on underflow.
+            fn $name(&mut self) -> $t {
+                let mut raw = [0u8; std::mem::size_of::<$t>()];
+                self.copy_to_slice(&mut raw);
+                <$t>::from_le_bytes(raw)
+            }
+        )*
+    };
+}
+
+macro_rules! bufmut_put_le {
+    ($($name:ident => $t:ty),*) => {
+        $(
+            /// Appends one value in little-endian byte order.
+            fn $name(&mut self, v: $t) {
+                self.put_slice(&v.to_le_bytes());
+            }
+        )*
+    };
+}
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        let chunk = self.chunk();
+        dst.copy_from_slice(&chunk[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    buf_get_le!(get_u8 => u8, get_u16_le => u16, get_u32_le => u32, get_u64_le => u64,
+                get_f32_le => f32, get_f64_le => f64);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "buffer underflow");
+        *self = &self[n..];
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    bufmut_put_le!(put_u8 => u8, put_u16_le => u16, put_u32_le => u32, put_u64_le => u64,
+                   put_f32_le => f32, put_f64_le => f64);
+}
+
+/// A cheaply cloneable, sliceable, immutable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view sharing the same storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "buffer underflow");
+        self.start += n;
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Copies out into a plain `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { data: v.to_vec() }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_values() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u16_le(77);
+        b.put_u64_le(1 << 40);
+        b.put_f32_le(1.5);
+        let mut buf = b.freeze();
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u16_le(), 77);
+        assert_eq!(buf.get_u64_le(), 1 << 40);
+        assert_eq!(buf.get_f32_le(), 1.5);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn slices_share_storage() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    fn slice_of_slice_and_underflow_panics() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3]);
+        let s = b.slice(1..).slice(0..2);
+        assert_eq!(&s[..], &[1, 2]);
+        let result = std::panic::catch_unwind(|| {
+            let mut tiny: &[u8] = &[1];
+            tiny.get_u32_le()
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Minimal, offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-group API the `relcnn` benches use, backed by
+//! a simple warmup + sampled-median timer. Every measurement is printed to
+//! stdout and appended as one JSON line to
+//! `target/criterion-json/<group>.jsonl`, giving later PRs a machine-readable
+//! perf trajectory without the full criterion dependency tree.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter` ids, as upstream does.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Number of timed samples.
+    samples: usize,
+    /// Measured per-sample durations.
+    measurements: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a short warmup, then `samples` timed runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..2 {
+            black_box(f());
+        }
+        self.measurements.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.measurements.push(t0.elapsed());
+        }
+    }
+}
+
+fn median(sorted: &[Duration]) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[sorted.len() / 2]
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measurements: Vec::new(),
+        };
+        f(&mut bencher);
+        self.criterion
+            .record(&self.group, &id.name, &mut bencher.measurements);
+    }
+
+    /// Times `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API parity; recording is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    out_dir: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+        Criterion {
+            out_dir: PathBuf::from(target).join("criterion-json"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let group = name.to_string();
+        println!("\n== bench group: {group} ==");
+        BenchmarkGroup {
+            criterion: self,
+            group,
+            sample_size: 10,
+        }
+    }
+
+    /// Times `f` in an anonymous group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        self.benchmark_group("default").bench_function(id, f);
+    }
+
+    fn record(&mut self, group: &str, name: &str, measurements: &mut [Duration]) {
+        measurements.sort();
+        let med = median(measurements);
+        let total: Duration = measurements.iter().sum();
+        let mean = if measurements.is_empty() {
+            Duration::ZERO
+        } else {
+            total / measurements.len() as u32
+        };
+        let min = measurements.first().copied().unwrap_or(Duration::ZERO);
+        println!(
+            "{group}/{name:<40} median {med:>12.4?}  mean {mean:>12.4?}  min {min:>12.4?}  ({} samples)",
+            measurements.len()
+        );
+        let line = format!(
+            "{{\"group\":\"{group}\",\"bench\":\"{name}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}",
+            med.as_nanos(),
+            mean.as_nanos(),
+            min.as_nanos(),
+            measurements.len()
+        );
+        if fs::create_dir_all(&self.out_dir).is_ok() {
+            let path = self.out_dir.join(format!("{group}.jsonl"));
+            let mut body = fs::read_to_string(&path).unwrap_or_default();
+            body.push_str(&line);
+            body.push('\n');
+            let _ = fs::write(&path, body);
+        }
+    }
+}
+
+/// Declares a group-runner function, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_records() {
+        let mut c = Criterion {
+            out_dir: std::env::temp_dir().join("relcnn-criterion-test"),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &v| {
+            b.iter(|| v * 2)
+        });
+        group.finish();
+        assert!(runs >= 5, "warmup + samples should run the closure");
+        let written = std::fs::read_to_string(
+            std::env::temp_dir()
+                .join("relcnn-criterion-test")
+                .join("smoke.jsonl"),
+        )
+        .unwrap();
+        assert!(written.contains("\"bench\":\"count\""));
+        assert!(written.contains("\"bench\":\"with_input/7\""));
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream RNG.
+//!
+//! Implements the ChaCha block function (D. J. Bernstein) with 8 rounds,
+//! exposing the [`ChaCha8Rng`] type the workspace uses. Word streams are
+//! deterministic and platform-independent but are **not** guaranteed to
+//! match crates.io `rand_chacha` (seeding differs; nothing in the
+//! workspace relies on upstream streams).
+
+#![forbid(unsafe_code)]
+
+use rand::{splitmix64, RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// A deterministic, seedable ChaCha8 random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Key words (state[4..12] of the ChaCha matrix).
+    key: [u32; 8],
+    /// 64-bit block counter (state[12..14]).
+    counter: u64,
+    /// Stream id (state[14..16]) — distinct streams for one key.
+    stream: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unconsumed word of `block`; 16 forces a refill.
+    cursor: usize,
+}
+
+impl ChaCha8Rng {
+    /// Builds a generator from a full 256-bit key.
+    pub fn from_key(key: [u32; 8]) -> Self {
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    /// Selects an independent stream for the same key (used to derive
+    /// per-shard generators from one campaign seed).
+    pub fn set_stream(&mut self, stream: u64) {
+        if self.stream != stream {
+            self.stream = stream;
+            self.counter = 0;
+            self.cursor = 16;
+        }
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    #[inline]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let input = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            Self::quarter_round(&mut state, 0, 4, 8, 12);
+            Self::quarter_round(&mut state, 1, 5, 9, 13);
+            Self::quarter_round(&mut state, 2, 6, 10, 14);
+            Self::quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut state, 0, 5, 10, 15);
+            Self::quarter_round(&mut state, 1, 6, 11, 12);
+            Self::quarter_round(&mut state, 2, 7, 8, 13);
+            Self::quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, inp) in state.iter_mut().zip(input) {
+            *word = word.wrapping_add(inp);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaCha8Rng::from_key(key)
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut s = state;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_exact_mut(2) {
+            let w = splitmix64(&mut s);
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        ChaCha8Rng::from_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(10);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        b.set_stream(1);
+        let xs: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn known_answer_chacha_structure() {
+        // The all-zero key/counter block must differ from raw input words
+        // and be stable across runs (regression pin).
+        let mut rng = ChaCha8Rng::from_key([0; 8]);
+        let first = rng.next_u32();
+        let mut rng2 = ChaCha8Rng::from_key([0; 8]);
+        assert_eq!(first, rng2.next_u32());
+        assert_ne!(first, 0x6170_7865);
+    }
+
+    #[test]
+    fn uniform_helpers_work() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8000 {
+            buckets[rng.random_range(0usize..8)] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 700, "bucket badly unbalanced: {buckets:?}");
+        }
+    }
+}

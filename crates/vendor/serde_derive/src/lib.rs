@@ -1,0 +1,567 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` crate's value-model
+//! [`Serialize`]/[`Deserialize`] traits. Because the offline environment
+//! has neither `syn` nor `quote`, the type definition is parsed directly
+//! from the proc-macro token stream: attributes and visibility are
+//! skipped, generics are captured verbatim, and fields/variants are
+//! collected by name. Supported shapes — named/tuple/unit structs and
+//! enums with unit, named and tuple variants — cover everything the
+//! `relcnn` workspace derives.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct TypeDef {
+    name: String,
+    /// Verbatim generic parameter list (bounds included), without `< >`.
+    generics_decl: String,
+    /// Parameter names only, for the `for Name<...>` position.
+    generic_args: Vec<String>,
+    /// Type-parameter names that receive `Serialize`/`Deserialize` bounds.
+    type_params: Vec<String>,
+    /// Verbatim `where` clause predicates declared on the type, if any.
+    where_decl: String,
+    data: Data,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("serde_derive emitted invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("serde_derive emitted invalid Deserialize impl")
+}
+
+// --- parsing ------------------------------------------------------------
+
+fn parse(input: TokenStream) -> TypeDef {
+    let mut toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&toks, &mut pos);
+
+    let keyword = expect_ident(&toks, &mut pos);
+    let name = expect_ident(&toks, &mut pos);
+
+    let (generics_decl, generic_args, type_params) = parse_generics(&toks, &mut pos);
+
+    // Optional `where` clause between generics and the body.
+    let mut where_decl = String::new();
+    if let Some(TokenTree::Ident(id)) = toks.get(pos) {
+        if id.to_string() == "where" {
+            pos += 1;
+            let mut parts = Vec::new();
+            while pos < toks.len() {
+                if let TokenTree::Group(g) = &toks[pos] {
+                    if g.delimiter() == Delimiter::Brace {
+                        break;
+                    }
+                }
+                if let TokenTree::Punct(p) = &toks[pos] {
+                    if p.as_char() == ';' {
+                        break;
+                    }
+                }
+                parts.push(toks[pos].to_string());
+                pos += 1;
+            }
+            where_decl = parts.join(" ");
+        }
+    }
+
+    let data = match keyword.as_str() {
+        "struct" => match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Data::UnitStruct,
+        },
+        "enum" => match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    };
+
+    // `toks` is only inspected up to the body; trailing tokens are fine.
+    let _ = &mut toks;
+    TypeDef {
+        name,
+        generics_decl,
+        generic_args,
+        type_params,
+        where_decl,
+        data,
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], pos: &mut usize) {
+    loop {
+        match toks.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // `#`
+                if let Some(TokenTree::Group(_)) = toks.get(*pos) {
+                    *pos += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], pos: &mut usize) -> String {
+    match toks.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` if present. Returns (verbatim decl, arg names, type
+/// param names).
+fn parse_generics(toks: &[TokenTree], pos: &mut usize) -> (String, Vec<String>, Vec<String>) {
+    match toks.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (String::new(), Vec::new(), Vec::new()),
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while *pos < toks.len() {
+        match &toks[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                inner.push(toks[*pos].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *pos += 1;
+                    break;
+                }
+                inner.push(toks[*pos].clone());
+            }
+            t => inner.push(t.clone()),
+        }
+        *pos += 1;
+    }
+
+    let decl = inner
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    // Split the parameter list at top-level commas and pull out the name
+    // of each parameter (lifetime, const or type).
+    let mut args = Vec::new();
+    let mut type_params = Vec::new();
+    let mut segment: Vec<TokenTree> = Vec::new();
+    let mut angle = 0usize;
+    let mut flush = |segment: &mut Vec<TokenTree>| {
+        if segment.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        let mut lifetime = false;
+        let mut is_const = false;
+        if let Some(TokenTree::Punct(p)) = segment.first() {
+            if p.as_char() == '\'' {
+                lifetime = true;
+                i = 1;
+            }
+        }
+        if let Some(TokenTree::Ident(id)) = segment.get(i) {
+            if id.to_string() == "const" {
+                is_const = true;
+                i += 1;
+            }
+        }
+        if let Some(TokenTree::Ident(id)) = segment.get(i) {
+            let ident = id.to_string();
+            if lifetime {
+                args.push(format!("'{ident}"));
+            } else {
+                args.push(ident.clone());
+                if !is_const {
+                    type_params.push(ident);
+                }
+            }
+        }
+        segment.clear();
+    };
+    for t in inner {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                segment.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                segment.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => flush(&mut segment),
+            _ => segment.push(t),
+        }
+    }
+    flush(&mut segment);
+
+    (decl, args, type_params)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < toks.len() {
+        skip_attrs_and_vis(&toks, &mut pos);
+        if pos >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut pos);
+        // `:`
+        match toks.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle = 0usize;
+        while pos < toks.len() {
+            match &toks[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0usize;
+    let mut saw_content = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if saw_content {
+                    count += 1;
+                    saw_content = false;
+                }
+                continue;
+            }
+            _ => saw_content = true,
+        }
+    }
+    if !saw_content {
+        count -= 1; // trailing comma
+    }
+    count.max(1)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < toks.len() {
+        skip_attrs_and_vis(&toks, &mut pos);
+        if pos >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut pos);
+        let kind = match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        let mut angle = 0usize;
+        while pos < toks.len() {
+            match &toks[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --- code generation ----------------------------------------------------
+
+fn impl_header(def: &TypeDef, trait_name: &str) -> String {
+    let impl_generics = if def.generics_decl.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", def.generics_decl)
+    };
+    let ty_args = if def.generic_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", def.generic_args.join(", "))
+    };
+    let mut bounds: Vec<String> = def
+        .type_params
+        .iter()
+        .map(|p| format!("{p}: ::serde::{trait_name}"))
+        .collect();
+    if !def.where_decl.is_empty() {
+        bounds.push(def.where_decl.clone());
+    }
+    let where_clause = if bounds.is_empty() {
+        String::new()
+    } else {
+        format!(" where {}", bounds.join(", "))
+    };
+    format!(
+        "impl{impl_generics} ::serde::{trait_name} for {}{ty_args}{where_clause}",
+        def.name
+    )
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.data {
+        Data::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(def, "Serialize")
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::get_field(__m, \"{name}\", \"{f}\")?"))
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected map for {name}, found {{}}\", __v.kind())))?;\
+                 ::std::result::Result::Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Data::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected sequence for {name}, found {{}}\", __v.kind())))?;\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements for {name}, found {{}}\", __s.len()))); }}\
+                 ::std::result::Result::Ok(Self({}))",
+                inits.join(", ")
+            )
+        }
+        Data::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__private::get_field(__pm, \"{name}::{vname}\", \"{f}\")?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __pm = __payload.as_map().ok_or_else(|| \
+                                 ::serde::Error::custom(format!(\"expected map payload for {name}::{vname}, found {{}}\", __payload.kind())))?;\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __s = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected sequence payload for {name}::{vname}\"))?;\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple arity for {name}::{vname}\")); }}\
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\
+                   {unit}\
+                   __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                 }},\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\
+                   let (__tag, __payload) = &__m[0];\
+                   match __tag.as_str() {{\
+                     {tagged}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                       format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                   }}\
+                 }},\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                   format!(\"expected variant of {name}, found {{}}\", __other.kind()))),\
+                 }}",
+                unit = unit_arms.join(" "),
+                tagged = tagged_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(def, "Deserialize")
+    )
+}

@@ -24,7 +24,10 @@ pub fn regular_polygon(
     (0..sides)
         .map(|i| {
             let theta = rotation + std::f32::consts::TAU * i as f32 / sides as f32;
-            (center.0 + radius * theta.cos(), center.1 + radius * theta.sin())
+            (
+                center.0 + radius * theta.cos(),
+                center.1 + radius * theta.sin(),
+            )
         })
         .collect()
 }
@@ -41,9 +44,7 @@ pub fn point_in_polygon(point: (f32, f32), vertices: &[(f32, f32)]) -> bool {
     for i in 0..n {
         let (xi, yi) = vertices[i];
         let (xj, yj) = vertices[j];
-        if ((yi > py) != (yj > py))
-            && (px < (xj - xi) * (py - yi) / (yj - yi) + xi)
-        {
+        if ((yi > py) != (yj > py)) && (px < (xj - xi) * (py - yi) / (yj - yi) + xi) {
             inside = !inside;
         }
         j = i;
@@ -63,9 +64,15 @@ fn for_each_polygon_pixel(
     }
     let (h, w) = dims;
     let min_x = vertices.iter().map(|v| v.0).fold(f32::INFINITY, f32::min);
-    let max_x = vertices.iter().map(|v| v.0).fold(f32::NEG_INFINITY, f32::max);
+    let max_x = vertices
+        .iter()
+        .map(|v| v.0)
+        .fold(f32::NEG_INFINITY, f32::max);
     let min_y = vertices.iter().map(|v| v.1).fold(f32::INFINITY, f32::min);
-    let max_y = vertices.iter().map(|v| v.1).fold(f32::NEG_INFINITY, f32::max);
+    let max_y = vertices
+        .iter()
+        .map(|v| v.1)
+        .fold(f32::NEG_INFINITY, f32::max);
     let x0 = (min_x.floor().max(0.0)) as usize;
     let x1 = (max_x.ceil().min(w as f32 - 1.0)).max(0.0) as usize;
     let y0 = (min_y.floor().max(0.0)) as usize;

@@ -11,18 +11,10 @@ use crate::VisionError;
 use relcnn_tensor::{Shape, Tensor};
 
 /// The classic 3×3 Sobel-x kernel (detects vertical edges).
-pub const SOBEL_X_3X3: [[f32; 3]; 3] = [
-    [-1.0, 0.0, 1.0],
-    [-2.0, 0.0, 2.0],
-    [-1.0, 0.0, 1.0],
-];
+pub const SOBEL_X_3X3: [[f32; 3]; 3] = [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]];
 
 /// The classic 3×3 Sobel-y kernel (detects horizontal edges).
-pub const SOBEL_Y_3X3: [[f32; 3]; 3] = [
-    [-1.0, -2.0, -1.0],
-    [0.0, 0.0, 0.0],
-    [1.0, 2.0, 1.0],
-];
+pub const SOBEL_Y_3X3: [[f32; 3]; 3] = [[-1.0, -2.0, -1.0], [0.0, 0.0, 0.0], [1.0, 2.0, 1.0]];
 
 /// Axis of a Sobel derivative.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,7 +62,7 @@ fn pascal_diff_row(n: usize) -> Vec<f32> {
 ///
 /// Returns [`VisionError::BadParameter`] unless `size` is odd and `>= 3`.
 pub fn extended_sobel(size: usize, axis: SobelAxis) -> Result<Tensor, VisionError> {
-    if size < 3 || size % 2 == 0 {
+    if size < 3 || size.is_multiple_of(2) {
         return Err(VisionError::BadParameter {
             reason: format!("sobel size must be odd and >= 3, got {size}"),
         });

@@ -114,7 +114,7 @@ mod tests {
         data.extend(vec![1.0f32; 50]);
         let t = Tensor::from_vec(Shape::d1(1000), data).unwrap();
         let thr = otsu_threshold(&t);
-        assert!(thr >= 0.0 && thr < 1.0);
+        assert!((0.0..1.0).contains(&thr));
         let fg = foreground_fraction(&t, thr);
         assert!((fg - 0.05).abs() < 0.01, "foreground {fg}");
     }

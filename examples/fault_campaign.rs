@@ -8,9 +8,49 @@
 //! ```
 
 use relcnn::core::{HybridCnn, HybridConfig, HybridError};
-use relcnn::faults::{BerInjector, FaultSite, StuckBitInjector};
+use relcnn::faults::{BerInjector, FaultInjector, FaultSite, StuckBitInjector};
 use relcnn::gtsrb::{RenderParams, SignClass, SignRenderer};
+use relcnn::runtime::{
+    CampaignSink, EarlyStop, Engine, RunPlan, Trial, TrialCtx, TrialOutcome, TrialResult,
+};
 use relcnn::tensor::init::Rand;
+use relcnn::tensor::Tensor;
+
+/// One campaign trial: classify `image` under a seeded BER injector.
+///
+/// Each worker clones the network once (`Trial::init`), not once per
+/// trial — the runtime's per-worker-state mechanism.
+struct SeuTrial<'a> {
+    hybrid: &'a HybridCnn,
+    image: &'a Tensor,
+    clean_class: usize,
+    ber: f64,
+}
+
+impl Trial for SeuTrial<'_> {
+    type State = HybridCnn;
+    type Output = TrialResult;
+
+    fn init(&self, _worker_index: usize) -> HybridCnn {
+        self.hybrid.clone()
+    }
+
+    fn run(&self, local: &mut HybridCnn, ctx: &mut TrialCtx) -> TrialResult {
+        let mut injector = BerInjector::new(ctx.seed, self.ber)
+            .with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
+        let outcome = match local.classify_under_faults(self.image, &mut injector) {
+            Ok(v) if v.class() != self.clean_class => TrialOutcome::SilentCorruption,
+            Ok(v) if v.guarantee().recovered > 0 => TrialOutcome::DetectedRecovered,
+            Ok(_) => TrialOutcome::Correct,
+            Err(HybridError::ReliablePathFailed(_)) => TrialOutcome::DetectedAborted,
+            Err(e) => panic!("unexpected classification error: {e}"),
+        };
+        TrialResult {
+            outcome,
+            injector: injector.stats(),
+        }
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = HybridConfig::tiny(5);
@@ -27,36 +67,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         clean.guarantee().ops
     );
 
-    println!("-- transient SEUs at increasing BER (20 runs each) --");
+    // Campaigns run on the relcnn-runtime worker pool: seeded trials,
+    // deterministic aggregates for any thread count. "completed" counts
+    // trials that produced an output (right or wrong); "wrong output" is
+    // the silent subset of those.
+    println!("-- transient SEUs at increasing BER (20 seeded trials each) --");
     println!(
-        "{:>9}{:>10}{:>11}{:>11}{:>9}{:>14}",
-        "ber", "completed", "detected", "recovered", "aborts", "wrong output"
+        "{:>9}{:>10}{:>11}{:>9}{:>14}",
+        "ber", "completed", "recovered", "aborts", "wrong output"
     );
     for ber in [1e-7f64, 1e-6, 1e-5, 1e-4] {
-        let mut completed = 0u32;
-        let mut detected = 0u64;
-        let mut recovered = 0u64;
-        let mut aborts = 0u32;
-        let mut wrong = 0u32;
-        for run in 0..20u64 {
-            let mut injector = BerInjector::new(1000 + run, ber)
-                .with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
-            match hybrid.classify_under_faults(&image, &mut injector) {
-                Ok(v) => {
-                    completed += 1;
-                    detected += v.guarantee().detected;
-                    recovered += v.guarantee().recovered;
-                    if v.class() != clean.class() {
-                        wrong += 1;
-                    }
-                }
-                Err(HybridError::ReliablePathFailed(_)) => aborts += 1,
-                Err(e) => return Err(e.into()),
-            }
-        }
+        let trial = SeuTrial {
+            hybrid: &hybrid,
+            image: &image,
+            clean_class: clean.class(),
+            ber,
+        };
+        let report = Engine::default()
+            .run(
+                &RunPlan::new(20, 1000),
+                &trial,
+                CampaignSink::new(EarlyStop::never()),
+            )
+            .summary;
         println!(
-            "{:>9.0e}{:>10}{:>11}{:>11}{:>9}{:>14}",
-            ber, completed, detected, recovered, aborts, wrong
+            "{:>9.0e}{:>10}{:>11}{:>9}{:>14}",
+            ber,
+            report.trials - report.detected_aborted,
+            report.detected_recovered,
+            report.detected_aborted,
+            report.silent
         );
     }
 
@@ -93,15 +133,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // comparison fails, and the leaky bucket escalates.
     println!("\n-- same defect, spatial redundancy (replica-pinned) --");
     use relcnn::faults::{FaultDuration, FaultKind, ScriptedFault};
-    let mut spatial = relcnn::faults::ScriptedInjector::new((0..500_000u64).map(|op| {
-        ScriptedFault {
+    let mut spatial =
+        relcnn::faults::ScriptedInjector::new((0..500_000u64).map(|op| ScriptedFault {
             op_index: op,
             replica: Some(0),
             site: Some(FaultSite::Multiplier),
-            kind: FaultKind::StuckBit { bit: 30, high: true },
+            kind: FaultKind::StuckBit {
+                bit: 30,
+                high: true,
+            },
             duration: FaultDuration::Permanent,
-        }
-    }));
+        }));
     match hybrid.classify_under_faults(&image, &mut spatial) {
         Err(HybridError::ReliablePathFailed(e)) => {
             println!("explicitly reported, as the paper requires: {e}");

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             verdict.label()
         );
         println!("  confidence ............. {:.3}", verdict.confidence());
-        println!("  safety critical ........ {}", verdict.is_safety_critical());
+        println!(
+            "  safety critical ........ {}",
+            verdict.is_safety_critical()
+        );
         println!("  qualified .............. {}", verdict.is_qualified());
         if let Some(q) = verdict.qualifier() {
             println!(

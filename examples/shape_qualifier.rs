@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stop = renderer.render(SignClass::Stop, &params, &mut rng);
     let verdict = qualifier.assess_image(&rgb_to_gray(&stop)?, ShapeKind::Octagon)?;
     println!("\nstop-sign evidence:");
-    println!("  SAX word ....... {}", verdict.word.as_deref().unwrap_or("-"));
+    println!(
+        "  SAX word ....... {}",
+        verdict.word.as_deref().unwrap_or("-")
+    );
     println!("  MINDIST ........ {:?}", verdict.mindist);
     println!("  radial ratio ... {:.3}", verdict.radial_ratio);
     println!("  corners ........ {}", verdict.corners);

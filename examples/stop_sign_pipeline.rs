@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             total,
             qualified,
             total,
-            if class.is_safety_critical() { "yes" } else { "no" }
+            if class.is_safety_critical() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!(

@@ -18,7 +18,9 @@
 //! * [`vision`] — Sobel edges, centroid and radial shape signatures;
 //! * [`gtsrb`] — synthetic GTSRB-like traffic-sign dataset;
 //! * [`core`] — the hybrid CNN itself: partitioning, shape qualifier,
-//!   result fusion and the end-to-end reliability-guarantee analysis.
+//!   result fusion and the end-to-end reliability-guarantee analysis;
+//! * [`runtime`] — the sharded, multi-threaded campaign & batched-inference
+//!   engine every experiment binary executes on.
 //!
 //! # Quickstart
 //!
@@ -50,6 +52,7 @@ pub use relcnn_faults as faults;
 pub use relcnn_gtsrb as gtsrb;
 pub use relcnn_nn as nn;
 pub use relcnn_relexec as relexec;
+pub use relcnn_runtime as runtime;
 pub use relcnn_sax as sax;
 pub use relcnn_tensor as tensor;
 pub use relcnn_vision as vision;

@@ -87,12 +87,16 @@ fn fault_injection_recovers_and_matches_clean_run() {
     let (mut hybrid, data) = trained_hybrid(300);
     let image = &data.test()[0].image;
     let clean = hybrid.classify(image).expect("clean");
-    let mut injector = BerInjector::new(77, 1e-5)
-        .with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
+    let mut injector =
+        BerInjector::new(77, 1e-5).with_sites(vec![FaultSite::Multiplier, FaultSite::Accumulator]);
     let noisy = hybrid
         .classify_under_faults(image, &mut injector)
         .expect("recovered classification");
-    assert_eq!(clean.class(), noisy.class(), "DMR + rollback masks transients");
+    assert_eq!(
+        clean.class(),
+        noisy.class(),
+        "DMR + rollback masks transients"
+    );
     assert_eq!(noisy.guarantee().detected, noisy.guarantee().recovered);
     assert!(injector.stats().exposures > 0, "injector state advanced");
 }

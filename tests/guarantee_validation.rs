@@ -7,15 +7,14 @@
 //! (plus sampling error), and DMR/TMR detection coverage of
 //! single-replica faults must be total.
 
-use relcnn::core::guarantee::{
-    conv_layer_guarantee, silent_layer_bound, silent_op_probability,
-};
-use relcnn::faults::campaign::{run_campaign, CampaignConfig, TrialOutcome, TrialResult};
+use relcnn::core::guarantee::{conv_layer_guarantee, silent_layer_bound, silent_op_probability};
+use relcnn::faults::campaign::{CampaignConfig, TrialOutcome, TrialResult};
 use relcnn::faults::{BerInjector, FaultInjector, FaultSite};
 use relcnn::relexec::conv::{reliable_conv2d, ConvOutput, ReliableConvConfig};
 use relcnn::relexec::{
     BucketConfig, DmrAlu, ExecError, PlainAlu, RedundancyMode, RetryPolicy, TmrAlu,
 };
+use relcnn::runtime::run_campaign;
 use relcnn::tensor::conv::{conv2d, ConvGeometry};
 use relcnn::tensor::init::{Init, Rand};
 use relcnn::tensor::{Shape, Tensor};
@@ -52,10 +51,7 @@ fn lenient_config() -> ReliableConvConfig {
     }
 }
 
-fn classify_outcome(
-    result: Result<ConvOutput, ExecError>,
-    golden: &Tensor,
-) -> TrialOutcome {
+fn classify_outcome(result: Result<ConvOutput, ExecError>, golden: &Tensor) -> TrialOutcome {
     match result {
         Err(_) => TrialOutcome::DetectedAborted,
         Ok(out) => {
@@ -75,7 +71,11 @@ fn classify_outcome(
     }
 }
 
-fn campaign_for(mode: RedundancyMode, ber: f64, trials: u64) -> relcnn::faults::campaign::CampaignReport {
+fn campaign_for(
+    mode: RedundancyMode,
+    ber: f64,
+    trials: u64,
+) -> relcnn::faults::campaign::CampaignReport {
     let p = problem();
     let config = lenient_config();
     run_campaign(&CampaignConfig::new(trials, 0xBEEF), |seed| {

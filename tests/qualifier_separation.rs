@@ -91,8 +91,12 @@ fn qualifier_determinism_over_dataset() {
     let qualifier = ShapeQualifier::new(QualifierConfig::strict());
     for sample in data.test() {
         let gray = rgb_to_gray(&sample.image).expect("gray");
-        let a = qualifier.assess_image(&gray, ShapeKind::Octagon).expect("a");
-        let b = qualifier.assess_image(&gray, ShapeKind::Octagon).expect("b");
+        let a = qualifier
+            .assess_image(&gray, ShapeKind::Octagon)
+            .expect("a");
+        let b = qualifier
+            .assess_image(&gray, ShapeKind::Octagon)
+            .expect("b");
         assert_eq!(a, b, "verdicts must be bit-identical across runs");
     }
 }
