@@ -1,0 +1,281 @@
+//! CI bench-regression gate.
+//!
+//! Compares the freshly generated `results/runtime_scaling.json` and
+//! `results/skewed_steal.json` (run `cargo bench -p relcnn-bench --bench
+//! runtime_scaling --bench skewed_steal` first) against the committed
+//! baselines in `results/baseline/`, and fails (exit 1) when:
+//!
+//! * latency-bound campaign throughput regresses more than the tolerance
+//!   (default 10%, `RELCNN_GATE_TOLERANCE` overrides, e.g. `0.15`) at any
+//!   worker count — this series is sleep-dominated, so its absolute
+//!   trials/s are comparable across machines;
+//! * the cpu-bound *scaling shape* (each worker count's throughput
+//!   normalised to the same run's 1-worker throughput) falls more than
+//!   the tolerance below the baseline's shape — absolute cpu-bound
+//!   trials/s are raw hardware speed and would false-alarm on any runner
+//!   slower than the baseline machine, so only the ratios are gated;
+//! * the latency-bound 8x/1x speedup drops below the hard 3x floor the
+//!   ROADMAP pins;
+//! * the skewed-workload steal speedup drops below 2x, or more than the
+//!   tolerance below its baseline;
+//! * the skewed steal schedule stops stealing entirely.
+//!
+//! The gate reads artefacts rather than timing anything itself, so it is
+//! cheap to re-run while iterating on a regression.
+
+use serde::Deserialize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Hard floor on the latency-bound 8-worker speedup (ROADMAP contract).
+const MIN_LATENCY_SPEEDUP: f64 = 3.0;
+/// Hard floor on the skewed-workload work-stealing speedup.
+const MIN_STEAL_SPEEDUP: f64 = 2.0;
+
+#[derive(Debug, Deserialize)]
+struct ScalingEntry {
+    workers: u64,
+    trials_per_s: f64,
+    mean_trial_ns: u64,
+    steals: u64,
+}
+
+#[derive(Debug, Deserialize)]
+struct Scaling {
+    bench: String,
+    worker_counts: Vec<u64>,
+    cpu_bound: Vec<ScalingEntry>,
+    latency_bound: Vec<ScalingEntry>,
+    cpu_bound_speedup_8x_over_1x: f64,
+    speedup_8x_over_1x: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct Skewed {
+    bench: String,
+    workers: u64,
+    trials: u64,
+    shards: u64,
+    skew_factor: f64,
+    block_wall_us: u64,
+    steal_wall_us: u64,
+    steal_speedup: f64,
+    steals: u64,
+    chunks_stolen: u64,
+}
+
+fn load<T: Deserialize>(path: &PathBuf) -> Result<T, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "{}: {e} (generate it with `cargo bench -p relcnn-bench \
+             --bench runtime_scaling --bench skewed_steal`)",
+            path.display()
+        )
+    })?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: parse error: {e}", path.display()))
+}
+
+fn tolerance() -> f64 {
+    std::env::var("RELCNN_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.10)
+}
+
+/// Checks a scaling series' *shape*: each worker count's throughput
+/// normalised to the same run's 1-worker throughput, so the comparison is
+/// independent of the host's raw speed. Used for the cpu-bound series,
+/// whose absolute trials/s are pure hardware measurement.
+fn check_series_shape(
+    label: &str,
+    fresh: &[ScalingEntry],
+    baseline: &[ScalingEntry],
+    tol: f64,
+    failures: &mut Vec<String>,
+) {
+    let one_worker = |series: &[ScalingEntry]| {
+        series
+            .iter()
+            .find(|e| e.workers == 1)
+            .map(|e| e.trials_per_s)
+            .filter(|&t| t > 0.0)
+    };
+    let (Some(fresh_1), Some(base_1)) = (one_worker(fresh), one_worker(baseline)) else {
+        failures.push(format!("{label}: missing or zero 1-worker entry"));
+        return;
+    };
+    for base in baseline.iter().filter(|e| e.workers != 1) {
+        let Some(now) = fresh.iter().find(|e| e.workers == base.workers) else {
+            failures.push(format!(
+                "{label}: baseline has workers={} but the fresh run does not",
+                base.workers
+            ));
+            continue;
+        };
+        let base_ratio = base.trials_per_s / base_1;
+        let now_ratio = now.trials_per_s / fresh_1;
+        println!(
+            "  {label:>13} workers={:<2} {:>8.3}x of 1-worker (baseline {:>8.3}x, \
+             {} steals, mean trial {} ns)",
+            now.workers, now_ratio, base_ratio, now.steals, now.mean_trial_ns
+        );
+        if now_ratio < base_ratio * (1.0 - tol) {
+            failures.push(format!(
+                "{label}: scaling shape at workers={} regressed \
+                 ({:.3}x -> {:.3}x of 1-worker throughput, tolerance {:.0}%)",
+                now.workers,
+                base_ratio,
+                now_ratio,
+                tol * 100.0
+            ));
+        }
+    }
+}
+
+/// Checks one scaling series for per-worker-count absolute throughput
+/// regressions (only meaningful for machine-independent, sleep-dominated
+/// series).
+fn check_series(
+    label: &str,
+    fresh: &[ScalingEntry],
+    baseline: &[ScalingEntry],
+    tol: f64,
+    failures: &mut Vec<String>,
+) {
+    for base in baseline {
+        let Some(now) = fresh.iter().find(|e| e.workers == base.workers) else {
+            failures.push(format!(
+                "{label}: baseline has workers={} but the fresh run does not",
+                base.workers
+            ));
+            continue;
+        };
+        let floor = base.trials_per_s * (1.0 - tol);
+        let delta = (now.trials_per_s / base.trials_per_s - 1.0) * 100.0;
+        println!(
+            "  {label:>13} workers={:<2} {:>12.1} trials/s (baseline {:>12.1}, {delta:+.1}%, \
+             {} steals, mean trial {} ns)",
+            now.workers, now.trials_per_s, base.trials_per_s, now.steals, now.mean_trial_ns
+        );
+        if now.trials_per_s < floor {
+            failures.push(format!(
+                "{label}: throughput at workers={} regressed {:.1}% \
+                 ({:.1} -> {:.1} trials/s, tolerance {:.0}%)",
+                now.workers,
+                -delta,
+                base.trials_per_s,
+                now.trials_per_s,
+                tol * 100.0
+            ));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let results = relcnn_bench::results_dir();
+    let baseline_dir = results.join("baseline");
+    let tol = tolerance();
+    let mut failures: Vec<String> = Vec::new();
+
+    println!("bench gate (tolerance {:.0}%)", tol * 100.0);
+
+    let scaling: Result<(Scaling, Scaling), String> = (|| {
+        Ok((
+            load(&results.join("runtime_scaling.json"))?,
+            load(&baseline_dir.join("runtime_scaling.json"))?,
+        ))
+    })();
+    match &scaling {
+        Ok((fresh, base)) => {
+            assert_eq!(fresh.bench, "runtime_scaling");
+            println!(
+                "runtime_scaling: worker counts {:?}, latency 8x/1x {:.2}x \
+                 (baseline {:.2}x), cpu 8x/1x {:.2}x",
+                fresh.worker_counts,
+                fresh.speedup_8x_over_1x,
+                base.speedup_8x_over_1x,
+                fresh.cpu_bound_speedup_8x_over_1x
+            );
+            check_series_shape(
+                "cpu_bound",
+                &fresh.cpu_bound,
+                &base.cpu_bound,
+                tol,
+                &mut failures,
+            );
+            check_series(
+                "latency_bound",
+                &fresh.latency_bound,
+                &base.latency_bound,
+                tol,
+                &mut failures,
+            );
+            if fresh.speedup_8x_over_1x < MIN_LATENCY_SPEEDUP {
+                failures.push(format!(
+                    "runtime_scaling: latency-bound 8x/1x speedup {:.2}x \
+                     dropped below the {MIN_LATENCY_SPEEDUP:.0}x floor",
+                    fresh.speedup_8x_over_1x
+                ));
+            }
+        }
+        Err(e) => failures.push(e.clone()),
+    }
+
+    let skewed: Result<(Skewed, Skewed), String> = (|| {
+        Ok((
+            load(&results.join("skewed_steal.json"))?,
+            load(&baseline_dir.join("skewed_steal.json"))?,
+        ))
+    })();
+    match &skewed {
+        Ok((fresh, base)) => {
+            assert_eq!(fresh.bench, "skewed_steal");
+            println!(
+                "skewed_steal: {} trials / {} shards / {} workers, skew {:.1}: \
+                 block {} us vs steal {} us => {:.2}x (baseline {:.2}x), \
+                 {} steals / {} chunks moved",
+                fresh.trials,
+                fresh.shards,
+                fresh.workers,
+                fresh.skew_factor,
+                fresh.block_wall_us,
+                fresh.steal_wall_us,
+                fresh.steal_speedup,
+                base.steal_speedup,
+                fresh.steals,
+                fresh.chunks_stolen
+            );
+            if fresh.steal_speedup < MIN_STEAL_SPEEDUP {
+                failures.push(format!(
+                    "skewed_steal: steal speedup {:.2}x below the \
+                     {MIN_STEAL_SPEEDUP:.0}x floor",
+                    fresh.steal_speedup
+                ));
+            }
+            if fresh.steal_speedup < base.steal_speedup * (1.0 - tol) {
+                failures.push(format!(
+                    "skewed_steal: steal speedup regressed {:.2}x -> {:.2}x \
+                     (tolerance {:.0}%)",
+                    base.steal_speedup,
+                    fresh.steal_speedup,
+                    tol * 100.0
+                ));
+            }
+            if fresh.steals == 0 {
+                failures.push("skewed_steal: no steals on the skewed schedule".into());
+            }
+        }
+        Err(e) => failures.push(e.clone()),
+    }
+
+    if failures.is_empty() {
+        println!("bench gate: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench gate: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,119 @@
+//! Emits the determinism-matrix JSONL artefact.
+//!
+//! Runs a fixed, skewed, early-aborting fault-injection campaign at a
+//! chosen worker count / chunk size and writes the engine's footerless
+//! JSONL result stream to a file. The stream is a pure function of the
+//! campaign identity `(trials, seed, shards)` — *not* of the worker
+//! count, the chunk size or the steal schedule — so CI runs this binary
+//! at workers 1/2/8 (and different chunkings) and diffs the artefacts
+//! byte for byte.
+//!
+//! ```text
+//! determinism_artifact --workers 8 --chunk 1 --out /tmp/w8.jsonl
+//! ```
+//!
+//! The workload deliberately exercises every determinism hazard at once:
+//! skewed per-trial cost (forcing steals at multi-worker counts), all
+//! four `TrialOutcome` variants, and an escalation early-stop that fires
+//! mid-run (the stop shard must also be schedule-independent).
+
+use relcnn_faults::{BerInjector, FaultInjector, FaultSite, OpContext, SkewedCost};
+use relcnn_runtime::{
+    run_campaign_sink, CampaignConfig, CampaignSink, EarlyStop, JsonlSink, TrialOutcome,
+    TrialResult,
+};
+use std::io::BufWriter;
+use std::time::Duration;
+
+const TRIALS: u64 = 240;
+const BASE_SEED: u64 = 0xD17E;
+const SHARDS: usize = 12;
+
+/// Deterministic trial mixing every outcome; sleeps per [`SkewedCost`] so
+/// multi-worker runs actually steal.
+fn trial(seed: u64) -> TrialResult {
+    let index = seed - BASE_SEED;
+    let cost = SkewedCost::tail(0, 2, TRIALS / 3);
+    std::thread::sleep(Duration::from_millis(cost.evals(index)));
+    let mut inj = BerInjector::new(seed, 0.3).with_sites(vec![FaultSite::Multiplier]);
+    let mut flips = 0u32;
+    for op in 0..16u64 {
+        if inj.perturb(OpContext::new(FaultSite::Multiplier, op), 1.0) != 1.0 {
+            flips += 1;
+        }
+    }
+    let outcome = match flips {
+        0 => TrialOutcome::Correct,
+        1..=3 => TrialOutcome::DetectedRecovered,
+        4..=6 => TrialOutcome::DetectedAborted,
+        _ => TrialOutcome::SilentCorruption,
+    };
+    TrialResult {
+        outcome,
+        injector: inj.stats(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: determinism_artifact --workers N --out PATH [--chunk C] [--no-abort]\n\
+         Writes the footerless JSONL result stream of a fixed skewed campaign."
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut workers = 1usize;
+    let mut chunk = 0u64;
+    let mut out: Option<String> = None;
+    let mut early_stop = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--chunk" => {
+                chunk = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--no-abort" => early_stop = false,
+            _ => usage(),
+        }
+    }
+    let Some(out) = out else { usage() };
+
+    let config = CampaignConfig::new(TRIALS, BASE_SEED)
+        .with_threads(workers)
+        .with_shards(SHARDS)
+        .with_chunk(chunk);
+    let policy = if early_stop {
+        // Fires deep into the shard prefix on this workload — past the
+        // skewed tail's onset — so the artefact witnesses both heavy
+        // stolen chunks and the stop decision.
+        EarlyStop::on_escalations(48)
+    } else {
+        EarlyStop::never()
+    };
+
+    let file = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
+    let sink = JsonlSink::new(BufWriter::new(file), CampaignSink::new(policy)).without_footer();
+    let outcome = run_campaign_sink(&config, sink, trial);
+
+    eprintln!(
+        "{out}: workers={workers} chunk={chunk} trials={} shards={}/{} aborted={} \
+         steals={} safety={:.4}",
+        outcome.summary.trials,
+        outcome.stats.shards,
+        outcome.stats.planned_shards,
+        outcome.stats.aborted,
+        outcome.stats.steals,
+        outcome.summary.safety_rate()
+    );
+}

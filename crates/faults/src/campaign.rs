@@ -56,7 +56,10 @@ pub struct TrialResult {
 /// Worker-thread count is an *execution* knob: it never changes the
 /// aggregate statistics. The runtime partitions trials into `shards`
 /// fixed, scheduling-independent blocks, so a campaign's results are a
-/// pure function of `(trials, base_seed, shards)`.
+/// pure function of `(trials, base_seed, shards)`. The `chunk` size is
+/// even weaker: it only tunes work-stealing granularity and does not
+/// change results at all (any chunking of the same shards aggregates
+/// identically).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Number of independent trials.
@@ -69,17 +72,22 @@ pub struct CampaignConfig {
     /// Work-queue shards (0 = runtime default). Part of the experiment's
     /// identity: shard boundaries fix the early-abort decision points.
     pub shards: usize,
+    /// Trials per work-stealing chunk (0 = runtime default). Pure
+    /// scheduling knob: smaller chunks rebalance skewed trial costs
+    /// better at slightly higher queue traffic.
+    pub chunk: u64,
 }
 
 impl CampaignConfig {
     /// Creates a config with the given trial count and seed, auto
-    /// threads/shards.
+    /// threads/shards/chunking.
     pub fn new(trials: u64, base_seed: u64) -> Self {
         CampaignConfig {
             trials,
             base_seed,
             threads: 0,
             shards: 0,
+            chunk: 0,
         }
     }
 
@@ -92,6 +100,12 @@ impl CampaignConfig {
     /// Overrides the shard count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Overrides the work-stealing chunk size.
+    pub fn with_chunk(mut self, chunk: u64) -> Self {
+        self.chunk = chunk;
         self
     }
 }

@@ -32,6 +32,7 @@
 
 pub mod bits;
 pub mod campaign;
+pub mod skew;
 
 mod injector;
 mod model;
@@ -41,3 +42,4 @@ pub use injector::{
     StuckBitInjector,
 };
 pub use model::{FaultDuration, FaultKind, FaultSite, OpContext};
+pub use skew::SkewedCost;

@@ -71,7 +71,10 @@ impl BatchClassify for HybridCnn {
         images: &[Tensor],
     ) -> RunOutcome<Result<Vec<QualifiedClassification>, HybridError>> {
         // One image per trial; seeds are irrelevant (fault-free path).
-        let plan = RunPlan::new(images.len() as u64, 0);
+        // Chunk size 1: per-image latency varies (early-abort qualification
+        // paths), so the finest stealing granularity keeps the pool busy —
+        // and chunking never changes the verdicts.
+        let plan = RunPlan::new(images.len() as u64, 0).with_chunk(1);
         let outcome = engine.run(
             &plan,
             &ClassifyTrial {

@@ -118,6 +118,9 @@ fn plan_of(config: &CampaignConfig) -> RunPlan {
     if config.shards > 0 {
         plan = plan.with_shards(config.shards);
     }
+    if config.chunk > 0 {
+        plan = plan.with_chunk(config.chunk);
+    }
     plan
 }
 

@@ -1,31 +1,54 @@
-//! The sharded worker-pool execution engine.
+//! The work-stealing worker-pool execution engine.
 //!
 //! # Determinism model
 //!
 //! A run partitions `trials` into a fixed number of *shards* — contiguous
 //! index blocks whose count depends only on the [`RunPlan`], never on the
-//! worker count. Each shard owns a ChaCha8 stream derived from
-//! `(plan.seed, shard_index)`, so the values a trial draws are a pure
-//! function of the plan. Workers claim shards from an atomic queue in any
-//! order, but results are buffered and released to the [`Sink`] in shard
-//! order (and in trial order within a shard). Aggregation therefore sees
-//! exactly the same stream of results whether the pool has 1 worker or 64,
-//! and the sink's [`checkpoint`](Sink::checkpoint) early-abort decision —
-//! evaluated once per shard, on the contiguous prefix of completed shards —
-//! is scheduling-independent too: a stopped run always aggregates shards
-//! `0..k` for a deterministic `k`.
+//! worker count — and each shard into fixed-size *chunks*, the unit of
+//! scheduling. Each shard owns a ChaCha8 stream derived from
+//! `(plan.seed, shard_index)`; a chunk starting at in-shard offset `t`
+//! *seeks* that stream to word `2t` ([`chunk_rng`]), so the words a trial
+//! draws are identical whether its chunk ran in place, ran first, or was
+//! stolen — and identical to a fully sequential execution.
+//!
+//! Workers drain a local chunk deque and steal the back half of a victim's
+//! deque when dry (see [`sched`](crate::sched) internals). Results are
+//! buffered and released to the [`Sink`] strictly in `(shard, chunk)`
+//! order — the *completed-chunk watermark*. Aggregation therefore sees
+//! exactly the same stream of results whether the pool has 1 worker or 64
+//! and whether any chunk was stolen. The sink's
+//! [`checkpoint`](Sink::checkpoint) early-abort decision is evaluated once
+//! per shard, when the watermark crosses a shard boundary, on the
+//! contiguous prefix of completed shards — so a stopped run always
+//! aggregates shards `0..k` for a scheduling-independent `k`.
 
+pub use crate::sched::WorkerStats;
+use crate::sched::{Chunk, Claim, StealQueue};
 use crate::sink::{Control, Sink};
 use crate::trial::{Trial, TrialCtx};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// Default shard count when the plan does not pin one.
 pub const DEFAULT_SHARDS: usize = 64;
+
+/// Default chunks per shard when the plan does not pin a chunk size:
+/// enough granularity for stealing to split a skewed shard, coarse enough
+/// that scheduling stays off the profile.
+pub const DEFAULT_CHUNKS_PER_SHARD: u64 = 4;
+
+/// Floor on the *auto* chunk size: an auto chunk is never smaller than
+/// `min(MIN_AUTO_CHUNK, shard length)` trials, so shards of up to
+/// `MIN_AUTO_CHUNK` trials stay whole (per-chunk messaging cost identical
+/// to whole-shard claiming on fine-shard plans) and longer shards split
+/// into at most `len / MIN_AUTO_CHUNK`-ish pieces rather than the full
+/// [`DEFAULT_CHUNKS_PER_SHARD`]. Explicit [`RunPlan::with_chunk`]
+/// overrides ignore this floor.
+pub const MIN_AUTO_CHUNK: u64 = 32;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,7 +60,9 @@ pub struct EngineConfig {
 /// What to execute: the deterministic identity of a run.
 ///
 /// Two runs with equal plans produce bit-identical sink streams,
-/// regardless of the engine's worker count.
+/// regardless of the engine's worker count. The chunk size is *not* part
+/// of the result's identity: chunking only changes scheduling granularity,
+/// never a trial's inputs, so any `chunk` value yields the same stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunPlan {
     /// Number of trials.
@@ -46,21 +71,35 @@ pub struct RunPlan {
     pub seed: u64,
     /// Shard count (0 = `min(DEFAULT_SHARDS, trials)`).
     pub shards: usize,
+    /// Trials per scheduling chunk (0 = shard length divided by
+    /// [`DEFAULT_CHUNKS_PER_SHARD`], at least 1).
+    pub chunk: u64,
 }
 
 impl RunPlan {
-    /// A plan with the default shard count.
+    /// A plan with the default shard count and chunk size.
     pub fn new(trials: u64, seed: u64) -> Self {
         RunPlan {
             trials,
             seed,
             shards: 0,
+            chunk: 0,
         }
     }
 
-    /// Overrides the shard count (clamped to at least 1 at run time).
+    /// Overrides the shard count (clamped to `1..=trials` at run time, so
+    /// `shards > trials` can never produce empty shards that would stall
+    /// the completed-chunk watermark).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Overrides the chunk size (clamped to at least 1 at run time;
+    /// values larger than a shard mean one chunk per shard, i.e. PR 1's
+    /// whole-shard claiming granularity).
+    pub fn with_chunk(mut self, chunk: u64) -> Self {
+        self.chunk = chunk;
         self
     }
 
@@ -73,6 +112,19 @@ impl RunPlan {
         requested.min(self.trials.max(1) as usize)
     }
 
+    /// Chunk size actually used: clamped so every shard yields at least
+    /// one and at most `shard_len` chunks, with the auto default never
+    /// splitting below [`MIN_AUTO_CHUNK`] trials per chunk.
+    fn effective_chunk(&self, shards: usize) -> u64 {
+        if self.chunk > 0 {
+            return self.chunk;
+        }
+        let base = (self.trials / shards.max(1) as u64).max(1);
+        base.div_ceil(DEFAULT_CHUNKS_PER_SHARD)
+            .max(MIN_AUTO_CHUNK)
+            .min(base)
+    }
+
     /// Trial-index range of one shard (balanced contiguous blocks).
     fn shard_range(&self, shard: usize, shards: usize) -> std::ops::Range<u64> {
         let shards_u = shards as u64;
@@ -82,6 +134,33 @@ impl RunPlan {
         let start = s * base + s.min(rem);
         let len = base + u64::from(s < rem);
         start..start + len
+    }
+
+    /// The full chunk schedule in `(shard, chunk)` order, plus the number
+    /// of chunks per shard (the aggregator's watermark table).
+    fn chunk_schedule(&self, shards: usize, chunk_size: u64) -> (Vec<Chunk>, Vec<usize>) {
+        let mut chunks = Vec::new();
+        let mut counts = vec![0usize; shards];
+        for (shard, count) in counts.iter_mut().enumerate() {
+            let range = self.shard_range(shard, shards);
+            let len = range.end - range.start;
+            let mut offset = 0u64;
+            let mut ordinal = 0usize;
+            while offset < len {
+                let take = chunk_size.min(len - offset);
+                chunks.push(Chunk {
+                    shard,
+                    chunk: ordinal,
+                    start: range.start + offset,
+                    shard_offset: offset,
+                    len: take,
+                });
+                offset += take;
+                ordinal += 1;
+            }
+            *count = ordinal;
+        }
+        (chunks, counts)
     }
 }
 
@@ -96,11 +175,26 @@ pub fn shard_rng(campaign_seed: u64, shard_index: u64) -> ChaCha8Rng {
     rng
 }
 
+/// The shard stream of `(campaign_seed, shard_index)`, seeked to the
+/// word position owned by the trial at in-shard offset `shard_offset`.
+///
+/// The engine draws one `u64` (two stream words) per trial to seed the
+/// trial's private RNG, so the trial at in-shard offset `t` owns words
+/// `2t, 2t + 1`. Seeking instead of replaying the prefix is what lets a
+/// stolen chunk start mid-shard and still draw exactly the words a
+/// sequential execution would have handed it.
+pub fn chunk_rng(campaign_seed: u64, shard_index: u64, shard_offset: u64) -> ChaCha8Rng {
+    let mut rng = shard_rng(campaign_seed, shard_index);
+    rng.set_word_pos(2 * shard_offset as u128);
+    rng
+}
+
 /// Observability counters for one engine run.
 ///
-/// Timing fields describe the *execution* and are not part of the
-/// deterministic result; everything the sink aggregated is.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Timing and scheduling fields (wall, busy, idle, steals, per-worker
+/// detail) describe the *execution* and are not part of the deterministic
+/// result; everything the sink aggregated is.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Trials whose results reached the sink.
     pub trials: u64,
@@ -108,54 +202,103 @@ pub struct RunStats {
     pub shards: usize,
     /// Shards the plan would have run without an early abort.
     pub planned_shards: usize,
+    /// Chunks whose results reached the sink.
+    pub chunks: u64,
+    /// Chunks the plan would have run without an early abort.
+    pub planned_chunks: u64,
     /// Worker threads used.
     pub workers: usize,
     /// Whether a sink checkpoint stopped the run early.
     pub aborted: bool,
+    /// Successful steal operations across all workers.
+    pub steals: u64,
+    /// Chunks that moved between worker deques via stealing.
+    pub chunks_stolen: u64,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
-    /// Sum of per-shard execution time across workers (busy time).
+    /// Sum of per-chunk execution time over *aggregated* chunks (busy
+    /// time the sink's results cost).
     pub busy: Duration,
+    /// Sum over workers of lifetime not spent executing trials
+    /// (claim/steal scans, sends, tail starvation).
+    pub idle: Duration,
     /// Aggregated trials per wall-clock second.
     pub throughput: f64,
     /// Mean per-trial execution time (busy time / trials).
     pub mean_trial: Duration,
-    /// Longest single-shard execution time (tail latency proxy).
+    /// Longest single-shard execution time: the sum of a shard's chunk
+    /// times, i.e. what the shard would have cost unsplit (tail latency
+    /// proxy).
     pub max_shard: Duration,
+    /// Per-worker scheduling counters, indexed by worker. Worker `busy`
+    /// here counts *executed* chunks, including any discarded past an
+    /// early abort, so it can exceed the run-level `busy`.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 impl RunStats {
-    fn new(workers: usize, planned_shards: usize) -> Self {
+    fn new(workers: usize, planned_shards: usize, planned_chunks: u64) -> Self {
         RunStats {
             trials: 0,
             shards: 0,
             planned_shards,
+            chunks: 0,
+            planned_chunks,
             workers,
             aborted: false,
+            steals: 0,
+            chunks_stolen: 0,
             wall: Duration::ZERO,
             busy: Duration::ZERO,
+            idle: Duration::ZERO,
             throughput: 0.0,
             mean_trial: Duration::ZERO,
             max_shard: Duration::ZERO,
+            worker_stats: Vec::new(),
         }
     }
 
     /// Renders the counters as a JSON object (for JSONL run logs).
     pub fn to_json(&self) -> String {
+        let workers_detail = self
+            .worker_stats
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"worker\":{},\"chunks_run\":{},\"steals\":{},\"chunks_stolen\":{},\
+                     \"busy_us\":{},\"idle_us\":{}}}",
+                    w.worker,
+                    w.chunks_run,
+                    w.steals,
+                    w.chunks_stolen,
+                    w.busy.as_micros(),
+                    w.idle.as_micros()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\"trials\":{},\"shards\":{},\"planned_shards\":{},\"workers\":{},\
-             \"aborted\":{},\"wall_us\":{},\"busy_us\":{},\"throughput_per_s\":{:.3},\
-             \"mean_trial_ns\":{},\"max_shard_us\":{}}}",
+            "{{\"trials\":{},\"shards\":{},\"planned_shards\":{},\"chunks\":{},\
+             \"planned_chunks\":{},\"workers\":{},\"aborted\":{},\"steals\":{},\
+             \"chunks_stolen\":{},\"wall_us\":{},\"busy_us\":{},\"idle_us\":{},\
+             \"throughput_per_s\":{:.3},\"mean_trial_ns\":{},\"max_shard_us\":{},\
+             \"workers_detail\":[{}]}}",
             self.trials,
             self.shards,
             self.planned_shards,
+            self.chunks,
+            self.planned_chunks,
             self.workers,
             self.aborted,
+            self.steals,
+            self.chunks_stolen,
             self.wall.as_micros(),
             self.busy.as_micros(),
+            self.idle.as_micros(),
             self.throughput,
             self.mean_trial.as_nanos(),
-            self.max_shard.as_micros()
+            self.max_shard.as_micros(),
+            workers_detail
         )
     }
 }
@@ -169,8 +312,10 @@ pub struct RunOutcome<S> {
     pub stats: RunStats,
 }
 
-struct ShardBatch<T> {
+struct ChunkBatch<T> {
     shard: usize,
+    chunk: usize,
+    start: u64,
     elapsed: Duration,
     results: Vec<T>,
 }
@@ -195,7 +340,7 @@ impl Engine {
         }
     }
 
-    fn effective_workers(&self, shards: usize) -> usize {
+    fn effective_workers(&self, chunks: usize) -> usize {
         let requested = if self.config.workers > 0 {
             self.config.workers
         } else {
@@ -203,7 +348,7 @@ impl Engine {
                 .map(|n| n.get())
                 .unwrap_or(1)
         };
-        requested.clamp(1, shards.max(1))
+        requested.clamp(1, chunks.max(1))
     }
 
     /// Runs `plan.trials` trials through the worker pool, streaming
@@ -219,82 +364,143 @@ impl Engine {
         S: Sink<T::Output>,
     {
         let shards = plan.effective_shards();
-        let workers = self.effective_workers(shards);
-        let mut stats = RunStats::new(workers, shards);
+        let chunk_size = plan.effective_chunk(shards);
+        let (chunks, chunk_counts) = if plan.trials > 0 {
+            plan.chunk_schedule(shards, chunk_size)
+        } else {
+            (Vec::new(), vec![0; shards])
+        };
+        let workers = self.effective_workers(chunks.len());
+        let mut stats = RunStats::new(workers, shards, chunks.len() as u64);
         let started = Instant::now();
 
         if plan.trials > 0 {
-            let next_shard = AtomicUsize::new(0);
+            let queue = StealQueue::deal(chunks, workers);
             let cancel = AtomicBool::new(false);
-            let (tx, rx) = mpsc::channel::<ShardBatch<T::Output>>();
+            let (tx, rx) = mpsc::channel::<ChunkBatch<T::Output>>();
 
             std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
                 for worker_index in 0..workers {
                     let tx = tx.clone();
-                    let next_shard = &next_shard;
+                    let queue = &queue;
                     let cancel = &cancel;
-                    scope.spawn(move || {
+                    handles.push(scope.spawn(move || {
+                        let born = Instant::now();
+                        let mut ws = WorkerStats {
+                            worker: worker_index,
+                            ..WorkerStats::default()
+                        };
                         let mut state = trial.init(worker_index);
-                        loop {
-                            let shard = next_shard.fetch_add(1, Ordering::Relaxed);
-                            if shard >= shards || cancel.load(Ordering::Relaxed) {
+                        while !cancel.load(Ordering::Relaxed) {
+                            let Some(claim) = queue.claim(worker_index) else {
+                                // Every deque is dry; steals move chunks
+                                // atomically, so whatever remains is
+                                // already executing on another worker.
                                 break;
+                            };
+                            if let Claim::Stolen { taken, .. } = claim {
+                                ws.steals += 1;
+                                ws.chunks_stolen += taken as u64;
                             }
-                            let range = plan.shard_range(shard, shards);
-                            let mut rng = shard_rng(plan.seed, shard as u64);
+                            let chunk = claim.chunk();
                             let t0 = Instant::now();
-                            let mut results =
-                                Vec::with_capacity((range.end - range.start) as usize);
-                            for index in range {
+                            let mut rng =
+                                chunk_rng(plan.seed, chunk.shard as u64, chunk.shard_offset);
+                            let mut results = Vec::with_capacity(chunk.len as usize);
+                            for offset in 0..chunk.len {
+                                let index = chunk.start + offset;
                                 let mut ctx = TrialCtx {
                                     index,
-                                    shard,
+                                    shard: chunk.shard,
                                     seed: plan.seed.wrapping_add(index),
                                     rng: ChaCha8Rng::seed_from_u64(rng.random::<u64>()),
                                 };
                                 results.push(trial.run(&mut state, &mut ctx));
                             }
-                            let batch = ShardBatch {
-                                shard,
-                                elapsed: t0.elapsed(),
+                            let elapsed = t0.elapsed();
+                            ws.busy += elapsed;
+                            ws.chunks_run += 1;
+                            let batch = ChunkBatch {
+                                shard: chunk.shard,
+                                chunk: chunk.chunk,
+                                start: chunk.start,
+                                elapsed,
                                 results,
                             };
                             if tx.send(batch).is_err() {
                                 break;
                             }
                         }
-                    });
+                        ws.idle = born.elapsed().saturating_sub(ws.busy);
+                        ws
+                    }));
                 }
                 drop(tx);
 
-                // The calling thread is the aggregator: it releases shard
-                // batches to the sink in shard order and evaluates the
-                // early-abort checkpoint on the completed prefix.
-                let mut pending: BTreeMap<usize, ShardBatch<T::Output>> = BTreeMap::new();
-                let mut frontier = 0usize;
+                // The calling thread is the aggregator: it releases chunk
+                // batches to the sink in (shard, chunk) order and
+                // evaluates the early-abort checkpoint whenever the
+                // watermark crosses a shard boundary.
+                let mut pending: BTreeMap<(usize, usize), ChunkBatch<T::Output>> = BTreeMap::new();
+                let mut frontier_shard = 0usize;
+                let mut frontier_chunk = 0usize;
+                let mut shard_elapsed = Duration::ZERO;
+                // Defensive: step over shards the schedule gave no chunks
+                // (impossible after the shards<=trials clamp, but an empty
+                // shard must never stall the watermark).
+                while frontier_shard < shards && chunk_counts[frontier_shard] == 0 {
+                    frontier_shard += 1;
+                }
+                stats.shards = frontier_shard;
                 while let Ok(batch) = rx.recv() {
                     if stats.aborted {
                         continue; // drain: results beyond the abort point are discarded
                     }
-                    pending.insert(batch.shard, batch);
-                    while let Some(batch) = pending.remove(&frontier) {
+                    pending.insert((batch.shard, batch.chunk), batch);
+                    'release: while let Some(batch) =
+                        pending.remove(&(frontier_shard, frontier_chunk))
+                    {
                         stats.trials += batch.results.len() as u64;
+                        stats.chunks += 1;
                         stats.busy += batch.elapsed;
-                        stats.max_shard = stats.max_shard.max(batch.elapsed);
-                        let base_index = plan.shard_range(frontier, shards).start;
+                        shard_elapsed += batch.elapsed;
+                        let start = batch.start;
                         for (offset, result) in batch.results.into_iter().enumerate() {
-                            sink.absorb(base_index + offset as u64, result);
+                            sink.absorb(start + offset as u64, result);
                         }
-                        frontier += 1;
-                        stats.shards = frontier;
-                        if matches!(sink.checkpoint(frontier - 1), Control::Stop)
-                            && frontier < shards
-                        {
-                            stats.aborted = true;
-                            cancel.store(true, Ordering::Relaxed);
-                            pending.clear();
-                            break;
+                        frontier_chunk += 1;
+                        if frontier_chunk == chunk_counts[frontier_shard] {
+                            stats.max_shard = stats.max_shard.max(shard_elapsed);
+                            shard_elapsed = Duration::ZERO;
+                            let completed = frontier_shard;
+                            frontier_shard += 1;
+                            frontier_chunk = 0;
+                            while frontier_shard < shards && chunk_counts[frontier_shard] == 0 {
+                                frontier_shard += 1;
+                            }
+                            stats.shards = frontier_shard;
+                            if matches!(sink.checkpoint(completed), Control::Stop)
+                                && frontier_shard < shards
+                            {
+                                stats.aborted = true;
+                                cancel.store(true, Ordering::Relaxed);
+                                pending.clear();
+                                break 'release;
+                            }
                         }
+                    }
+                }
+
+                for handle in handles {
+                    match handle.join() {
+                        Ok(ws) => {
+                            stats.steals += ws.steals;
+                            stats.chunks_stolen += ws.chunks_stolen;
+                            stats.idle += ws.idle;
+                            stats.worker_stats.push(ws);
+                        }
+                        Err(payload) => std::panic::resume_unwind(payload),
                     }
                 }
             });
@@ -332,6 +538,19 @@ mod tests {
     }
 
     #[test]
+    fn chunk_schedule_partitions_every_shard() {
+        let plan = RunPlan::new(103, 0).with_shards(8).with_chunk(5);
+        let (chunks, counts) = plan.chunk_schedule(8, 5);
+        assert_eq!(counts.iter().sum::<usize>(), chunks.len());
+        let mut covered = Vec::new();
+        for c in &chunks {
+            assert!(c.len <= 5 && c.len > 0);
+            covered.extend(c.start..c.start + c.len);
+        }
+        assert_eq!(covered, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn results_arrive_in_index_order_any_worker_count() {
         let plan = RunPlan::new(200, 42).with_shards(16);
         for workers in [1, 2, 8] {
@@ -360,6 +579,18 @@ mod tests {
     }
 
     #[test]
+    fn chunk_rng_is_the_seeked_shard_stream() {
+        // Drawing trials 0..n sequentially from the shard stream must
+        // equal drawing each trial from a chunk_rng seeked to it.
+        let mut seq = shard_rng(11, 2);
+        let sequential: Vec<u64> = (0..20).map(|_| seq.random::<u64>()).collect();
+        for (t, expected) in sequential.iter().enumerate() {
+            let mut rng = chunk_rng(11, 2, t as u64);
+            assert_eq!(rng.random::<u64>(), *expected, "trial offset {t}");
+        }
+    }
+
+    #[test]
     fn trial_rng_independent_of_worker_count() {
         let plan = RunPlan::new(64, 9).with_shards(8);
         let run = |workers| {
@@ -372,6 +603,84 @@ mod tests {
                 .summary
         };
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn trial_rng_independent_of_chunk_size() {
+        // The satellite contract: chunk size 1, whole-shard chunks and the
+        // auto default all produce identical aggregates — even for trials
+        // that consume ctx.rng.
+        let summaries: Vec<Vec<u64>> = [0u64, 1, 3, 64]
+            .iter()
+            .map(|&chunk| {
+                let plan = RunPlan::new(96, 13).with_shards(6).with_chunk(chunk);
+                Engine::with_workers(4)
+                    .run(
+                        &plan,
+                        &FnTrial::new(|ctx: &mut TrialCtx| ctx.rng.random::<u64>()),
+                        CollectSink::new(),
+                    )
+                    .summary
+            })
+            .collect();
+        for s in &summaries[1..] {
+            assert_eq!(s, &summaries[0]);
+        }
+    }
+
+    #[test]
+    fn shards_exceeding_trials_never_stall() {
+        // Regression: shards > trials (with any chunk size) must clamp to
+        // non-empty shards instead of stalling the watermark.
+        for (trials, shards, chunk) in [(3u64, 10usize, 7u64), (1, 64, 1), (5, 5, 100)] {
+            let plan = RunPlan::new(trials, 1)
+                .with_shards(shards)
+                .with_chunk(chunk);
+            let outcome = Engine::with_workers(8).run(
+                &plan,
+                &FnTrial::new(|ctx: &mut TrialCtx| ctx.index),
+                CollectSink::new(),
+            );
+            assert_eq!(
+                outcome.summary,
+                (0..trials).collect::<Vec<_>>(),
+                "trials={trials} shards={shards} chunk={chunk}"
+            );
+            assert_eq!(outcome.stats.shards, outcome.stats.planned_shards);
+            assert!(!outcome.stats.aborted);
+        }
+    }
+
+    #[test]
+    fn skewed_workload_steals_and_stays_deterministic() {
+        // One pathologically slow shard: the other workers go dry and must
+        // steal its chunks. The aggregate still matches the 1-worker run.
+        let plan = RunPlan::new(32, 5).with_shards(4).with_chunk(1);
+        let slow_trial = FnTrial::new(|ctx: &mut TrialCtx| {
+            if ctx.index < 8 {
+                std::thread::sleep(Duration::from_millis(4));
+            }
+            ctx.rng.random::<u64>()
+        });
+        let serial = Engine::with_workers(1)
+            .run(&plan, &slow_trial, CollectSink::new())
+            .summary;
+        let outcome = Engine::with_workers(4).run(&plan, &slow_trial, CollectSink::new());
+        assert_eq!(outcome.summary, serial);
+        assert!(
+            outcome.stats.steals > 0,
+            "expected steals on a skewed workload: {:?}",
+            outcome.stats
+        );
+        assert_eq!(outcome.stats.chunks_stolen as usize, {
+            outcome
+                .stats
+                .worker_stats
+                .iter()
+                .map(|w| w.chunks_stolen as usize)
+                .sum::<usize>()
+        });
+        assert_eq!(outcome.stats.worker_stats.len(), 4);
     }
 
     #[test]
@@ -396,5 +705,7 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"trials\":10"));
         assert!(json.contains("throughput_per_s"));
+        assert!(json.contains("\"steals\":"));
+        assert!(json.contains("workers_detail"));
     }
 }

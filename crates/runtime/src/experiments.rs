@@ -90,8 +90,12 @@ pub fn fig4_filter_sweep_parallel(
         })?
         .out_channels();
 
+    // One filter per shard and per chunk: sweep evaluation cost varies by
+    // filter, so stolen single-trial chunks keep the tail short.
     let outcome = engine.run(
-        &RunPlan::new(filters as u64, 0).with_shards(filters),
+        &RunPlan::new(filters as u64, 0)
+            .with_shards(filters)
+            .with_chunk(1),
         &SweepTrial {
             net,
             test: &test,

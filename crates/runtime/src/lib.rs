@@ -8,31 +8,40 @@
 //! ## Architecture
 //!
 //! ```text
-//!   RunPlan { trials, seed, shards }
-//!        │            ┌──────────────┐  claim shard   ┌─────────┐
-//!        ├── shards ──│ atomic queue │───────────────▶│ worker 0│──┐
-//!        │            └──────────────┘        ...     │ ...     │  │ ShardBatch
-//!        │                                            │ worker N│──┤ (mpsc)
-//!        │                                            └─────────┘  ▼
-//!        │        prefix-ordered release        ┌──────────────────────┐
+//!   RunPlan { trials, seed, shards, chunk }
+//!        │             ┌────────────────┐ pop front  ┌─────────┐
+//!        ├─ shards ────│ deque worker 0 │───────────▶│ worker 0│──┐
+//!        │  × chunks   │ deque ...      │ steal back │ ...     │  │ ChunkBatch
+//!        │             │ deque worker N │◀──half────▶│ worker N│──┤ (mpsc)
+//!        │             └────────────────┘            └─────────┘  ▼
+//!        │      (shard, chunk)-ordered release  ┌──────────────────────┐
 //!        └─────────────────────────────────────▶│ aggregator  ──▶ Sink │
-//!                 checkpoint / early-abort      └──────────────────────┘
+//!              shard-boundary checkpoint/abort  └──────────────────────┘
 //! ```
 //!
 //! * **Deterministic sharding** — trials are split into fixed contiguous
-//!   shards; each shard's RNG stream is derived from
-//!   `(campaign_seed, shard_index)` via ChaCha8. Thread count is pure
+//!   shards, and shards into fixed-size scheduling *chunks*; each shard's
+//!   RNG stream is derived from `(campaign_seed, shard_index)` via
+//!   ChaCha8, and a chunk *seeks* that stream to its own offset
+//!   ([`chunk_rng`]), so a trial's inputs never depend on which worker
+//!   ran its chunk. Thread count, chunk size and steal schedule are pure
 //!   execution detail: aggregates are **bit-identical** at 1, 2 or 64
-//!   workers.
+//!   workers, chunked coarse or fine, stolen or not.
+//! * **Work stealing** — workers drain their own chunk deque and steal
+//!   the back half of a victim's when dry, so one pathologically
+//!   expensive shard (an escalation-heavy fault-injection run) no longer
+//!   pins its whole cost on a single worker while the rest idle.
 //! * **Streaming aggregation** — a [`Sink`] sees results in trial order
+//!   (the aggregator re-orders completed chunks on a per-shard watermark)
 //!   and may stop the run at any shard boundary
 //!   ([`Sink::checkpoint`]), e.g. once a confidence interval is tight
 //!   enough ([`EarlyStop::on_ci_width`]) or the leaky bucket escalated
 //!   ([`EarlyStop::on_escalations`]). Abort decisions only ever see the
 //!   completed shard *prefix*, so they are scheduling-independent too.
 //! * **Observability** — every run yields [`RunStats`] (throughput,
-//!   busy time, mean trial latency, tail shard latency) and results can
-//!   be teed to a JSONL artefact with [`JsonlSink`].
+//!   busy/idle time, steal counts, per-worker detail via
+//!   [`WorkerStats`], tail shard latency) and results can be teed to a
+//!   JSONL artefact with [`JsonlSink`].
 //!
 //! ## Quickstart: a campaign
 //!
@@ -71,6 +80,7 @@ mod batch;
 pub mod campaign;
 mod engine;
 pub mod experiments;
+mod sched;
 mod sink;
 mod trial;
 
@@ -79,6 +89,9 @@ pub use campaign::{
     run_campaign, run_campaign_sink, run_campaign_with, CampaignConfig, CampaignReport,
     CampaignSink, EarlyStop, TrialOutcome, TrialResult,
 };
-pub use engine::{shard_rng, Engine, EngineConfig, RunOutcome, RunPlan, RunStats, DEFAULT_SHARDS};
+pub use engine::{
+    chunk_rng, shard_rng, Engine, EngineConfig, RunOutcome, RunPlan, RunStats, WorkerStats,
+    DEFAULT_CHUNKS_PER_SHARD, DEFAULT_SHARDS, MIN_AUTO_CHUNK,
+};
 pub use sink::{CollectSink, Control, CountSink, JsonlSink, Sink};
 pub use trial::{FnTrial, Trial, TrialCtx};

@@ -65,8 +65,13 @@ impl<T> Sink<T> for CollectSink<T> {
 /// Writes every result as one JSON line (`{"trial":i,"result":...}`),
 /// then forwards it to an inner sink.
 ///
-/// The trailing line of the stream is a run footer with the engine's
-/// throughput/latency counters, so a JSONL artefact is self-describing.
+/// By default the trailing line of the stream is a run footer with the
+/// engine's throughput/latency counters, so a JSONL artefact is
+/// self-describing. The result lines are deterministic (bit-identical at
+/// any worker count / chunk size / steal schedule); the footer records
+/// the *execution* and is not. Disable it with
+/// [`without_footer`](JsonlSink::without_footer) to get a byte-for-byte
+/// reproducible artefact — the determinism CI matrix diffs exactly that.
 ///
 /// # Panics
 ///
@@ -76,12 +81,25 @@ impl<T> Sink<T> for CollectSink<T> {
 pub struct JsonlSink<W: Write, S> {
     writer: W,
     inner: S,
+    footer: bool,
 }
 
 impl<W: Write, S> JsonlSink<W, S> {
     /// Wraps `writer`, forwarding results to `inner`.
     pub fn new(writer: W, inner: S) -> Self {
-        JsonlSink { writer, inner }
+        JsonlSink {
+            writer,
+            inner,
+            footer: true,
+        }
+    }
+
+    /// Suppresses the run footer: the artefact then contains only the
+    /// deterministic result lines and is byte-identical across worker
+    /// counts, chunk sizes and steal schedules.
+    pub fn without_footer(mut self) -> Self {
+        self.footer = false;
+        self
     }
 }
 
@@ -100,8 +118,10 @@ impl<T: Serialize, W: Write, S: Sink<T>> Sink<T> for JsonlSink<W, S> {
     }
 
     fn finish(mut self, stats: &RunStats) -> S::Summary {
-        writeln!(self.writer, "{{\"run\":{}}}", stats.to_json())
-            .unwrap_or_else(|e| panic!("JSONL sink: write of run footer failed: {e}"));
+        if self.footer {
+            writeln!(self.writer, "{{\"run\":{}}}", stats.to_json())
+                .unwrap_or_else(|e| panic!("JSONL sink: write of run footer failed: {e}"));
+        }
         self.writer
             .flush()
             .unwrap_or_else(|e| panic!("JSONL sink: flush failed: {e}"));
@@ -139,6 +159,7 @@ mod tests {
     use super::*;
     use crate::engine::{Engine, RunPlan};
     use crate::trial::{FnTrial, TrialCtx};
+    use rand::Rng;
 
     #[test]
     fn jsonl_sink_writes_lines_and_footer() {
@@ -158,6 +179,30 @@ mod tests {
         assert!(lines[0].starts_with("{\"trial\":0,"));
         assert!(lines[6].starts_with("{\"run\":{"));
         assert!(lines[6].contains("\"trials\":6"));
+    }
+
+    #[test]
+    fn footerless_jsonl_is_byte_identical_across_schedules() {
+        let artefact = |workers: usize, chunk: u64| {
+            let mut buf: Vec<u8> = Vec::new();
+            let sink = JsonlSink::new(&mut buf, CountSink::new()).without_footer();
+            let outcome = Engine::with_workers(workers).run(
+                &RunPlan::new(60, 9).with_shards(6).with_chunk(chunk),
+                &FnTrial::new(|ctx: &mut TrialCtx| ctx.rng.random::<u32>()),
+                sink,
+            );
+            assert_eq!(outcome.summary, 60);
+            buf
+        };
+        let reference = artefact(1, 0);
+        assert!(!reference.is_empty());
+        for (workers, chunk) in [(2, 0), (8, 1), (8, 3), (4, 100)] {
+            assert_eq!(
+                artefact(workers, chunk),
+                reference,
+                "workers={workers} chunk={chunk}"
+            );
+        }
     }
 
     #[test]

@@ -33,45 +33,156 @@ proptest! {
 
     /// The acceptance criterion of the runtime subsystem: identical
     /// `TrialOutcome` aggregates at 1, 2 and 8 worker threads, for any
-    /// trial count, seed and shard layout.
+    /// trial count, seed, shard layout and work-stealing chunk size
+    /// (0 = auto, 1 = finest, large = whole-shard claiming).
     #[test]
     fn campaign_aggregates_identical_at_1_2_8_threads(
         trials in 1u64..300,
         base_seed in any::<u64>(),
         shards in 1usize..40,
+        chunk in 0u64..12,
     ) {
-        let report_at = |threads: usize| {
+        let report_at = |threads: usize, chunk: u64| {
             let config = CampaignConfig::new(trials, base_seed)
                 .with_threads(threads)
-                .with_shards(shards);
+                .with_shards(shards)
+                .with_chunk(chunk);
             run_campaign(&config, trial)
         };
-        let one = report_at(1);
-        let two = report_at(2);
-        let eight = report_at(8);
+        let one = report_at(1, chunk);
+        let two = report_at(2, chunk);
+        let eight = report_at(8, chunk);
         prop_assert_eq!(one, two);
         prop_assert_eq!(one, eight);
         prop_assert_eq!(one.trials, trials);
+        // Chunking is pure scheduling: any chunk size aggregates
+        // identically to single-trial chunks and whole-shard chunks.
+        prop_assert_eq!(one, report_at(8, 1));
+        prop_assert_eq!(one, report_at(8, trials));
     }
 
     /// Early-stopped campaigns make the same (shard-aligned) stopping
-    /// decision at every worker count.
+    /// decision at every worker count and chunk granularity.
     #[test]
     fn early_stopped_aggregates_identical_across_threads(
         trials in 50u64..400,
         base_seed in any::<u64>(),
+        chunk in 0u64..8,
     ) {
-        let outcome_at = |threads: usize| {
+        let outcome_at = |threads: usize, chunk: u64| {
             let config = CampaignConfig::new(trials, base_seed)
                 .with_threads(threads)
-                .with_shards(20);
+                .with_shards(20)
+                .with_chunk(chunk);
             run_campaign_with(&config, EarlyStop::on_escalations(3), trial)
         };
-        let one = outcome_at(1);
-        let eight = outcome_at(8);
+        let one = outcome_at(1, chunk);
+        let eight = outcome_at(8, chunk);
+        let eight_fine = outcome_at(8, 1);
         prop_assert_eq!(one.summary, eight.summary);
         prop_assert_eq!(one.stats.aborted, eight.stats.aborted);
         prop_assert_eq!(one.stats.shards, eight.stats.shards);
+        prop_assert_eq!(one.summary, eight_fine.summary);
+        prop_assert_eq!(one.stats.shards, eight_fine.stats.shards);
+    }
+
+    /// Campaigns whose trials *over-run* their shard (forcing the
+    /// shards>trials clamp) still complete and aggregate identically.
+    #[test]
+    fn oversharded_plans_never_stall(
+        trials in 1u64..16,
+        base_seed in any::<u64>(),
+        shards in 16usize..128,
+        chunk in 0u64..32,
+    ) {
+        let config = CampaignConfig::new(trials, base_seed)
+            .with_threads(8)
+            .with_shards(shards)
+            .with_chunk(chunk);
+        let report = run_campaign(&config, trial);
+        prop_assert_eq!(report.trials, trials);
+        let serial = run_campaign(&config.with_threads(1), trial);
+        prop_assert_eq!(report, serial);
+    }
+}
+
+/// A steal-heavy schedule racing the early-abort checkpoint: the heavy
+/// escalating trials cluster at the front, so workers that drain their
+/// light chunks steal from the loaded deque *while* the aggregator is
+/// deciding to stop. The stop decision and aggregate must not notice.
+#[test]
+fn steal_racing_early_abort_is_deterministic() {
+    use relcnn_faults::SkewedCost;
+    use std::time::Duration;
+
+    let cost = SkewedCost::tail(0, 2, 0); // every trial sleeps a little
+    let heavy = SkewedCost::tail(1, 6, 48); // tail trials sleep more
+    let outcome_at = |threads: usize, chunk: u64| {
+        let config = CampaignConfig::new(64, 77)
+            .with_threads(threads)
+            .with_shards(8)
+            .with_chunk(chunk);
+        run_campaign_with(&config, EarlyStop::on_escalations(4), move |seed| {
+            let index = seed - 77;
+            std::thread::sleep(Duration::from_millis(
+                cost.evals(index) + heavy.evals(index),
+            ));
+            TrialResult {
+                outcome: if index % 5 == 0 {
+                    TrialOutcome::DetectedAborted
+                } else {
+                    TrialOutcome::Correct
+                },
+                injector: Default::default(),
+            }
+        })
+    };
+    let reference = outcome_at(1, 1);
+    assert!(reference.stats.aborted, "escalation stop must fire");
+    for (threads, chunk) in [(2, 1), (8, 1), (8, 2), (8, 64)] {
+        let outcome = outcome_at(threads, chunk);
+        assert_eq!(
+            outcome.summary, reference.summary,
+            "threads={threads} chunk={chunk}"
+        );
+        assert_eq!(outcome.stats.aborted, reference.stats.aborted);
+        assert_eq!(outcome.stats.shards, reference.stats.shards);
+    }
+}
+
+/// CI's determinism matrix sets `RELCNN_WORKERS` per leg (1/2/8): this
+/// test pins the engine's worker pool to that count — not just libtest's
+/// thread count — and checks the full and early-stopped aggregates, at
+/// fine and whole-shard chunking, against the serial reference.
+#[test]
+fn matrix_worker_count_agrees_with_serial() {
+    let workers: usize = std::env::var("RELCNN_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    for chunk in [1u64, 3, 1_000] {
+        let config = CampaignConfig::new(300, 0xA11)
+            .with_shards(24)
+            .with_chunk(chunk);
+        assert_eq!(
+            run_campaign(&config.with_threads(workers), trial),
+            run_campaign(&config.with_threads(1), trial),
+            "full campaign, workers={workers} chunk={chunk}"
+        );
+        let stopped = |threads| {
+            run_campaign_with(
+                &config.with_threads(threads),
+                EarlyStop::on_escalations(2),
+                trial,
+            )
+        };
+        let ours = stopped(workers);
+        let serial = stopped(1);
+        assert_eq!(
+            ours.summary, serial.summary,
+            "stopped campaign, workers={workers} chunk={chunk}"
+        );
+        assert_eq!(ours.stats.shards, serial.stats.shards);
     }
 }
 

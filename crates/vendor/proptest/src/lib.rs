@@ -330,7 +330,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Admissible size arguments for [`vec`].
+    /// Admissible size arguments for [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -54,6 +54,35 @@ impl ChaCha8Rng {
         self.stream
     }
 
+    /// Seeks the keystream to an absolute 32-bit-word position, so the
+    /// next draw returns word `word_pos` of the stream.
+    ///
+    /// ChaCha is a counter-mode cipher: any position can be reached
+    /// without generating the prefix. `relcnn-runtime` relies on this to
+    /// start a stolen trial chunk mid-shard-stream and still draw exactly
+    /// the words a sequential execution would have drawn.
+    pub fn set_word_pos(&mut self, word_pos: u128) {
+        self.counter = (word_pos / 16) as u64;
+        self.cursor = 16; // invalidate the current block
+        let offset = (word_pos % 16) as usize;
+        if offset != 0 {
+            self.refill(); // loads block `counter` and advances it
+            self.cursor = offset;
+        }
+    }
+
+    /// The absolute word position the next draw will consume.
+    pub fn get_word_pos(&self) -> u128 {
+        if self.cursor >= 16 {
+            // No block loaded yet (fresh, re-streamed or block-aligned
+            // seek): the next draw starts block `counter`.
+            (self.counter as u128) * 16
+        } else {
+            // `counter` was advanced past the loaded block by `refill`.
+            (self.counter as u128 - 1) * 16 + self.cursor as u128
+        }
+    }
+
     #[inline]
     fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
         state[a] = state[a].wrapping_add(state[b]);
@@ -176,6 +205,34 @@ mod tests {
         let mut rng2 = ChaCha8Rng::from_key([0; 8]);
         assert_eq!(first, rng2.next_u32());
         assert_ne!(first, 0x6170_7865);
+    }
+
+    #[test]
+    fn seek_matches_sequential_draws() {
+        let mut seq = ChaCha8Rng::seed_from_u64(42);
+        seq.set_stream(5);
+        let words: Vec<u32> = (0..100).map(|_| seq.next_u32()).collect();
+        for pos in [0usize, 1, 15, 16, 17, 31, 33, 64, 98] {
+            let mut seeked = ChaCha8Rng::seed_from_u64(42);
+            seeked.set_stream(5);
+            seeked.set_word_pos(pos as u128);
+            assert_eq!(seeked.get_word_pos(), pos as u128, "pos {pos}");
+            assert_eq!(seeked.next_u32(), words[pos], "word at pos {pos}");
+            assert_eq!(seeked.next_u32(), words[pos + 1], "word after pos {pos}");
+        }
+    }
+
+    #[test]
+    fn word_pos_tracks_draws() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(rng.get_word_pos(), 0);
+        for i in 1..40u128 {
+            rng.next_u32();
+            assert_eq!(rng.get_word_pos(), i);
+        }
+        rng.set_word_pos(7);
+        rng.next_u64();
+        assert_eq!(rng.get_word_pos(), 9);
     }
 
     #[test]
