@@ -62,9 +62,11 @@ fn campaign_stats(workers: usize, trials: u64, f: fn(u64) -> TrialResult) -> Run
     let config = CampaignConfig::new(trials, 0xBEE5)
         .with_threads(workers)
         .with_shards(32);
-    // Best of three: the trajectory artefact records capability, not
-    // scheduler noise (a single sample on a loaded host can swing 2x).
-    (0..3)
+    // Best of five: the trajectory artefact records capability, not
+    // scheduler noise (a single sample on a loaded or cgroup-throttled
+    // host can swing 2x, and the dips are bursty enough that three
+    // samples sometimes all land in one).
+    (0..5)
         .map(|_| {
             relcnn_runtime::run_campaign_with(&config, relcnn_runtime::EarlyStop::never(), f).stats
         })
@@ -125,10 +127,12 @@ fn bench_runtime_scaling(c: &mut Criterion) {
             .map(|(w, s)| {
                 format!(
                     "{{\"workers\":{w},\"trials_per_s\":{:.3},\"mean_trial_ns\":{},\
-                     \"steals\":{}}}",
+                     \"steals\":{},\"splits\":{},\"send_block_us\":{}}}",
                     s.throughput,
                     s.mean_trial.as_nanos(),
-                    s.steals
+                    s.steals,
+                    s.splits,
+                    s.send_block.as_micros()
                 )
             })
             .collect::<Vec<_>>()

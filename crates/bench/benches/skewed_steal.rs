@@ -54,17 +54,22 @@ fn skewed_trial(seed: u64) -> TrialResult {
 }
 
 /// `chunk = 0` is sentinel-mapped to the whole-shard granularity here, so
-/// both modes go through the identical code path.
+/// both modes go through the identical code path. Block mode also pins
+/// adaptive splitting off: the comparison isolates *static* whole-shard
+/// claiming (PR 1's granularity) against fine-chunk stealing — with
+/// splitting left on, the engine would dismantle the block schedule
+/// mid-run and the contrast would measure nothing.
 fn run_mode(chunk: u64) -> RunOutcome<relcnn_runtime::CampaignReport> {
-    let chunk = if chunk == 0 {
-        TRIALS / SHARDS as u64 // whole shard: PR 1 contiguous-block claiming
+    let (chunk, adaptive) = if chunk == 0 {
+        (TRIALS / SHARDS as u64, false) // whole shard: PR 1 claiming
     } else {
-        chunk
+        (chunk, true)
     };
     let config = CampaignConfig::new(TRIALS, BASE_SEED)
         .with_threads(WORKERS)
         .with_shards(SHARDS)
-        .with_chunk(chunk);
+        .with_chunk(chunk)
+        .with_adaptive(adaptive);
     run_campaign_with(&config, EarlyStop::never(), skewed_trial)
 }
 

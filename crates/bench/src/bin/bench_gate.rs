@@ -14,6 +14,12 @@
 //!   the tolerance below the baseline's shape — absolute cpu-bound
 //!   trials/s are raw hardware speed and would false-alarm on any runner
 //!   slower than the baseline machine, so only the ratios are gated;
+//! * the cpu-bound 8x/1x speedup drops below a *parallelism-aware* floor:
+//!   `0.375 × cores` capped at 3x, so the full 3x contract binds only on
+//!   ≥ 8-core hosts — CPU-bound scaling is physically bounded by the
+//!   core count, and a fixed 3x demand would make the gate unsatisfiable
+//!   on the 1-core containers this repo is developed in (where the
+//!   honest ceiling is ~1x) and flaky on small SMT-limited CI runners;
 //! * the latency-bound 8x/1x speedup drops below the hard 3x floor the
 //!   ROADMAP pins;
 //! * the skewed-workload steal speedup drops below 2x, or more than the
@@ -31,6 +37,27 @@ use std::process::ExitCode;
 const MIN_LATENCY_SPEEDUP: f64 = 3.0;
 /// Hard floor on the skewed-workload work-stealing speedup.
 const MIN_STEAL_SPEEDUP: f64 = 2.0;
+/// CPU-bound 8x/1x speedup contract on hosts with enough cores to show
+/// it (the partial-aggregation result path's headline number).
+const MIN_CPU_SPEEDUP: f64 = 3.0;
+
+/// The cpu-bound scaling floor this host can honestly be held to:
+/// `0.375 × cores`, capped at [`MIN_CPU_SPEEDUP`] — i.e. the full 3x
+/// contract binds only at ≥ 8 cores, and below that the gate demands
+/// 37.5% of the never-reached linear ideal (a 4-vCPU CI runner, which is
+/// usually 2 physical cores plus SMT, must clear 1.5x; a 1-core host
+/// caps at 0.375, i.e. "8 workers must not collapse under 1-worker
+/// throughput"). Deliberately loose: the shape check against the
+/// committed baseline is the tight regression guard; this floor is the
+/// absolute sanity backstop, and it must never go red on unregressed
+/// code just because the runner has fewer cores than the contract
+/// assumes.
+fn cpu_speedup_floor() -> f64 {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    MIN_CPU_SPEEDUP.min(0.375 * cores as f64)
+}
 
 #[derive(Debug, Deserialize)]
 struct ScalingEntry {
@@ -38,6 +65,8 @@ struct ScalingEntry {
     trials_per_s: f64,
     mean_trial_ns: u64,
     steals: u64,
+    splits: u64,
+    send_block_us: u64,
 }
 
 #[derive(Debug, Deserialize)]
@@ -116,8 +145,14 @@ fn check_series_shape(
         let now_ratio = now.trials_per_s / fresh_1;
         println!(
             "  {label:>13} workers={:<2} {:>8.3}x of 1-worker (baseline {:>8.3}x, \
-             {} steals, mean trial {} ns)",
-            now.workers, now_ratio, base_ratio, now.steals, now.mean_trial_ns
+             {} steals, {} splits, send-block {} us, mean trial {} ns)",
+            now.workers,
+            now_ratio,
+            base_ratio,
+            now.steals,
+            now.splits,
+            now.send_block_us,
+            now.mean_trial_ns
         );
         if now_ratio < base_ratio * (1.0 - tol) {
             failures.push(format!(
@@ -154,8 +189,13 @@ fn check_series(
         let delta = (now.trials_per_s / base.trials_per_s - 1.0) * 100.0;
         println!(
             "  {label:>13} workers={:<2} {:>12.1} trials/s (baseline {:>12.1}, {delta:+.1}%, \
-             {} steals, mean trial {} ns)",
-            now.workers, now.trials_per_s, base.trials_per_s, now.steals, now.mean_trial_ns
+             {} steals, {} splits, mean trial {} ns)",
+            now.workers,
+            now.trials_per_s,
+            base.trials_per_s,
+            now.steals,
+            now.splits,
+            now.mean_trial_ns
         );
         if now.trials_per_s < floor {
             failures.push(format!(
@@ -215,6 +255,21 @@ fn main() -> ExitCode {
                     "runtime_scaling: latency-bound 8x/1x speedup {:.2}x \
                      dropped below the {MIN_LATENCY_SPEEDUP:.0}x floor",
                     fresh.speedup_8x_over_1x
+                ));
+            }
+            let cpu_floor = cpu_speedup_floor();
+            println!(
+                "cpu-bound scaling floor on this host: {cpu_floor:.2}x \
+                 ({} core(s) available)",
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            );
+            if fresh.cpu_bound_speedup_8x_over_1x < cpu_floor {
+                failures.push(format!(
+                    "runtime_scaling: cpu-bound 8x/1x speedup {:.2}x dropped \
+                     below this host's {cpu_floor:.2}x floor",
+                    fresh.cpu_bound_speedup_8x_over_1x
                 ));
             }
         }

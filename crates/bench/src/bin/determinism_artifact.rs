@@ -10,44 +10,85 @@
 //!
 //! ```text
 //! determinism_artifact --workers 8 --chunk 1 --out /tmp/w8.jsonl
+//! determinism_artifact --workers 8 --profile cpu --out /tmp/w8_cpu.jsonl
 //! ```
 //!
-//! The workload deliberately exercises every determinism hazard at once:
-//! skewed per-trial cost (forcing steals at multi-worker counts), all
-//! four `TrialOutcome` variants, and an escalation early-stop that fires
-//! mid-run (the stop shard must also be schedule-independent).
+//! Two workload profiles cover the engine's two scheduling regimes:
+//!
+//! * `latency` (default) — trials sleep per [`SkewedCost`], so
+//!   multi-worker runs overlap waits and steal even on a 1-core host;
+//! * `cpu` — trials spin through a skewed number of injector exposures
+//!   with no sleeps, driving the *partial-aggregation* result path the
+//!   way a compute-bound campaign does (send-blocking, coalescing and
+//!   adaptive splits under full CPU contention).
+//!
+//! Both profiles exercise every determinism hazard at once: skewed
+//! per-trial cost (forcing steals and adaptive splits at multi-worker
+//! counts), all four `TrialOutcome` variants, and an escalation
+//! early-stop that fires mid-run (the stop shard must also be
+//! schedule-independent).
+//!
+//! Each artefact ends with a `{"partial_aggregate":...}` line produced by
+//! a second run of the same campaign on the bare partial-aggregation
+//! result path (no raw trials cross the channel), asserted in-process to
+//! match the replayed aggregate — so the CI byte-diff covers both result
+//! paths, not just the raw replay that feeds the JSONL lines.
 
 use relcnn_faults::{BerInjector, FaultInjector, FaultSite, OpContext, SkewedCost};
 use relcnn_runtime::{
     run_campaign_sink, CampaignConfig, CampaignSink, EarlyStop, JsonlSink, TrialOutcome,
     TrialResult,
 };
-use std::io::BufWriter;
 use std::time::Duration;
 
 const TRIALS: u64 = 240;
 const BASE_SEED: u64 = 0xD17E;
 const SHARDS: usize = 12;
 
-/// Deterministic trial mixing every outcome; sleeps per [`SkewedCost`] so
-/// multi-worker runs actually steal.
-fn trial(seed: u64) -> TrialResult {
-    let index = seed - BASE_SEED;
-    let cost = SkewedCost::tail(0, 2, TRIALS / 3);
-    std::thread::sleep(Duration::from_millis(cost.evals(index)));
-    let mut inj = BerInjector::new(seed, 0.3).with_sites(vec![FaultSite::Multiplier]);
+/// Maps the fault pattern of a trial's first 16 injector exposures to an
+/// outcome. Both profiles share it (and the `(seed, 0.3)` injector), so
+/// they make the same early-stop decision at the same shard — only the
+/// exposure counts in the artefact differ.
+fn outcome_of(inj: &mut BerInjector, extra_ops: u64) -> TrialOutcome {
     let mut flips = 0u32;
-    for op in 0..16u64 {
-        if inj.perturb(OpContext::new(FaultSite::Multiplier, op), 1.0) != 1.0 {
+    let mut acc = 0.0f32;
+    for op in 0..(16 + extra_ops) {
+        let v = inj.perturb(OpContext::new(FaultSite::Multiplier, op), 1.0);
+        if op < 16 && v != 1.0 {
             flips += 1;
         }
+        acc += v;
     }
-    let outcome = match flips {
+    std::hint::black_box(acc);
+    match flips {
         0 => TrialOutcome::Correct,
         1..=3 => TrialOutcome::DetectedRecovered,
         4..=6 => TrialOutcome::DetectedAborted,
         _ => TrialOutcome::SilentCorruption,
-    };
+    }
+}
+
+/// Latency-bound trial: sleeps per [`SkewedCost`] so multi-worker runs
+/// actually steal.
+fn latency_trial(seed: u64) -> TrialResult {
+    let index = seed - BASE_SEED;
+    let cost = SkewedCost::tail(0, 2, TRIALS / 3);
+    std::thread::sleep(Duration::from_millis(cost.evals(index)));
+    let mut inj = BerInjector::new(seed, 0.3).with_sites(vec![FaultSite::Multiplier]);
+    let outcome = outcome_of(&mut inj, 0);
+    TrialResult {
+        outcome,
+        injector: inj.stats(),
+    }
+}
+
+/// CPU-bound trial: a skewed number of injector exposures, no sleeps —
+/// the tail trials cost ~16x the clean ones in pure compute.
+fn cpu_trial(seed: u64) -> TrialResult {
+    let index = seed - BASE_SEED;
+    let cost = SkewedCost::tail(512, 8192, TRIALS / 3);
+    let mut inj = BerInjector::new(seed, 0.3).with_sites(vec![FaultSite::Multiplier]);
+    let outcome = outcome_of(&mut inj, cost.evals(index));
     TrialResult {
         outcome,
         injector: inj.stats(),
@@ -56,7 +97,8 @@ fn trial(seed: u64) -> TrialResult {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: determinism_artifact --workers N --out PATH [--chunk C] [--no-abort]\n\
+        "usage: determinism_artifact --workers N --out PATH [--chunk C] [--no-abort] \
+         [--profile latency|cpu]\n\
          Writes the footerless JSONL result stream of a fixed skewed campaign."
     );
     std::process::exit(2)
@@ -67,6 +109,7 @@ fn main() {
     let mut chunk = 0u64;
     let mut out: Option<String> = None;
     let mut early_stop = true;
+    let mut profile = "latency".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -84,10 +127,16 @@ fn main() {
             }
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--no-abort" => early_stop = false,
+            "--profile" => profile = args.next().unwrap_or_else(|| usage()),
             _ => usage(),
         }
     }
     let Some(out) = out else { usage() };
+    let trial: fn(u64) -> TrialResult = match profile.as_str() {
+        "latency" => latency_trial,
+        "cpu" => cpu_trial,
+        _ => usage(),
+    };
 
     let config = CampaignConfig::new(TRIALS, BASE_SEED)
         .with_threads(workers)
@@ -102,18 +151,46 @@ fn main() {
         EarlyStop::never()
     };
 
+    // `JsonlSink` buffers internally, so the raw file handle is enough.
+    // Teeing through `JsonlSink` forces the engine's raw-replay result
+    // path (every trial crosses the channel and is replayed per-`absorb`).
     let file = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
-    let sink = JsonlSink::new(BufWriter::new(file), CampaignSink::new(policy)).without_footer();
+    let sink = JsonlSink::new(file, CampaignSink::new(policy)).without_footer();
     let outcome = run_campaign_sink(&config, sink, trial);
 
+    // Second run on the bare `CampaignSink`: the partial-aggregation
+    // path, where workers fold chunk-local `CampaignReport`s and no raw
+    // trial ever crosses the channel. Its aggregate is appended to the
+    // artefact, so the CI byte-diff across worker counts covers *both*
+    // result paths — and the two paths must agree with each other here
+    // and now.
+    let partial = run_campaign_sink(&config, CampaignSink::new(policy), trial);
+    assert_eq!(
+        partial.summary, outcome.summary,
+        "partial-aggregation path diverged from the raw-replay path"
+    );
+    assert_eq!(partial.stats.shards, outcome.stats.shards);
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&out)
+            .unwrap_or_else(|e| panic!("append {out}: {e}"));
+        let report = serde_json::to_string(&partial.summary)
+            .unwrap_or_else(|e| panic!("serialize partial aggregate: {e}"));
+        writeln!(file, "{{\"partial_aggregate\":{report}}}")
+            .unwrap_or_else(|e| panic!("append partial aggregate to {out}: {e}"));
+    }
+
     eprintln!(
-        "{out}: workers={workers} chunk={chunk} trials={} shards={}/{} aborted={} \
-         steals={} safety={:.4}",
+        "{out}: profile={profile} workers={workers} chunk={chunk} trials={} shards={}/{} \
+         aborted={} steals={} splits={} safety={:.4}",
         outcome.summary.trials,
         outcome.stats.shards,
         outcome.stats.planned_shards,
         outcome.stats.aborted,
         outcome.stats.steals,
+        outcome.stats.splits,
         outcome.summary.safety_rate()
     );
 }

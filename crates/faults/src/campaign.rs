@@ -76,11 +76,17 @@ pub struct CampaignConfig {
     /// scheduling knob: smaller chunks rebalance skewed trial costs
     /// better at slightly higher queue traffic.
     pub chunk: u64,
+    /// Whether the runtime may split a claimed chunk further *mid-run*
+    /// when its starvation counters show idle workers (adaptive chunk
+    /// sizing). Another pure scheduling knob — splitting never changes a
+    /// trial's inputs or the aggregate — kept configurable so benchmarks
+    /// can pin the static granularity of earlier engine generations.
+    pub adaptive: bool,
 }
 
 impl CampaignConfig {
     /// Creates a config with the given trial count and seed, auto
-    /// threads/shards/chunking.
+    /// threads/shards/chunking and adaptive chunk splitting enabled.
     pub fn new(trials: u64, base_seed: u64) -> Self {
         CampaignConfig {
             trials,
@@ -88,6 +94,7 @@ impl CampaignConfig {
             threads: 0,
             shards: 0,
             chunk: 0,
+            adaptive: true,
         }
     }
 
@@ -106,6 +113,12 @@ impl CampaignConfig {
     /// Overrides the work-stealing chunk size.
     pub fn with_chunk(mut self, chunk: u64) -> Self {
         self.chunk = chunk;
+        self
+    }
+
+    /// Enables or disables mid-run adaptive chunk splitting.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
         self
     }
 }
@@ -129,6 +142,15 @@ pub struct CampaignReport {
     pub injected: u64,
     /// Sum of masked-at-source faults.
     pub masked: u64,
+}
+
+impl Default for CampaignReport {
+    /// The monoid identity: [`CampaignReport::empty`]. Lets the runtime's
+    /// worker threads construct chunk-local partial aggregates without a
+    /// handle to the campaign sink.
+    fn default() -> Self {
+        CampaignReport::empty()
+    }
 }
 
 impl CampaignReport {
@@ -332,6 +354,33 @@ mod tests {
         let (lo, hi) = wilson_interval(1000, 1000, 1.96);
         assert!(lo > 0.995);
         assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn default_is_the_merge_identity() {
+        // The runtime folds chunk partials starting from `Default`; the
+        // identity law is what makes per-worker partial aggregation exact.
+        let mut report = CampaignReport::empty();
+        for i in 0..9u64 {
+            report.record(&fake_trial(if i % 2 == 0 {
+                TrialOutcome::Correct
+            } else {
+                TrialOutcome::DetectedAborted
+            }));
+        }
+        let mut merged = CampaignReport::default();
+        merged.merge(&report);
+        assert_eq!(merged, report);
+        let mut reversed = report;
+        reversed.merge(&CampaignReport::default());
+        assert_eq!(reversed, report);
+    }
+
+    #[test]
+    fn config_adaptive_defaults_on_and_toggles() {
+        let config = CampaignConfig::new(10, 1);
+        assert!(config.adaptive);
+        assert!(!config.with_adaptive(false).adaptive);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Per-worker partial aggregation.
+//!
+//! The engine's original result path shipped every trial's output to the
+//! aggregator thread and replayed it serially through the sink — fine for
+//! latency-bound trials, but on CPU-bound campaigns the single consumer
+//! becomes the whole machine. A [`PartialAggregate`] lets a *worker* fold
+//! a chunk's results into a small chunk-local summary in place; only the
+//! folded partial crosses the channel, and the aggregator merges partials
+//! in the deterministic `(shard, offset)` watermark order.
+//!
+//! # Algebra
+//!
+//! A partial is a **commutative monoid** over trial results:
+//!
+//! * [`Default`] is the identity element (an empty fold);
+//! * [`fold`](PartialAggregate::fold) absorbs one result;
+//! * [`merge`](PartialAggregate::merge) combines two partials, and must be
+//!   associative and commutative with `fold` (folding items one by one
+//!   equals folding them in groups and merging the groups, in any
+//!   grouping).
+//!
+//! The engine only ever merges partials in ascending trial order, so plain
+//! associativity is enough for bit-identical aggregates — commutativity is
+//! what makes the laws easy to test and future tree-shaped merges safe.
+
+/// A chunk-local commutative-monoid fold over trial results.
+///
+/// Implementations must satisfy the monoid laws above; the runtime's
+/// determinism guarantee ("aggregates are bit-identical at any worker
+/// count, chunk size and steal schedule") reduces to them. For integer
+/// counter aggregates (the campaign report) the laws hold exactly; a
+/// floating-point partial must itself use an order-insensitive
+/// representation (e.g. integer bins or compensated sums) to keep the
+/// bit-identity promise.
+pub trait PartialAggregate<T>: Default + Send {
+    /// Folds the result of trial `index` into the partial.
+    fn fold(&mut self, index: u64, item: &T);
+
+    /// Merges another partial into this one. `other` must cover trials
+    /// strictly after (or disjoint from) this partial's.
+    fn merge(&mut self, other: Self);
+}
+
+/// The trivial partial for sinks that need every raw result: folds to
+/// nothing, so worker-side aggregation compiles away entirely.
+impl<T> PartialAggregate<T> for () {
+    fn fold(&mut self, _index: u64, _item: &T) {}
+
+    fn merge(&mut self, _other: Self) {}
+}
+
+/// Partial that counts trials (the [`CountSink`](crate::CountSink)
+/// aggregate): the simplest non-trivial monoid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrialCount(pub u64);
+
+impl<T> PartialAggregate<T> for TrialCount {
+    fn fold(&mut self, _index: u64, _item: &T) {
+        self.0 += 1;
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_partial_is_inert() {
+        let mut p: () = Default::default();
+        PartialAggregate::<u32>::fold(&mut p, 0, &7);
+        PartialAggregate::<u32>::merge(&mut p, ());
+    }
+
+    #[test]
+    fn count_partial_obeys_the_monoid_laws() {
+        // fold-one-by-one == fold-in-groups-then-merge, for any grouping.
+        fn fold_all(items: &[u32], base: u64) -> TrialCount {
+            let mut acc = TrialCount::default();
+            for (i, item) in items.iter().enumerate() {
+                acc.fold(base + i as u64, item);
+            }
+            acc
+        }
+        let items: Vec<u32> = (0..17).collect();
+        let serial = fold_all(&items, 0);
+        for split in 0..items.len() {
+            let (a, b) = items.split_at(split);
+            let mut left = fold_all(a, 0);
+            PartialAggregate::<u32>::merge(&mut left, fold_all(b, split as u64));
+            assert_eq!(left, serial, "split at {split}");
+        }
+        // Identity element.
+        let mut with_identity = serial;
+        PartialAggregate::<u32>::merge(&mut with_identity, TrialCount::default());
+        assert_eq!(with_identity, serial);
+    }
+}

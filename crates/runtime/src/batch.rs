@@ -71,9 +71,12 @@ impl BatchClassify for HybridCnn {
         images: &[Tensor],
     ) -> RunOutcome<Result<Vec<QualifiedClassification>, HybridError>> {
         // One image per trial; seeds are irrelevant (fault-free path).
-        // Chunk size 1: per-image latency varies (early-abort qualification
-        // paths), so the finest stealing granularity keeps the pool busy —
-        // and chunking never changes the verdicts.
+        // Chunk size 1: per-image latency varies (early-abort
+        // qualification paths) and trials inside an executing chunk are
+        // not stealable, so single-image chunks keep worst-case tail
+        // latency at one image. The envelope coalescing on the result
+        // channel makes the fine granularity cheap — contiguous verdicts
+        // merge into one message — and chunking never changes them.
         let plan = RunPlan::new(images.len() as u64, 0).with_chunk(1);
         let outcome = engine.run(
             &plan,

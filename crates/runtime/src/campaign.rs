@@ -5,6 +5,7 @@
 //! sharded, multi-threaded run whose aggregate is bit-identical for any
 //! worker count, with optional statistical early stopping.
 
+use crate::agg::PartialAggregate;
 use crate::engine::{Engine, RunOutcome, RunPlan, RunStats};
 use crate::sink::{Control, Sink};
 use crate::trial::{FnTrial, TrialCtx};
@@ -93,11 +94,37 @@ impl CampaignSink {
     }
 }
 
+/// The campaign's chunk-local partial is the report itself:
+/// [`CampaignReport`] is an exact integer-counter monoid
+/// ([`record`](CampaignReport::record) = fold,
+/// [`merge`](CampaignReport::merge) = combine, `empty` = identity), so a
+/// per-worker fold merged in watermark order is bit-identical to the
+/// per-trial replay — including every Wilson-CI and escalation checkpoint
+/// decision, which only ever see completed-shard prefixes of the merge.
+impl PartialAggregate<TrialResult> for CampaignReport {
+    fn fold(&mut self, _index: u64, item: &TrialResult) {
+        self.record(item);
+    }
+
+    fn merge(&mut self, other: Self) {
+        CampaignReport::merge(self, &other);
+    }
+}
+
 impl Sink<TrialResult> for CampaignSink {
     type Summary = CampaignReport;
+    type Partial = CampaignReport;
+    // Aggregation-only: workers fold trial results into chunk-local
+    // reports and the channel never carries raw trials. (Teeing through
+    // `JsonlSink` still replays raw results — the outer sink decides.)
+    const NEEDS_RESULTS: bool = false;
 
     fn absorb(&mut self, _index: u64, item: TrialResult) {
         self.report.record(&item);
+    }
+
+    fn absorb_partial(&mut self, partial: CampaignReport) {
+        self.report.merge(&partial);
     }
 
     fn checkpoint(&mut self, _shard: usize) -> Control {
@@ -114,7 +141,7 @@ impl Sink<TrialResult> for CampaignSink {
 }
 
 fn plan_of(config: &CampaignConfig) -> RunPlan {
-    let mut plan = RunPlan::new(config.trials, config.base_seed);
+    let mut plan = RunPlan::new(config.trials, config.base_seed).with_adaptive(config.adaptive);
     if config.shards > 0 {
         plan = plan.with_shards(config.shards);
     }

@@ -12,16 +12,30 @@
 //! stolen — and identical to a fully sequential execution.
 //!
 //! Workers drain a local chunk deque and steal the back half of a victim's
-//! deque when dry (see [`sched`](crate::sched) internals). Results are
-//! buffered and released to the [`Sink`] strictly in `(shard, chunk)`
-//! order — the *completed-chunk watermark*. Aggregation therefore sees
-//! exactly the same stream of results whether the pool has 1 worker or 64
-//! and whether any chunk was stolen. The sink's
-//! [`checkpoint`](Sink::checkpoint) early-abort decision is evaluated once
-//! per shard, when the watermark crosses a shard boundary, on the
-//! contiguous prefix of completed shards — so a stopped run always
+//! deque when dry (see [`sched`](crate::sched) internals). Each worker
+//! folds its chunk's results into a chunk-local
+//! [`PartialAggregate`](crate::PartialAggregate) in place and ships an
+//! *envelope* — the folded partial, plus the raw results block only when
+//! the sink needs one — through a **bounded** channel; contiguous
+//! same-shard envelopes are coalesced before sending, so fine chunkings
+//! no longer pay one message per chunk. The aggregator releases envelopes
+//! to the [`Sink`] strictly in `(shard, in-shard offset)` order — the
+//! *completed-offset watermark*. Aggregation therefore sees exactly the
+//! same stream of results whether the pool has 1 worker or 64, whether
+//! any chunk was stolen, and however chunks were split or coalesced. The
+//! sink's [`checkpoint`](Sink::checkpoint) early-abort decision is
+//! evaluated once per shard, when the watermark crosses a shard boundary,
+//! on the contiguous prefix of completed shards — so a stopped run always
 //! aggregates shards `0..k` for a scheduling-independent `k`.
+//!
+//! When the scheduler's starvation counters show idle workers, an
+//! executing worker *splits* its claimed chunk and requeues the back half
+//! for a thief (adaptive chunk sizing). Splitting is sound for the same
+//! reason stealing is: a sub-chunk's RNG is the shard's ChaCha8 stream
+//! seeked to the sub-chunk's own offset, and the offset watermark
+//! reassembles any partition of a shard into the identical result stream.
 
+use crate::agg::PartialAggregate;
 pub use crate::sched::WorkerStats;
 use crate::sched::{Chunk, Claim, StealQueue};
 use crate::sink::{Control, Sink};
@@ -30,7 +44,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Default shard count when the plan does not pin one.
@@ -49,6 +63,26 @@ pub const DEFAULT_CHUNKS_PER_SHARD: u64 = 4;
 /// [`DEFAULT_CHUNKS_PER_SHARD`]. Explicit [`RunPlan::with_chunk`]
 /// overrides ignore this floor.
 pub const MIN_AUTO_CHUNK: u64 = 32;
+
+/// Result-channel capacity per worker: deep enough that a worker never
+/// waits on a briefly busy aggregator, shallow enough that a slow sink
+/// (e.g. JSONL to disk) exerts backpressure. The channel gates the
+/// *send* rate to the aggregator's drain rate — which is gated by sink
+/// absorption whenever the watermark is advancing. It does not bound the
+/// aggregator's out-of-order buffer: envelopes received while the
+/// watermark frontier waits on one slow in-flight trial accumulate in
+/// the reorder map, bounded by how much the other workers execute during
+/// that trial, not by the channel. (Refusing to drain instead would
+/// deadlock: the frontier envelope may be queued behind the very sends
+/// being refused.) Send-block time is reported per worker in
+/// [`WorkerStats::send_block`].
+pub const CHANNEL_DEPTH_PER_WORKER: usize = 4;
+
+/// Coalescing cap: a worker keeps folding contiguous same-shard chunks
+/// into the envelope in hand until it covers this many trials, then
+/// flushes. Bounds both the aggregator's release latency and the memory a
+/// raw-results envelope can pin.
+const COALESCE_TRIALS: u64 = 1024;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,16 +108,22 @@ pub struct RunPlan {
     /// Trials per scheduling chunk (0 = shard length divided by
     /// [`DEFAULT_CHUNKS_PER_SHARD`], at least 1).
     pub chunk: u64,
+    /// Whether workers may split claimed chunks mid-run when the
+    /// starvation counters show idle workers. Pure scheduling (never
+    /// part of the result's identity); defaults to `true`.
+    pub adaptive: bool,
 }
 
 impl RunPlan {
-    /// A plan with the default shard count and chunk size.
+    /// A plan with the default shard count and chunk size, adaptive
+    /// splitting enabled.
     pub fn new(trials: u64, seed: u64) -> Self {
         RunPlan {
             trials,
             seed,
             shards: 0,
             chunk: 0,
+            adaptive: true,
         }
     }
 
@@ -100,6 +140,12 @@ impl RunPlan {
     /// whole-shard claiming granularity).
     pub fn with_chunk(mut self, chunk: u64) -> Self {
         self.chunk = chunk;
+        self
+    }
+
+    /// Enables or disables mid-run adaptive chunk splitting.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
         self
     }
 
@@ -136,31 +182,28 @@ impl RunPlan {
         start..start + len
     }
 
-    /// The full chunk schedule in `(shard, chunk)` order, plus the number
-    /// of chunks per shard (the aggregator's watermark table).
-    fn chunk_schedule(&self, shards: usize, chunk_size: u64) -> (Vec<Chunk>, Vec<usize>) {
+    /// The full chunk schedule in `(shard, offset)` order. The
+    /// aggregator's watermark runs on in-shard *offsets* (see
+    /// [`Engine::run`]), so the schedule is purely the workers' initial
+    /// deal.
+    fn chunk_schedule(&self, shards: usize, chunk_size: u64) -> Vec<Chunk> {
         let mut chunks = Vec::new();
-        let mut counts = vec![0usize; shards];
-        for (shard, count) in counts.iter_mut().enumerate() {
+        for shard in 0..shards {
             let range = self.shard_range(shard, shards);
             let len = range.end - range.start;
             let mut offset = 0u64;
-            let mut ordinal = 0usize;
             while offset < len {
                 let take = chunk_size.min(len - offset);
                 chunks.push(Chunk {
                     shard,
-                    chunk: ordinal,
                     start: range.start + offset,
                     shard_offset: offset,
                     len: take,
                 });
                 offset += take;
-                ordinal += 1;
             }
-            *count = ordinal;
         }
-        (chunks, counts)
+        chunks
     }
 }
 
@@ -202,7 +245,9 @@ pub struct RunStats {
     pub shards: usize,
     /// Shards the plan would have run without an early abort.
     pub planned_shards: usize,
-    /// Chunks whose results reached the sink.
+    /// Result envelopes (coalesced chunk batches) whose contents reached
+    /// the sink. Coalescing makes this at most — and splitting can make
+    /// it more than — the number of schedule chunks aggregated.
     pub chunks: u64,
     /// Chunks the plan would have run without an early abort.
     pub planned_chunks: u64,
@@ -214,6 +259,11 @@ pub struct RunStats {
     pub steals: u64,
     /// Chunks that moved between worker deques via stealing.
     pub chunks_stolen: u64,
+    /// Claimed chunks split mid-run by the adaptive sizing heuristic.
+    pub splits: u64,
+    /// Sum over workers of time blocked sending on the bounded result
+    /// channel (aggregator backpressure).
+    pub send_block: Duration,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
     /// Sum of per-chunk execution time over *aggregated* chunks (busy
@@ -248,6 +298,8 @@ impl RunStats {
             aborted: false,
             steals: 0,
             chunks_stolen: 0,
+            splits: 0,
+            send_block: Duration::ZERO,
             wall: Duration::ZERO,
             busy: Duration::ZERO,
             idle: Duration::ZERO,
@@ -266,13 +318,15 @@ impl RunStats {
             .map(|w| {
                 format!(
                     "{{\"worker\":{},\"chunks_run\":{},\"steals\":{},\"chunks_stolen\":{},\
-                     \"busy_us\":{},\"idle_us\":{}}}",
+                     \"splits\":{},\"busy_us\":{},\"idle_us\":{},\"send_block_us\":{}}}",
                     w.worker,
                     w.chunks_run,
                     w.steals,
                     w.chunks_stolen,
+                    w.splits,
                     w.busy.as_micros(),
-                    w.idle.as_micros()
+                    w.idle.as_micros(),
+                    w.send_block.as_micros()
                 )
             })
             .collect::<Vec<_>>()
@@ -280,9 +334,9 @@ impl RunStats {
         format!(
             "{{\"trials\":{},\"shards\":{},\"planned_shards\":{},\"chunks\":{},\
              \"planned_chunks\":{},\"workers\":{},\"aborted\":{},\"steals\":{},\
-             \"chunks_stolen\":{},\"wall_us\":{},\"busy_us\":{},\"idle_us\":{},\
-             \"throughput_per_s\":{:.3},\"mean_trial_ns\":{},\"max_shard_us\":{},\
-             \"workers_detail\":[{}]}}",
+             \"chunks_stolen\":{},\"splits\":{},\"wall_us\":{},\"busy_us\":{},\"idle_us\":{},\
+             \"send_block_us\":{},\"throughput_per_s\":{:.3},\"mean_trial_ns\":{},\
+             \"max_shard_us\":{},\"workers_detail\":[{}]}}",
             self.trials,
             self.shards,
             self.planned_shards,
@@ -292,9 +346,11 @@ impl RunStats {
             self.aborted,
             self.steals,
             self.chunks_stolen,
+            self.splits,
             self.wall.as_micros(),
             self.busy.as_micros(),
             self.idle.as_micros(),
+            self.send_block.as_micros(),
             self.throughput,
             self.mean_trial.as_nanos(),
             self.max_shard.as_micros(),
@@ -312,12 +368,50 @@ pub struct RunOutcome<S> {
     pub stats: RunStats,
 }
 
-struct ChunkBatch<T> {
+/// One worker→aggregator message: a contiguous run of one shard's trials,
+/// folded into the sink's partial, optionally carrying the raw results
+/// (only when the sink needs them). Contiguous same-shard chunks coalesce
+/// into a single envelope before sending.
+struct Envelope<T, P> {
     shard: usize,
-    chunk: usize,
+    /// In-shard offset of the first trial (the watermark key).
+    shard_offset: u64,
+    /// Global index of the first trial.
     start: u64,
+    /// Number of trials covered.
+    len: u64,
+    /// Execution time of the covered trials.
     elapsed: Duration,
-    results: Vec<T>,
+    /// The chunk-local fold of every covered result.
+    partial: P,
+    /// Raw results in trial order; `Some` iff the sink needs raw results.
+    /// The block is recycled through a shared pool once drained.
+    results: Option<Vec<T>>,
+}
+
+/// Sends an envelope; only when the channel is full does the blocking
+/// fallback run and its wait get charged to the worker's `send_block`
+/// counter — an unblocked `try_send` costs the metric nothing, so
+/// `send_block` reads as pure aggregator backpressure.
+fn send_timed<E>(tx: &mpsc::SyncSender<E>, envelope: E, ws: &mut WorkerStats) -> bool {
+    match tx.try_send(envelope) {
+        Ok(()) => true,
+        Err(mpsc::TrySendError::Full(envelope)) => {
+            let t0 = Instant::now();
+            let ok = tx.send(envelope).is_ok();
+            ws.send_block += t0.elapsed();
+            ok
+        }
+        Err(mpsc::TrySendError::Disconnected(_)) => false,
+    }
+}
+
+/// Pops a recycled results block, or allocates one sized for `cap`.
+fn take_block<T>(pool: &Mutex<Vec<Vec<T>>>, cap: usize) -> Vec<T> {
+    pool.lock()
+        .expect("recycle pool poisoned")
+        .pop()
+        .unwrap_or_else(|| Vec::with_capacity(cap))
 }
 
 /// The worker-pool engine. Cheap to construct; holds no threads between
@@ -340,7 +434,13 @@ impl Engine {
         }
     }
 
-    fn effective_workers(&self, chunks: usize) -> usize {
+    /// Worker threads actually spawned. A static schedule can never feed
+    /// more workers than it has chunks, so the pool clamps to the chunk
+    /// count — but with adaptive splitting enabled, executing workers
+    /// carve new chunks for idle thieves mid-run, so the only hard cap is
+    /// the trial count (a coarse `with_chunk` plan on a big machine must
+    /// not pin the pool to its initial chunk count).
+    fn effective_workers(&self, plan: &RunPlan, chunks: usize) -> usize {
         let requested = if self.config.workers > 0 {
             self.config.workers
         } else {
@@ -348,7 +448,12 @@ impl Engine {
                 .map(|n| n.get())
                 .unwrap_or(1)
         };
-        requested.clamp(1, chunks.max(1))
+        let cap = if plan.adaptive {
+            usize::try_from(plan.trials).unwrap_or(usize::MAX)
+        } else {
+            chunks
+        };
+        requested.clamp(1, cap.max(1))
     }
 
     /// Runs `plan.trials` trials through the worker pool, streaming
@@ -365,19 +470,35 @@ impl Engine {
     {
         let shards = plan.effective_shards();
         let chunk_size = plan.effective_chunk(shards);
-        let (chunks, chunk_counts) = if plan.trials > 0 {
+        let chunks = if plan.trials > 0 {
             plan.chunk_schedule(shards, chunk_size)
         } else {
-            (Vec::new(), vec![0; shards])
+            Vec::new()
         };
-        let workers = self.effective_workers(chunks.len());
+        let workers = self.effective_workers(plan, chunks.len());
         let mut stats = RunStats::new(workers, shards, chunks.len() as u64);
         let started = Instant::now();
 
         if plan.trials > 0 {
+            let shard_lens: Vec<u64> = (0..shards)
+                .map(|s| {
+                    let range = plan.shard_range(s, shards);
+                    range.end - range.start
+                })
+                .collect();
             let queue = StealQueue::deal(chunks, workers);
             let cancel = AtomicBool::new(false);
-            let (tx, rx) = mpsc::channel::<ChunkBatch<T::Output>>();
+            // Bounded: a slow sink gates the aggregator's drain rate,
+            // which gates the workers' send rate (see
+            // CHANNEL_DEPTH_PER_WORKER for what is — and is not —
+            // bounded). Deadlock-free because the aggregator drains
+            // unconditionally until every sender hangs up.
+            let (tx, rx) = mpsc::sync_channel::<Envelope<T::Output, S::Partial>>(
+                workers * CHANNEL_DEPTH_PER_WORKER,
+            );
+            // Drained raw-result blocks cycle back to the workers here
+            // (replay-path sinks only), so steady state allocates nothing.
+            let pool: Mutex<Vec<Vec<T::Output>>> = Mutex::new(Vec::new());
 
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
@@ -385,6 +506,7 @@ impl Engine {
                     let tx = tx.clone();
                     let queue = &queue;
                     let cancel = &cancel;
+                    let pool = &pool;
                     handles.push(scope.spawn(move || {
                         let born = Instant::now();
                         let mut ws = WorkerStats {
@@ -392,22 +514,90 @@ impl Engine {
                             ..WorkerStats::default()
                         };
                         let mut state = trial.init(worker_index);
-                        while !cancel.load(Ordering::Relaxed) {
+                        let mut held: Option<Envelope<T::Output, S::Partial>> = None;
+                        // Parking backoff for dry scans (reset on every
+                        // successful claim): quick first rescans catch an
+                        // imminent split, the exponential tail keeps a
+                        // crowd of parked workers from stealing cycles
+                        // out of the executors' timeslices.
+                        const PARK_MIN: Duration = Duration::from_micros(20);
+                        const PARK_MAX: Duration = Duration::from_micros(500);
+                        let mut park = PARK_MIN;
+                        'work: while !cancel.load(Ordering::Relaxed) {
                             let Some(claim) = queue.claim(worker_index) else {
                                 // Every deque is dry; steals move chunks
                                 // atomically, so whatever remains is
                                 // already executing on another worker.
+                                // With adaptive splitting, an executing
+                                // worker may yet split and repopulate the
+                                // deques — park briefly and rescan
+                                // instead of retiring for good (surplus
+                                // workers on coarse plans would otherwise
+                                // race the first split and exit at
+                                // startup). Once nothing is executing, no
+                                // new work can ever appear.
+                                if plan.adaptive && queue.executing() > 0 {
+                                    std::thread::sleep(park);
+                                    park = (park * 2).min(PARK_MAX);
+                                    continue;
+                                }
                                 break;
                             };
+                            park = PARK_MIN;
                             if let Claim::Stolen { taken, .. } = claim {
                                 ws.steals += 1;
                                 ws.chunks_stolen += taken as u64;
                             }
-                            let chunk = claim.chunk();
+                            let mut chunk = claim.chunk();
+                            // Adaptive sizing: with idle workers and a
+                            // divisible chunk in hand, execute the front
+                            // half and requeue the back half for a thief.
+                            if plan.adaptive && chunk.len >= 2 && queue.starving() {
+                                let back = chunk.len / 2;
+                                let front = chunk.len - back;
+                                queue.push_front(
+                                    worker_index,
+                                    Chunk {
+                                        start: chunk.start + front,
+                                        shard_offset: chunk.shard_offset + front,
+                                        len: back,
+                                        ..chunk
+                                    },
+                                );
+                                chunk.len = front;
+                                ws.splits += 1;
+                            }
+                            // Coalesce contiguous same-shard work into the
+                            // envelope in hand; flush when it cannot extend.
+                            let extends = held.as_ref().is_some_and(|e| {
+                                e.shard == chunk.shard
+                                    && e.shard_offset + e.len == chunk.shard_offset
+                                    && e.len < COALESCE_TRIALS
+                            });
+                            if !extends {
+                                if let Some(full) = held.take() {
+                                    if !send_timed(&tx, full, &mut ws) {
+                                        // Claimed but never executed:
+                                        // release the executing mark so
+                                        // parked peers can still retire.
+                                        queue.task_done();
+                                        break 'work;
+                                    }
+                                }
+                            }
                             let t0 = Instant::now();
                             let mut rng =
                                 chunk_rng(plan.seed, chunk.shard as u64, chunk.shard_offset);
-                            let mut results = Vec::with_capacity(chunk.len as usize);
+                            let envelope = held.get_or_insert_with(|| Envelope {
+                                shard: chunk.shard,
+                                shard_offset: chunk.shard_offset,
+                                start: chunk.start,
+                                len: 0,
+                                elapsed: Duration::ZERO,
+                                partial: S::Partial::default(),
+                                results: S::NEEDS_RESULTS
+                                    .then(|| take_block(pool, chunk.len as usize)),
+                            });
                             for offset in 0..chunk.len {
                                 let index = chunk.start + offset;
                                 let mut ctx = TrialCtx {
@@ -416,67 +606,84 @@ impl Engine {
                                     seed: plan.seed.wrapping_add(index),
                                     rng: ChaCha8Rng::seed_from_u64(rng.random::<u64>()),
                                 };
-                                results.push(trial.run(&mut state, &mut ctx));
+                                let out = trial.run(&mut state, &mut ctx);
+                                envelope.partial.fold(index, &out);
+                                if let Some(block) = envelope.results.as_mut() {
+                                    block.push(out);
+                                }
                             }
                             let elapsed = t0.elapsed();
+                            envelope.len += chunk.len;
+                            envelope.elapsed += elapsed;
                             ws.busy += elapsed;
                             ws.chunks_run += 1;
-                            let batch = ChunkBatch {
-                                shard: chunk.shard,
-                                chunk: chunk.chunk,
-                                start: chunk.start,
-                                elapsed,
-                                results,
-                            };
-                            if tx.send(batch).is_err() {
-                                break;
+                            queue.task_done();
+                        }
+                        if let Some(full) = held.take() {
+                            if !cancel.load(Ordering::Relaxed) {
+                                send_timed(&tx, full, &mut ws);
                             }
                         }
+                        queue.retire();
                         ws.idle = born.elapsed().saturating_sub(ws.busy);
                         ws
                     }));
                 }
                 drop(tx);
 
-                // The calling thread is the aggregator: it releases chunk
-                // batches to the sink in (shard, chunk) order and
-                // evaluates the early-abort checkpoint whenever the
+                // The calling thread is the aggregator: it releases
+                // envelopes to the sink in (shard, in-shard offset) order
+                // and evaluates the early-abort checkpoint whenever the
                 // watermark crosses a shard boundary.
-                let mut pending: BTreeMap<(usize, usize), ChunkBatch<T::Output>> = BTreeMap::new();
+                let mut pending: BTreeMap<(usize, u64), Envelope<T::Output, S::Partial>> =
+                    BTreeMap::new();
                 let mut frontier_shard = 0usize;
-                let mut frontier_chunk = 0usize;
+                let mut frontier_offset = 0u64;
                 let mut shard_elapsed = Duration::ZERO;
-                // Defensive: step over shards the schedule gave no chunks
+                // Defensive: step over shards the plan gave no trials
                 // (impossible after the shards<=trials clamp, but an empty
                 // shard must never stall the watermark).
-                while frontier_shard < shards && chunk_counts[frontier_shard] == 0 {
+                while frontier_shard < shards && shard_lens[frontier_shard] == 0 {
                     frontier_shard += 1;
                 }
                 stats.shards = frontier_shard;
-                while let Ok(batch) = rx.recv() {
+                while let Ok(envelope) = rx.recv() {
                     if stats.aborted {
                         continue; // drain: results beyond the abort point are discarded
                     }
-                    pending.insert((batch.shard, batch.chunk), batch);
-                    'release: while let Some(batch) =
-                        pending.remove(&(frontier_shard, frontier_chunk))
+                    pending.insert((envelope.shard, envelope.shard_offset), envelope);
+                    'release: while let Some(envelope) =
+                        pending.remove(&(frontier_shard, frontier_offset))
                     {
-                        stats.trials += batch.results.len() as u64;
+                        stats.trials += envelope.len;
                         stats.chunks += 1;
-                        stats.busy += batch.elapsed;
-                        shard_elapsed += batch.elapsed;
-                        let start = batch.start;
-                        for (offset, result) in batch.results.into_iter().enumerate() {
-                            sink.absorb(start + offset as u64, result);
+                        stats.busy += envelope.elapsed;
+                        shard_elapsed += envelope.elapsed;
+                        if S::NEEDS_RESULTS {
+                            let mut block = envelope
+                                .results
+                                .expect("replay-path envelope carries results");
+                            let start = envelope.start;
+                            for (offset, result) in block.drain(..).enumerate() {
+                                sink.absorb(start + offset as u64, result);
+                            }
+                            let mut pool = pool.lock().expect("recycle pool poisoned");
+                            if pool.len() < workers * CHANNEL_DEPTH_PER_WORKER {
+                                pool.push(block);
+                            }
+                        } else {
+                            sink.absorb_partial(envelope.partial);
                         }
-                        frontier_chunk += 1;
-                        if frontier_chunk == chunk_counts[frontier_shard] {
+                        frontier_offset += envelope.len;
+                        while frontier_shard < shards
+                            && frontier_offset == shard_lens[frontier_shard]
+                        {
                             stats.max_shard = stats.max_shard.max(shard_elapsed);
                             shard_elapsed = Duration::ZERO;
                             let completed = frontier_shard;
                             frontier_shard += 1;
-                            frontier_chunk = 0;
-                            while frontier_shard < shards && chunk_counts[frontier_shard] == 0 {
+                            frontier_offset = 0;
+                            while frontier_shard < shards && shard_lens[frontier_shard] == 0 {
                                 frontier_shard += 1;
                             }
                             stats.shards = frontier_shard;
@@ -497,6 +704,8 @@ impl Engine {
                         Ok(ws) => {
                             stats.steals += ws.steals;
                             stats.chunks_stolen += ws.chunks_stolen;
+                            stats.splits += ws.splits;
+                            stats.send_block += ws.send_block;
                             stats.idle += ws.idle;
                             stats.worker_stats.push(ws);
                         }
@@ -540,8 +749,7 @@ mod tests {
     #[test]
     fn chunk_schedule_partitions_every_shard() {
         let plan = RunPlan::new(103, 0).with_shards(8).with_chunk(5);
-        let (chunks, counts) = plan.chunk_schedule(8, 5);
-        assert_eq!(counts.iter().sum::<usize>(), chunks.len());
+        let chunks = plan.chunk_schedule(8, 5);
         let mut covered = Vec::new();
         for c in &chunks {
             assert!(c.len <= 5 && c.len > 0);
@@ -684,6 +892,52 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_split_fires_on_starved_tails_and_keeps_results() {
+        // One whole-shard chunk per shard: once both workers claim their
+        // chunk the deques are empty, so the starvation heuristic must
+        // split the big chunks mid-run and the offset watermark must
+        // reassemble the stream exactly.
+        let plan = RunPlan::new(128, 3).with_shards(2).with_chunk(64);
+        let slow = FnTrial::new(|ctx: &mut TrialCtx| {
+            std::thread::sleep(Duration::from_micros(300));
+            ctx.rng.random::<u64>()
+        });
+        let serial = Engine::with_workers(1)
+            .run(&plan.with_adaptive(false), &slow, CollectSink::new())
+            .summary;
+        let outcome = Engine::with_workers(8).run(&plan, &slow, CollectSink::new());
+        assert_eq!(outcome.summary, serial);
+        assert!(
+            outcome.stats.splits > 0,
+            "expected adaptive splits on a starved pool: {:?}",
+            outcome.stats
+        );
+        assert_eq!(outcome.stats.splits, {
+            outcome
+                .stats
+                .worker_stats
+                .iter()
+                .map(|w| w.splits)
+                .sum::<u64>()
+        });
+    }
+
+    #[test]
+    fn adaptive_split_can_be_disabled() {
+        let plan = RunPlan::new(64, 3)
+            .with_shards(2)
+            .with_chunk(32)
+            .with_adaptive(false);
+        let slow = FnTrial::new(|ctx: &mut TrialCtx| {
+            std::thread::sleep(Duration::from_micros(200));
+            ctx.index
+        });
+        let outcome = Engine::with_workers(8).run(&plan, &slow, CollectSink::new());
+        assert_eq!(outcome.stats.splits, 0);
+        assert_eq!(outcome.summary, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn zero_trials_is_a_noop() {
         let outcome = Engine::with_workers(4).run(
             &RunPlan::new(0, 1),
@@ -706,6 +960,8 @@ mod tests {
         assert!(json.contains("\"trials\":10"));
         assert!(json.contains("throughput_per_s"));
         assert!(json.contains("\"steals\":"));
+        assert!(json.contains("\"splits\":"));
+        assert!(json.contains("\"send_block_us\":"));
         assert!(json.contains("workers_detail"));
     }
 }

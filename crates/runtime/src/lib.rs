@@ -8,15 +8,19 @@
 //! ## Architecture
 //!
 //! ```text
-//!   RunPlan { trials, seed, shards, chunk }
-//!        │             ┌────────────────┐ pop front  ┌─────────┐
-//!        ├─ shards ────│ deque worker 0 │───────────▶│ worker 0│──┐
-//!        │  × chunks   │ deque ...      │ steal back │ ...     │  │ ChunkBatch
-//!        │             │ deque worker N │◀──half────▶│ worker N│──┤ (mpsc)
-//!        │             └────────────────┘            └─────────┘  ▼
-//!        │      (shard, chunk)-ordered release  ┌──────────────────────┐
-//!        └─────────────────────────────────────▶│ aggregator  ──▶ Sink │
-//!              shard-boundary checkpoint/abort  └──────────────────────┘
+//!   RunPlan { trials, seed, shards, chunk, adaptive }
+//!        │             ┌────────────────┐ pop front  ┌─────────┐ fold chunk into
+//!        ├─ shards ────│ deque worker 0 │───────────▶│ worker 0│ PartialAggregate
+//!        │  × chunks   │ deque ...      │ steal back │ ...     │ (+ results block
+//!        │             │ deque worker N │◀──half────▶│ worker N│  iff sink needs)
+//!        │             └───────▲────────┘            └────┬────┘
+//!        │                     └── adaptive split when ───┤ Envelope, coalesced
+//!        │                         starvation counters    │ (bounded channel,
+//!        │                         show idle workers      ▼  backpressure)
+//!        │     (shard, offset)-watermark release  ┌──────────────────────┐
+//!        └───────────────────────────────────────▶│ aggregator  ──▶ Sink │
+//!               shard-boundary checkpoint/abort   └──────────────────────┘
+//!                                 recycled results blocks ──▶ workers
 //! ```
 //!
 //! * **Deterministic sharding** — trials are split into fixed contiguous
@@ -24,24 +28,34 @@
 //!   RNG stream is derived from `(campaign_seed, shard_index)` via
 //!   ChaCha8, and a chunk *seeks* that stream to its own offset
 //!   ([`chunk_rng`]), so a trial's inputs never depend on which worker
-//!   ran its chunk. Thread count, chunk size and steal schedule are pure
-//!   execution detail: aggregates are **bit-identical** at 1, 2 or 64
-//!   workers, chunked coarse or fine, stolen or not.
-//! * **Work stealing** — workers drain their own chunk deque and steal
-//!   the back half of a victim's when dry, so one pathologically
-//!   expensive shard (an escalation-heavy fault-injection run) no longer
-//!   pins its whole cost on a single worker while the rest idle.
+//!   ran its chunk. Thread count, chunk size, steal schedule, adaptive
+//!   splits and envelope coalescing are pure execution detail: aggregates
+//!   are **bit-identical** at 1, 2 or 64 workers, chunked coarse or fine,
+//!   stolen or not.
+//! * **Work stealing & adaptive sizing** — workers drain their own chunk
+//!   deque and steal the back half of a victim's when dry, so one
+//!   pathologically expensive shard (an escalation-heavy fault-injection
+//!   run) no longer pins its whole cost on a single worker while the rest
+//!   idle; and when the scheduler's starvation counters show idle workers,
+//!   an executing worker splits the chunk in hand and requeues the back
+//!   half for a thief.
+//! * **Partial aggregation** — workers fold each chunk's results into a
+//!   chunk-local [`PartialAggregate`] in place; aggregation-only sinks
+//!   (campaigns) receive merged partials and the channel never carries
+//!   raw trials, so the serial consumer merges a few integers per batch
+//!   instead of replaying every result. Raw-result sinks get recycled
+//!   result blocks through the same bounded, backpressured channel.
 //! * **Streaming aggregation** — a [`Sink`] sees results in trial order
-//!   (the aggregator re-orders completed chunks on a per-shard watermark)
-//!   and may stop the run at any shard boundary
+//!   (the aggregator re-orders envelopes on a per-shard in-shard-offset
+//!   watermark) and may stop the run at any shard boundary
 //!   ([`Sink::checkpoint`]), e.g. once a confidence interval is tight
 //!   enough ([`EarlyStop::on_ci_width`]) or the leaky bucket escalated
 //!   ([`EarlyStop::on_escalations`]). Abort decisions only ever see the
 //!   completed shard *prefix*, so they are scheduling-independent too.
 //! * **Observability** — every run yields [`RunStats`] (throughput,
-//!   busy/idle time, steal counts, per-worker detail via
-//!   [`WorkerStats`], tail shard latency) and results can be teed to a
-//!   JSONL artefact with [`JsonlSink`].
+//!   busy/idle time, steal/split counts, per-worker send-block time on
+//!   the bounded channel via [`WorkerStats`], tail shard latency) and
+//!   results can be teed to a JSONL artefact with [`JsonlSink`].
 //!
 //! ## Quickstart: a campaign
 //!
@@ -76,6 +90,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod agg;
 mod batch;
 pub mod campaign;
 mod engine;
@@ -84,6 +99,7 @@ mod sched;
 mod sink;
 mod trial;
 
+pub use agg::{PartialAggregate, TrialCount};
 pub use batch::BatchClassify;
 pub use campaign::{
     run_campaign, run_campaign_sink, run_campaign_with, CampaignConfig, CampaignReport,
@@ -91,7 +107,7 @@ pub use campaign::{
 };
 pub use engine::{
     chunk_rng, shard_rng, Engine, EngineConfig, RunOutcome, RunPlan, RunStats, WorkerStats,
-    DEFAULT_CHUNKS_PER_SHARD, DEFAULT_SHARDS, MIN_AUTO_CHUNK,
+    CHANNEL_DEPTH_PER_WORKER, DEFAULT_CHUNKS_PER_SHARD, DEFAULT_SHARDS, MIN_AUTO_CHUNK,
 };
 pub use sink::{CollectSink, Control, CountSink, JsonlSink, Sink};
 pub use trial::{FnTrial, Trial, TrialCtx};

@@ -5,10 +5,29 @@
 //! into a summary. After each completed shard the engine polls
 //! [`Sink::checkpoint`], the early-abort hook: returning
 //! [`Control::Stop`] cancels the remaining shards.
+//!
+//! A sink chooses one of two result paths:
+//!
+//! * **Raw replay** (`NEEDS_RESULTS = true`, the default) — every trial's
+//!   output crosses the worker channel and is replayed through
+//!   [`absorb`](Sink::absorb) in ascending index order. Required when the
+//!   sink consumes the results themselves ([`CollectSink`],
+//!   [`JsonlSink`]).
+//! * **Partial merge** (`NEEDS_RESULTS = false`) — workers fold each
+//!   chunk into a [`PartialAggregate`](crate::PartialAggregate) in place
+//!   and only the folded partial crosses the channel; the aggregator
+//!   hands it to [`absorb_partial`](Sink::absorb_partial) in the same
+//!   deterministic order. This is what lets CPU-bound campaigns scale:
+//!   the serial consumer merges a handful of integers per chunk instead
+//!   of replaying every trial.
+//!
+//! Both paths see identical information in identical order, so a sink's
+//! summary — and its checkpoint decisions — are path-independent.
 
+use crate::agg::{PartialAggregate, TrialCount};
 use crate::engine::RunStats;
 use serde::Serialize;
-use std::io::Write;
+use std::io::{BufWriter, Write};
 
 /// Checkpoint verdict: keep executing or stop the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,9 +43,35 @@ pub trait Sink<T> {
     /// What the sink reduces the stream to.
     type Summary;
 
+    /// Chunk-local partial the engine's workers fold results into when
+    /// [`NEEDS_RESULTS`](Sink::NEEDS_RESULTS) is `false`. Sinks on the
+    /// raw-replay path use `()` (the fold compiles away).
+    type Partial: PartialAggregate<T>;
+
+    /// Whether the sink must see every raw result through
+    /// [`absorb`](Sink::absorb). When `false`, the engine never ships raw
+    /// results: workers fold chunks into `Self::Partial` and the
+    /// aggregator calls [`absorb_partial`](Sink::absorb_partial) instead.
+    const NEEDS_RESULTS: bool = true;
+
     /// Consumes the result of trial `index`. Called in ascending index
-    /// order.
+    /// order — but only when [`NEEDS_RESULTS`](Sink::NEEDS_RESULTS) is
+    /// `true`.
     fn absorb(&mut self, index: u64, item: T);
+
+    /// Merges one chunk-local partial, in ascending trial order. Called
+    /// instead of [`absorb`](Sink::absorb) when
+    /// [`NEEDS_RESULTS`](Sink::NEEDS_RESULTS) is `false` — a sink that
+    /// opts onto the partial path must override it. The default panics:
+    /// silently dropping partials would make a forgotten override look
+    /// like a successful run with an empty summary.
+    fn absorb_partial(&mut self, partial: Self::Partial) {
+        let _ = partial;
+        panic!(
+            "Sink declared NEEDS_RESULTS = false but did not override \
+             absorb_partial: worker-folded partials would be lost"
+        );
+    }
 
     /// Early-abort hook, polled after shard `shard` (0-based) completes.
     fn checkpoint(&mut self, _shard: usize) -> Control {
@@ -52,6 +97,7 @@ impl<T> CollectSink<T> {
 
 impl<T> Sink<T> for CollectSink<T> {
     type Summary = Vec<T>;
+    type Partial = ();
 
     fn absorb(&mut self, _index: u64, item: T) {
         self.items.push(item);
@@ -64,6 +110,12 @@ impl<T> Sink<T> for CollectSink<T> {
 
 /// Writes every result as one JSON line (`{"trial":i,"result":...}`),
 /// then forwards it to an inner sink.
+///
+/// Writes go through an internal [`BufWriter`]: the sink sits on the
+/// engine's serial aggregation path, and an unbuffered line per trial
+/// taxes exactly the consumer the partial-aggregation result path exists
+/// to unclog. The buffer is flushed in [`finish`](Sink::finish), so a
+/// completed run's artefact is always fully written.
 ///
 /// By default the trailing line of the stream is a run footer with the
 /// engine's throughput/latency counters, so a JSONL artefact is
@@ -79,16 +131,17 @@ impl<T> Sink<T> for CollectSink<T> {
 /// worse than an aborted run (matching `relcnn-bench`'s loud-failure
 /// convention).
 pub struct JsonlSink<W: Write, S> {
-    writer: W,
+    writer: BufWriter<W>,
     inner: S,
     footer: bool,
 }
 
 impl<W: Write, S> JsonlSink<W, S> {
-    /// Wraps `writer`, forwarding results to `inner`.
+    /// Wraps `writer` (buffering it internally), forwarding results to
+    /// `inner`.
     pub fn new(writer: W, inner: S) -> Self {
         JsonlSink {
-            writer,
+            writer: BufWriter::new(writer),
             inner,
             footer: true,
         }
@@ -105,6 +158,11 @@ impl<W: Write, S> JsonlSink<W, S> {
 
 impl<T: Serialize, W: Write, S: Sink<T>> Sink<T> for JsonlSink<W, S> {
     type Summary = S::Summary;
+    // The artefact needs every raw result, so the composed sink always
+    // rides the replay path — an inner partial-capable sink (e.g.
+    // `CampaignSink`) is fed through its `absorb`, which keeps teed
+    // artefacts byte-identical to the partial-path aggregate.
+    type Partial = ();
 
     fn absorb(&mut self, index: u64, item: T) {
         let json = serde_json::to_string(&item).unwrap_or_else(|e| format!("\"<error: {e}>\""));
@@ -144,9 +202,17 @@ impl CountSink {
 
 impl<T> Sink<T> for CountSink {
     type Summary = u64;
+    type Partial = TrialCount;
+    // Counting needs no raw results: workers fold chunk counts locally
+    // and the channel carries one integer per batch.
+    const NEEDS_RESULTS: bool = false;
 
     fn absorb(&mut self, _index: u64, _item: T) {
         self.count += 1;
+    }
+
+    fn absorb_partial(&mut self, partial: TrialCount) {
+        self.count += partial.0;
     }
 
     fn finish(self, _stats: &RunStats) -> u64 {
@@ -213,6 +279,7 @@ mod tests {
         }
         impl Sink<u64> for StopAfter {
             type Summary = u64;
+            type Partial = ();
             fn absorb(&mut self, _index: u64, _item: u64) {
                 self.seen += 1;
             }

@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 use relcnn_faults::{BerInjector, FaultInjector, FaultSite, OpContext};
 use relcnn_runtime::{
-    run_campaign, run_campaign_with, CampaignConfig, EarlyStop, TrialOutcome, TrialResult,
+    run_campaign, run_campaign_sink, run_campaign_with, CampaignConfig, CampaignReport,
+    CampaignSink, Control, EarlyStop, RunOutcome, RunStats, Sink, TrialOutcome, TrialResult,
 };
 
 /// A seeded trial whose outcome mixes every `TrialOutcome` variant.
@@ -28,8 +29,97 @@ fn trial(seed: u64) -> TrialResult {
     }
 }
 
+/// Forces the engine's raw-replay result path over the same campaign
+/// aggregation: every `TrialResult` crosses the worker channel and is
+/// replayed one `absorb` at a time — exactly the PR 2 result path. Used
+/// as the reference the per-worker partial-aggregation path must match
+/// bit for bit (the aggregates are pure integer counters, so `==` is
+/// byte-identity).
+struct ReplaySink(CampaignSink);
+
+impl ReplaySink {
+    fn new(policy: EarlyStop) -> Self {
+        ReplaySink(CampaignSink::new(policy))
+    }
+}
+
+impl Sink<TrialResult> for ReplaySink {
+    type Summary = CampaignReport;
+    type Partial = ();
+
+    fn absorb(&mut self, index: u64, item: TrialResult) {
+        self.0.absorb(index, item);
+    }
+
+    fn checkpoint(&mut self, shard: usize) -> Control {
+        self.0.checkpoint(shard)
+    }
+
+    fn finish(self, stats: &RunStats) -> CampaignReport {
+        self.0.finish(stats)
+    }
+}
+
+/// Runs one campaign twice — per-worker partial aggregation vs per-trial
+/// replay — and asserts the aggregate, abort flag and stop shard agree.
+fn assert_partial_matches_replay(config: &CampaignConfig, policy: EarlyStop) {
+    let partial: RunOutcome<CampaignReport> =
+        run_campaign_sink(config, CampaignSink::new(policy), trial);
+    let replay: RunOutcome<CampaignReport> =
+        run_campaign_sink(config, ReplaySink::new(policy), trial);
+    assert_eq!(
+        partial.summary, replay.summary,
+        "partial merge diverged from per-trial replay: {config:?}"
+    );
+    assert_eq!(partial.stats.aborted, replay.stats.aborted, "{config:?}");
+    assert_eq!(partial.stats.shards, replay.stats.shards, "{config:?}");
+    assert_eq!(partial.stats.trials, replay.stats.trials, "{config:?}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole contract of the partial-aggregation result path:
+    /// folding chunks on the workers and merging partials in watermark
+    /// order is byte-identical to replaying every trial through the sink
+    /// (the PR 2 path) — at workers {1, 2, 8} × chunk sizes {1, auto,
+    /// whole-shard}, with and without an early abort firing mid-run.
+    #[test]
+    fn partial_merge_identical_to_per_trial_replay(
+        trials in 1u64..250,
+        base_seed in any::<u64>(),
+        shards in 1usize..32,
+    ) {
+        for workers in [1usize, 2, 8] {
+            for chunk in [1u64, 0, trials] {
+                let config = CampaignConfig::new(trials, base_seed)
+                    .with_threads(workers)
+                    .with_shards(shards)
+                    .with_chunk(chunk);
+                assert_partial_matches_replay(&config, EarlyStop::never());
+                assert_partial_matches_replay(&config, EarlyStop::on_escalations(3));
+            }
+        }
+    }
+
+    /// The oversharded (shards > trials) regression case, on both result
+    /// paths: the clamp plus the offset watermark must never stall, and
+    /// the paths must agree.
+    #[test]
+    fn partial_merge_matches_replay_when_oversharded(
+        trials in 1u64..12,
+        base_seed in any::<u64>(),
+        shards in 16usize..96,
+        chunk in 0u64..24,
+    ) {
+        for workers in [1usize, 2, 8] {
+            let config = CampaignConfig::new(trials, base_seed)
+                .with_threads(workers)
+                .with_shards(shards)
+                .with_chunk(chunk);
+            assert_partial_matches_replay(&config, EarlyStop::never());
+        }
+    }
 
     /// The acceptance criterion of the runtime subsystem: identical
     /// `TrialOutcome` aggregates at 1, 2 and 8 worker threads, for any
@@ -168,6 +258,11 @@ fn matrix_worker_count_agrees_with_serial() {
             run_campaign(&config.with_threads(workers), trial),
             run_campaign(&config.with_threads(1), trial),
             "full campaign, workers={workers} chunk={chunk}"
+        );
+        assert_eq!(
+            run_campaign(&config.with_threads(workers).with_adaptive(false), trial),
+            run_campaign(&config.with_threads(workers), trial),
+            "adaptive splitting changed the aggregate, workers={workers} chunk={chunk}"
         );
         let stopped = |threads| {
             run_campaign_with(
