@@ -125,8 +125,10 @@ fn bench_runtime_scaling(c: &mut Criterion) {
         series
             .iter()
             .map(|(w, s)| {
+                let (p50, p95, p99) = s.trial_hist.percentiles();
                 format!(
                     "{{\"workers\":{w},\"trials_per_s\":{:.3},\"mean_trial_ns\":{},\
+                     \"trial_p50_ns\":{p50},\"trial_p95_ns\":{p95},\"trial_p99_ns\":{p99},\
                      \"steals\":{},\"splits\":{},\"send_block_us\":{}}}",
                     s.throughput,
                     s.mean_trial.as_nanos(),

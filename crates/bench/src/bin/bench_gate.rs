@@ -24,7 +24,19 @@
 //!   ROADMAP pins;
 //! * the skewed-workload steal speedup drops below 2x, or more than the
 //!   tolerance below its baseline;
-//! * the skewed steal schedule stops stealing entirely.
+//! * the skewed steal schedule stops stealing entirely;
+//! * the serving replay's deterministic metrics (from
+//!   `results/serving_latency.json`, run `cargo run --release -p
+//!   relcnn-bench --bin serve_bench` first) regress against
+//!   `results/baseline/serving_latency.json`: virtual p99 latency more
+//!   than the tolerance above baseline, shed rate more than the
+//!   tolerance (relative, plus one percentage point of slack) above
+//!   baseline, goodput rate more than the tolerance below baseline, or
+//!   the conservation identity `offered == completed + shed + expired`
+//!   broken. These metrics are virtual-clock deterministic — identical
+//!   on every machine for an unchanged policy — so a deviation is a
+//!   *behavioural* change to admission/batching/expiry, not noise, and
+//!   an intended one must ship a refreshed baseline.
 //!
 //! The gate reads artefacts rather than timing anything itself, so it is
 //! cheap to re-run while iterating on a regression.
@@ -80,6 +92,23 @@ struct Scaling {
 }
 
 #[derive(Debug, Deserialize)]
+struct Serving {
+    bench: String,
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    expired: u64,
+    late: u64,
+    batches: u64,
+    shed_rate: f64,
+    goodput_rate: f64,
+    p50_virtual_us: u64,
+    p95_virtual_us: u64,
+    p99_virtual_us: u64,
+    throughput_rps: f64,
+}
+
+#[derive(Debug, Deserialize)]
 struct Skewed {
     bench: String,
     workers: u64,
@@ -93,14 +122,14 @@ struct Skewed {
     chunks_stolen: u64,
 }
 
-fn load<T: Deserialize>(path: &PathBuf) -> Result<T, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        format!(
-            "{}: {e} (generate it with `cargo bench -p relcnn-bench \
-             --bench runtime_scaling --bench skewed_steal`)",
-            path.display()
-        )
-    })?;
+/// Regeneration hint for the scaling/steal artefacts.
+const BENCH_HINT: &str = "cargo bench -p relcnn-bench --bench runtime_scaling --bench skewed_steal";
+/// Regeneration hint for the serving artefact.
+const SERVE_HINT: &str = "cargo run --release -p relcnn-bench --bin serve_bench";
+
+fn load<T: Deserialize>(path: &PathBuf, regen_hint: &str) -> Result<T, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e} (generate it with `{regen_hint}`)", path.display()))?;
     serde_json::from_str(&text).map_err(|e| format!("{}: parse error: {e}", path.display()))
 }
 
@@ -221,8 +250,8 @@ fn main() -> ExitCode {
 
     let scaling: Result<(Scaling, Scaling), String> = (|| {
         Ok((
-            load(&results.join("runtime_scaling.json"))?,
-            load(&baseline_dir.join("runtime_scaling.json"))?,
+            load(&results.join("runtime_scaling.json"), BENCH_HINT)?,
+            load(&baseline_dir.join("runtime_scaling.json"), BENCH_HINT)?,
         ))
     })();
     match &scaling {
@@ -278,8 +307,8 @@ fn main() -> ExitCode {
 
     let skewed: Result<(Skewed, Skewed), String> = (|| {
         Ok((
-            load(&results.join("skewed_steal.json"))?,
-            load(&baseline_dir.join("skewed_steal.json"))?,
+            load(&results.join("skewed_steal.json"), BENCH_HINT)?,
+            load(&baseline_dir.join("skewed_steal.json"), BENCH_HINT)?,
         ))
     })();
     match &skewed {
@@ -318,6 +347,75 @@ fn main() -> ExitCode {
             }
             if fresh.steals == 0 {
                 failures.push("skewed_steal: no steals on the skewed schedule".into());
+            }
+        }
+        Err(e) => failures.push(e.clone()),
+    }
+
+    let serving: Result<(Serving, Serving), String> = (|| {
+        Ok((
+            load(&results.join("serving_latency.json"), SERVE_HINT)?,
+            load(&baseline_dir.join("serving_latency.json"), SERVE_HINT)?,
+        ))
+    })();
+    match &serving {
+        Ok((fresh, base)) => {
+            assert_eq!(fresh.bench, "serving_latency");
+            println!(
+                "serving_latency: {} offered -> {} completed ({} late) / {} shed / \
+                 {} expired in {} batches; virtual p50/p95/p99 {}/{}/{} us \
+                 (baseline p99 {} us), shed rate {:.1}% (baseline {:.1}%), \
+                 goodput {:.1}% (baseline {:.1}%), wall throughput {:.0} req/s",
+                fresh.offered,
+                fresh.completed,
+                fresh.late,
+                fresh.shed,
+                fresh.expired,
+                fresh.batches,
+                fresh.p50_virtual_us,
+                fresh.p95_virtual_us,
+                fresh.p99_virtual_us,
+                base.p99_virtual_us,
+                fresh.shed_rate * 100.0,
+                base.shed_rate * 100.0,
+                fresh.goodput_rate * 100.0,
+                base.goodput_rate * 100.0,
+                fresh.throughput_rps,
+            );
+            if fresh.completed + fresh.shed + fresh.expired != fresh.offered {
+                failures.push(format!(
+                    "serving_latency: conservation broke: {} completed + {} shed + \
+                     {} expired != {} offered",
+                    fresh.completed, fresh.shed, fresh.expired, fresh.offered
+                ));
+            }
+            if fresh.p99_virtual_us as f64 > base.p99_virtual_us as f64 * (1.0 + tol) {
+                failures.push(format!(
+                    "serving_latency: virtual p99 regressed {} -> {} us \
+                     (tolerance {:.0}%) — deterministic metric, so this is a \
+                     behavioural batching/admission change",
+                    base.p99_virtual_us,
+                    fresh.p99_virtual_us,
+                    tol * 100.0
+                ));
+            }
+            if fresh.shed_rate > base.shed_rate * (1.0 + tol) + 0.01 {
+                failures.push(format!(
+                    "serving_latency: shed rate regressed {:.3} -> {:.3} \
+                     (tolerance {:.0}% relative + 1pt)",
+                    base.shed_rate,
+                    fresh.shed_rate,
+                    tol * 100.0
+                ));
+            }
+            if fresh.goodput_rate < base.goodput_rate * (1.0 - tol) {
+                failures.push(format!(
+                    "serving_latency: goodput rate regressed {:.3} -> {:.3} \
+                     (tolerance {:.0}%)",
+                    base.goodput_rate,
+                    fresh.goodput_rate,
+                    tol * 100.0
+                ));
             }
         }
         Err(e) => failures.push(e.clone()),

@@ -1,0 +1,125 @@
+//! Serving-latency benchmark: emits `results/serving_latency.json`.
+//!
+//! Replays a fixed overloaded open-loop trace (Poisson arrivals with a
+//! heavy-tail service profile) through the full serving stack —
+//! admission, deadline-aware micro-batching, hybrid-CNN inference via
+//! `classify_many` on the engine — and records two kinds of numbers:
+//!
+//! * **deterministic serving metrics** (virtual-clock p50/p95/p99
+//!   latency, shed rate, expiry counts, batch fill): pure functions of
+//!   the trace and policy, identical on every machine — these are what
+//!   `bench_gate` holds to the committed baseline;
+//! * **wall-clock execution metrics** (engine dispatch time, per-image
+//!   inference percentiles, end-to-end replay throughput): hardware
+//!   measurement, reported for trajectory but not gated.
+//!
+//! `--quick` (or `RELCNN_QUICK=1`) runs a quarter-size trace for smoke
+//! coverage.
+
+use relcnn_faults::SkewedCost;
+use relcnn_runtime::Engine;
+use relcnn_serve::{
+    run_server, BatchPolicy, CnnBackend, LoadGen, LoadGenConfig, ServerConfig, ServiceModel,
+};
+use std::time::Instant;
+
+const REQUESTS: u64 = 480;
+const SEED: u64 = 0x5E12F;
+const DEADLINE_US: u64 = 15_000;
+const WORKERS: usize = 8;
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        queue_capacity: 24,
+        policy: BatchPolicy {
+            max_batch: 8,
+            max_delay_us: 1_000,
+        },
+        service: ServiceModel {
+            batch_overhead_us: 150,
+            cost: SkewedCost::periodic(200, 2_800, 13),
+        },
+    }
+}
+
+fn main() {
+    let requests = if relcnn_bench::quick_mode() {
+        REQUESTS / 4
+    } else {
+        REQUESTS
+    };
+    let trace = LoadGen::new(
+        LoadGenConfig::poisson(requests, SEED, 320, DEADLINE_US).with_deadline_jitter(9_000),
+    )
+    .generate();
+    let backend = CnnBackend::tiny(0xC1A55).unwrap_or_else(|e| panic!("backend: {e}"));
+    let engine = Engine::with_workers(WORKERS);
+
+    let t0 = Instant::now();
+    let run = run_server(&trace, &server_config(), &backend, &engine);
+    let wall = t0.elapsed();
+
+    let report = &run.report;
+    let (p50, p95, p99) = report.latency.percentiles();
+    let (inf_p50, inf_p95, inf_p99) = run.dispatch.inference_ns.percentiles();
+    let throughput_rps = if wall.as_secs_f64() > 0.0 {
+        report.completed as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        "{{\n  \"bench\": \"serving_latency\",\n  \"requests\": {requests},\n  \
+         \"workers\": {},\n  \"offered\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \
+         \"expired\": {},\n  \"late\": {},\n  \"batches\": {},\n  \
+         \"mean_batch_fill\": {:.3},\n  \"shed_rate\": {:.6},\n  \
+         \"goodput_rate\": {:.6},\n  \"p50_virtual_us\": {p50},\n  \
+         \"p95_virtual_us\": {p95},\n  \"p99_virtual_us\": {p99},\n  \
+         \"virtual_makespan_us\": {},\n  \"wall_us\": {},\n  \
+         \"throughput_rps\": {throughput_rps:.3},\n  \"engine_busy_us\": {},\n  \
+         \"inference_p50_ns\": {inf_p50},\n  \"inference_p95_ns\": {inf_p95},\n  \
+         \"inference_p99_ns\": {inf_p99},\n  \"engine_steals\": {}\n}}\n",
+        engine.configured_workers(),
+        report.offered,
+        report.completed,
+        report.shed,
+        report.expired(),
+        report.late,
+        report.batches,
+        report.mean_batch_fill(),
+        report.shed_rate(),
+        report.goodput_rate(),
+        report.virtual_makespan_us,
+        wall.as_micros(),
+        run.dispatch.engine_busy.as_micros(),
+        run.dispatch.steals,
+    );
+
+    let path = relcnn_bench::results_dir().join("serving_latency.json");
+    // The quick smoke run must not clobber the gated full-scale artefact.
+    if relcnn_bench::quick_mode() {
+        println!("quick mode: skipping write of {}", path.display());
+    } else {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+    println!(
+        "serving: {} offered -> {} completed ({} late), {} shed ({:.1}%), {} expired, \
+         {} batches (fill {:.2}); virtual p50/p95/p99 {p50}/{p95}/{p99} us; \
+         wall {:.1} ms ({throughput_rps:.0} req/s)",
+        report.offered,
+        report.completed,
+        report.late,
+        report.shed,
+        report.shed_rate() * 100.0,
+        report.expired(),
+        report.batches,
+        report.mean_batch_fill(),
+        wall.as_secs_f64() * 1e3,
+    );
+    assert_eq!(
+        report.offered,
+        report.completed + report.shed + report.expired(),
+        "serving conservation broke"
+    );
+}

@@ -1,0 +1,149 @@
+//! Emits the serving-determinism JSONL artefact.
+//!
+//! Replays a fixed open-loop serving trace — seeded arrivals, admission
+//! with shedding, deadline-aware micro-batching, real hybrid-CNN
+//! inference through `classify_many` on the engine — and writes one JSON
+//! line per request plus a trailing deterministic report line. The
+//! serving history runs on a *virtual* clock with a deterministic
+//! service model, so the artefact is a pure function of
+//! `(arrival seed, arrival process)`: CI runs this binary at workers
+//! {1, 2, 8} × two arrival seeds and diffs the outputs byte for byte.
+//! The worker count only changes *how fast* the batches classify, never
+//! what any line says.
+//!
+//! ```text
+//! serving_artifact --workers 8 --seed 201 --out /tmp/serve.jsonl
+//! serving_artifact --workers 2 --seed 202 --arrival burst --out /tmp/b.jsonl
+//! ```
+
+use relcnn_faults::SkewedCost;
+use relcnn_runtime::Engine;
+use relcnn_serve::{
+    run_server, BatchPolicy, CnnBackend, LoadGen, LoadGenConfig, Outcome, ServerConfig,
+    ServiceModel,
+};
+use std::io::Write;
+
+const REQUESTS: u64 = 240;
+const DEADLINE_US: u64 = 5_500;
+
+/// The fixed serving configuration of the determinism artefact: enough
+/// overload (heavy-tail service vs. arrival rate, a 16-slot queue) that
+/// completions, shedding, boundary/pre-dispatch expiry and late service
+/// all appear in the artefact.
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        queue_capacity: 16,
+        policy: BatchPolicy {
+            max_batch: 6,
+            max_delay_us: 2_000,
+        },
+        service: ServiceModel {
+            batch_overhead_us: 150,
+            // Every 13th request takes an escalation-grade service hit.
+            cost: SkewedCost::periodic(180, 3_000, 13),
+        },
+    }
+}
+
+fn load_config(seed: u64, arrival: &str) -> LoadGenConfig {
+    // Jittered deadline budgets (0.7–5.5 ms) make the *pre-dispatch*
+    // expiry sweep reachable, not just the batch-boundary one — with
+    // uniform budgets the FIFO head always dies first and the boundary
+    // sweep shadows it.
+    match arrival {
+        "poisson" => {
+            LoadGenConfig::poisson(REQUESTS, seed, 300, DEADLINE_US).with_deadline_jitter(4_800)
+        }
+        "burst" => LoadGenConfig::burst(REQUESTS, seed, 24, 20, 9_000, DEADLINE_US)
+            .with_deadline_jitter(4_800),
+        other => {
+            eprintln!("unknown arrival process `{other}`");
+            usage()
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serving_artifact --workers N --seed S --out PATH [--arrival poisson|burst]\n\
+         Writes the deterministic JSONL serving replay of a fixed trace."
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut workers = 1usize;
+    let mut seed = 201u64;
+    let mut arrival = "poisson".to_string();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--arrival" => arrival = args.next().unwrap_or_else(|| usage()),
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let Some(out) = out else { usage() };
+
+    let trace = LoadGen::new(load_config(seed, &arrival)).generate();
+    let backend = CnnBackend::tiny(0xC1A55).unwrap_or_else(|e| panic!("backend: {e}"));
+    let engine = Engine::with_workers(workers);
+    let run = run_server(&trace, &server_config(), &backend, &engine);
+
+    let file = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
+    let mut w = std::io::BufWriter::new(file);
+    for (req, outcome) in trace.iter().zip(&run.outcomes) {
+        let line = match outcome {
+            Outcome::Completed {
+                batch,
+                latency_us,
+                late,
+                verdict,
+            } => format!(
+                "{{\"req\":{},\"arrival_us\":{},\"outcome\":\"completed\",\"batch\":{batch},\
+                 \"latency_us\":{latency_us},\"late\":{late},\"class\":{},\"qualified\":{},\
+                 \"confidence_bits\":{}}}",
+                req.id, req.arrival_us, verdict.class, verdict.qualified, verdict.confidence_bits
+            ),
+            Outcome::Shed => format!(
+                "{{\"req\":{},\"arrival_us\":{},\"outcome\":\"shed\"}}",
+                req.id, req.arrival_us
+            ),
+            Outcome::Expired => format!(
+                "{{\"req\":{},\"arrival_us\":{},\"outcome\":\"expired\"}}",
+                req.id, req.arrival_us
+            ),
+        };
+        writeln!(w, "{line}").unwrap_or_else(|e| panic!("write {out}: {e}"));
+    }
+    writeln!(w, "{{\"report\":{}}}", run.report.to_json())
+        .unwrap_or_else(|e| panic!("write report to {out}: {e}"));
+    w.flush().unwrap_or_else(|e| panic!("flush {out}: {e}"));
+
+    eprintln!(
+        "{out}: arrival={arrival} seed={seed} workers={workers} completed={} shed={} \
+         expired={} late={} batches={} (engine: {} images in {} dispatches, {} steals)",
+        run.report.completed,
+        run.report.shed,
+        run.report.expired(),
+        run.report.late,
+        run.report.batches,
+        run.dispatch.images,
+        run.dispatch.engine_batches,
+        run.dispatch.steals,
+    );
+}

@@ -137,6 +137,74 @@ mod tests {
     }
 
     #[test]
+    fn first_error_in_input_order_even_when_it_lands_mid_batch() {
+        // The "first error in input order" contract, off the happy path:
+        // two *different* bad images deep in the batch, run at several
+        // worker counts (chunk=1 deals the trailing chunks to the last
+        // workers and makes them prime steal targets). Whatever worker
+        // executed the erroring image's chunk — locally or stolen — the
+        // returned error must be the one the serial loop would hit first.
+        let data = SyntheticGtsrb::generate(&DatasetConfig::tiny(31)).expect("dataset");
+        let mut hybrid = HybridCnn::untrained(&HybridConfig::tiny(32)).expect("hybrid");
+        let good: Vec<_> = data.test().iter().map(|s| s.image.clone()).collect();
+        let mut images: Vec<Tensor> = (0..24).map(|i| good[i % good.len()].clone()).collect();
+        // Distinguishable failures: a 2-D tensor of the wrong shape at
+        // index 13, and a differently-shaped one at index 19.
+        images[13] = Tensor::zeros(relcnn_tensor::Shape::d2(3, 3));
+        images[19] = Tensor::zeros(relcnn_tensor::Shape::d2(9, 9));
+
+        let serial_err = images
+            .iter()
+            .map(|im| hybrid.classify(im))
+            .find_map(|r| r.err())
+            .expect("serial loop hits an error");
+        for workers in [1, 2, 8] {
+            let err = hybrid
+                .classify_many(&Engine::with_workers(workers), &images)
+                .expect_err("batched run must surface an error");
+            assert_eq!(
+                format!("{err}"),
+                format!("{serial_err}"),
+                "workers={workers}: expected the *first* bad image's error"
+            );
+        }
+    }
+
+    #[test]
+    fn first_error_contract_survives_steals_and_splits() {
+        // Engine-level pin of the mechanism classify_many relies on
+        // (ordered CollectSink stream + first-Err collect), with the
+        // schedule forced adversarial: sleepy trials starve the pool so
+        // chunks are stolen AND adaptively split, and the erroring
+        // trials sit in the back halves that move between workers. The
+        // error returned must still be the lowest-index one.
+        use crate::sink::CollectSink;
+        use crate::trial::FnTrial;
+        use std::time::Duration;
+
+        let trial = FnTrial::new(|ctx: &mut TrialCtx| -> Result<u64, String> {
+            std::thread::sleep(Duration::from_micros(200));
+            match ctx.index {
+                40 => Err(format!("bad trial {}", ctx.index)),
+                100 => Err(format!("bad trial {}", ctx.index)),
+                i => Ok(i),
+            }
+        });
+        // Whole-shard chunks at 8 workers: both stealing and adaptive
+        // splitting must redistribute the back halves (the regime the
+        // adaptive_split engine test pins).
+        let plan = RunPlan::new(128, 9).with_shards(2).with_chunk(64);
+        let outcome = Engine::with_workers(8).run(&plan, &trial, CollectSink::new());
+        assert!(
+            outcome.stats.steals > 0 || outcome.stats.splits > 0,
+            "schedule was not adversarial: {:?}",
+            outcome.stats
+        );
+        let collected: Result<Vec<u64>, String> = outcome.summary.into_iter().collect();
+        assert_eq!(collected.unwrap_err(), "bad trial 40");
+    }
+
+    #[test]
     fn empty_batch_is_empty() {
         let hybrid = HybridCnn::untrained(&HybridConfig::tiny(6)).expect("hybrid");
         let out = hybrid

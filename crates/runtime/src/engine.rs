@@ -36,6 +36,7 @@
 //! reassembles any partition of a shard into the identical result stream.
 
 use crate::agg::PartialAggregate;
+use crate::hist::LatencyHistogram;
 pub use crate::sched::WorkerStats;
 use crate::sched::{Chunk, Claim, StealQueue};
 use crate::sink::{Control, Sink};
@@ -284,6 +285,12 @@ pub struct RunStats {
     /// here counts *executed* chunks, including any discarded past an
     /// early abort, so it can exceed the run-level `busy`.
     pub worker_stats: Vec<WorkerStats>,
+    /// Histogram of per-trial execution times in **nanoseconds**, over
+    /// every *executed* trial (like worker `busy`, this includes trials
+    /// discarded past an early abort). Quantiles are schedule-independent
+    /// up to timing noise: the histogram merge is integer-exact, only the
+    /// measured durations themselves vary run to run.
+    pub trial_hist: LatencyHistogram,
 }
 
 impl RunStats {
@@ -307,6 +314,7 @@ impl RunStats {
             mean_trial: Duration::ZERO,
             max_shard: Duration::ZERO,
             worker_stats: Vec::new(),
+            trial_hist: LatencyHistogram::new(),
         }
     }
 
@@ -331,11 +339,13 @@ impl RunStats {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let (p50, p95, p99) = self.trial_hist.percentiles();
         format!(
             "{{\"trials\":{},\"shards\":{},\"planned_shards\":{},\"chunks\":{},\
              \"planned_chunks\":{},\"workers\":{},\"aborted\":{},\"steals\":{},\
              \"chunks_stolen\":{},\"splits\":{},\"wall_us\":{},\"busy_us\":{},\"idle_us\":{},\
              \"send_block_us\":{},\"throughput_per_s\":{:.3},\"mean_trial_ns\":{},\
+             \"trial_p50_ns\":{p50},\"trial_p95_ns\":{p95},\"trial_p99_ns\":{p99},\
              \"max_shard_us\":{},\"workers_detail\":[{}]}}",
             self.trials,
             self.shards,
@@ -434,6 +444,22 @@ impl Engine {
         }
     }
 
+    /// The worker count this engine will request of a run, with the
+    /// `0 = available parallelism` default resolved. (Per-run clamping to
+    /// the plan's chunk/trial count still applies.) The engine holds no
+    /// threads between runs, so a handle like this is cheap to share —
+    /// the serving layer keeps one engine and dispatches every
+    /// micro-batch through it.
+    pub fn configured_workers(&self) -> usize {
+        if self.config.workers > 0 {
+            self.config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
     /// Worker threads actually spawned. A static schedule can never feed
     /// more workers than it has chunks, so the pool clamps to the chunk
     /// count — but with adaptive splitting enabled, executing workers
@@ -513,6 +539,7 @@ impl Engine {
                             worker: worker_index,
                             ..WorkerStats::default()
                         };
+                        let mut hist = LatencyHistogram::new();
                         let mut state = trial.init(worker_index);
                         let mut held: Option<Envelope<T::Output, S::Partial>> = None;
                         // Parking backoff for dry scans (reset on every
@@ -606,7 +633,11 @@ impl Engine {
                                     seed: plan.seed.wrapping_add(index),
                                     rng: ChaCha8Rng::seed_from_u64(rng.random::<u64>()),
                                 };
+                                let t_trial = Instant::now();
                                 let out = trial.run(&mut state, &mut ctx);
+                                hist.record(
+                                    u64::try_from(t_trial.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                );
                                 envelope.partial.fold(index, &out);
                                 if let Some(block) = envelope.results.as_mut() {
                                     block.push(out);
@@ -626,7 +657,7 @@ impl Engine {
                         }
                         queue.retire();
                         ws.idle = born.elapsed().saturating_sub(ws.busy);
-                        ws
+                        (ws, hist)
                     }));
                 }
                 drop(tx);
@@ -701,7 +732,8 @@ impl Engine {
 
                 for handle in handles {
                     match handle.join() {
-                        Ok(ws) => {
+                        Ok((ws, hist)) => {
+                            stats.trial_hist.merge(&hist);
                             stats.steals += ws.steals;
                             stats.chunks_stolen += ws.chunks_stolen;
                             stats.splits += ws.splits;
@@ -962,6 +994,24 @@ mod tests {
         assert!(json.contains("\"steals\":"));
         assert!(json.contains("\"splits\":"));
         assert!(json.contains("\"send_block_us\":"));
+        assert!(json.contains("\"trial_p50_ns\":"));
+        assert!(json.contains("\"trial_p95_ns\":"));
+        assert!(json.contains("\"trial_p99_ns\":"));
         assert!(json.contains("workers_detail"));
+        assert_eq!(outcome.stats.trial_hist.count(), 10);
+    }
+
+    #[test]
+    fn trial_hist_covers_every_executed_trial() {
+        for workers in [1, 4] {
+            let outcome = Engine::with_workers(workers).run(
+                &RunPlan::new(200, 3).with_shards(8),
+                &FnTrial::new(|ctx: &mut TrialCtx| ctx.index),
+                CollectSink::new(),
+            );
+            assert_eq!(outcome.stats.trial_hist.count(), 200, "workers={workers}");
+            let (p50, p95, p99) = outcome.stats.trial_hist.percentiles();
+            assert!(p50 <= p95 && p95 <= p99);
+        }
     }
 }

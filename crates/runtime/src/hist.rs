@@ -1,0 +1,230 @@
+//! Log-linear latency histogram.
+//!
+//! [`LatencyHistogram`] is the workspace's shared percentile machinery:
+//! the engine folds per-trial execution times into one per worker and
+//! merges them into [`RunStats`](crate::RunStats), and the serving layer
+//! (`relcnn-serve`) records virtual request latencies through the same
+//! type. It is an HDR-style *log-linear* histogram: 8 exact unit buckets
+//! below 8, then 8 sub-buckets per power of two, giving a worst-case
+//! quantile error of one part in eight (±12.5%) at any magnitude up to
+//! `u64::MAX`, with a fixed 496-bucket footprint.
+//!
+//! The histogram is unit-agnostic (the engine records nanoseconds, the
+//! serving layer microseconds) and purely integer-based, so merging and
+//! quantile extraction are deterministic: two histograms built from the
+//! same multiset of samples are equal regardless of recording or merge
+//! order — which is what lets per-worker histograms from a work-stealing
+//! schedule produce schedule-independent percentiles.
+
+/// Total bucket count: 8 unit buckets + 8 sub-buckets for each power of
+/// two from 2^3 through 2^63.
+#[cfg(test)]
+const NUM_BUCKETS: usize = 8 + 61 * 8;
+
+/// A mergeable log-linear histogram of `u64` samples (unit-agnostic).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    /// Bucket counts, grown lazily up to [`NUM_BUCKETS`].
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+/// Bucket index of a sample: exact below 8, log-linear above (the top
+/// three bits below the most significant bit select the sub-bucket).
+fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (msb - 3)) & 0b111) as usize;
+    8 + 8 * (msb - 3) + sub
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lo(index: usize) -> u64 {
+    if index < 8 {
+        return index as u64;
+    }
+    let octave = 3 + (index - 8) / 8;
+    let sub = ((index - 8) % 8) as u64;
+    (8 + sub) << (octave - 3)
+}
+
+/// Width of a bucket in sample units.
+fn bucket_width(index: usize) -> u64 {
+    if index < 8 {
+        1
+    } else {
+        1 << ((index - 8) / 8)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges `other` into `self` (integer adds: order-insensitive).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (acc, n) in self.counts.iter_mut().zip(&other.counts) {
+            *acc += n;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the midpoint of the bucket
+    /// holding the rank-`ceil(q·n)` sample. Returns 0 on an empty
+    /// histogram. Bucket midpoints bound the error at ±1/16 of the
+    /// sample's magnitude.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let lo = bucket_lo(idx);
+                return (lo + bucket_width(idx) / 2).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 / p95 / p99 in one call (the triple every report surfaces).
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_exact_below_eight_and_cover_u64() {
+        for v in 0..8u64 {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_lo(idx), v);
+            assert_eq!(bucket_width(idx), 1);
+        }
+        // Every sample lands in a bucket whose [lo, lo+width) contains it.
+        for v in [8u64, 9, 15, 16, 17, 1000, 123_456_789, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx < NUM_BUCKETS, "index {idx} for {v}");
+            let lo = bucket_lo(idx);
+            let width = bucket_width(idx);
+            assert!(lo <= v, "lo {lo} > v {v}");
+            assert!(v - lo < width, "v {v} outside [{lo}, {lo}+{width})");
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        let (p50, p95, p99) = h.percentiles();
+        // Log-linear buckets: ±1/8 relative error.
+        assert!((437..=563).contains(&p50), "p50 {p50}");
+        assert!((831..=1000).contains(&p95), "p95 {p95}");
+        assert!((866..=1000).contains(&p99), "p99 {p99}");
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let samples: Vec<u64> = (0..500).map(|i| (i * i * 7 + 13) % 100_000).collect();
+        let mut whole = LatencyHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        // Any split point, merged in either order, gives the same
+        // histogram — the schedule-independence the engine relies on.
+        for split in [0, 1, 250, 499, 500] {
+            let (a, b) = samples.split_at(split);
+            let mut left = LatencyHistogram::new();
+            let mut right = LatencyHistogram::new();
+            for &s in a {
+                left.record(s);
+            }
+            for &s in b {
+                right.record(s);
+            }
+            let mut fwd = left.clone();
+            fwd.merge(&right);
+            let mut rev = right.clone();
+            rev.merge(&left);
+            assert_eq!(fwd, whole, "split {split}");
+            assert_eq!(rev, whole, "split {split} reversed");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_degenerates_gracefully() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        let mut a = LatencyHistogram::new();
+        a.merge(&h);
+        assert_eq!(a, h);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        assert_eq!(h.quantile(0.0), h.quantile(1.0));
+        // Midpoint is clamped to the recorded max.
+        assert!(h.quantile(0.5) <= 42 + 2);
+    }
+}

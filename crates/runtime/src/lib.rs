@@ -95,6 +95,7 @@ mod batch;
 pub mod campaign;
 mod engine;
 pub mod experiments;
+mod hist;
 mod sched;
 mod sink;
 mod trial;
@@ -109,5 +110,6 @@ pub use engine::{
     chunk_rng, shard_rng, Engine, EngineConfig, RunOutcome, RunPlan, RunStats, WorkerStats,
     CHANNEL_DEPTH_PER_WORKER, DEFAULT_CHUNKS_PER_SHARD, DEFAULT_SHARDS, MIN_AUTO_CHUNK,
 };
+pub use hist::LatencyHistogram;
 pub use sink::{CollectSink, Control, CountSink, JsonlSink, Sink};
 pub use trial::{FnTrial, Trial, TrialCtx};

@@ -1,0 +1,243 @@
+//! Capacity-bounded admission queue with deadline expiry.
+//!
+//! The queue is the serving system's only shared mutable state: the
+//! load-generator side [`offer`](AdmissionQueue::offer)s requests, the
+//! batcher side [`take_batch`](AdmissionQueue::take_batch)es them and
+//! [`expire`](AdmissionQueue::expire)s stale ones at batch boundaries.
+//! All three operations run under one mutex and maintain the
+//! **conservation invariant**
+//!
+//! ```text
+//! offered == shed + expired + dispatched + len()
+//! ```
+//!
+//! checked by a `debug_assert` after every mutation — the serving
+//! analogue of the scheduler's queued-counter invariant, and the thing
+//! the hammer test (`tests/hammer.rs`) races deadline expiry against
+//! batch dispatch to try to break. The deterministic virtual-time
+//! replay drives the same queue single-threaded, so one implementation
+//! serves both the simulator and a future threaded front-end.
+
+use crate::request::Request;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Monotonic counters of everything that ever happened to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionCounters {
+    /// Requests presented to [`AdmissionQueue::offer`].
+    pub offered: u64,
+    /// Requests rejected because the queue was at capacity.
+    pub shed: u64,
+    /// Requests dropped past their deadline before dispatch.
+    pub expired: u64,
+    /// Requests handed to a batch.
+    pub dispatched: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queue: VecDeque<Request>,
+    counters: AdmissionCounters,
+}
+
+impl Inner {
+    fn check(&self) {
+        let c = &self.counters;
+        debug_assert_eq!(
+            c.offered,
+            c.shed + c.expired + c.dispatched + self.queue.len() as u64,
+            "admission-queue conservation violated: {c:?} with {} queued",
+            self.queue.len()
+        );
+    }
+}
+
+/// Verdict of one [`offer`](AdmissionQueue::offer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued.
+    Admitted,
+    /// Rejected: queue at capacity.
+    Shed,
+}
+
+/// The capacity-bounded FIFO between load generation and batching.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue holding at most `capacity` requests (min 1).
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers a request: sheds it when the queue is full, enqueues it
+    /// otherwise. Shedding is *admission-time only* — a request admitted
+    /// before a burst is never displaced by one arriving after.
+    pub fn offer(&self, req: Request) -> Admission {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        inner.counters.offered += 1;
+        let verdict = if inner.queue.len() >= self.capacity {
+            inner.counters.shed += 1;
+            Admission::Shed
+        } else {
+            inner.queue.push_back(req);
+            Admission::Admitted
+        };
+        inner.check();
+        verdict
+    }
+
+    /// Drops every queued request whose deadline has passed at `now_us`,
+    /// returning them (oldest first) so the caller can record their
+    /// terminal outcome. Called at batch boundaries and immediately
+    /// before dispatch.
+    pub fn expire(&self, now_us: u64) -> Vec<Request> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        let mut dead = Vec::new();
+        // FIFO arrival order ≠ deadline order in general (deadline
+        // budgets may vary), so scan the whole queue, not just the head.
+        inner.queue.retain(|r| {
+            if r.expired_at(now_us) {
+                dead.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        inner.counters.expired += dead.len() as u64;
+        inner.check();
+        dead
+    }
+
+    /// Takes up to `max` requests from the queue front for one batch.
+    /// The caller is responsible for expiring first
+    /// ([`expire`](AdmissionQueue::expire)) — dispatching never re-checks
+    /// deadlines, mirroring "no mid-batch aborts".
+    pub fn take_batch(&self, max: usize) -> Vec<Request> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        let take = max.min(inner.queue.len());
+        let batch: Vec<Request> = inner.queue.drain(..take).collect();
+        inner.counters.dispatched += batch.len() as u64;
+        inner.check();
+        batch
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("admission queue poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Arrival time of the oldest queued request, if any (drives the
+    /// batcher's deadline-window close).
+    pub fn head_arrival_us(&self) -> Option<u64> {
+        self.inner
+            .lock()
+            .expect("admission queue poisoned")
+            .queue
+            .front()
+            .map(|r| r.arrival_us)
+    }
+
+    /// A snapshot of the monotonic counters.
+    pub fn counters(&self) -> AdmissionCounters {
+        self.inner
+            .lock()
+            .expect("admission queue poisoned")
+            .counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival: u64, deadline: u64) -> Request {
+        Request {
+            id,
+            arrival_us: arrival,
+            deadline_us: deadline,
+            payload_seed: id,
+        }
+    }
+
+    #[test]
+    fn sheds_at_capacity_admits_below() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.offer(req(0, 0, 100)), Admission::Admitted);
+        assert_eq!(q.offer(req(1, 1, 100)), Admission::Admitted);
+        assert_eq!(q.offer(req(2, 2, 100)), Admission::Shed);
+        assert_eq!(q.len(), 2);
+        let c = q.counters();
+        assert_eq!((c.offered, c.shed), (3, 1));
+        // Draining makes room again.
+        assert_eq!(q.take_batch(1).len(), 1);
+        assert_eq!(q.offer(req(3, 3, 100)), Admission::Admitted);
+    }
+
+    #[test]
+    fn expire_drops_exactly_the_stale_requests() {
+        let q = AdmissionQueue::new(8);
+        q.offer(req(0, 0, 50));
+        q.offer(req(1, 0, 500)); // longer budget than its neighbours
+        q.offer(req(2, 0, 60));
+        let dead = q.expire(60);
+        assert_eq!(dead.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.counters().expired, 2);
+        // Deadline exactly `now` counts as expired (can't be served in
+        // zero time), strictly later survives.
+        assert!(q.expire(499).is_empty());
+        assert_eq!(q.expire(500).len(), 1);
+    }
+
+    #[test]
+    fn take_batch_is_fifo_and_bounded() {
+        let q = AdmissionQueue::new(8);
+        for i in 0..5 {
+            q.offer(req(i, i, 1_000));
+        }
+        let batch = q.take_batch(3);
+        assert_eq!(
+            batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(q.take_batch(10).len(), 2);
+        assert!(q.take_batch(1).is_empty());
+        let c = q.counters();
+        assert_eq!(c.dispatched, 5);
+        assert_eq!(c.offered, c.shed + c.expired + c.dispatched);
+    }
+
+    #[test]
+    fn head_arrival_tracks_the_front() {
+        let q = AdmissionQueue::new(4);
+        assert_eq!(q.head_arrival_us(), None);
+        q.offer(req(0, 17, 1_000));
+        q.offer(req(1, 23, 1_000));
+        assert_eq!(q.head_arrival_us(), Some(17));
+        q.take_batch(1);
+        assert_eq!(q.head_arrival_us(), Some(23));
+    }
+}

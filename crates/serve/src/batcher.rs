@@ -1,0 +1,480 @@
+//! Deadline-aware micro-batching on a virtual clock.
+//!
+//! The server is modelled as one logical accelerator fed by the
+//! admission queue: a batch *closes* either when [`BatchPolicy::max_batch`]
+//! requests are waiting with the server free (size close), or when the
+//! oldest admitted request has waited [`BatchPolicy::max_delay_us`]
+//! (deadline-window close) — the classic size-or-timeout micro-batching
+//! rule. Before every dispatch the queue is swept twice for stale
+//! requests: once *at the previous batch's completion boundary* (they
+//! were already dead when the server freed) and once *at dispatch time*
+//! (they died while the batch was forming). Mid-batch work is never
+//! aborted.
+//!
+//! Time is **virtual**: arrivals carry trace timestamps, and a batch's
+//! service time comes from a deterministic [`ServiceModel`] (overhead +
+//! per-request cost from a [`SkewedCost`] heavy-tail profile) rather
+//! than the wall clock. That makes the entire serving history — batch
+//! composition, shedding, expiry, latencies — a pure function of
+//! `(trace, policy, service model)`, independent of the engine's worker
+//! count, which is what the CI byte-diff of `serving_artifact` across
+//! worker schedules pins. The *real* inference still happens: every
+//! closed batch is dispatched through the backend on the shared engine,
+//! and the engine's wall-clock counters are reported separately in
+//! [`DispatchStats`](crate::report::DispatchStats).
+
+use crate::admission::{Admission, AdmissionQueue};
+use crate::backend::Backend;
+use crate::report::{DispatchStats, ServeReport, ServeRun};
+use crate::request::{Outcome, Request};
+use relcnn_faults::SkewedCost;
+use relcnn_runtime::Engine;
+
+/// When a forming batch closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Size close: dispatch as soon as this many requests wait and the
+    /// server is free.
+    pub max_batch: usize,
+    /// Deadline-window close: dispatch a partial batch once the oldest
+    /// admitted request has waited this long.
+    pub max_delay_us: u64,
+}
+
+/// Deterministic virtual service-time model of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Fixed per-batch cost (kernel launch, weights residency) — the
+    /// term batching amortises.
+    pub batch_overhead_us: u64,
+    /// Per-request cost profile by request id ([`SkewedCost`] models the
+    /// heavy tail: qualification escalation paths cost many re-runs).
+    pub cost: SkewedCost,
+}
+
+impl ServiceModel {
+    /// Virtual service cost of one request.
+    pub fn request_cost_us(&self, req: &Request) -> u64 {
+        self.cost.evals(req.id)
+    }
+
+    /// Virtual service cost of one batch.
+    pub fn batch_cost_us(&self, batch: &[Request]) -> u64 {
+        self.batch_overhead_us + batch.iter().map(|r| self.request_cost_us(r)).sum::<u64>()
+    }
+}
+
+/// Full serving configuration (everything but the trace itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Batch-close policy.
+    pub policy: BatchPolicy,
+    /// Virtual service-time model.
+    pub service: ServiceModel,
+}
+
+/// Replays `trace` through admission, micro-batching and the backend on
+/// `engine`, returning per-request outcomes and the aggregate report.
+///
+/// The trace must be in arrival order with `trace[i].id == i` (what
+/// [`LoadGen::generate`](crate::LoadGen::generate) produces): request
+/// ids index the returned outcome vector.
+///
+/// # Panics
+///
+/// Panics if the trace's ids are not exactly `0..trace.len()` in order,
+/// if the backend returns a wrong-sized verdict vector, or (debug
+/// builds) if the admission-queue conservation invariant breaks.
+pub fn run_server<B: Backend>(
+    trace: &[Request],
+    config: &ServerConfig,
+    backend: &B,
+    engine: &Engine,
+) -> ServeRun<B::Verdict> {
+    for (i, r) in trace.iter().enumerate() {
+        assert_eq!(
+            r.id, i as u64,
+            "trace ids must be 0..len in order (request at position {i} has id {})",
+            r.id
+        );
+    }
+    let queue = AdmissionQueue::new(config.queue_capacity);
+    // Like the admission queue's capacity, a zero close size would make
+    // the loop spin on empty batches forever; clamp it to 1.
+    let max_batch = config.policy.max_batch.max(1);
+    let policy = &config.policy;
+    let mut outcomes: Vec<Option<Outcome<B::Verdict>>> = vec![None; trace.len()];
+    let mut report = ServeReport::new();
+    let mut dispatch = DispatchStats::default();
+
+    let mut next = 0usize; // next trace index to arrive
+    let mut now = 0u64; // virtual clock
+    let mut free_at = 0u64; // when the server finishes its current batch
+    let mut boundary_swept = true; // expiry at `free_at` already done?
+
+    loop {
+        let next_arrival = trace.get(next).map(|r| r.arrival_us);
+        if queue.is_empty() {
+            // Nothing admitted: the only possible event is an arrival.
+            let Some(t) = next_arrival else { break };
+            now = now.max(t);
+            admit(&queue, &trace[next], &mut outcomes, &mut report);
+            next += 1;
+            continue;
+        }
+
+        // When would the forming batch close? Size close needs the
+        // server free; window close waits for the oldest request's
+        // max_delay, and never before the server frees either.
+        let head = queue.head_arrival_us().expect("non-empty queue has a head");
+        let close_at = if queue.len() >= max_batch {
+            now.max(free_at)
+        } else {
+            now.max(free_at)
+                .max(head.saturating_add(policy.max_delay_us))
+        };
+
+        match next_arrival {
+            // Arrivals strictly before the close join the queue first; an
+            // arrival exactly at the close joins too unless the batch is
+            // already full (fixed tie-break, part of the replay contract).
+            Some(t) if t < close_at || (t == close_at && queue.len() < max_batch) => {
+                now = now.max(t);
+                admit(&queue, &trace[next], &mut outcomes, &mut report);
+                next += 1;
+            }
+            _ => {
+                now = close_at;
+                // Boundary sweep: requests already dead when the server
+                // last freed. Only meaningful once per boundary.
+                if !boundary_swept {
+                    // `close_at` includes `max(free_at)`, so `now` is at
+                    // or past the boundary being swept.
+                    for r in queue.expire(free_at) {
+                        report.expired_boundary += 1;
+                        outcomes[r.id as usize] = Some(Outcome::Expired);
+                    }
+                    boundary_swept = true;
+                }
+                // Pre-dispatch sweep: requests that died while the batch
+                // was forming.
+                for r in queue.expire(now) {
+                    report.expired_pre_dispatch += 1;
+                    outcomes[r.id as usize] = Some(Outcome::Expired);
+                }
+                let batch = queue.take_batch(max_batch);
+                if batch.is_empty() {
+                    continue; // everything expired; re-evaluate
+                }
+                let service_us = config.service.batch_cost_us(&batch);
+                let done_at = now + service_us;
+                let reply = backend.classify_batch(engine, &batch);
+                assert_eq!(
+                    reply.verdicts.len(),
+                    batch.len(),
+                    "backend returned {} verdicts for a batch of {}",
+                    reply.verdicts.len(),
+                    batch.len()
+                );
+                for (r, verdict) in batch.iter().zip(reply.verdicts) {
+                    let latency_us = done_at - r.arrival_us;
+                    let late = done_at > r.deadline_us;
+                    report.completed += 1;
+                    report.late += u64::from(late);
+                    report.latency.record(latency_us);
+                    outcomes[r.id as usize] = Some(Outcome::Completed {
+                        batch: report.batches,
+                        latency_us,
+                        late,
+                        verdict,
+                    });
+                }
+                report.batches += 1;
+                report.batched_requests += batch.len() as u64;
+                if let Some(stats) = reply.stats {
+                    dispatch.fold(&stats);
+                }
+                free_at = done_at;
+                boundary_swept = false;
+            }
+        }
+    }
+
+    // Drain: trace exhausted and queue empty. Every request must have a
+    // terminal outcome.
+    report.offered = trace.len() as u64;
+    report.virtual_makespan_us = free_at.max(now);
+    let counters = queue.counters();
+    debug_assert_eq!(counters.offered, report.offered);
+    debug_assert_eq!(counters.shed, report.shed);
+    debug_assert_eq!(
+        counters.expired,
+        report.expired_boundary + report.expired_pre_dispatch
+    );
+    let outcomes: Vec<Outcome<B::Verdict>> = outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(id, o)| o.unwrap_or_else(|| panic!("request {id} has no terminal outcome")))
+        .collect();
+    ServeRun {
+        report,
+        outcomes,
+        dispatch,
+    }
+}
+
+fn admit<V>(
+    queue: &AdmissionQueue,
+    req: &Request,
+    outcomes: &mut [Option<Outcome<V>>],
+    report: &mut ServeReport,
+) {
+    if queue.offer(*req) == Admission::Shed {
+        report.shed += 1;
+        outcomes[req.id as usize] = Some(Outcome::Shed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::EchoBackend;
+    use crate::loadgen::{LoadGen, LoadGenConfig};
+
+    fn uniform_service(per_req: u64, overhead: u64) -> ServiceModel {
+        ServiceModel {
+            batch_overhead_us: overhead,
+            cost: SkewedCost::uniform(per_req),
+        }
+    }
+
+    fn cfg(capacity: usize, max_batch: usize, max_delay: u64, svc: ServiceModel) -> ServerConfig {
+        ServerConfig {
+            queue_capacity: capacity,
+            policy: BatchPolicy {
+                max_batch,
+                max_delay_us: max_delay,
+            },
+            service: svc,
+        }
+    }
+
+    fn req(id: u64, arrival: u64, deadline: u64) -> Request {
+        Request {
+            id,
+            arrival_us: arrival,
+            deadline_us: deadline,
+            payload_seed: id * 31,
+        }
+    }
+
+    #[test]
+    fn size_close_fills_batches() {
+        // 8 requests arriving back to back, max_batch 4, generous
+        // deadlines: exactly two full batches.
+        let trace: Vec<Request> = (0..8).map(|i| req(i, i, 1_000_000)).collect();
+        let run = run_server(
+            &trace,
+            &cfg(16, 4, 10_000, uniform_service(10, 5)),
+            &EchoBackend,
+            &Engine::with_workers(1),
+        );
+        assert_eq!(run.report.batches, 2);
+        assert_eq!(run.report.completed, 8);
+        assert_eq!(run.report.shed + run.report.expired(), 0);
+        assert!((run.report.mean_batch_fill() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_close_dispatches_partial_batches() {
+        // One lone request: nothing else arrives, so only the max_delay
+        // window can close the batch.
+        let trace = vec![req(0, 100, 1_000_000)];
+        let run = run_server(
+            &trace,
+            &cfg(16, 8, 500, uniform_service(40, 10)),
+            &EchoBackend,
+            &Engine::with_workers(1),
+        );
+        assert_eq!(run.report.batches, 1);
+        match &run.outcomes[0] {
+            Outcome::Completed {
+                latency_us, late, ..
+            } => {
+                // Dispatched at arrival+500, service 50: latency 550.
+                assert_eq!(*latency_us, 550);
+                assert!(!late);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_sheds_bursts() {
+        // 10 simultaneous arrivals, max_batch 2, capacity 4: the first
+        // pair dispatches instantly, four more queue up behind the busy
+        // server, and the remaining four hit a full queue and shed.
+        let trace: Vec<Request> = (0..10).map(|i| req(i, 0, 1_000_000)).collect();
+        let run = run_server(
+            &trace,
+            &cfg(4, 2, 1_000, uniform_service(100, 0)),
+            &EchoBackend,
+            &Engine::with_workers(1),
+        );
+        assert_eq!(run.report.shed, 4);
+        assert_eq!(run.report.completed, 6);
+        assert_eq!(run.report.batches, 3);
+        assert!(matches!(run.outcomes[6], Outcome::Shed));
+        assert!(matches!(run.outcomes[9], Outcome::Shed));
+    }
+
+    #[test]
+    fn expiry_fires_before_dispatch_and_at_boundaries() {
+        // Request 0 drags the server busy until t=10_000. Requests 1..4
+        // arrive at t=100 with deadline t=2_000: all dead long before the
+        // server frees — expired, not served late.
+        let mut trace = vec![req(0, 0, 1_000_000)];
+        for i in 1..5 {
+            trace.push(req(i, 100, 2_000));
+        }
+        let run = run_server(
+            &trace,
+            &cfg(16, 1, 10, uniform_service(10_000, 0)),
+            &EchoBackend,
+            &Engine::with_workers(1),
+        );
+        assert_eq!(run.report.completed, 1);
+        assert_eq!(run.report.expired(), 4);
+        assert!(
+            run.report.expired_boundary > 0,
+            "boundary sweep should catch requests dead at server-free time: {:?}",
+            run.report
+        );
+        for o in &run.outcomes[1..] {
+            assert!(matches!(o, Outcome::Expired));
+        }
+    }
+
+    #[test]
+    fn pre_dispatch_sweep_drops_requests_that_die_while_the_batch_forms() {
+        // Mixed deadline budgets: the head (long budget) holds the close
+        // window open to t=3000 while request 1 (short budget, dead at
+        // t=600) expires *inside the forming batch* — caught by the
+        // pre-dispatch sweep, not the boundary sweep (the server was
+        // never busy, so the boundary is t=0).
+        let trace = vec![
+            req(0, 0, 100_000),
+            Request {
+                id: 1,
+                arrival_us: 100,
+                deadline_us: 600,
+                payload_seed: 1,
+            },
+            req(2, 200, 100_000),
+        ];
+        let run = run_server(
+            &trace,
+            &cfg(8, 4, 3_000, uniform_service(500, 0)),
+            &EchoBackend,
+            &Engine::with_workers(1),
+        );
+        assert_eq!(run.report.expired_pre_dispatch, 1, "{:?}", run.report);
+        assert_eq!(run.report.expired_boundary, 0);
+        assert_eq!(run.report.completed, 2);
+        assert!(matches!(run.outcomes[1], Outcome::Expired));
+    }
+
+    #[test]
+    fn late_completion_is_served_not_aborted() {
+        // A request dispatched in time whose batch finishes past the
+        // deadline: served, flagged late, never expired (no mid-batch
+        // abort).
+        let trace = vec![req(0, 0, 50)];
+        let run = run_server(
+            &trace,
+            &cfg(4, 1, 0, uniform_service(500, 0)),
+            &EchoBackend,
+            &Engine::with_workers(1),
+        );
+        assert_eq!(run.report.completed, 1);
+        assert_eq!(run.report.late, 1);
+        assert_eq!(run.report.expired(), 0);
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_worker_count_independent() {
+        let trace = LoadGen::new(LoadGenConfig::poisson(400, 0xAB, 120, 8_000)).generate();
+        let config = cfg(
+            24,
+            8,
+            1_000,
+            ServiceModel {
+                batch_overhead_us: 80,
+                cost: SkewedCost::periodic(100, 1_500, 17),
+            },
+        );
+        let reference = run_server(&trace, &config, &EchoBackend, &Engine::with_workers(1));
+        assert!(reference.report.completed > 0);
+        assert!(
+            reference.report.shed > 0 || reference.report.expired() > 0,
+            "config should create some overload: {:?}",
+            reference.report
+        );
+        for workers in [2, 8] {
+            let run = run_server(
+                &trace,
+                &config,
+                &EchoBackend,
+                &Engine::with_workers(workers),
+            );
+            assert_eq!(run.report, reference.report, "workers={workers}");
+            assert_eq!(run.outcomes, reference.outcomes, "workers={workers}");
+        }
+        // And across reruns.
+        let again = run_server(&trace, &config, &EchoBackend, &Engine::with_workers(1));
+        assert_eq!(again.outcomes, reference.outcomes);
+    }
+
+    #[test]
+    fn zero_max_batch_clamps_to_one_instead_of_spinning() {
+        // Regression: max_batch 0 made the size-close condition always
+        // true with an always-empty take, freezing the virtual clock in
+        // a busy loop. It now behaves as batch size 1.
+        let trace: Vec<Request> = (0..4).map(|i| req(i, i * 10, 1_000_000)).collect();
+        let run = run_server(
+            &trace,
+            &cfg(8, 0, 500, uniform_service(20, 5)),
+            &EchoBackend,
+            &Engine::with_workers(1),
+        );
+        assert_eq!(run.report.completed, 4);
+        assert_eq!(run.report.batches, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace ids must be 0..len in order")]
+    fn non_contiguous_trace_ids_are_rejected() {
+        let trace = vec![req(5, 0, 1_000)];
+        run_server(
+            &trace,
+            &cfg(4, 2, 100, uniform_service(10, 0)),
+            &EchoBackend,
+            &Engine::with_workers(1),
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let run = run_server(
+            &[],
+            &cfg(4, 4, 100, uniform_service(10, 1)),
+            &EchoBackend,
+            &Engine::with_workers(2),
+        );
+        assert_eq!(run.report.offered, 0);
+        assert_eq!(run.report.batches, 0);
+        assert!(run.outcomes.is_empty());
+    }
+}

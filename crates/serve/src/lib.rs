@@ -1,0 +1,89 @@
+//! # relcnn-serve — deadline-aware micro-batching inference serving
+//!
+//! The serving layer on top of the [`relcnn_runtime`] engine: it models
+//! the workload class the campaign and sweep binaries cannot — an
+//! **open-loop request stream** that keeps arriving whether or not the
+//! server keeps up — and turns it into engine-sized micro-batches under
+//! explicit deadline and capacity policies.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   LoadGen (seed)            AdmissionQueue             micro-batcher
+//!   ChaCha8 Poisson/burst ──▶ capacity C, FIFO ──▶ close on size OR the
+//!   arrivals + deadlines      shed at capacity     oldest waiter's delay
+//!        │                    expire at deadline          │ batch
+//!        │ open loop          (boundary + pre-dispatch)   ▼
+//!        │                                     BatchClassify::classify_many
+//!        ▼                                     on a shared Engine (worker
+//!   virtual clock (µs) ◀── service model ───── pool; verdicts in order)
+//!                          (SkewedCost heavy tail)
+//! ```
+//!
+//! * **Open-loop load generation** ([`LoadGen`]) — arrival traces are a
+//!   pure function of `(seed, config)`: ChaCha8-driven Poisson or burst
+//!   processes, each request carrying an absolute deadline and a payload
+//!   seed. Replays are bit-identical.
+//! * **Admission with shedding** ([`AdmissionQueue`]) — a capacity-bounded
+//!   FIFO that sheds at admission time and expires stale requests, under a
+//!   conservation invariant (`offered == shed + expired + dispatched +
+//!   queued`) that is `debug_assert`-checked after every operation and
+//!   hammered by a dedicated race test.
+//! * **Micro-batching** ([`run_server`]) — batches close on
+//!   size-or-deadline-window ([`BatchPolicy`]) and dispatch through a
+//!   [`Backend`] on a shared engine; deadline-aware early abort drops
+//!   requests past their deadline at batch boundaries and immediately
+//!   before dispatch (never mid-batch).
+//! * **Virtual time** — service cost comes from a deterministic
+//!   [`ServiceModel`] (a [`SkewedCost`](relcnn_faults::SkewedCost)
+//!   heavy-tail profile), so the entire serving history — batch
+//!   composition, shedding, expiry, latency percentiles — is independent
+//!   of the engine's worker count and of wall-clock noise. The CI
+//!   determinism matrix byte-diffs the `serving_artifact` replay across
+//!   worker counts {1, 2, 8} and arrival seeds on exactly this property,
+//!   while the engine's real execution counters are reported separately
+//!   ([`DispatchStats`]).
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use relcnn_serve::{
+//!     run_server, BatchPolicy, EchoBackend, LoadGen, LoadGenConfig, ServerConfig, ServiceModel,
+//! };
+//! use relcnn_faults::SkewedCost;
+//! use relcnn_runtime::Engine;
+//!
+//! let trace = LoadGen::new(LoadGenConfig::poisson(200, 0xC0FFEE, 300, 10_000)).generate();
+//! let config = ServerConfig {
+//!     queue_capacity: 16,
+//!     policy: BatchPolicy { max_batch: 8, max_delay_us: 1_000 },
+//!     service: ServiceModel {
+//!         batch_overhead_us: 100,
+//!         cost: SkewedCost::periodic(150, 2_000, 13),
+//!     },
+//! };
+//! let run = run_server(&trace, &config, &EchoBackend, &Engine::with_workers(2));
+//! let (p50, p95, p99) = run.report.latency.percentiles();
+//! assert_eq!(
+//!     run.report.offered,
+//!     run.report.completed + run.report.shed + run.report.expired()
+//! );
+//! println!("p50/p95/p99 {p50}/{p95}/{p99} µs, shed {:.1}%", run.report.shed_rate() * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod backend;
+mod batcher;
+mod loadgen;
+mod report;
+mod request;
+
+pub use admission::{Admission, AdmissionCounters, AdmissionQueue};
+pub use backend::{Backend, BatchReply, CnnBackend, CnnVerdict, EchoBackend};
+pub use batcher::{run_server, BatchPolicy, ServerConfig, ServiceModel};
+pub use loadgen::{Arrival, LoadGen, LoadGenConfig};
+pub use report::{DispatchStats, ServeReport, ServeRun};
+pub use request::{Outcome, Request};

@@ -1,0 +1,175 @@
+//! Serving-run aggregates.
+
+use crate::request::Outcome;
+use relcnn_runtime::{LatencyHistogram, RunStats};
+use std::time::Duration;
+
+/// Deterministic aggregate of one serving replay: everything here is a
+/// pure function of `(trace, server config)` — no wall-clock quantity —
+/// so it byte-diffs across worker counts and reruns, and the bench gate
+/// can hold p99/shed-rate to a committed baseline exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServeReport {
+    /// Requests in the trace.
+    pub offered: u64,
+    /// Requests served to completion (late ones included).
+    pub completed: u64,
+    /// Requests rejected at admission (queue at capacity).
+    pub shed: u64,
+    /// Requests dropped at a batch-completion boundary (already past
+    /// deadline when the server freed).
+    pub expired_boundary: u64,
+    /// Requests dropped by the sweep immediately before a dispatch.
+    pub expired_pre_dispatch: u64,
+    /// Completed requests whose batch finished past their deadline.
+    pub late: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Requests carried by those batches (`completed`, kept separate so
+    /// the fill ratio is self-contained).
+    pub batched_requests: u64,
+    /// Virtual time at which the last batch completed.
+    pub virtual_makespan_us: u64,
+    /// Histogram of completed requests' virtual latencies (µs).
+    pub latency: LatencyHistogram,
+}
+
+impl ServeReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        ServeReport::default()
+    }
+
+    /// Total expired requests (boundary + pre-dispatch sweeps).
+    pub fn expired(&self) -> u64 {
+        self.expired_boundary + self.expired_pre_dispatch
+    }
+
+    /// Fraction of offered requests shed at admission.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of offered requests that met their deadline end to end.
+    pub fn goodput_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.completed - self.late) as f64 / self.offered as f64
+        }
+    }
+
+    /// Mean requests per dispatched batch.
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Renders the deterministic aggregate as one JSON object. Field
+    /// values are integers and fixed-precision ratios only, so the
+    /// rendering itself is reproducible.
+    pub fn to_json(&self) -> String {
+        let (p50, p95, p99) = self.latency.percentiles();
+        format!(
+            "{{\"offered\":{},\"completed\":{},\"shed\":{},\"expired_boundary\":{},\
+             \"expired_pre_dispatch\":{},\"late\":{},\"batches\":{},\
+             \"mean_batch_fill\":{:.3},\"shed_rate\":{:.6},\"goodput_rate\":{:.6},\
+             \"virtual_makespan_us\":{},\"p50_virtual_us\":{p50},\
+             \"p95_virtual_us\":{p95},\"p99_virtual_us\":{p99}}}",
+            self.offered,
+            self.completed,
+            self.shed,
+            self.expired_boundary,
+            self.expired_pre_dispatch,
+            self.late,
+            self.batches,
+            self.mean_batch_fill(),
+            self.shed_rate(),
+            self.goodput_rate(),
+            self.virtual_makespan_us,
+        )
+    }
+}
+
+/// Wall-clock counters of the engine dispatches a serving run performed.
+/// Execution detail — deliberately *not* part of [`ServeReport`], so the
+/// deterministic artefact never embeds timing.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchStats {
+    /// Batches that went through the engine.
+    pub engine_batches: u64,
+    /// Images classified through the engine.
+    pub images: u64,
+    /// Sum of engine wall time over dispatches.
+    pub engine_wall: Duration,
+    /// Sum of engine busy time over dispatches.
+    pub engine_busy: Duration,
+    /// Steals observed inside batch dispatches.
+    pub steals: u64,
+    /// Per-image inference-time histogram (ns), merged across dispatches.
+    pub inference_ns: LatencyHistogram,
+}
+
+impl DispatchStats {
+    /// Folds one engine run's counters in.
+    pub fn fold(&mut self, stats: &RunStats) {
+        self.engine_batches += 1;
+        self.images += stats.trials;
+        self.engine_wall += stats.wall;
+        self.engine_busy += stats.busy;
+        self.steals += stats.steals;
+        self.inference_ns.merge(&stats.trial_hist);
+    }
+}
+
+/// Everything a serving replay produced.
+#[derive(Debug, Clone)]
+pub struct ServeRun<V> {
+    /// Deterministic aggregate.
+    pub report: ServeReport,
+    /// Terminal outcome of every request, indexed by request id.
+    pub outcomes: Vec<Outcome<V>>,
+    /// Wall-clock engine counters (not deterministic).
+    pub dispatch: DispatchStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_degrade_gracefully_on_empty_reports() {
+        let r = ServeReport::new();
+        assert_eq!(r.shed_rate(), 0.0);
+        assert_eq!(r.goodput_rate(), 0.0);
+        assert_eq!(r.mean_batch_fill(), 0.0);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"p99_virtual_us\":0"));
+    }
+
+    #[test]
+    fn json_carries_the_gated_fields() {
+        let mut r = ServeReport::new();
+        r.offered = 100;
+        r.completed = 80;
+        r.shed = 15;
+        r.expired_pre_dispatch = 5;
+        r.batches = 10;
+        r.batched_requests = 80;
+        for i in 0..80 {
+            r.latency.record(1_000 + i * 10);
+        }
+        let json = r.to_json();
+        assert!(json.contains("\"shed_rate\":0.150000"), "{json}");
+        assert!(json.contains("\"mean_batch_fill\":8.000"), "{json}");
+        assert!(json.contains("\"p50_virtual_us\":"), "{json}");
+    }
+}

@@ -1,0 +1,46 @@
+//! The unit of serving work.
+
+/// One inference request of an open-loop trace. All times are virtual
+/// microseconds on the trace's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Trace-order index (also the artefact line key).
+    pub id: u64,
+    /// Arrival time.
+    pub arrival_us: u64,
+    /// Absolute deadline: past this instant the request is worthless and
+    /// the server may drop it unserved.
+    pub deadline_us: u64,
+    /// Payload selector: the backend maps it to an input image, the
+    /// service model may map it to a cost class.
+    pub payload_seed: u64,
+}
+
+impl Request {
+    /// Whether the request is already expired at `now`.
+    pub fn expired_at(&self, now_us: u64) -> bool {
+        self.deadline_us <= now_us
+    }
+}
+
+/// Terminal state of a request after the serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome<V> {
+    /// Served: dispatched in a batch and classified.
+    Completed {
+        /// Index of the batch that carried it.
+        batch: u64,
+        /// Virtual completion latency (batch completion − arrival).
+        latency_us: u64,
+        /// Whether completion overshot the deadline (dispatched in time,
+        /// finished late — mid-batch work is never aborted).
+        late: bool,
+        /// The backend's verdict.
+        verdict: V,
+    },
+    /// Rejected at admission: the queue was at capacity.
+    Shed,
+    /// Dropped unserved: already past its deadline when the server
+    /// looked at it (at a batch boundary or just before dispatch).
+    Expired,
+}

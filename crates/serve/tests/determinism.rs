@@ -1,0 +1,90 @@
+//! End-to-end serving determinism on the real inference backend.
+//!
+//! The CI determinism matrix byte-diffs the `serving_artifact` binary
+//! across worker counts and seeds; this test pins the same property
+//! in-process at a smaller scale: a replay's outcomes — including the
+//! CNN verdicts dispatched through `classify_many` — are bit-identical
+//! across engine worker counts and reruns.
+
+use relcnn_faults::SkewedCost;
+use relcnn_runtime::Engine;
+use relcnn_serve::{
+    run_server, BatchPolicy, CnnBackend, LoadGen, LoadGenConfig, Outcome, ServerConfig,
+    ServiceModel,
+};
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        queue_capacity: 12,
+        policy: BatchPolicy {
+            max_batch: 4,
+            max_delay_us: 800,
+        },
+        service: ServiceModel {
+            batch_overhead_us: 120,
+            cost: SkewedCost::periodic(200, 2_400, 11),
+        },
+    }
+}
+
+#[test]
+fn cnn_serving_replay_is_identical_across_worker_counts() {
+    let trace = LoadGen::new(LoadGenConfig::poisson(48, 0x5EED, 250, 9_000)).generate();
+    let backend = CnnBackend::tiny(33).expect("tiny backend");
+    let reference = run_server(&trace, &config(), &backend, &Engine::with_workers(1));
+    assert_eq!(
+        reference.report.offered,
+        reference.report.completed + reference.report.shed + reference.report.expired()
+    );
+    assert!(reference.report.completed > 0);
+    // The engine really ran the batches.
+    assert_eq!(reference.dispatch.images, reference.report.completed);
+    assert_eq!(reference.dispatch.engine_batches, reference.report.batches);
+    assert_eq!(
+        reference.dispatch.inference_ns.count(),
+        reference.report.completed
+    );
+
+    for workers in [2, 8] {
+        let run = run_server(&trace, &config(), &backend, &Engine::with_workers(workers));
+        assert_eq!(run.report, reference.report, "workers={workers}");
+        assert_eq!(run.outcomes.len(), reference.outcomes.len());
+        for (a, b) in run.outcomes.iter().zip(&reference.outcomes) {
+            match (a, b) {
+                (
+                    Outcome::Completed {
+                        batch: ba,
+                        latency_us: la,
+                        late: za,
+                        verdict: va,
+                    },
+                    Outcome::Completed {
+                        batch: bb,
+                        latency_us: lb,
+                        late: zb,
+                        verdict: vb,
+                    },
+                ) => {
+                    assert_eq!((ba, la, za), (bb, lb, zb), "workers={workers}");
+                    // Verdict equality includes raw confidence bits.
+                    assert_eq!(va, vb, "workers={workers}");
+                }
+                (x, y) => assert_eq!(x, y, "workers={workers}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn burst_arrivals_shed_and_expire_deterministically() {
+    let trace = LoadGen::new(LoadGenConfig::burst(60, 0xB0B, 20, 5, 30_000, 4_000)).generate();
+    let backend = CnnBackend::tiny(34).expect("tiny backend");
+    let a = run_server(&trace, &config(), &backend, &Engine::with_workers(1));
+    let b = run_server(&trace, &config(), &backend, &Engine::with_workers(4));
+    assert_eq!(a.report, b.report);
+    assert!(
+        a.report.shed > 0,
+        "a 20-deep burst into a 12-slot queue must shed: {:?}",
+        a.report
+    );
+}

@@ -20,7 +20,10 @@
 //! * [`core`] — the hybrid CNN itself: partitioning, shape qualifier,
 //!   result fusion and the end-to-end reliability-guarantee analysis;
 //! * [`runtime`] — the sharded, multi-threaded campaign & batched-inference
-//!   engine every experiment binary executes on.
+//!   engine every experiment binary executes on;
+//! * [`serve`] — deadline-aware micro-batching inference serving on the
+//!   runtime engine: seeded open-loop load generation, admission with
+//!   capacity shedding, and deterministic virtual-time replay.
 //!
 //! # Quickstart
 //!
@@ -54,5 +57,6 @@ pub use relcnn_nn as nn;
 pub use relcnn_relexec as relexec;
 pub use relcnn_runtime as runtime;
 pub use relcnn_sax as sax;
+pub use relcnn_serve as serve;
 pub use relcnn_tensor as tensor;
 pub use relcnn_vision as vision;
