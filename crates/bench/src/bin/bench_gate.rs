@@ -38,6 +38,12 @@
 //!   *behavioural* change to admission/batching/expiry, not noise, and
 //!   an intended one must ship a refreshed baseline.
 //!
+//! The scheduler's frontier counters (`frontier_parks`,
+//! `frontier_stall_us`, `max_reorder_depth`) are carried through the
+//! scaling entries and **printed as informational fields** — the
+//! scaling benches run with an unbounded reorder budget, so the numbers
+//! describe observed reorder pressure, not a gated contract.
+//!
 //! The gate reads artefacts rather than timing anything itself, so it is
 //! cheap to re-run while iterating on a regression.
 
@@ -52,6 +58,10 @@ const MIN_STEAL_SPEEDUP: f64 = 2.0;
 /// CPU-bound 8x/1x speedup contract on hosts with enough cores to show
 /// it (the partial-aggregation result path's headline number).
 const MIN_CPU_SPEEDUP: f64 = 3.0;
+/// Extra absolute slack on the shed-rate check: one percentage point, so
+/// a near-zero baseline shed rate doesn't turn a single shed request
+/// into a relative-tolerance failure.
+const SHED_RATE_SLACK: f64 = 0.01;
 
 /// The cpu-bound scaling floor this host can honestly be held to:
 /// `0.375 × cores`, capped at [`MIN_CPU_SPEEDUP`] — i.e. the full 3x
@@ -79,6 +89,9 @@ struct ScalingEntry {
     steals: u64,
     splits: u64,
     send_block_us: u64,
+    frontier_parks: u64,
+    frontier_stall_us: u64,
+    max_reorder_depth: u64,
 }
 
 #[derive(Debug, Deserialize)]
@@ -127,10 +140,27 @@ const BENCH_HINT: &str = "cargo bench -p relcnn-bench --bench runtime_scaling --
 /// Regeneration hint for the serving artefact.
 const SERVE_HINT: &str = "cargo run --release -p relcnn-bench --bin serve_bench";
 
-fn load<T: Deserialize>(path: &PathBuf, regen_hint: &str) -> Result<T, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("{}: {e} (generate it with `{regen_hint}`)", path.display()))?;
-    serde_json::from_str(&text).map_err(|e| format!("{}: parse error: {e}", path.display()))
+/// A fresh artefact paired with its committed baseline — the one shape
+/// every check in this gate compares.
+struct Baselined<T> {
+    fresh: T,
+    base: T,
+}
+
+/// Loads `results/<file>` and `results/baseline/<file>` together. Every
+/// gated artefact goes through here, so a missing or unparseable file on
+/// either side fails with the same regeneration hint.
+fn load_pair<T: Deserialize>(file: &str, regen_hint: &str) -> Result<Baselined<T>, String> {
+    let results = relcnn_bench::results_dir();
+    let one = |path: PathBuf| -> Result<T, String> {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: {e} (generate it with `{regen_hint}`)", path.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("{}: parse error: {e}", path.display()))
+    };
+    Ok(Baselined {
+        fresh: one(results.join(file))?,
+        base: one(results.join("baseline").join(file))?,
+    })
 }
 
 fn tolerance() -> f64 {
@@ -140,6 +170,90 @@ fn tolerance() -> f64 {
         .unwrap_or(0.10)
 }
 
+/// Named threshold: `metric` must not fall more than the tolerance below
+/// its baseline (throughputs, speedups, goodput — anything where lower
+/// is worse).
+fn gate_not_below(failures: &mut Vec<String>, metric: &str, fresh: f64, baseline: f64, tol: f64) {
+    if fresh < baseline * (1.0 - tol) {
+        failures.push(format!(
+            "{metric}: regressed {baseline:.3} -> {fresh:.3} (tolerance {:.0}%)",
+            tol * 100.0
+        ));
+    }
+}
+
+/// Named threshold: `metric` must not rise more than the tolerance (plus
+/// an absolute `slack`) above its baseline (latencies, shed rates —
+/// anything where higher is worse).
+fn gate_not_above(
+    failures: &mut Vec<String>,
+    metric: &str,
+    fresh: f64,
+    baseline: f64,
+    tol: f64,
+    slack: f64,
+) {
+    if fresh > baseline * (1.0 + tol) + slack {
+        failures.push(format!(
+            "{metric}: regressed {baseline:.3} -> {fresh:.3} (tolerance {:.0}%{})",
+            tol * 100.0,
+            if slack > 0.0 {
+                format!(" + {slack} absolute slack")
+            } else {
+                String::new()
+            }
+        ));
+    }
+}
+
+/// Named threshold: `metric` must clear an absolute floor regardless of
+/// what the baseline says (the ROADMAP's hard contracts).
+fn gate_floor(failures: &mut Vec<String>, metric: &str, value: f64, floor: f64) {
+    if value < floor {
+        failures.push(format!(
+            "{metric}: {value:.2}x dropped below the {floor:.2}x floor"
+        ));
+    }
+}
+
+/// Pairs each baseline series entry with the fresh entry at the same
+/// worker count, reporting missing counts as failures.
+fn paired_by_workers<'a>(
+    label: &str,
+    fresh: &'a [ScalingEntry],
+    base: &'a [ScalingEntry],
+    failures: &mut Vec<String>,
+) -> Vec<(&'a ScalingEntry, &'a ScalingEntry)> {
+    let mut pairs = Vec::new();
+    for b in base {
+        match fresh.iter().find(|e| e.workers == b.workers) {
+            Some(now) => pairs.push((now, b)),
+            None => failures.push(format!(
+                "{label}: baseline has workers={} but the fresh run does not",
+                b.workers
+            )),
+        }
+    }
+    pairs
+}
+
+/// Informational print of one scaling entry's scheduler counters
+/// (steals, splits, backpressure and the new frontier/reorder fields —
+/// printed, not gated: the scaling benches run unbounded).
+fn entry_detail(e: &ScalingEntry) -> String {
+    format!(
+        "{} steals, {} splits, send-block {} us, frontier {} parks/{} us stall, \
+         reorder depth {}, mean trial {} ns",
+        e.steals,
+        e.splits,
+        e.send_block_us,
+        e.frontier_parks,
+        e.frontier_stall_us,
+        e.max_reorder_depth,
+        e.mean_trial_ns
+    )
+}
+
 /// Checks a scaling series' *shape*: each worker count's throughput
 /// normalised to the same run's 1-worker throughput, so the comparison is
 /// independent of the host's raw speed. Used for the cpu-bound series,
@@ -147,7 +261,7 @@ fn tolerance() -> f64 {
 fn check_series_shape(
     label: &str,
     fresh: &[ScalingEntry],
-    baseline: &[ScalingEntry],
+    base: &[ScalingEntry],
     tol: f64,
     failures: &mut Vec<String>,
 ) {
@@ -158,41 +272,30 @@ fn check_series_shape(
             .map(|e| e.trials_per_s)
             .filter(|&t| t > 0.0)
     };
-    let (Some(fresh_1), Some(base_1)) = (one_worker(fresh), one_worker(baseline)) else {
+    let (Some(fresh_1), Some(base_1)) = (one_worker(fresh), one_worker(base)) else {
         failures.push(format!("{label}: missing or zero 1-worker entry"));
         return;
     };
-    for base in baseline.iter().filter(|e| e.workers != 1) {
-        let Some(now) = fresh.iter().find(|e| e.workers == base.workers) else {
-            failures.push(format!(
-                "{label}: baseline has workers={} but the fresh run does not",
-                base.workers
-            ));
+    for (now, base) in paired_by_workers(label, fresh, base, failures) {
+        if now.workers == 1 {
             continue;
-        };
+        }
         let base_ratio = base.trials_per_s / base_1;
         let now_ratio = now.trials_per_s / fresh_1;
         println!(
-            "  {label:>13} workers={:<2} {:>8.3}x of 1-worker (baseline {:>8.3}x, \
-             {} steals, {} splits, send-block {} us, mean trial {} ns)",
+            "  {label:>13} workers={:<2} {:>8.3}x of 1-worker (baseline {:>8.3}x, {})",
             now.workers,
             now_ratio,
             base_ratio,
-            now.steals,
-            now.splits,
-            now.send_block_us,
-            now.mean_trial_ns
+            entry_detail(now)
         );
-        if now_ratio < base_ratio * (1.0 - tol) {
-            failures.push(format!(
-                "{label}: scaling shape at workers={} regressed \
-                 ({:.3}x -> {:.3}x of 1-worker throughput, tolerance {:.0}%)",
-                now.workers,
-                base_ratio,
-                now_ratio,
-                tol * 100.0
-            ));
-        }
+        gate_not_below(
+            failures,
+            &format!("{label}: scaling shape at workers={}", now.workers),
+            now_ratio,
+            base_ratio,
+            tol,
+        );
     }
 }
 
@@ -202,223 +305,186 @@ fn check_series_shape(
 fn check_series(
     label: &str,
     fresh: &[ScalingEntry],
-    baseline: &[ScalingEntry],
+    base: &[ScalingEntry],
     tol: f64,
     failures: &mut Vec<String>,
 ) {
-    for base in baseline {
-        let Some(now) = fresh.iter().find(|e| e.workers == base.workers) else {
-            failures.push(format!(
-                "{label}: baseline has workers={} but the fresh run does not",
-                base.workers
-            ));
-            continue;
-        };
-        let floor = base.trials_per_s * (1.0 - tol);
+    for (now, base) in paired_by_workers(label, fresh, base, failures) {
         let delta = (now.trials_per_s / base.trials_per_s - 1.0) * 100.0;
         println!(
-            "  {label:>13} workers={:<2} {:>12.1} trials/s (baseline {:>12.1}, {delta:+.1}%, \
-             {} steals, {} splits, mean trial {} ns)",
+            "  {label:>13} workers={:<2} {:>12.1} trials/s (baseline {:>12.1}, {delta:+.1}%, {})",
             now.workers,
             now.trials_per_s,
             base.trials_per_s,
-            now.steals,
-            now.splits,
-            now.mean_trial_ns
+            entry_detail(now)
         );
-        if now.trials_per_s < floor {
-            failures.push(format!(
-                "{label}: throughput at workers={} regressed {:.1}% \
-                 ({:.1} -> {:.1} trials/s, tolerance {:.0}%)",
-                now.workers,
-                -delta,
-                base.trials_per_s,
-                now.trials_per_s,
-                tol * 100.0
-            ));
-        }
+        gate_not_below(
+            failures,
+            &format!("{label}: throughput at workers={}", now.workers),
+            now.trials_per_s,
+            base.trials_per_s,
+            tol,
+        );
     }
 }
 
+fn check_scaling(pair: &Baselined<Scaling>, tol: f64, failures: &mut Vec<String>) {
+    let (fresh, base) = (&pair.fresh, &pair.base);
+    assert_eq!(fresh.bench, "runtime_scaling");
+    println!(
+        "runtime_scaling: worker counts {:?}, latency 8x/1x {:.2}x \
+         (baseline {:.2}x), cpu 8x/1x {:.2}x",
+        fresh.worker_counts,
+        fresh.speedup_8x_over_1x,
+        base.speedup_8x_over_1x,
+        fresh.cpu_bound_speedup_8x_over_1x
+    );
+    check_series_shape(
+        "cpu_bound",
+        &fresh.cpu_bound,
+        &base.cpu_bound,
+        tol,
+        failures,
+    );
+    check_series(
+        "latency_bound",
+        &fresh.latency_bound,
+        &base.latency_bound,
+        tol,
+        failures,
+    );
+    gate_floor(
+        failures,
+        "runtime_scaling: latency-bound 8x/1x speedup",
+        fresh.speedup_8x_over_1x,
+        MIN_LATENCY_SPEEDUP,
+    );
+    let cpu_floor = cpu_speedup_floor();
+    println!(
+        "cpu-bound scaling floor on this host: {cpu_floor:.2}x ({} core(s) available)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    gate_floor(
+        failures,
+        "runtime_scaling: cpu-bound 8x/1x speedup (host parallelism-aware floor)",
+        fresh.cpu_bound_speedup_8x_over_1x,
+        cpu_floor,
+    );
+}
+
+fn check_skewed(pair: &Baselined<Skewed>, tol: f64, failures: &mut Vec<String>) {
+    let (fresh, base) = (&pair.fresh, &pair.base);
+    assert_eq!(fresh.bench, "skewed_steal");
+    println!(
+        "skewed_steal: {} trials / {} shards / {} workers, skew {:.1}: \
+         block {} us vs steal {} us => {:.2}x (baseline {:.2}x), \
+         {} steals / {} chunks moved",
+        fresh.trials,
+        fresh.shards,
+        fresh.workers,
+        fresh.skew_factor,
+        fresh.block_wall_us,
+        fresh.steal_wall_us,
+        fresh.steal_speedup,
+        base.steal_speedup,
+        fresh.steals,
+        fresh.chunks_stolen
+    );
+    gate_floor(
+        failures,
+        "skewed_steal: steal speedup",
+        fresh.steal_speedup,
+        MIN_STEAL_SPEEDUP,
+    );
+    gate_not_below(
+        failures,
+        "skewed_steal: steal speedup vs baseline",
+        fresh.steal_speedup,
+        base.steal_speedup,
+        tol,
+    );
+    if fresh.steals == 0 {
+        failures.push("skewed_steal: no steals on the skewed schedule".into());
+    }
+}
+
+fn check_serving(pair: &Baselined<Serving>, tol: f64, failures: &mut Vec<String>) {
+    let (fresh, base) = (&pair.fresh, &pair.base);
+    assert_eq!(fresh.bench, "serving_latency");
+    println!(
+        "serving_latency: {} offered -> {} completed ({} late) / {} shed / \
+         {} expired in {} batches; virtual p50/p95/p99 {}/{}/{} us \
+         (baseline p99 {} us), shed rate {:.1}% (baseline {:.1}%), \
+         goodput {:.1}% (baseline {:.1}%), wall throughput {:.0} req/s",
+        fresh.offered,
+        fresh.completed,
+        fresh.late,
+        fresh.shed,
+        fresh.expired,
+        fresh.batches,
+        fresh.p50_virtual_us,
+        fresh.p95_virtual_us,
+        fresh.p99_virtual_us,
+        base.p99_virtual_us,
+        fresh.shed_rate * 100.0,
+        base.shed_rate * 100.0,
+        fresh.goodput_rate * 100.0,
+        base.goodput_rate * 100.0,
+        fresh.throughput_rps,
+    );
+    if fresh.completed + fresh.shed + fresh.expired != fresh.offered {
+        failures.push(format!(
+            "serving_latency: conservation broke: {} completed + {} shed + \
+             {} expired != {} offered",
+            fresh.completed, fresh.shed, fresh.expired, fresh.offered
+        ));
+    }
+    // Deterministic virtual-clock metrics: a regression here is a
+    // behavioural batching/admission change, never machine noise.
+    gate_not_above(
+        failures,
+        "serving_latency: virtual p99 (deterministic — behavioural change)",
+        fresh.p99_virtual_us as f64,
+        base.p99_virtual_us as f64,
+        tol,
+        0.0,
+    );
+    gate_not_above(
+        failures,
+        "serving_latency: shed rate",
+        fresh.shed_rate,
+        base.shed_rate,
+        tol,
+        SHED_RATE_SLACK,
+    );
+    gate_not_below(
+        failures,
+        "serving_latency: goodput rate",
+        fresh.goodput_rate,
+        base.goodput_rate,
+        tol,
+    );
+}
+
 fn main() -> ExitCode {
-    let results = relcnn_bench::results_dir();
-    let baseline_dir = results.join("baseline");
     let tol = tolerance();
     let mut failures: Vec<String> = Vec::new();
 
     println!("bench gate (tolerance {:.0}%)", tol * 100.0);
 
-    let scaling: Result<(Scaling, Scaling), String> = (|| {
-        Ok((
-            load(&results.join("runtime_scaling.json"), BENCH_HINT)?,
-            load(&baseline_dir.join("runtime_scaling.json"), BENCH_HINT)?,
-        ))
-    })();
-    match &scaling {
-        Ok((fresh, base)) => {
-            assert_eq!(fresh.bench, "runtime_scaling");
-            println!(
-                "runtime_scaling: worker counts {:?}, latency 8x/1x {:.2}x \
-                 (baseline {:.2}x), cpu 8x/1x {:.2}x",
-                fresh.worker_counts,
-                fresh.speedup_8x_over_1x,
-                base.speedup_8x_over_1x,
-                fresh.cpu_bound_speedup_8x_over_1x
-            );
-            check_series_shape(
-                "cpu_bound",
-                &fresh.cpu_bound,
-                &base.cpu_bound,
-                tol,
-                &mut failures,
-            );
-            check_series(
-                "latency_bound",
-                &fresh.latency_bound,
-                &base.latency_bound,
-                tol,
-                &mut failures,
-            );
-            if fresh.speedup_8x_over_1x < MIN_LATENCY_SPEEDUP {
-                failures.push(format!(
-                    "runtime_scaling: latency-bound 8x/1x speedup {:.2}x \
-                     dropped below the {MIN_LATENCY_SPEEDUP:.0}x floor",
-                    fresh.speedup_8x_over_1x
-                ));
-            }
-            let cpu_floor = cpu_speedup_floor();
-            println!(
-                "cpu-bound scaling floor on this host: {cpu_floor:.2}x \
-                 ({} core(s) available)",
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            );
-            if fresh.cpu_bound_speedup_8x_over_1x < cpu_floor {
-                failures.push(format!(
-                    "runtime_scaling: cpu-bound 8x/1x speedup {:.2}x dropped \
-                     below this host's {cpu_floor:.2}x floor",
-                    fresh.cpu_bound_speedup_8x_over_1x
-                ));
-            }
-        }
-        Err(e) => failures.push(e.clone()),
+    match load_pair::<Scaling>("runtime_scaling.json", BENCH_HINT) {
+        Ok(pair) => check_scaling(&pair, tol, &mut failures),
+        Err(e) => failures.push(e),
     }
-
-    let skewed: Result<(Skewed, Skewed), String> = (|| {
-        Ok((
-            load(&results.join("skewed_steal.json"), BENCH_HINT)?,
-            load(&baseline_dir.join("skewed_steal.json"), BENCH_HINT)?,
-        ))
-    })();
-    match &skewed {
-        Ok((fresh, base)) => {
-            assert_eq!(fresh.bench, "skewed_steal");
-            println!(
-                "skewed_steal: {} trials / {} shards / {} workers, skew {:.1}: \
-                 block {} us vs steal {} us => {:.2}x (baseline {:.2}x), \
-                 {} steals / {} chunks moved",
-                fresh.trials,
-                fresh.shards,
-                fresh.workers,
-                fresh.skew_factor,
-                fresh.block_wall_us,
-                fresh.steal_wall_us,
-                fresh.steal_speedup,
-                base.steal_speedup,
-                fresh.steals,
-                fresh.chunks_stolen
-            );
-            if fresh.steal_speedup < MIN_STEAL_SPEEDUP {
-                failures.push(format!(
-                    "skewed_steal: steal speedup {:.2}x below the \
-                     {MIN_STEAL_SPEEDUP:.0}x floor",
-                    fresh.steal_speedup
-                ));
-            }
-            if fresh.steal_speedup < base.steal_speedup * (1.0 - tol) {
-                failures.push(format!(
-                    "skewed_steal: steal speedup regressed {:.2}x -> {:.2}x \
-                     (tolerance {:.0}%)",
-                    base.steal_speedup,
-                    fresh.steal_speedup,
-                    tol * 100.0
-                ));
-            }
-            if fresh.steals == 0 {
-                failures.push("skewed_steal: no steals on the skewed schedule".into());
-            }
-        }
-        Err(e) => failures.push(e.clone()),
+    match load_pair::<Skewed>("skewed_steal.json", BENCH_HINT) {
+        Ok(pair) => check_skewed(&pair, tol, &mut failures),
+        Err(e) => failures.push(e),
     }
-
-    let serving: Result<(Serving, Serving), String> = (|| {
-        Ok((
-            load(&results.join("serving_latency.json"), SERVE_HINT)?,
-            load(&baseline_dir.join("serving_latency.json"), SERVE_HINT)?,
-        ))
-    })();
-    match &serving {
-        Ok((fresh, base)) => {
-            assert_eq!(fresh.bench, "serving_latency");
-            println!(
-                "serving_latency: {} offered -> {} completed ({} late) / {} shed / \
-                 {} expired in {} batches; virtual p50/p95/p99 {}/{}/{} us \
-                 (baseline p99 {} us), shed rate {:.1}% (baseline {:.1}%), \
-                 goodput {:.1}% (baseline {:.1}%), wall throughput {:.0} req/s",
-                fresh.offered,
-                fresh.completed,
-                fresh.late,
-                fresh.shed,
-                fresh.expired,
-                fresh.batches,
-                fresh.p50_virtual_us,
-                fresh.p95_virtual_us,
-                fresh.p99_virtual_us,
-                base.p99_virtual_us,
-                fresh.shed_rate * 100.0,
-                base.shed_rate * 100.0,
-                fresh.goodput_rate * 100.0,
-                base.goodput_rate * 100.0,
-                fresh.throughput_rps,
-            );
-            if fresh.completed + fresh.shed + fresh.expired != fresh.offered {
-                failures.push(format!(
-                    "serving_latency: conservation broke: {} completed + {} shed + \
-                     {} expired != {} offered",
-                    fresh.completed, fresh.shed, fresh.expired, fresh.offered
-                ));
-            }
-            if fresh.p99_virtual_us as f64 > base.p99_virtual_us as f64 * (1.0 + tol) {
-                failures.push(format!(
-                    "serving_latency: virtual p99 regressed {} -> {} us \
-                     (tolerance {:.0}%) — deterministic metric, so this is a \
-                     behavioural batching/admission change",
-                    base.p99_virtual_us,
-                    fresh.p99_virtual_us,
-                    tol * 100.0
-                ));
-            }
-            if fresh.shed_rate > base.shed_rate * (1.0 + tol) + 0.01 {
-                failures.push(format!(
-                    "serving_latency: shed rate regressed {:.3} -> {:.3} \
-                     (tolerance {:.0}% relative + 1pt)",
-                    base.shed_rate,
-                    fresh.shed_rate,
-                    tol * 100.0
-                ));
-            }
-            if fresh.goodput_rate < base.goodput_rate * (1.0 - tol) {
-                failures.push(format!(
-                    "serving_latency: goodput rate regressed {:.3} -> {:.3} \
-                     (tolerance {:.0}%)",
-                    base.goodput_rate,
-                    fresh.goodput_rate,
-                    tol * 100.0
-                ));
-            }
-        }
-        Err(e) => failures.push(e.clone()),
+    match load_pair::<Serving>("serving_latency.json", SERVE_HINT) {
+        Ok(pair) => check_serving(&pair, tol, &mut failures),
+        Err(e) => failures.push(e),
     }
 
     if failures.is_empty() {

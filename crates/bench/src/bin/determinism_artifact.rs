@@ -4,13 +4,16 @@
 //! chosen worker count / chunk size and writes the engine's footerless
 //! JSONL result stream to a file. The stream is a pure function of the
 //! campaign identity `(trials, seed, shards)` — *not* of the worker
-//! count, the chunk size or the steal schedule — so CI runs this binary
-//! at workers 1/2/8 (and different chunkings) and diffs the artefacts
+//! count, the chunk size, the steal schedule, the reorder budget or the
+//! ingestion path — so CI runs this binary at workers 1/2/8 (and
+//! different chunkings, budgets and sources) and diffs the artefacts
 //! byte for byte.
 //!
 //! ```text
 //! determinism_artifact --workers 8 --chunk 1 --out /tmp/w8.jsonl
 //! determinism_artifact --workers 8 --profile cpu --out /tmp/w8_cpu.jsonl
+//! determinism_artifact --workers 8 --reorder-budget 24 --out /tmp/w8_b24.jsonl
+//! determinism_artifact --workers 8 --source streaming --out /tmp/w8_s.jsonl
 //! ```
 //!
 //! Two workload profiles cover the engine's two scheduling regimes:
@@ -22,11 +25,18 @@
 //!   way a compute-bound campaign does (send-blocking, coalescing and
 //!   adaptive splits under full CPU contention).
 //!
-//! Both profiles exercise every determinism hazard at once: skewed
-//! per-trial cost (forcing steals and adaptive splits at multi-worker
-//! counts), all four `TrialOutcome` variants, and an escalation
-//! early-stop that fires mid-run (the stop shard must also be
-//! schedule-independent).
+//! Three ingestion paths cover the engine's trial-input plumbing: `plan`
+//! (the classic index-driven path), `eager` (the same per-trial workload
+//! descriptors materialised up front and pulled through a
+//! `SliceSource`), and `streaming` (descriptors generated lazily, one
+//! chunk at a time, through an `FnSource`). All three must produce
+//! byte-identical artefacts — the streaming leg of the CI matrix.
+//!
+//! `--reorder-budget N` engages the scheduler's run-frontier flow
+//! control; the binary then asserts in-process that the observed
+//! out-of-order residency never exceeded the budget (the satellite
+//! contract that makes the reorder cap testable) while the bytes still
+//! match the unbounded reference.
 //!
 //! Each artefact ends with a `{"partial_aggregate":...}` line produced by
 //! a second run of the same campaign on the bare partial-aggregation
@@ -36,8 +46,8 @@
 
 use relcnn_faults::{BerInjector, FaultInjector, FaultSite, OpContext, SkewedCost};
 use relcnn_runtime::{
-    run_campaign_sink, CampaignConfig, CampaignSink, EarlyStop, JsonlSink, TrialOutcome,
-    TrialResult,
+    run_campaign_sink, run_campaign_source, CampaignConfig, CampaignSink, EarlyStop, FnSource,
+    JsonlSink, RunOutcome, Sink, SliceSource, TrialOutcome, TrialResult,
 };
 use std::time::Duration;
 
@@ -68,37 +78,90 @@ fn outcome_of(inj: &mut BerInjector, extra_ops: u64) -> TrialOutcome {
     }
 }
 
-/// Latency-bound trial: sleeps per [`SkewedCost`] so multi-worker runs
-/// actually steal.
-fn latency_trial(seed: u64) -> TrialResult {
-    let index = seed - BASE_SEED;
-    let cost = SkewedCost::tail(0, 2, TRIALS / 3);
-    std::thread::sleep(Duration::from_millis(cost.evals(index)));
-    let mut inj = BerInjector::new(seed, 0.3).with_sites(vec![FaultSite::Multiplier]);
-    let outcome = outcome_of(&mut inj, 0);
-    TrialResult {
-        outcome,
-        injector: inj.stats(),
+/// The campaign workload, split into the *dataset* half (a per-trial
+/// cost descriptor derived from the trial index — what the ingestion
+/// paths deliver by different routes) and the *execution* half (what a
+/// trial does with its descriptor and seed).
+#[derive(Clone, Copy)]
+enum Profile {
+    /// Sleeps per descriptor milliseconds (steals even on one core).
+    Latency,
+    /// Spins through descriptor extra injector exposures (pure compute).
+    Cpu,
+}
+
+impl Profile {
+    /// The per-trial workload descriptor — the "dataset item" for trial
+    /// `index`. A pure function of the index, as every `TrialSource`
+    /// must be.
+    fn item(self, index: u64) -> u64 {
+        match self {
+            Profile::Latency => SkewedCost::tail(0, 2, TRIALS / 3).evals(index),
+            Profile::Cpu => SkewedCost::tail(512, 8192, TRIALS / 3).evals(index),
+        }
+    }
+
+    /// Executes one trial on its pulled descriptor.
+    fn run(self, item: u64, seed: u64) -> TrialResult {
+        let mut inj = BerInjector::new(seed, 0.3).with_sites(vec![FaultSite::Multiplier]);
+        let outcome = match self {
+            Profile::Latency => {
+                std::thread::sleep(Duration::from_millis(item));
+                outcome_of(&mut inj, 0)
+            }
+            Profile::Cpu => outcome_of(&mut inj, item),
+        };
+        TrialResult {
+            outcome,
+            injector: inj.stats(),
+        }
     }
 }
 
-/// CPU-bound trial: a skewed number of injector exposures, no sleeps —
-/// the tail trials cost ~16x the clean ones in pure compute.
-fn cpu_trial(seed: u64) -> TrialResult {
-    let index = seed - BASE_SEED;
-    let cost = SkewedCost::tail(512, 8192, TRIALS / 3);
-    let mut inj = BerInjector::new(seed, 0.3).with_sites(vec![FaultSite::Multiplier]);
-    let outcome = outcome_of(&mut inj, cost.evals(index));
-    TrialResult {
-        outcome,
-        injector: inj.stats(),
+/// Which route delivers the workload descriptors to the workers.
+#[derive(Clone, Copy, PartialEq)]
+enum Source {
+    /// Classic index-driven path: the trial derives its own descriptor.
+    Plan,
+    /// Dataset materialised up front, pulled through a `SliceSource`.
+    Eager,
+    /// Dataset generated lazily per chunk through an `FnSource`.
+    Streaming,
+}
+
+/// Runs the campaign once through the chosen ingestion path.
+fn run_one<S: Sink<TrialResult>>(
+    config: &CampaignConfig,
+    profile: Profile,
+    source: Source,
+    sink: S,
+) -> RunOutcome<S::Summary> {
+    match source {
+        Source::Plan => run_campaign_sink(config, sink, move |seed| {
+            profile.run(profile.item(seed - BASE_SEED), seed)
+        }),
+        Source::Eager => {
+            let dataset: Vec<u64> = (0..TRIALS).map(|i| profile.item(i)).collect();
+            run_campaign_source(
+                config,
+                &SliceSource::new(&dataset),
+                sink,
+                move |item: &u64, seed| profile.run(*item, seed),
+            )
+        }
+        Source::Streaming => run_campaign_source(
+            config,
+            &FnSource::new(TRIALS, move |i| profile.item(i)),
+            sink,
+            move |item, seed| profile.run(item, seed),
+        ),
     }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: determinism_artifact --workers N --out PATH [--chunk C] [--no-abort] \
-         [--profile latency|cpu]\n\
+         [--profile latency|cpu] [--source plan|eager|streaming] [--reorder-budget B]\n\
          Writes the footerless JSONL result stream of a fixed skewed campaign."
     );
     std::process::exit(2)
@@ -107,9 +170,11 @@ fn usage() -> ! {
 fn main() {
     let mut workers = 1usize;
     let mut chunk = 0u64;
+    let mut reorder_budget = 0u64;
     let mut out: Option<String> = None;
     let mut early_stop = true;
-    let mut profile = "latency".to_string();
+    let mut profile = Profile::Latency;
+    let mut source = Source::Plan;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -125,23 +190,39 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--reorder-budget" => {
+                reorder_budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--no-abort" => early_stop = false,
-            "--profile" => profile = args.next().unwrap_or_else(|| usage()),
+            "--profile" => {
+                profile = match args.next().as_deref() {
+                    Some("latency") => Profile::Latency,
+                    Some("cpu") => Profile::Cpu,
+                    _ => usage(),
+                }
+            }
+            "--source" => {
+                source = match args.next().as_deref() {
+                    Some("plan") => Source::Plan,
+                    Some("eager") => Source::Eager,
+                    Some("streaming") => Source::Streaming,
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
     }
     let Some(out) = out else { usage() };
-    let trial: fn(u64) -> TrialResult = match profile.as_str() {
-        "latency" => latency_trial,
-        "cpu" => cpu_trial,
-        _ => usage(),
-    };
 
     let config = CampaignConfig::new(TRIALS, BASE_SEED)
         .with_threads(workers)
         .with_shards(SHARDS)
-        .with_chunk(chunk);
+        .with_chunk(chunk)
+        .with_reorder_budget(reorder_budget);
     let policy = if early_stop {
         // Fires deep into the shard prefix on this workload — past the
         // skewed tail's onset — so the artefact witnesses both heavy
@@ -156,7 +237,7 @@ fn main() {
     // path (every trial crosses the channel and is replayed per-`absorb`).
     let file = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
     let sink = JsonlSink::new(file, CampaignSink::new(policy)).without_footer();
-    let outcome = run_campaign_sink(&config, sink, trial);
+    let outcome = run_one(&config, profile, source, sink);
 
     // Second run on the bare `CampaignSink`: the partial-aggregation
     // path, where workers fold chunk-local `CampaignReport`s and no raw
@@ -164,12 +245,24 @@ fn main() {
     // artefact, so the CI byte-diff across worker counts covers *both*
     // result paths — and the two paths must agree with each other here
     // and now.
-    let partial = run_campaign_sink(&config, CampaignSink::new(policy), trial);
+    let partial = run_one(&config, profile, source, CampaignSink::new(policy));
     assert_eq!(
         partial.summary, outcome.summary,
         "partial-aggregation path diverged from the raw-replay path"
     );
     assert_eq!(partial.stats.shards, outcome.stats.shards);
+    // The satellite contract that makes the reorder cap testable: with a
+    // finite budget set, the out-of-order buffer's steady-state depth
+    // must never have exceeded it, on either result path.
+    if reorder_budget > 0 {
+        for (path, stats) in [("replay", &outcome.stats), ("partial", &partial.stats)] {
+            assert!(
+                stats.max_reorder_depth <= reorder_budget,
+                "{path} path: reorder depth {} exceeded the budget {reorder_budget}",
+                stats.max_reorder_depth
+            );
+        }
+    }
     {
         use std::io::Write;
         let mut file = std::fs::OpenOptions::new()
@@ -182,15 +275,28 @@ fn main() {
             .unwrap_or_else(|e| panic!("append partial aggregate to {out}: {e}"));
     }
 
+    let profile_name = match profile {
+        Profile::Latency => "latency",
+        Profile::Cpu => "cpu",
+    };
+    let source_name = match source {
+        Source::Plan => "plan",
+        Source::Eager => "eager",
+        Source::Streaming => "streaming",
+    };
     eprintln!(
-        "{out}: profile={profile} workers={workers} chunk={chunk} trials={} shards={}/{} \
-         aborted={} steals={} splits={} safety={:.4}",
+        "{out}: profile={profile_name} source={source_name} workers={workers} chunk={chunk} \
+         budget={reorder_budget} trials={} shards={}/{} aborted={} steals={} splits={} \
+         frontier_parks={} frontier_stall_us={} max_reorder_depth={} safety={:.4}",
         outcome.summary.trials,
         outcome.stats.shards,
         outcome.stats.planned_shards,
         outcome.stats.aborted,
         outcome.stats.steals,
         outcome.stats.splits,
+        outcome.stats.frontier_parks,
+        outcome.stats.frontier_stall.as_micros(),
+        outcome.stats.max_reorder_depth,
         outcome.summary.safety_rate()
     );
 }

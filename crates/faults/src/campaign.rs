@@ -82,6 +82,12 @@ pub struct CampaignConfig {
     /// trial's inputs or the aggregate — kept configurable so benchmarks
     /// can pin the static granularity of earlier engine generations.
     pub adaptive: bool,
+    /// Maximum trials workers may execute ahead of the runtime's
+    /// released watermark (0 = unbounded): hard-caps the aggregator's
+    /// out-of-order buffer at this many trials. Pure scheduling flow
+    /// control — any budget produces the identical aggregate; a tight
+    /// budget trades worker parallelism for bounded reorder memory.
+    pub reorder_budget: u64,
 }
 
 impl CampaignConfig {
@@ -95,6 +101,7 @@ impl CampaignConfig {
             shards: 0,
             chunk: 0,
             adaptive: true,
+            reorder_budget: 0,
         }
     }
 
@@ -119,6 +126,13 @@ impl CampaignConfig {
     /// Enables or disables mid-run adaptive chunk splitting.
     pub fn with_adaptive(mut self, adaptive: bool) -> Self {
         self.adaptive = adaptive;
+        self
+    }
+
+    /// Caps how many trials workers may run ahead of the released
+    /// watermark (0 = unbounded).
+    pub fn with_reorder_budget(mut self, budget: u64) -> Self {
+        self.reorder_budget = budget;
         self
     }
 }

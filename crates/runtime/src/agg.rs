@@ -23,6 +23,70 @@
 //! associativity is enough for bit-identical aggregates — commutativity is
 //! what makes the laws easy to test and future tree-shaped merges safe.
 
+/// The aggregator's out-of-order envelope buffer, with residency
+/// accounting.
+///
+/// Envelopes arrive in arbitrary schedule order and are released in
+/// `(shard, in-shard offset)` watermark order; whatever arrived ahead of
+/// the watermark waits here. The buffer tracks its residency in *trials*
+/// (the sum of buffered envelope lengths — the unit the run frontier's
+/// `reorder_budget` is denominated in) and records the maximum observed
+/// at each steady state: [`observe`](ReorderBuffer::observe) is called
+/// after every drain-to-frontier pass, so the recorded depth is what the
+/// buffer actually holds while waiting on a stalled frontier, not the
+/// transient spike of an envelope that releases immediately on arrival.
+#[derive(Debug)]
+pub(crate) struct ReorderBuffer<E> {
+    pending: std::collections::BTreeMap<(usize, u64), (u64, E)>,
+    /// Trials currently buffered (sum of pending envelope lengths).
+    resident: u64,
+    /// Maximum steady-state residency observed (see `observe`).
+    max_resident: u64,
+}
+
+impl<E> ReorderBuffer<E> {
+    pub fn new() -> Self {
+        ReorderBuffer {
+            pending: std::collections::BTreeMap::new(),
+            resident: 0,
+            max_resident: 0,
+        }
+    }
+
+    /// Buffers an envelope covering `len` trials of `shard` starting at
+    /// in-shard offset `offset`.
+    pub fn insert(&mut self, shard: usize, offset: u64, len: u64, envelope: E) {
+        self.resident += len;
+        self.pending.insert((shard, offset), (len, envelope));
+    }
+
+    /// Removes and returns the envelope at exactly `(shard, offset)` —
+    /// the only release position the watermark ever asks for.
+    pub fn pop(&mut self, shard: usize, offset: u64) -> Option<E> {
+        let (len, envelope) = self.pending.remove(&(shard, offset))?;
+        self.resident -= len;
+        Some(envelope)
+    }
+
+    /// Records the current residency into the running maximum. Called
+    /// once per steady state (after each drain-to-frontier pass).
+    pub fn observe(&mut self) {
+        self.max_resident = self.max_resident.max(self.resident);
+    }
+
+    /// Drops everything buffered (early abort: results past the stop
+    /// point are discarded).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+        self.resident = 0;
+    }
+
+    /// Maximum steady-state residency observed over the run, in trials.
+    pub fn max_resident(&self) -> u64 {
+        self.max_resident
+    }
+}
+
 /// A chunk-local commutative-monoid fold over trial results.
 ///
 /// Implementations must satisfy the monoid laws above; the runtime's
@@ -67,6 +131,35 @@ impl<T> PartialAggregate<T> for TrialCount {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reorder_buffer_tracks_steady_state_residency() {
+        let mut buf: ReorderBuffer<&str> = ReorderBuffer::new();
+        // An envelope that releases immediately never counts: insert,
+        // drain, then observe.
+        buf.insert(0, 0, 10, "frontier");
+        assert_eq!(buf.pop(0, 0), Some("frontier"));
+        buf.observe();
+        assert_eq!(buf.max_resident(), 0);
+        // Two envelopes stuck behind a missing frontier envelope count
+        // in trials, not in envelopes.
+        buf.insert(0, 30, 10, "c");
+        buf.insert(0, 10, 20, "b");
+        buf.observe();
+        assert_eq!(buf.max_resident(), 30);
+        assert_eq!(buf.pop(0, 0), None, "frontier envelope not here yet");
+        // Draining in watermark order empties the residency; the max
+        // sticks.
+        assert_eq!(buf.pop(0, 10), Some("b"));
+        assert_eq!(buf.pop(0, 30), Some("c"));
+        buf.observe();
+        assert_eq!(buf.max_resident(), 30);
+        // clear() resets residency (abort path) but keeps the max.
+        buf.insert(1, 0, 5, "post-abort");
+        buf.clear();
+        buf.observe();
+        assert_eq!(buf.max_resident(), 30);
+    }
 
     #[test]
     fn unit_partial_is_inert() {

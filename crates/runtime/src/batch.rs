@@ -7,19 +7,31 @@
 //! deterministic per image, so the batch output is independent of the
 //! worker count by construction *and* by the engine's ordered result
 //! stream.
+//!
+//! Images arrive through a [`TrialSource`]: an in-memory batch is the
+//! eager [`SliceSource`] case ([`classify_many`]), while
+//! [`classify_source`] accepts any source — e.g. an [`FnSource`] that
+//! maps request ids to a shared image pool, or synthesises inputs on
+//! demand — so the serving layer dispatches whole batches without
+//! cloning or materialising a single image.
+//!
+//! [`classify_many`]: BatchClassify::classify_many
+//! [`classify_source`]: BatchClassify::classify_source
+//! [`FnSource`]: crate::FnSource
 
 use crate::engine::{Engine, RunOutcome, RunPlan};
 use crate::sink::CollectSink;
-use crate::trial::{Trial, TrialCtx};
+use crate::source::{SliceSource, TrialSource};
+use crate::trial::{SourcedTrial, TrialCtx};
 use relcnn_core::{HybridCnn, HybridError, QualifiedClassification};
 use relcnn_tensor::Tensor;
+use std::borrow::Borrow;
 
 struct ClassifyTrial<'a> {
     hybrid: &'a HybridCnn,
-    images: &'a [Tensor],
 }
 
-impl Trial for ClassifyTrial<'_> {
+impl<I: Borrow<Tensor> + Send> SourcedTrial<I> for ClassifyTrial<'_> {
     type State = HybridCnn;
     type Output = Result<QualifiedClassification, HybridError>;
 
@@ -27,8 +39,8 @@ impl Trial for ClassifyTrial<'_> {
         self.hybrid.clone()
     }
 
-    fn run(&self, state: &mut HybridCnn, ctx: &mut TrialCtx) -> Self::Output {
-        state.classify(&self.images[ctx.index as usize])
+    fn run(&self, state: &mut HybridCnn, item: I, _ctx: &mut TrialCtx) -> Self::Output {
+        state.classify(item.borrow())
     }
 }
 
@@ -54,6 +66,22 @@ pub trait BatchClassify {
         engine: &Engine,
         images: &[Tensor],
     ) -> RunOutcome<Result<Vec<QualifiedClassification>, HybridError>>;
+
+    /// Classifies one image per item of `source` across the worker pool,
+    /// preserving source order: the streaming ingestion entry point.
+    /// Items are pulled chunk by chunk on the executing worker, so the
+    /// batch is never materialised as a tensor vector — a source may
+    /// yield borrowed tensors from a shared pool or synthesise images on
+    /// demand. Error contract matches
+    /// [`classify_many`](BatchClassify::classify_many).
+    fn classify_source<Src>(
+        &self,
+        engine: &Engine,
+        source: &Src,
+    ) -> RunOutcome<Result<Vec<QualifiedClassification>, HybridError>>
+    where
+        Src: TrialSource,
+        Src::Item: Borrow<Tensor>;
 }
 
 impl BatchClassify for HybridCnn {
@@ -70,6 +98,18 @@ impl BatchClassify for HybridCnn {
         engine: &Engine,
         images: &[Tensor],
     ) -> RunOutcome<Result<Vec<QualifiedClassification>, HybridError>> {
+        self.classify_source(engine, &SliceSource::new(images))
+    }
+
+    fn classify_source<Src>(
+        &self,
+        engine: &Engine,
+        source: &Src,
+    ) -> RunOutcome<Result<Vec<QualifiedClassification>, HybridError>>
+    where
+        Src: TrialSource,
+        Src::Item: Borrow<Tensor>,
+    {
         // One image per trial; seeds are irrelevant (fault-free path).
         // Chunk size 1: per-image latency varies (early-abort
         // qualification paths) and trials inside an executing chunk are
@@ -77,13 +117,11 @@ impl BatchClassify for HybridCnn {
         // latency at one image. The envelope coalescing on the result
         // channel makes the fine granularity cheap — contiguous verdicts
         // merge into one message — and chunking never changes them.
-        let plan = RunPlan::new(images.len() as u64, 0).with_chunk(1);
-        let outcome = engine.run(
+        let plan = RunPlan::new(source.len(), 0).with_chunk(1);
+        let outcome = engine.run_source(
             &plan,
-            &ClassifyTrial {
-                hybrid: self,
-                images,
-            },
+            source,
+            &ClassifyTrial { hybrid: self },
             CollectSink::new(),
         );
         RunOutcome {

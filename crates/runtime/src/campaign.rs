@@ -8,7 +8,8 @@
 use crate::agg::PartialAggregate;
 use crate::engine::{Engine, RunOutcome, RunPlan, RunStats};
 use crate::sink::{Control, Sink};
-use crate::trial::{FnTrial, TrialCtx};
+use crate::source::TrialSource;
+use crate::trial::{FnSourcedTrial, FnTrial, TrialCtx};
 pub use relcnn_faults::campaign::{
     wilson_interval, CampaignConfig, CampaignReport, TrialOutcome, TrialResult,
 };
@@ -141,7 +142,9 @@ impl Sink<TrialResult> for CampaignSink {
 }
 
 fn plan_of(config: &CampaignConfig) -> RunPlan {
-    let mut plan = RunPlan::new(config.trials, config.base_seed).with_adaptive(config.adaptive);
+    let mut plan = RunPlan::new(config.trials, config.base_seed)
+        .with_adaptive(config.adaptive)
+        .with_reorder_budget(config.reorder_budget);
     if config.shards > 0 {
         plan = plan.with_shards(config.shards);
     }
@@ -165,6 +168,41 @@ where
     Engine::with_workers(config.threads).run(
         &plan_of(config),
         &FnTrial::new(move |ctx: &mut TrialCtx| trial_fn(ctx.seed)),
+        sink,
+    )
+}
+
+/// Runs a campaign whose per-trial inputs come from a
+/// [`TrialSource`] — a generated or streamed dataset is pulled one
+/// scheduling chunk at a time on the worker that executes it, never
+/// materialised whole. `trial_fn` receives the pulled item and the
+/// trial's derived seed (`base_seed + i`, the documented reproduction
+/// contract).
+///
+/// Determinism is unchanged: provided the source is a pure function of
+/// the trial index (see the trait docs), the aggregate — and any teed
+/// JSONL artefact — is byte-identical to an eager run over the
+/// materialised dataset, at every worker count and reorder budget. The
+/// CI determinism matrix enforces exactly that equivalence.
+///
+/// # Panics
+///
+/// Panics when `config.trials` disagrees with `source.len()`.
+pub fn run_campaign_source<Src, F, S>(
+    config: &CampaignConfig,
+    source: &Src,
+    sink: S,
+    trial_fn: F,
+) -> RunOutcome<S::Summary>
+where
+    Src: TrialSource,
+    F: Fn(Src::Item, u64) -> TrialResult + Sync,
+    S: Sink<TrialResult>,
+{
+    Engine::with_workers(config.threads).run_source(
+        &plan_of(config),
+        source,
+        &FnSourcedTrial::new(move |item, ctx: &mut TrialCtx| trial_fn(item, ctx.seed)),
         sink,
     )
 }

@@ -13,37 +13,58 @@
 //!
 //! Workers drain a local chunk deque and steal the back half of a victim's
 //! deque when dry (see [`sched`](crate::sched) internals). Each worker
-//! folds its chunk's results into a chunk-local
-//! [`PartialAggregate`](crate::PartialAggregate) in place and ships an
-//! *envelope* — the folded partial, plus the raw results block only when
-//! the sink needs one — through a **bounded** channel; contiguous
-//! same-shard envelopes are coalesced before sending, so fine chunkings
-//! no longer pay one message per chunk. The aggregator releases envelopes
-//! to the [`Sink`] strictly in `(shard, in-shard offset)` order — the
-//! *completed-offset watermark*. Aggregation therefore sees exactly the
-//! same stream of results whether the pool has 1 worker or 64, whether
-//! any chunk was stolen, and however chunks were split or coalesced. The
-//! sink's [`checkpoint`](Sink::checkpoint) early-abort decision is
-//! evaluated once per shard, when the watermark crosses a shard boundary,
-//! on the contiguous prefix of completed shards — so a stopped run always
-//! aggregates shards `0..k` for a scheduling-independent `k`.
+//! pulls its chunk's *inputs* from the run's
+//! [`TrialSource`](crate::TrialSource) right before executing it — the
+//! streaming-ingestion seam: a generated dataset is resident one chunk
+//! per worker, never whole — then folds the chunk's results into a
+//! chunk-local [`PartialAggregate`](crate::PartialAggregate) in place and
+//! ships an *envelope* — the folded partial, plus the raw results block
+//! only when the sink needs one — through a **bounded** channel;
+//! contiguous same-shard envelopes are coalesced before sending, so fine
+//! chunkings no longer pay one message per chunk. The aggregator releases
+//! envelopes to the [`Sink`] strictly in `(shard, in-shard offset)` order
+//! — the *completed-offset watermark*. Aggregation therefore sees exactly
+//! the same stream of results whether the pool has 1 worker or 64,
+//! whether any chunk was stolen, and however chunks were split or
+//! coalesced. The sink's [`checkpoint`](Sink::checkpoint) early-abort
+//! decision is evaluated once per shard, when the watermark crosses a
+//! shard boundary, on the contiguous prefix of completed shards — so a
+//! stopped run always aggregates shards `0..k` for a
+//! scheduling-independent `k`.
+//!
+//! The watermark's progress is shared back to the scheduler as the *run
+//! frontier* (`RunFrontier`, owned by the scheduler's `StealQueue`):
+//! every released envelope advances it, and when the plan sets a finite
+//! [`reorder_budget`](RunPlan::reorder_budget) workers consult it before
+//! executing — a claimed chunk lying more than the budget ahead of the
+//! released watermark *parks* (exponential-backoff rescan) instead of
+//! executing results the aggregator would have to buffer, which
+//! hard-caps the out-of-order reorder buffer at `reorder_budget` trials
+//! at every worker count. The chunk at the frontier itself is always
+//! admitted, so the cap degrades to serialized release, never deadlock;
+//! and a worker always flushes its held envelope before parking
+//! (anywhere), because that envelope may contain the very trials the
+//! watermark is waiting on. Flow control is pure scheduling: any budget
+//! produces byte-identical results.
 //!
 //! When the scheduler's starvation counters show idle workers, an
 //! executing worker *splits* its claimed chunk and requeues the back half
-//! for a thief (adaptive chunk sizing). Splitting is sound for the same
-//! reason stealing is: a sub-chunk's RNG is the shard's ChaCha8 stream
-//! seeked to the sub-chunk's own offset, and the offset watermark
-//! reassembles any partition of a shard into the identical result stream.
+//! for a thief (adaptive chunk sizing) — provided the frontier would
+//! admit the back half right now (a half nobody may execute feeds no idle
+//! worker). Splitting is sound for the same reason stealing is: a
+//! sub-chunk's RNG is the shard's ChaCha8 stream seeked to the sub-chunk's
+//! own offset, and the offset watermark reassembles any partition of a
+//! shard into the identical result stream.
 
-use crate::agg::PartialAggregate;
+use crate::agg::{PartialAggregate, ReorderBuffer};
 use crate::hist::LatencyHistogram;
 pub use crate::sched::WorkerStats;
 use crate::sched::{Chunk, Claim, StealQueue};
 use crate::sink::{Control, Sink};
-use crate::trial::{Trial, TrialCtx};
+use crate::source::{IndexSource, TrialSource};
+use crate::trial::{Indexed, SourcedTrial, Trial, TrialCtx};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
@@ -113,11 +134,18 @@ pub struct RunPlan {
     /// starvation counters show idle workers. Pure scheduling (never
     /// part of the result's identity); defaults to `true`.
     pub adaptive: bool,
+    /// Maximum trials workers may execute ahead of the released
+    /// watermark (the aggregator's reorder-buffer cap, in trials);
+    /// 0 = unbounded. Pure scheduling flow control: any budget yields
+    /// the identical result stream, a tight budget merely trades
+    /// worker parallelism for bounded reorder memory
+    /// (`reorder_budget = 1` serializes release entirely).
+    pub reorder_budget: u64,
 }
 
 impl RunPlan {
     /// A plan with the default shard count and chunk size, adaptive
-    /// splitting enabled.
+    /// splitting enabled and an unbounded reorder budget.
     pub fn new(trials: u64, seed: u64) -> Self {
         RunPlan {
             trials,
@@ -125,6 +153,7 @@ impl RunPlan {
             shards: 0,
             chunk: 0,
             adaptive: true,
+            reorder_budget: 0,
         }
     }
 
@@ -147,6 +176,15 @@ impl RunPlan {
     /// Enables or disables mid-run adaptive chunk splitting.
     pub fn with_adaptive(mut self, adaptive: bool) -> Self {
         self.adaptive = adaptive;
+        self
+    }
+
+    /// Caps how many trials workers may run ahead of the released
+    /// watermark (0 = unbounded). Hard-caps the aggregator's
+    /// out-of-order buffer at `budget` trials without changing a single
+    /// result byte.
+    pub fn with_reorder_budget(mut self, budget: u64) -> Self {
+        self.reorder_budget = budget;
         self
     }
 
@@ -265,6 +303,16 @@ pub struct RunStats {
     /// Sum over workers of time blocked sending on the bounded result
     /// channel (aggregator backpressure).
     pub send_block: Duration,
+    /// Park episodes across all workers where a claimed chunk lay beyond
+    /// the run frontier's reorder budget.
+    pub frontier_parks: u64,
+    /// Sum over workers of time parked on the run frontier (reorder
+    /// flow control; disjoint from `send_block`).
+    pub frontier_stall: Duration,
+    /// Maximum steady-state residency of the aggregator's out-of-order
+    /// buffer, in trials — at most `reorder_budget` when a finite budget
+    /// is set, and the observed (unbounded) reorder depth otherwise.
+    pub max_reorder_depth: u64,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
     /// Sum of per-chunk execution time over *aggregated* chunks (busy
@@ -307,6 +355,9 @@ impl RunStats {
             chunks_stolen: 0,
             splits: 0,
             send_block: Duration::ZERO,
+            frontier_parks: 0,
+            frontier_stall: Duration::ZERO,
+            max_reorder_depth: 0,
             wall: Duration::ZERO,
             busy: Duration::ZERO,
             idle: Duration::ZERO,
@@ -326,7 +377,8 @@ impl RunStats {
             .map(|w| {
                 format!(
                     "{{\"worker\":{},\"chunks_run\":{},\"steals\":{},\"chunks_stolen\":{},\
-                     \"splits\":{},\"busy_us\":{},\"idle_us\":{},\"send_block_us\":{}}}",
+                     \"splits\":{},\"busy_us\":{},\"idle_us\":{},\"send_block_us\":{},\
+                     \"frontier_parks\":{},\"frontier_stall_us\":{}}}",
                     w.worker,
                     w.chunks_run,
                     w.steals,
@@ -334,7 +386,9 @@ impl RunStats {
                     w.splits,
                     w.busy.as_micros(),
                     w.idle.as_micros(),
-                    w.send_block.as_micros()
+                    w.send_block.as_micros(),
+                    w.frontier_parks,
+                    w.frontier_stall.as_micros()
                 )
             })
             .collect::<Vec<_>>()
@@ -344,7 +398,8 @@ impl RunStats {
             "{{\"trials\":{},\"shards\":{},\"planned_shards\":{},\"chunks\":{},\
              \"planned_chunks\":{},\"workers\":{},\"aborted\":{},\"steals\":{},\
              \"chunks_stolen\":{},\"splits\":{},\"wall_us\":{},\"busy_us\":{},\"idle_us\":{},\
-             \"send_block_us\":{},\"throughput_per_s\":{:.3},\"mean_trial_ns\":{},\
+             \"send_block_us\":{},\"frontier_parks\":{},\"frontier_stall_us\":{},\
+             \"max_reorder_depth\":{},\"throughput_per_s\":{:.3},\"mean_trial_ns\":{},\
              \"trial_p50_ns\":{p50},\"trial_p95_ns\":{p95},\"trial_p99_ns\":{p99},\
              \"max_shard_us\":{},\"workers_detail\":[{}]}}",
             self.trials,
@@ -361,6 +416,9 @@ impl RunStats {
             self.busy.as_micros(),
             self.idle.as_micros(),
             self.send_block.as_micros(),
+            self.frontier_parks,
+            self.frontier_stall.as_micros(),
+            self.max_reorder_depth,
             self.throughput,
             self.mean_trial.as_nanos(),
             self.max_shard.as_micros(),
@@ -482,18 +540,51 @@ impl Engine {
         requested.clamp(1, cap.max(1))
     }
 
-    /// Runs `plan.trials` trials through the worker pool, streaming
-    /// results into `sink` in deterministic order.
+    /// Runs `plan.trials` index-driven trials through the worker pool,
+    /// streaming results into `sink` in deterministic order.
     ///
     /// # Panics
     ///
     /// Propagates panics from trial code (the pool is fail-fast: a
     /// panicking worker aborts the run).
-    pub fn run<T, S>(&self, plan: &RunPlan, trial: &T, mut sink: S) -> RunOutcome<S::Summary>
+    pub fn run<T, S>(&self, plan: &RunPlan, trial: &T, sink: S) -> RunOutcome<S::Summary>
     where
         T: Trial,
         S: Sink<T::Output>,
     {
+        self.run_source(plan, &IndexSource::new(plan.trials), &Indexed(trial), sink)
+    }
+
+    /// Runs one trial per item of `source` through the worker pool,
+    /// streaming results into `sink` in deterministic order. Items are
+    /// pulled lazily, one chunk at a time, on the worker that executes
+    /// the chunk — a generated or streamed dataset is never materialised
+    /// whole. [`run`](Engine::run) is this with the degenerate
+    /// index-only source.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.trials` disagrees with `source.len()` (the plan
+    /// is the run's identity; a silently truncated or padded dataset
+    /// must not masquerade as it), and propagates panics from trial
+    /// code.
+    pub fn run_source<Src, T, S>(
+        &self,
+        plan: &RunPlan,
+        source: &Src,
+        trial: &T,
+        mut sink: S,
+    ) -> RunOutcome<S::Summary>
+    where
+        Src: TrialSource,
+        T: SourcedTrial<Src::Item>,
+        S: Sink<T::Output>,
+    {
+        assert_eq!(
+            plan.trials,
+            source.len(),
+            "plan.trials must equal the trial source's length"
+        );
         let shards = plan.effective_shards();
         let chunk_size = plan.effective_chunk(shards);
         let chunks = if plan.trials > 0 {
@@ -512,7 +603,7 @@ impl Engine {
                     range.end - range.start
                 })
                 .collect();
-            let queue = StealQueue::deal(chunks, workers);
+            let queue = StealQueue::deal(chunks, workers, plan.reorder_budget);
             let cancel = AtomicBool::new(false);
             // Bounded: a slow sink gates the aggregator's drain rate,
             // which gates the workers' send rate (see
@@ -542,6 +633,12 @@ impl Engine {
                         let mut hist = LatencyHistogram::new();
                         let mut state = trial.init(worker_index);
                         let mut held: Option<Envelope<T::Output, S::Partial>> = None;
+                        // Per-chunk item buffer: the source fills it
+                        // right before the chunk executes, so steady
+                        // state allocates nothing and a streamed dataset
+                        // is resident one chunk per worker at most.
+                        let mut items: Vec<Src::Item> = Vec::new();
+                        let frontier = queue.frontier();
                         // Parking backoff for dry scans (reset on every
                         // successful claim): quick first rescans catch an
                         // imminent split, the exponential tail keeps a
@@ -564,6 +661,16 @@ impl Engine {
                                 // startup). Once nothing is executing, no
                                 // new work can ever appear.
                                 if plan.adaptive && queue.executing() > 0 {
+                                    // Flush the held envelope before
+                                    // sleeping: it may contain the very
+                                    // trials the released watermark — and
+                                    // with it every frontier-parked peer —
+                                    // is waiting on.
+                                    if let Some(full) = held.take() {
+                                        if !send_timed(&tx, full, &mut ws) {
+                                            break;
+                                        }
+                                    }
                                     std::thread::sleep(park);
                                     park = (park * 2).min(PARK_MAX);
                                     continue;
@@ -576,23 +683,62 @@ impl Engine {
                                 ws.chunks_stolen += taken as u64;
                             }
                             let mut chunk = claim.chunk();
+                            // Run-frontier flow control: a chunk lying
+                            // beyond the reorder budget parks (claim
+                            // held, still counted as executing so peers
+                            // neither retire nor split for us) until the
+                            // released watermark catches up. The flush
+                            // first is load-bearing: the held envelope
+                            // may contain the frontier trials themselves,
+                            // and parking on our own unsent results would
+                            // deadlock the run.
+                            if !frontier.admits(chunk.start, chunk.len) {
+                                if let Some(full) = held.take() {
+                                    if !send_timed(&tx, full, &mut ws) {
+                                        queue.task_done();
+                                        break 'work;
+                                    }
+                                }
+                                ws.frontier_parks += 1;
+                                let stalled = Instant::now();
+                                let mut fpark = PARK_MIN;
+                                loop {
+                                    if cancel.load(Ordering::Relaxed) {
+                                        queue.task_done();
+                                        ws.frontier_stall += stalled.elapsed();
+                                        break 'work;
+                                    }
+                                    std::thread::sleep(fpark);
+                                    fpark = (fpark * 2).min(PARK_MAX);
+                                    if frontier.admits(chunk.start, chunk.len) {
+                                        break;
+                                    }
+                                }
+                                ws.frontier_stall += stalled.elapsed();
+                            }
                             // Adaptive sizing: with idle workers and a
                             // divisible chunk in hand, execute the front
-                            // half and requeue the back half for a thief.
+                            // half and requeue the back half for a thief
+                            // — but only when the frontier would admit
+                            // the back half right now: a half nobody may
+                            // execute yet feeds no idle worker, it only
+                            // lines a deque up behind a parked frontier.
                             if plan.adaptive && chunk.len >= 2 && queue.starving() {
                                 let back = chunk.len / 2;
                                 let front = chunk.len - back;
-                                queue.push_front(
-                                    worker_index,
-                                    Chunk {
-                                        start: chunk.start + front,
-                                        shard_offset: chunk.shard_offset + front,
-                                        len: back,
-                                        ..chunk
-                                    },
-                                );
-                                chunk.len = front;
-                                ws.splits += 1;
+                                if frontier.admits(chunk.start + front, back) {
+                                    queue.push_front(
+                                        worker_index,
+                                        Chunk {
+                                            start: chunk.start + front,
+                                            shard_offset: chunk.shard_offset + front,
+                                            len: back,
+                                            ..chunk
+                                        },
+                                    );
+                                    chunk.len = front;
+                                    ws.splits += 1;
+                                }
                             }
                             // Coalesce contiguous same-shard work into the
                             // envelope in hand; flush when it cannot extend.
@@ -613,6 +759,17 @@ impl Engine {
                                 }
                             }
                             let t0 = Instant::now();
+                            // Pull the chunk's inputs (chunk-granular
+                            // streaming ingestion: the only part of the
+                            // dataset this worker ever materialises).
+                            items.clear();
+                            source.fill(chunk.start, chunk.len, &mut items);
+                            assert_eq!(
+                                items.len() as u64,
+                                chunk.len,
+                                "trial source under- or over-filled chunk at trial {}",
+                                chunk.start
+                            );
                             let mut rng =
                                 chunk_rng(plan.seed, chunk.shard as u64, chunk.shard_offset);
                             let envelope = held.get_or_insert_with(|| Envelope {
@@ -625,8 +782,8 @@ impl Engine {
                                 results: S::NEEDS_RESULTS
                                     .then(|| take_block(pool, chunk.len as usize)),
                             });
-                            for offset in 0..chunk.len {
-                                let index = chunk.start + offset;
+                            for (offset, item) in items.drain(..).enumerate() {
+                                let index = chunk.start + offset as u64;
                                 let mut ctx = TrialCtx {
                                     index,
                                     shard: chunk.shard,
@@ -634,7 +791,7 @@ impl Engine {
                                     rng: ChaCha8Rng::seed_from_u64(rng.random::<u64>()),
                                 };
                                 let t_trial = Instant::now();
-                                let out = trial.run(&mut state, &mut ctx);
+                                let out = trial.run(&mut state, item, &mut ctx);
                                 hist.record(
                                     u64::try_from(t_trial.elapsed().as_nanos()).unwrap_or(u64::MAX),
                                 );
@@ -665,9 +822,12 @@ impl Engine {
                 // The calling thread is the aggregator: it releases
                 // envelopes to the sink in (shard, in-shard offset) order
                 // and evaluates the early-abort checkpoint whenever the
-                // watermark crosses a shard boundary.
-                let mut pending: BTreeMap<(usize, u64), Envelope<T::Output, S::Partial>> =
-                    BTreeMap::new();
+                // watermark crosses a shard boundary. Each released
+                // envelope advances the shared run frontier, which is
+                // what admits parked workers' chunks for execution.
+                let frontier = queue.frontier();
+                let mut pending: ReorderBuffer<Envelope<T::Output, S::Partial>> =
+                    ReorderBuffer::new();
                 let mut frontier_shard = 0usize;
                 let mut frontier_offset = 0u64;
                 let mut shard_elapsed = Duration::ZERO;
@@ -682,9 +842,14 @@ impl Engine {
                     if stats.aborted {
                         continue; // drain: results beyond the abort point are discarded
                     }
-                    pending.insert((envelope.shard, envelope.shard_offset), envelope);
+                    pending.insert(
+                        envelope.shard,
+                        envelope.shard_offset,
+                        envelope.len,
+                        envelope,
+                    );
                     'release: while let Some(envelope) =
-                        pending.remove(&(frontier_shard, frontier_offset))
+                        pending.pop(frontier_shard, frontier_offset)
                     {
                         stats.trials += envelope.len;
                         stats.chunks += 1;
@@ -706,6 +871,7 @@ impl Engine {
                             sink.absorb_partial(envelope.partial);
                         }
                         frontier_offset += envelope.len;
+                        frontier.advance(envelope.len);
                         while frontier_shard < shards
                             && frontier_offset == shard_lens[frontier_shard]
                         {
@@ -728,7 +894,13 @@ impl Engine {
                             }
                         }
                     }
+                    // Sample residency at steady state (after the drain),
+                    // so the recorded depth is what actually waits on a
+                    // stalled frontier — the quantity `reorder_budget`
+                    // hard-caps.
+                    pending.observe();
                 }
+                stats.max_reorder_depth = pending.max_resident();
 
                 for handle in handles {
                     match handle.join() {
@@ -738,6 +910,8 @@ impl Engine {
                             stats.chunks_stolen += ws.chunks_stolen;
                             stats.splits += ws.splits;
                             stats.send_block += ws.send_block;
+                            stats.frontier_parks += ws.frontier_parks;
+                            stats.frontier_stall += ws.frontier_stall;
                             stats.idle += ws.idle;
                             stats.worker_stats.push(ws);
                         }
@@ -970,6 +1144,150 @@ mod tests {
     }
 
     #[test]
+    fn sourced_run_matches_index_run() {
+        // A streamed dataset (FnSource) and the same dataset materialised
+        // (SliceSource) must aggregate identically to each other — and to
+        // an index-driven run computing the same function.
+        use crate::source::{FnSource, SliceSource};
+        use crate::trial::FnSourcedTrial;
+
+        let plan = RunPlan::new(150, 21).with_shards(8).with_chunk(3);
+        let by_index = Engine::with_workers(4)
+            .run(
+                &plan,
+                &FnTrial::new(|ctx: &mut TrialCtx| ctx.index * 7 + 1),
+                CollectSink::new(),
+            )
+            .summary;
+        let streamed = Engine::with_workers(4)
+            .run_source(
+                &plan,
+                &FnSource::new(150, |i| i * 7),
+                &FnSourcedTrial::new(|item: u64, _ctx: &mut TrialCtx| item + 1),
+                CollectSink::new(),
+            )
+            .summary;
+        let dataset: Vec<u64> = (0..150u64).map(|i| i * 7).collect();
+        let eager = Engine::with_workers(4)
+            .run_source(
+                &plan,
+                &SliceSource::new(&dataset),
+                &FnSourcedTrial::new(|item: &u64, _ctx: &mut TrialCtx| *item + 1),
+                CollectSink::new(),
+            )
+            .summary;
+        assert_eq!(by_index, streamed);
+        assert_eq!(by_index, eager);
+    }
+
+    #[test]
+    fn sourced_run_items_line_up_with_ctx_index() {
+        // Split/steal schedules pull sub-chunks separately; the item
+        // handed to a trial must always be the one for ctx.index.
+        use crate::source::FnSource;
+        use crate::trial::FnSourcedTrial;
+        let plan = RunPlan::new(128, 3).with_shards(2).with_chunk(64);
+        let outcome = Engine::with_workers(8).run_source(
+            &plan,
+            &FnSource::new(128, |i| i),
+            &FnSourcedTrial::new(|item: u64, ctx: &mut TrialCtx| {
+                std::thread::sleep(Duration::from_micros(100));
+                assert_eq!(item, ctx.index, "item/index mismatch");
+                item
+            }),
+            CollectSink::new(),
+        );
+        assert_eq!(outcome.summary, (0..128).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "plan.trials must equal the trial source's length")]
+    fn sourced_run_rejects_length_mismatch() {
+        use crate::source::FnSource;
+        use crate::trial::FnSourcedTrial;
+        let plan = RunPlan::new(10, 0);
+        Engine::with_workers(1).run_source(
+            &plan,
+            &FnSource::new(9, |i| i),
+            &FnSourcedTrial::new(|item: u64, _ctx: &mut TrialCtx| item),
+            CollectSink::new(),
+        );
+    }
+
+    #[test]
+    fn reorder_budget_parks_workers_and_caps_depth() {
+        // One slow trial stalls the frontier at the front of the run;
+        // without flow control the other workers would buffer everything
+        // they execute meanwhile. With a finite budget they must park
+        // instead, and the buffer's steady-state depth must respect the
+        // cap — while the results stay bit-identical to the unbounded
+        // run.
+        let plan = RunPlan::new(96, 17).with_shards(8).with_chunk(4);
+        let slow_head = FnTrial::new(|ctx: &mut TrialCtx| {
+            if ctx.index == 1 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            ctx.rng.random::<u64>()
+        });
+        let unbounded = Engine::with_workers(1)
+            .run(&plan, &slow_head, CollectSink::new())
+            .summary;
+        for workers in [2, 8] {
+            let budget = 8u64;
+            let outcome = Engine::with_workers(workers).run(
+                &plan.with_reorder_budget(budget),
+                &slow_head,
+                CollectSink::new(),
+            );
+            assert_eq!(outcome.summary, unbounded, "workers={workers}");
+            assert!(
+                outcome.stats.max_reorder_depth <= budget,
+                "workers={workers}: depth {} exceeds budget {budget}",
+                outcome.stats.max_reorder_depth
+            );
+            assert!(
+                outcome.stats.frontier_parks > 0,
+                "workers={workers}: expected frontier parks on a stalled head: {:?}",
+                outcome.stats
+            );
+            assert!(outcome.stats.frontier_stall > Duration::ZERO);
+            assert_eq!(outcome.stats.frontier_parks, {
+                outcome
+                    .stats
+                    .worker_stats
+                    .iter()
+                    .map(|w| w.frontier_parks)
+                    .sum::<u64>()
+            });
+        }
+    }
+
+    #[test]
+    fn reorder_budget_one_serializes_release() {
+        // The degenerate budget: only the frontier chunk may execute, so
+        // the run is fully serialized — and must still complete with the
+        // exact result stream.
+        let plan = RunPlan::new(60, 9).with_shards(6).with_chunk(5);
+        let trial = FnTrial::new(|ctx: &mut TrialCtx| ctx.rng.random::<u64>());
+        let reference = Engine::with_workers(1)
+            .run(&plan, &trial, CollectSink::new())
+            .summary;
+        for workers in [2, 8] {
+            let outcome = Engine::with_workers(workers).run(
+                &plan.with_reorder_budget(1),
+                &trial,
+                CollectSink::new(),
+            );
+            assert_eq!(outcome.summary, reference, "workers={workers}");
+            assert!(
+                outcome.stats.max_reorder_depth <= 1,
+                "workers={workers}: serialized release must not buffer: {:?}",
+                outcome.stats.max_reorder_depth
+            );
+        }
+    }
+
+    #[test]
     fn zero_trials_is_a_noop() {
         let outcome = Engine::with_workers(4).run(
             &RunPlan::new(0, 1),
@@ -994,6 +1312,9 @@ mod tests {
         assert!(json.contains("\"steals\":"));
         assert!(json.contains("\"splits\":"));
         assert!(json.contains("\"send_block_us\":"));
+        assert!(json.contains("\"frontier_parks\":"));
+        assert!(json.contains("\"frontier_stall_us\":"));
+        assert!(json.contains("\"max_reorder_depth\":"));
         assert!(json.contains("\"trial_p50_ns\":"));
         assert!(json.contains("\"trial_p95_ns\":"));
         assert!(json.contains("\"trial_p99_ns\":"));

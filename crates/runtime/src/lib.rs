@@ -8,19 +8,23 @@
 //! ## Architecture
 //!
 //! ```text
-//!   RunPlan { trials, seed, shards, chunk, adaptive }
-//!        │             ┌────────────────┐ pop front  ┌─────────┐ fold chunk into
-//!        ├─ shards ────│ deque worker 0 │───────────▶│ worker 0│ PartialAggregate
-//!        │  × chunks   │ deque ...      │ steal back │ ...     │ (+ results block
-//!        │             │ deque worker N │◀──half────▶│ worker N│  iff sink needs)
-//!        │             └───────▲────────┘            └────┬────┘
-//!        │                     └── adaptive split when ───┤ Envelope, coalesced
-//!        │                         starvation counters    │ (bounded channel,
-//!        │                         show idle workers      ▼  backpressure)
+//!   RunPlan { trials, seed, shards, chunk, adaptive, reorder_budget }
+//!        │             ┌────────────────┐ pop front  ┌─────────┐ pull chunk items
+//!        ├─ shards ────│ deque worker 0 │───────────▶│ worker 0│◀── TrialSource
+//!        │  × chunks   │ deque ...      │ steal back │ ...     │ fold chunk into
+//!        │             │ deque worker N │◀──half────▶│ worker N│ PartialAggregate
+//!        │             └───────▲────────┘            └─┬──┬────┘ (+ results block
+//!        │                     └── adaptive split ─────┤  │       iff sink needs)
+//!        │                         when starving       │  │ park while chunk >
+//!        │                                             │  │ budget ahead of ──┐
+//!        │              Envelope, coalesced (bounded   │  ▼                   │
+//!        │              channel, backpressure)         │ RunFrontier ◀──┐     │
+//!        │                                             ▼   released ───┴─────┘
 //!        │     (shard, offset)-watermark release  ┌──────────────────────┐
 //!        └───────────────────────────────────────▶│ aggregator  ──▶ Sink │
-//!               shard-boundary checkpoint/abort   └──────────────────────┘
-//!                                 recycled results blocks ──▶ workers
+//!               shard-boundary checkpoint/abort   │ (reorder buffer ≤    │
+//!                                                 │  reorder_budget)     │
+//!                recycled results blocks ◀────────└──────────────────────┘
 //! ```
 //!
 //! * **Deterministic sharding** — trials are split into fixed contiguous
@@ -45,6 +49,23 @@
 //!   raw trials, so the serial consumer merges a few integers per batch
 //!   instead of replaying every result. Raw-result sinks get recycled
 //!   result blocks through the same bounded, backpressured channel.
+//! * **Frontier flow control** — the aggregator's release watermark is
+//!   published back to the scheduler as the shared *run frontier*, and a
+//!   finite [`RunPlan::reorder_budget`] makes workers park (exponential
+//!   backoff) rather than execute a chunk more than `budget` trials
+//!   ahead of it: the out-of-order reorder buffer is hard-capped at
+//!   every worker count, one slow in-flight trial can no longer make the
+//!   aggregator buffer the rest of the run, and the cap degrades to
+//!   serialized release (never deadlock) when the budget is tighter than
+//!   a chunk. [`RunStats`] reports park counts, stall time and the
+//!   observed max reorder depth.
+//! * **Streaming ingestion** — per-trial inputs come from a pull-based
+//!   [`TrialSource`]: workers materialise a generated or streamed
+//!   dataset one chunk at a time ([`FnSource`]), with the in-memory case
+//!   as the eager [`SliceSource`] impl. Campaigns
+//!   ([`run_campaign_source`]) and batched inference
+//!   ([`BatchClassify::classify_source`]) ride the same seam, so the
+//!   serving layer dispatches batches without cloning an image.
 //! * **Streaming aggregation** — a [`Sink`] sees results in trial order
 //!   (the aggregator re-orders envelopes on a per-shard in-shard-offset
 //!   watermark) and may stop the run at any shard boundary
@@ -98,13 +119,14 @@ pub mod experiments;
 mod hist;
 mod sched;
 mod sink;
+mod source;
 mod trial;
 
 pub use agg::{PartialAggregate, TrialCount};
 pub use batch::BatchClassify;
 pub use campaign::{
-    run_campaign, run_campaign_sink, run_campaign_with, CampaignConfig, CampaignReport,
-    CampaignSink, EarlyStop, TrialOutcome, TrialResult,
+    run_campaign, run_campaign_sink, run_campaign_source, run_campaign_with, CampaignConfig,
+    CampaignReport, CampaignSink, EarlyStop, TrialOutcome, TrialResult,
 };
 pub use engine::{
     chunk_rng, shard_rng, Engine, EngineConfig, RunOutcome, RunPlan, RunStats, WorkerStats,
@@ -112,4 +134,5 @@ pub use engine::{
 };
 pub use hist::LatencyHistogram;
 pub use sink::{CollectSink, Control, CountSink, JsonlSink, Sink};
-pub use trial::{FnTrial, Trial, TrialCtx};
+pub use source::{FnSource, SliceSource, TrialSource};
+pub use trial::{FnSourcedTrial, FnTrial, SourcedTrial, Trial, TrialCtx};

@@ -37,6 +37,75 @@ pub trait Trial: Sync {
     fn run(&self, state: &mut Self::State, ctx: &mut TrialCtx) -> Self::Output;
 }
 
+/// A unit of work that consumes a per-trial input pulled from a
+/// [`TrialSource`](crate::TrialSource).
+///
+/// This is the engine's fundamental trial shape: the classic
+/// index-driven [`Trial`] runs through it with `()` items (see
+/// [`Engine::run`](crate::Engine::run)), and sourced runs receive the
+/// chunk-pulled item by value. The same determinism contract applies:
+/// the output must be a pure function of `(state, item, ctx)`.
+pub trait SourcedTrial<I>: Sync {
+    /// Per-worker state, built once per worker thread.
+    type State: Send;
+    /// The result of one trial.
+    type Output: Send;
+
+    /// Builds the worker-local state (e.g. clones a model).
+    fn init(&self, worker_index: usize) -> Self::State;
+
+    /// Runs one trial on its pulled input.
+    fn run(&self, state: &mut Self::State, item: I, ctx: &mut TrialCtx) -> Self::Output;
+}
+
+/// Adapts an index-driven [`Trial`] to the sourced engine core by
+/// ignoring the (unit) items of the degenerate index source.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Indexed<'a, T>(pub &'a T);
+
+impl<T: Trial> SourcedTrial<()> for Indexed<'_, T> {
+    type State = T::State;
+    type Output = T::Output;
+
+    fn init(&self, worker_index: usize) -> T::State {
+        self.0.init(worker_index)
+    }
+
+    fn run(&self, state: &mut T::State, _item: (), ctx: &mut TrialCtx) -> T::Output {
+        self.0.run(state, ctx)
+    }
+}
+
+/// Adapts a plain `Fn(Item, &mut TrialCtx) -> R` closure into a
+/// stateless [`SourcedTrial`].
+#[derive(Debug, Clone, Copy)]
+pub struct FnSourcedTrial<F> {
+    f: F,
+}
+
+impl<F> FnSourcedTrial<F> {
+    /// Wraps the closure.
+    pub fn new(f: F) -> Self {
+        FnSourcedTrial { f }
+    }
+}
+
+impl<I, R, F> SourcedTrial<I> for FnSourcedTrial<F>
+where
+    F: Fn(I, &mut TrialCtx) -> R + Sync,
+    I: Send,
+    R: Send,
+{
+    type State = ();
+    type Output = R;
+
+    fn init(&self, _worker_index: usize) -> Self::State {}
+
+    fn run(&self, _state: &mut (), item: I, ctx: &mut TrialCtx) -> R {
+        (self.f)(item, ctx)
+    }
+}
+
 /// Adapts a plain `Fn(&mut TrialCtx) -> R` closure into a stateless
 /// [`Trial`].
 #[derive(Debug, Clone, Copy)]

@@ -4,8 +4,9 @@
 use proptest::prelude::*;
 use relcnn_faults::{BerInjector, FaultInjector, FaultSite, OpContext};
 use relcnn_runtime::{
-    run_campaign, run_campaign_sink, run_campaign_with, CampaignConfig, CampaignReport,
-    CampaignSink, Control, EarlyStop, RunOutcome, RunStats, Sink, TrialOutcome, TrialResult,
+    run_campaign, run_campaign_sink, run_campaign_source, run_campaign_with, CampaignConfig,
+    CampaignReport, CampaignSink, Control, EarlyStop, FnSource, JsonlSink, RunOutcome, RunStats,
+    Sink, SliceSource, TrialOutcome, TrialResult,
 };
 
 /// A seeded trial whose outcome mixes every `TrialOutcome` variant.
@@ -278,6 +279,213 @@ fn matrix_worker_count_agrees_with_serial() {
             "stopped campaign, workers={workers} chunk={chunk}"
         );
         assert_eq!(ours.stats.shards, serial.stats.shards);
+    }
+}
+
+/// Frontier-stall regression: one deliberately slow trial (a
+/// `SkewedCost` spike near the front) stalls the released watermark while
+/// every other worker runs ahead. With a tiny `reorder_budget` the
+/// workers must *park* instead of buffering — the out-of-order map's
+/// steady-state depth stays under the budget at every worker count — and
+/// the aggregate must stay bit-identical to the unbounded serial run.
+/// Looped to hammer park/advance interleavings under `--test-threads 8`
+/// (the 1-core container surfaces races via test-thread scheduling, not
+/// true parallelism).
+#[test]
+fn frontier_stall_parks_instead_of_buffering() {
+    use relcnn_faults::SkewedCost;
+    use std::time::Duration;
+
+    // A single spike at index 0 (the only multiple of the period inside
+    // the run): ~15ms while everything else is ~100us, so the released
+    // watermark stalls on the very first trial while every other worker
+    // races ahead into the reorder window.
+    let cost = SkewedCost::periodic(0, 15, 1_000_000);
+    let run = |threads: usize, budget: u64| {
+        let config = CampaignConfig::new(72, 0xF00)
+            .with_threads(threads)
+            .with_shards(12)
+            .with_chunk(2)
+            .with_reorder_budget(budget);
+        run_campaign_with(&config, EarlyStop::never(), move |seed| {
+            let index = seed - 0xF00;
+            std::thread::sleep(Duration::from_micros(100 + cost.evals(index) * 1000));
+            trial(seed)
+        })
+    };
+    let reference = run(1, 0);
+    for round in 0..3 {
+        for workers in [2, 8] {
+            let budget = 6u64;
+            let outcome = run(workers, budget);
+            assert_eq!(
+                outcome.summary, reference.summary,
+                "round={round} workers={workers}"
+            );
+            assert!(
+                outcome.stats.max_reorder_depth <= budget,
+                "round={round} workers={workers}: reorder depth {} broke the {budget} cap",
+                outcome.stats.max_reorder_depth
+            );
+            assert!(
+                outcome.stats.frontier_parks > 0,
+                "round={round} workers={workers}: nobody parked on the stalled frontier: {:?}",
+                outcome.stats
+            );
+        }
+    }
+}
+
+/// Budget boundary: a budget at least as large as the whole run must
+/// behave *identically* to no budget at all — byte-for-byte on the teed
+/// JSONL artefact, not just on the aggregate.
+#[test]
+fn reorder_budget_covering_the_run_is_byte_identical_to_unbounded() {
+    let artefact = |budget: u64, threads: usize| {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let config = CampaignConfig::new(120, 0xB07)
+                .with_threads(threads)
+                .with_shards(10)
+                .with_reorder_budget(budget);
+            let sink =
+                JsonlSink::new(&mut buf, CampaignSink::new(EarlyStop::never())).without_footer();
+            run_campaign_sink(&config, sink, trial);
+        }
+        buf
+    };
+    let unbounded = artefact(0, 8);
+    assert!(!unbounded.is_empty());
+    for budget in [120, 121, 10_000] {
+        assert_eq!(artefact(budget, 8), unbounded, "budget={budget}");
+        assert_eq!(artefact(budget, 2), unbounded, "budget={budget} workers=2");
+    }
+}
+
+/// Budget × adaptive splitting: a split must never deadlock against a
+/// parked frontier. Whole-shard chunks force mid-run splits (the
+/// adaptive regression regime) while a tight budget forces parking; the
+/// run must complete with the exact aggregate, and the depth cap must
+/// hold even for split sub-chunks.
+#[test]
+fn adaptive_splits_never_deadlock_against_a_parked_frontier() {
+    use std::time::Duration;
+
+    let run = |threads: usize, budget: u64, adaptive: bool| {
+        let config = CampaignConfig::new(128, 0xADA)
+            .with_threads(threads)
+            .with_shards(2)
+            .with_chunk(64)
+            .with_adaptive(adaptive)
+            .with_reorder_budget(budget);
+        run_campaign_with(&config, EarlyStop::never(), move |seed| {
+            std::thread::sleep(Duration::from_micros(300));
+            trial(seed)
+        })
+    };
+    let reference = run(1, 0, false);
+    for budget in [1u64, 16, 48] {
+        let outcome = run(8, budget, true);
+        assert_eq!(outcome.summary, reference.summary, "budget={budget}");
+        assert!(
+            outcome.stats.max_reorder_depth <= budget,
+            "budget={budget}: depth {} over cap",
+            outcome.stats.max_reorder_depth
+        );
+    }
+}
+
+/// Streaming ingestion equivalence: the same campaign driven by the
+/// classic index path, an eager materialised dataset (`SliceSource`) and
+/// a lazily generated one (`FnSource`) must produce byte-identical JSONL
+/// artefacts — the in-process version of the CI matrix's streaming leg.
+#[test]
+fn streaming_and_eager_sources_are_byte_identical_to_the_plan_path() {
+    const TRIALS: u64 = 90;
+    const SEED: u64 = 0x5EED;
+    // The "dataset": a per-trial workload descriptor derived from the
+    // index (here: how many extra injector exposures the trial runs).
+    let descriptor = |i: u64| (i % 7) * 3;
+    let run_of = |seed: u64, extra: u64| {
+        let mut inj = BerInjector::new(seed, 0.3).with_sites(vec![FaultSite::Multiplier]);
+        let mut flips = 0u32;
+        for op in 0..(16 + extra) {
+            if inj.perturb(OpContext::new(FaultSite::Multiplier, op), 1.0) != 1.0 && op < 16 {
+                flips += 1;
+            }
+        }
+        let outcome = match flips {
+            0 => TrialOutcome::Correct,
+            1..=3 => TrialOutcome::DetectedRecovered,
+            4..=6 => TrialOutcome::DetectedAborted,
+            _ => TrialOutcome::SilentCorruption,
+        };
+        TrialResult {
+            outcome,
+            injector: inj.stats(),
+        }
+    };
+    let config = |threads: usize| {
+        CampaignConfig::new(TRIALS, SEED)
+            .with_threads(threads)
+            .with_shards(9)
+    };
+
+    let plan_path = |threads: usize| {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let sink =
+                JsonlSink::new(&mut buf, CampaignSink::new(EarlyStop::never())).without_footer();
+            run_campaign_sink(&config(threads), sink, |seed| {
+                run_of(seed, descriptor(seed - SEED))
+            });
+        }
+        buf
+    };
+    let streaming = |threads: usize| {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let sink =
+                JsonlSink::new(&mut buf, CampaignSink::new(EarlyStop::never())).without_footer();
+            run_campaign_source(
+                &config(threads),
+                &FnSource::new(TRIALS, descriptor),
+                sink,
+                |extra, seed| run_of(seed, extra),
+            );
+        }
+        buf
+    };
+    let eager = |threads: usize| {
+        let dataset: Vec<u64> = (0..TRIALS).map(descriptor).collect();
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let sink =
+                JsonlSink::new(&mut buf, CampaignSink::new(EarlyStop::never())).without_footer();
+            run_campaign_source(
+                &config(threads),
+                &SliceSource::new(&dataset),
+                sink,
+                |extra: &u64, seed| run_of(seed, *extra),
+            );
+        }
+        buf
+    };
+
+    let reference = plan_path(1);
+    assert!(!reference.is_empty());
+    for threads in [1, 2, 8] {
+        assert_eq!(
+            plan_path(threads),
+            reference,
+            "plan path, threads={threads}"
+        );
+        assert_eq!(
+            streaming(threads),
+            reference,
+            "streaming, threads={threads}"
+        );
+        assert_eq!(eager(threads), reference, "eager, threads={threads}");
     }
 }
 

@@ -8,7 +8,7 @@
 use crate::request::Request;
 use relcnn_core::{HybridCnn, HybridConfig, HybridError};
 use relcnn_gtsrb::{DatasetConfig, SyntheticGtsrb};
-use relcnn_runtime::{BatchClassify, Engine, RunStats};
+use relcnn_runtime::{BatchClassify, Engine, FnSource, RunStats};
 use relcnn_tensor::Tensor;
 
 /// One batch's reply: per-request verdicts in batch order, plus the
@@ -76,11 +76,15 @@ impl Backend for CnnBackend {
     type Verdict = CnnVerdict;
 
     fn classify_batch(&self, engine: &Engine, batch: &[Request]) -> BatchReply<CnnVerdict> {
-        let images: Vec<Tensor> = batch
-            .iter()
-            .map(|r| self.images[(r.payload_seed % self.images.len() as u64) as usize].clone())
-            .collect();
-        let outcome = self.hybrid.classify_many_stats(engine, &images);
+        // Streaming ingestion: the source maps each request to a
+        // *borrowed* image from the fixed pool, pulled chunk by chunk on
+        // the executing worker — the old path cloned every tensor into a
+        // batch vector before dispatch.
+        let source = FnSource::new(batch.len() as u64, |i| {
+            let request = &batch[i as usize];
+            &self.images[(request.payload_seed % self.images.len() as u64) as usize]
+        });
+        let outcome = self.hybrid.classify_source(engine, &source);
         let verdicts = outcome
             .summary
             .unwrap_or_else(|e| panic!("serving batch failed to classify: {e}"))
