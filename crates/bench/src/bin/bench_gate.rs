@@ -239,19 +239,19 @@ fn paired_by_workers<'a>(
 
 /// Informational print of one scaling entry's scheduler counters
 /// (steals, splits, backpressure and the new frontier/reorder fields —
-/// printed, not gated: the scaling benches run unbounded).
+/// printed, not gated: the scaling benches run unbounded). Shares its
+/// formatting with the serving conservation line via
+/// [`relcnn_bench::counters_line`].
 fn entry_detail(e: &ScalingEntry) -> String {
-    format!(
-        "{} steals, {} splits, send-block {} us, frontier {} parks/{} us stall, \
-         reorder depth {}, mean trial {} ns",
-        e.steals,
-        e.splits,
-        e.send_block_us,
-        e.frontier_parks,
-        e.frontier_stall_us,
-        e.max_reorder_depth,
-        e.mean_trial_ns
-    )
+    relcnn_bench::counters_line(&[
+        ("steals", e.steals),
+        ("splits", e.splits),
+        ("send_block_us", e.send_block_us),
+        ("frontier_parks", e.frontier_parks),
+        ("frontier_stall_us", e.frontier_stall_us),
+        ("max_reorder_depth", e.max_reorder_depth),
+        ("mean_trial_ns", e.mean_trial_ns),
+    ])
 }
 
 /// Checks a scaling series' *shape*: each worker count's throughput
@@ -433,6 +433,19 @@ fn check_serving(pair: &Baselined<Serving>, tol: f64, failures: &mut Vec<String>
         fresh.goodput_rate * 100.0,
         base.goodput_rate * 100.0,
         fresh.throughput_rps,
+    );
+    // The serve-side conservation counters, in the same shape as the
+    // scheduler's frontier detail lines above.
+    println!(
+        "  conservation: {}",
+        relcnn_bench::counters_line(&[
+            ("offered", fresh.offered),
+            ("completed", fresh.completed),
+            ("late", fresh.late),
+            ("shed", fresh.shed),
+            ("expired", fresh.expired),
+            ("batches", fresh.batches),
+        ])
     );
     if fresh.completed + fresh.shed + fresh.expired != fresh.offered {
         failures.push(format!(

@@ -38,6 +38,12 @@
 //! contract that makes the reorder cap testable) while the bytes still
 //! match the unbounded reference.
 //!
+//! `--metrics` runs the same campaign on a registry-observed engine
+//! (live `relcnn-obs` publication on). The artefact must still be
+//! byte-identical to the metrics-off reference — the CI matrix leg that
+//! proves metrics publication is write-only side traffic off the
+//! deterministic path.
+//!
 //! Each artefact ends with a `{"partial_aggregate":...}` line produced by
 //! a second run of the same campaign on the bare partial-aggregation
 //! result path (no raw trials cross the channel), asserted in-process to
@@ -46,8 +52,8 @@
 
 use relcnn_faults::{BerInjector, FaultInjector, FaultSite, OpContext, SkewedCost};
 use relcnn_runtime::{
-    run_campaign_sink, run_campaign_source, CampaignConfig, CampaignSink, EarlyStop, FnSource,
-    JsonlSink, RunOutcome, Sink, SliceSource, TrialOutcome, TrialResult,
+    run_campaign_sink_on, run_campaign_source_on, CampaignConfig, CampaignSink, EarlyStop, Engine,
+    FnSource, JsonlSink, RunOutcome, Sink, SliceSource, TrialOutcome, TrialResult,
 };
 use std::time::Duration;
 
@@ -129,27 +135,31 @@ enum Source {
     Streaming,
 }
 
-/// Runs the campaign once through the chosen ingestion path.
+/// Runs the campaign once through the chosen ingestion path on `engine`
+/// (plain or metrics-observed — the artefact bytes must not care).
 fn run_one<S: Sink<TrialResult>>(
+    engine: &Engine,
     config: &CampaignConfig,
     profile: Profile,
     source: Source,
     sink: S,
 ) -> RunOutcome<S::Summary> {
     match source {
-        Source::Plan => run_campaign_sink(config, sink, move |seed| {
+        Source::Plan => run_campaign_sink_on(engine, config, sink, move |seed| {
             profile.run(profile.item(seed - BASE_SEED), seed)
         }),
         Source::Eager => {
             let dataset: Vec<u64> = (0..TRIALS).map(|i| profile.item(i)).collect();
-            run_campaign_source(
+            run_campaign_source_on(
+                engine,
                 config,
                 &SliceSource::new(&dataset),
                 sink,
                 move |item: &u64, seed| profile.run(*item, seed),
             )
         }
-        Source::Streaming => run_campaign_source(
+        Source::Streaming => run_campaign_source_on(
+            engine,
             config,
             &FnSource::new(TRIALS, move |i| profile.item(i)),
             sink,
@@ -161,8 +171,12 @@ fn run_one<S: Sink<TrialResult>>(
 fn usage() -> ! {
     eprintln!(
         "usage: determinism_artifact --workers N --out PATH [--chunk C] [--no-abort] \
-         [--profile latency|cpu] [--source plan|eager|streaming] [--reorder-budget B]\n\
-         Writes the footerless JSONL result stream of a fixed skewed campaign."
+         [--profile latency|cpu] [--source plan|eager|streaming] [--reorder-budget B] \
+         [--metrics]\n\
+         Writes the footerless JSONL result stream of a fixed skewed campaign.\n\
+         --metrics runs the campaign on a registry-observed engine (live metrics \
+         publication on); the artefact bytes must be identical either way — the \
+         CI matrix diffs exactly that."
     );
     std::process::exit(2)
 }
@@ -173,11 +187,13 @@ fn main() {
     let mut reorder_budget = 0u64;
     let mut out: Option<String> = None;
     let mut early_stop = true;
+    let mut metrics = false;
     let mut profile = Profile::Latency;
     let mut source = Source::Plan;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--metrics" => metrics = true,
             "--workers" => {
                 workers = args
                     .next()
@@ -232,12 +248,21 @@ fn main() {
         EarlyStop::never()
     };
 
+    // With `--metrics` the same campaign runs on a registry-observed
+    // engine — live publication on, artefact bytes required identical
+    // (the CI matrix leg byte-diffs metrics-on vs metrics-off).
+    let registry = relcnn_obs::Registry::new();
+    let mut engine = Engine::with_workers(workers);
+    if metrics {
+        engine = engine.observed(&registry);
+    }
+
     // `JsonlSink` buffers internally, so the raw file handle is enough.
     // Teeing through `JsonlSink` forces the engine's raw-replay result
     // path (every trial crosses the channel and is replayed per-`absorb`).
     let file = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
     let sink = JsonlSink::new(file, CampaignSink::new(policy)).without_footer();
-    let outcome = run_one(&config, profile, source, sink);
+    let outcome = run_one(&engine, &config, profile, source, sink);
 
     // Second run on the bare `CampaignSink`: the partial-aggregation
     // path, where workers fold chunk-local `CampaignReport`s and no raw
@@ -245,7 +270,7 @@ fn main() {
     // artefact, so the CI byte-diff across worker counts covers *both*
     // result paths — and the two paths must agree with each other here
     // and now.
-    let partial = run_one(&config, profile, source, CampaignSink::new(policy));
+    let partial = run_one(&engine, &config, profile, source, CampaignSink::new(policy));
     assert_eq!(
         partial.summary, outcome.summary,
         "partial-aggregation path diverged from the raw-replay path"
@@ -273,6 +298,36 @@ fn main() {
             .unwrap_or_else(|e| panic!("serialize partial aggregate: {e}"));
         writeln!(file, "{{\"partial_aggregate\":{report}}}")
             .unwrap_or_else(|e| panic!("append partial aggregate to {out}: {e}"));
+    }
+
+    // When observed, the registry must have collected both runs and
+    // render as structurally valid exposition text (stderr only — the
+    // artefact file never sees a metric).
+    if metrics {
+        let page = registry.render();
+        let parsed = relcnn_obs::parse::validate(&page)
+            .unwrap_or_else(|e| panic!("observed run rendered invalid exposition: {e}"));
+        // Early abort lets workers execute past the released prefix
+        // (schedule-dependent overshoot), so executed is a lower-bounded
+        // check, not an equality.
+        let released = (outcome.summary.trials + partial.summary.trials) as f64;
+        let executed = parsed
+            .value("relcnn_engine_trials_executed_total", &[])
+            .expect("registry missing relcnn_engine_trials_executed_total");
+        assert!(
+            executed >= released,
+            "registry saw {executed} executed trials < {released} released"
+        );
+        assert_eq!(
+            parsed.value("relcnn_engine_runs_completed_total", &[]),
+            Some(2.0),
+            "registry should have observed both runs"
+        );
+        eprintln!(
+            "{out}: metrics on — registry valid, {} families, {executed} trials executed \
+             across both runs ({released} released)",
+            page.lines().filter(|l| l.starts_with("# TYPE")).count(),
+        );
     }
 
     let profile_name = match profile {

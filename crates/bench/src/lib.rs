@@ -63,6 +63,19 @@ pub fn ascii_plot(series: &[f32], width: usize, height: usize) -> String {
     out
 }
 
+/// Formats a set of named monotonic counters as one comma-separated
+/// line (`"steals 3, splits 1, ..."`). The single formatting shape for
+/// every counter summary the harness prints — the gate's scheduler
+/// frontier detail and its serve-side conservation line both go through
+/// here, so the two read identically in CI logs.
+pub fn counters_line(pairs: &[(&str, u64)]) -> String {
+    pairs
+        .iter()
+        .map(|(name, value)| format!("{name} {value}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Returns true when the binary should run at smoke scale
 /// (`RELCNN_QUICK=1` or `--quick` argument).
 pub fn quick_mode() -> bool {
@@ -93,5 +106,14 @@ mod tests {
     #[test]
     fn results_dir_exists() {
         assert!(results_dir().is_dir());
+    }
+
+    #[test]
+    fn counters_line_formats_name_value_pairs() {
+        assert_eq!(
+            counters_line(&[("steals", 3), ("splits", 0), ("parks", 12)]),
+            "steals 3, splits 0, parks 12"
+        );
+        assert_eq!(counters_line(&[]), "");
     }
 }

@@ -1,0 +1,100 @@
+//! Interval text dump for headless runs.
+//!
+//! Where no scraper exists (CI, batch campaigns), [`IntervalDumper`]
+//! renders the registry every `period` and hands the page to a sink
+//! callback (typically "write to stderr" or "append to a file"). Pure
+//! std has no signal handling, so there is no literal dump-on-SIGUSR1;
+//! instead [`IntervalDumper::stop`] performs one final dump before
+//! joining — short runs still emit at least one page — and binaries can
+//! call [`Registry::render`] themselves from whatever trigger they own.
+
+use crate::registry::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Polling slice: how quickly `stop` takes effect regardless of period.
+const TICK: Duration = Duration::from_millis(25);
+
+/// A background thread dumping the registry on an interval.
+#[derive(Debug)]
+pub struct IntervalDumper {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl IntervalDumper {
+    /// Starts dumping `registry` every `period` into `sink`. The sink
+    /// also runs once at [`stop`](IntervalDumper::stop).
+    pub fn start(
+        registry: Registry,
+        period: Duration,
+        mut sink: impl FnMut(&str) + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("relcnn-obs-dump".into())
+            .spawn(move || {
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    if thread_stop.load(Ordering::Acquire) {
+                        sink(&registry.render());
+                        return;
+                    }
+                    std::thread::sleep(TICK.min(period));
+                    elapsed += TICK.min(period);
+                    if elapsed >= period {
+                        elapsed = Duration::ZERO;
+                        sink(&registry.render());
+                    }
+                }
+            })
+            .expect("spawn dumper thread");
+        IntervalDumper {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the dumper after one final dump and joins the thread.
+    pub fn stop(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for IntervalDumper {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn dumps_at_least_once_and_final_dump_sees_latest_values() {
+        let reg = Registry::new();
+        let c = reg.counter("dump_test_total", "h", &[]);
+        let pages: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_pages = Arc::clone(&pages);
+        let dumper = IntervalDumper::start(reg, Duration::from_secs(3600), move |page| {
+            sink_pages.lock().unwrap().push(page.to_string());
+        });
+        c.add(7);
+        dumper.stop();
+        let pages = pages.lock().unwrap();
+        assert!(!pages.is_empty(), "stop() must flush a final dump");
+        assert!(pages.last().unwrap().contains("dump_test_total 7"));
+    }
+}

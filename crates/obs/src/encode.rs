@@ -1,0 +1,123 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! Encodes a frozen [`Snapshot`] — never live handles — so the output is
+//! a consistent point-in-time view. Families are emitted in sorted name
+//! order and series in sorted label order (both guaranteed by the
+//! registry's `BTreeMap`s), making the page deterministic for a given
+//! set of values: the golden-file test diffs it byte-for-byte.
+//!
+//! Histograms are exported natively from the log-linear buckets as
+//! cumulative `_bucket{le=...}` series (occupied buckets only, plus the
+//! mandatory `le="+Inf"`), `_sum`, and `_count`; `_count` is taken from
+//! the same snapshot sum as the `+Inf` bucket, so the two always agree.
+
+use crate::registry::{FamilySnapshot, MetricKind, Snapshot, ValueSnapshot};
+use std::fmt::Write as _;
+
+/// Escapes a `# HELP` string: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double-quote, newline.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a label set (already sorted), optionally with one extra
+/// trailing label (used for `le`). Returns `""` for no labels.
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn encode_family(out: &mut String, family: &FamilySnapshot) {
+    let name = &family.name;
+    if !family.help.is_empty() {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+    }
+    let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+    for series in &family.series {
+        match &series.value {
+            ValueSnapshot::Counter(v) => {
+                let _ = writeln!(out, "{name}{} {v}", fmt_labels(&series.labels, None));
+            }
+            ValueSnapshot::Gauge(v) => {
+                let _ = writeln!(out, "{name}{} {v}", fmt_labels(&series.labels, None));
+            }
+            ValueSnapshot::Histogram(h) => {
+                debug_assert_eq!(family.kind, MetricKind::Histogram);
+                for (le, cum) in h.cumulative() {
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cum}",
+                        fmt_labels(&series.labels, Some(("le", &le.to_string())))
+                    );
+                }
+                let count = h.count();
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {count}",
+                    fmt_labels(&series.labels, Some(("le", "+Inf")))
+                );
+                let _ = writeln!(
+                    out,
+                    "{name}_sum{} {}",
+                    fmt_labels(&series.labels, None),
+                    h.sum()
+                );
+                let _ = writeln!(
+                    out,
+                    "{name}_count{} {count}",
+                    fmt_labels(&series.labels, None)
+                );
+            }
+        }
+    }
+}
+
+/// Encodes a full snapshot as one Prometheus text page.
+pub fn encode(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for family in snapshot {
+        encode_family(&mut out, family);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(
+            escape_label_value("say \"hi\"\\\n"),
+            "say \\\"hi\\\"\\\\\\n"
+        );
+    }
+
+    #[test]
+    fn label_rendering() {
+        assert_eq!(fmt_labels(&[], None), "");
+        let labels = vec![("a".to_string(), "1".to_string())];
+        assert_eq!(fmt_labels(&labels, None), "{a=\"1\"}");
+        assert_eq!(
+            fmt_labels(&labels, Some(("le", "+Inf"))),
+            "{a=\"1\",le=\"+Inf\"}"
+        );
+        assert_eq!(fmt_labels(&[], Some(("le", "7"))), "{le=\"7\"}");
+    }
+}

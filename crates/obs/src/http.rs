@@ -1,0 +1,184 @@
+//! Vendored scrape endpoint: a minimal HTTP/1.1 responder on std's
+//! `TcpListener`, answering `GET /metrics` only.
+//!
+//! Deliberately tiny — no crates.io dependency per the standing vendor
+//! policy, no keep-alive, no TLS, one accept thread, connections served
+//! inline (a scrape is one small read + one write; Prometheus scrapes
+//! are seconds apart). Bind to `127.0.0.1:0` for an ephemeral test port
+//! and read it back with [`ScrapeServer::addr`]. Shutdown sets a flag
+//! and unblocks the accept loop with a self-connection; dropping the
+//! server shuts it down.
+
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest request head we will buffer before answering 400.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running `/metrics` responder.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // A scraper that hung up mid-response is its problem, not ours.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+}
+
+fn serve_connection(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the header terminator; the request has no body.
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return,
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                "request too large\n",
+            );
+            return;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    match (method, path) {
+        ("GET", "/metrics") => {
+            let body = registry.render();
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body);
+        }
+        ("GET", _) => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "only /metrics\n",
+        ),
+        _ => respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        ),
+    }
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`, or port 0 for ephemeral)
+    /// and starts the accept thread.
+    pub fn bind(addr: impl ToSocketAddrs, registry: Registry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("relcnn-obs-scrape".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        serve_connection(stream, &registry);
+                    }
+                }
+            })?;
+        Ok(ScrapeServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock the accept loop; an error just means it is gone.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One blocking scrape over a plain TCP socket: sends `GET <path>` and
+/// returns `(status line, body)`. The test/CI-side counterpart of the
+/// responder, so smoke checks need no HTTP client either.
+pub fn scrape_once(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_and_rejects_everything_else() {
+        let reg = Registry::new();
+        let c = reg.counter("relcnn_http_test_total", "a counter", &[]);
+        c.add(9);
+        let server = ScrapeServer::bind("127.0.0.1:0", reg.clone()).expect("bind");
+        let addr = server.addr();
+
+        let (status, body) = scrape_once(addr, "/metrics").expect("scrape");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("relcnn_http_test_total 9"), "{body}");
+        let parsed = crate::parse::validate(&body).expect("valid exposition");
+        assert_eq!(parsed.value("relcnn_http_test_total", &[]), Some(9.0));
+
+        let (status, _) = scrape_once(addr, "/other").expect("scrape");
+        assert!(status.contains("404"), "{status}");
+
+        // Live updates are visible on the next scrape.
+        c.add(1);
+        let (_, body) = scrape_once(addr, "/metrics").expect("scrape");
+        assert!(body.contains("relcnn_http_test_total 10"), "{body}");
+
+        server.shutdown();
+    }
+}

@@ -1,0 +1,335 @@
+//! A small validating parser for the Prometheus text format.
+//!
+//! Not a general scrape client — just enough to let CI and tests hold a
+//! `/metrics` page to the format's structural rules:
+//!
+//! - every sample line parses (`name{labels} value`, escapes honoured);
+//! - every sample's family has a `# TYPE` declaration (histogram
+//!   samples resolve through their `_bucket`/`_sum`/`_count` suffix);
+//! - per histogram series: `le` values strictly increase, cumulative
+//!   bucket counts are non-decreasing, `le="+Inf"` is present and
+//!   equals `_count`, and `_sum` exists;
+//! - no duplicate sample (same name + label set).
+//!
+//! Violations return `Err(String)` describing the first offence.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A sorted label set as parsed off the page.
+pub type Labels = Vec<(String, String)>;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full metric name as written (including any histogram suffix).
+    pub name: String,
+    /// Sorted `(label, value)` pairs.
+    pub labels: Labels,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A validated page: samples plus the declared family types.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// Every sample, in page order.
+    pub samples: Vec<Sample>,
+    /// `# TYPE` declarations: family name → kind string.
+    pub types: BTreeMap<String, String>,
+}
+
+impl Parsed {
+    /// The value of the sample with exactly these labels (order
+    /// insensitive), if present.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+            .map(|s| s.value)
+    }
+
+    /// Sum of every series of `name` (any labels).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// Whether any series of `name` exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.samples.iter().any(|s| s.name == name)
+    }
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s
+            .parse::<f64>()
+            .map_err(|e| format!("bad value {s:?}: {e}")),
+    }
+}
+
+/// Parses `{k="v",...}`, returning the sorted pairs and the rest of the
+/// line after the closing brace.
+fn parse_labels(s: &str) -> Result<(Labels, &str), String> {
+    let mut labels = Vec::new();
+    let mut rest = &s[1..]; // past '{'
+    loop {
+        rest = rest.trim_start_matches(',');
+        if let Some(r) = rest.strip_prefix('}') {
+            labels.sort();
+            return Ok((labels, r));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = rest[..eq].to_string();
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label value not quoted after {key}"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => return Err(format!("bad escape {other:?} in label {key}")),
+                },
+                '"' => {
+                    end = Some(i + 1);
+                    break;
+                }
+                _ => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for {key}"))?;
+        labels.push((key, value));
+        rest = &rest[end..];
+    }
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .ok_or_else(|| format!("no value on line {line:?}"))?;
+    let name = line[..name_end].to_string();
+    if name.is_empty() {
+        return Err(format!("empty metric name on line {line:?}"));
+    }
+    let rest = &line[name_end..];
+    let (labels, rest) = if rest.starts_with('{') {
+        parse_labels(rest)?
+    } else {
+        (Vec::new(), rest)
+    };
+    let mut parts = rest.split_whitespace();
+    let value = parse_value(parts.next().ok_or_else(|| format!("no value for {name}"))?)?;
+    // An optional trailing timestamp is allowed by the format; anything
+    // after that is an error.
+    if parts.next().is_some() && parts.next().is_some() {
+        return Err(format!("trailing garbage after sample {name}"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// The family a sample belongs to, resolving histogram suffixes against
+/// the declared types.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).is_some_and(|k| k == "histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Parses and structurally validates one text-format page.
+pub fn validate(text: &str) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut it = decl.split_whitespace();
+                let name = it.next().ok_or_else(|| err("TYPE without name".into()))?;
+                let kind = it.next().ok_or_else(|| err("TYPE without kind".into()))?;
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    return Err(err(format!("unknown TYPE kind {kind:?}")));
+                }
+                if parsed
+                    .types
+                    .insert(name.to_string(), kind.to_string())
+                    .is_some()
+                {
+                    return Err(err(format!("duplicate TYPE for {name}")));
+                }
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl.split_whitespace().next().unwrap_or("");
+                if !helps.insert(name.to_string()) {
+                    return Err(err(format!("duplicate HELP for {name}")));
+                }
+            }
+            continue;
+        }
+        parsed.samples.push(parse_sample(line).map_err(err)?);
+    }
+
+    // Every sample family must be typed; no duplicate series.
+    let mut seen: BTreeSet<(String, Vec<(String, String)>)> = BTreeSet::new();
+    for s in &parsed.samples {
+        let family = family_of(&s.name, &parsed.types);
+        if !parsed.types.contains_key(family) {
+            return Err(format!("sample {} has no # TYPE declaration", s.name));
+        }
+        if !seen.insert((s.name.clone(), s.labels.clone())) {
+            return Err(format!("duplicate series {} {:?}", s.name, s.labels));
+        }
+    }
+
+    // Histogram structure: group buckets by (family, labels minus le).
+    for (family, kind) in &parsed.types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{family}_bucket");
+        let mut groups: BTreeMap<Labels, Vec<(f64, f64)>> = BTreeMap::new();
+        for s in parsed.samples.iter().filter(|s| s.name == bucket_name) {
+            let mut le = None;
+            let rest: Labels = s
+                .labels
+                .iter()
+                .filter(|(k, v)| {
+                    if k == "le" {
+                        le = Some(v.clone());
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .cloned()
+                .collect();
+            let le = le.ok_or_else(|| format!("{bucket_name} without le label"))?;
+            let le = parse_value(&le)?;
+            groups.entry(rest).or_default().push((le, s.value));
+        }
+        for (labels, buckets) in &groups {
+            let mut prev_le = f64::NEG_INFINITY;
+            let mut prev_cum = -1.0;
+            let mut inf_count = None;
+            for &(le, cum) in buckets {
+                if le <= prev_le {
+                    return Err(format!(
+                        "{bucket_name}{labels:?}: le values not strictly increasing at {le}"
+                    ));
+                }
+                if cum < prev_cum {
+                    return Err(format!(
+                        "{bucket_name}{labels:?}: cumulative count decreased at le={le}"
+                    ));
+                }
+                if le.is_infinite() {
+                    inf_count = Some(cum);
+                }
+                prev_le = le;
+                prev_cum = cum;
+            }
+            let inf_count = inf_count
+                .ok_or_else(|| format!("{bucket_name}{labels:?}: missing le=\"+Inf\" bucket"))?;
+            let want: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let count = parsed
+                .value(&format!("{family}_count"), &want)
+                .ok_or_else(|| format!("{family}_count missing for {labels:?}"))?;
+            if count != inf_count {
+                return Err(format!(
+                    "{family}{labels:?}: _count {count} != +Inf bucket {inf_count}"
+                ));
+            }
+            if parsed.value(&format!("{family}_sum"), &want).is_none() {
+                return Err(format!("{family}_sum missing for {labels:?}"));
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_page() {
+        let page = "\
+# HELP c a counter
+# TYPE c counter
+c{worker=\"0\"} 3
+c{worker=\"1\"} 4
+# TYPE g gauge
+g -7
+# TYPE h histogram
+h_bucket{le=\"7\"} 2
+h_bucket{le=\"15\"} 5
+h_bucket{le=\"+Inf\"} 6
+h_sum 123
+h_count 6
+";
+        let p = validate(page).expect("valid page");
+        assert_eq!(p.value("c", &[("worker", "1")]), Some(4.0));
+        assert_eq!(p.sum("c"), 7.0);
+        assert_eq!(p.value("g", &[]), Some(-7.0));
+        assert_eq!(p.types.get("h").map(String::as_str), Some("histogram"));
+        assert!(p.has("h_bucket"));
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        // Untyped sample.
+        assert!(validate("x 1\n").is_err());
+        // Duplicate series.
+        assert!(validate("# TYPE c counter\nc 1\nc 2\n").is_err());
+        // Cumulative decrease.
+        let dec = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(validate(dec).unwrap_err().contains("decreased"));
+        // _count disagrees with +Inf.
+        let mismatch = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n";
+        assert!(validate(mismatch).unwrap_err().contains("_count"));
+        // Missing +Inf.
+        let noinf = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(validate(noinf).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let page = "# TYPE c counter\nc{msg=\"say \\\"hi\\\"\\\\\\n\"} 1\n";
+        let p = validate(page).expect("valid");
+        assert_eq!(p.value("c", &[("msg", "say \"hi\"\\\n")]), Some(1.0));
+    }
+}

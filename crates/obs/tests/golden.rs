@@ -1,0 +1,61 @@
+//! Golden-file test of the Prometheus text encoder.
+//!
+//! Populates a registry with every value kind — a negative gauge, a
+//! labelled counter family with an escaping-needy label value, and a
+//! histogram spanning unit buckets — and byte-compares the rendered page
+//! against `golden.expected`. Pins family name ordering, label ordering,
+//! HELP/label escaping, and histogram cumulativity (`_bucket` series,
+//! `+Inf`, `_sum`, `_count`) in one place: any encoder change that moves
+//! a byte must consciously update the golden file.
+
+use relcnn_obs::Registry;
+
+#[test]
+fn rendered_page_matches_the_golden_file() {
+    let reg = Registry::new();
+
+    let depth = reg.gauge(
+        "relcnn_golden_depth",
+        "Queue depth (may go negative in tests)",
+        &[],
+    );
+    depth.set(-3);
+
+    // HELP escaping: backslash and newline.
+    let hist = reg.histogram(
+        "relcnn_golden_latency_microseconds",
+        "Latency in \\ microseconds\nper request",
+        &[],
+    );
+    // Unit buckets (v < 8) have le == v and the [8,16) octave has unit
+    // sub-buckets too, so the expected cumulative series is exact:
+    // le 1 -> 1, le 3 -> 3, le 7 -> 4, le 10 -> 5, +Inf 5, sum 24.
+    for v in [1, 3, 3, 7, 10] {
+        hist.record(v);
+    }
+
+    let ok = reg.counter(
+        "relcnn_golden_requests_total",
+        "Requests by path and status",
+        &[("path", "/metrics"), ("status", "200")],
+    );
+    ok.add(7);
+    // Label-value escaping: quote, backslash (and series ordering after
+    // the /metrics series).
+    let weird = reg.counter(
+        "relcnn_golden_requests_total",
+        "Requests by path and status",
+        &[("path", "/weird\"\\"), ("status", "404")],
+    );
+    weird.add(2);
+
+    let page = reg.render();
+    let expected = include_str!("golden.expected");
+    assert_eq!(
+        page, expected,
+        "rendered page drifted from golden.expected:\n--- rendered ---\n{page}"
+    );
+    // The golden page itself must satisfy the format validator — keeps
+    // the two test layers from drifting apart.
+    relcnn_obs::parse::validate(expected).expect("golden file is valid exposition");
+}

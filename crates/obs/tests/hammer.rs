@@ -1,0 +1,103 @@
+//! Concurrency hammer: 8 writer threads vs a live scraper.
+//!
+//! Writers hammer shared counter, gauge and histogram handles while a
+//! scraper thread snapshots and renders the registry concurrently. Every
+//! scraped page must (a) validate structurally — in particular every
+//! histogram's `_count` must equal its `+Inf` bucket, the torn-read
+//! hazard the snapshot design eliminates by deriving both from one
+//! bucket-vector read — and (b) show counters that never move backwards
+//! between successive scrapes. After the writers join, the final page
+//! must account for every recorded event exactly.
+
+use relcnn_obs::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const WRITERS: usize = 8;
+const EVENTS_PER_WRITER: u64 = 40_000;
+
+#[test]
+fn concurrent_scrapes_see_monotone_untorn_metrics() {
+    let reg = Registry::new();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // The scraper validates pages as fast as it can render them.
+    let scraper = {
+        let reg = reg.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            let mut last_events = 0.0f64;
+            let mut last_hist_count = 0.0f64;
+            while !done.load(Ordering::Acquire) {
+                let page = reg.render();
+                let parsed = relcnn_obs::parse::validate(&page)
+                    .unwrap_or_else(|e| panic!("scrape {scrapes}: invalid page: {e}\n{page}"));
+                // Counters are monotone across scrapes. (A fresh page can
+                // omit a family registered later; missing ⇒ 0.)
+                let events = parsed.sum("relcnn_hammer_events_total");
+                assert!(
+                    events >= last_events,
+                    "scrape {scrapes}: events went backwards: {events} < {last_events}"
+                );
+                last_events = events;
+                let hist_count = parsed
+                    .value("relcnn_hammer_value_count", &[])
+                    .unwrap_or(0.0);
+                assert!(
+                    hist_count >= last_hist_count,
+                    "scrape {scrapes}: histogram count went backwards"
+                );
+                last_hist_count = hist_count;
+                // _count == +Inf is re-checked here explicitly — the
+                // exact invariant a torn read would break.
+                if let Some(inf) = parsed.value("relcnn_hammer_value_bucket", &[("le", "+Inf")]) {
+                    assert_eq!(inf, hist_count, "scrape {scrapes}: torn histogram read");
+                }
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let reg = reg.clone();
+            scope.spawn(move || {
+                // Each writer registers its own labelled series plus the
+                // shared (idempotent) histogram and gauge — exercising
+                // registration racing scrapes too.
+                let wid = w.to_string();
+                let events = reg.counter(
+                    "relcnn_hammer_events_total",
+                    "events per writer",
+                    &[("writer", &wid)],
+                );
+                let hist = reg.histogram("relcnn_hammer_value", "hammered histogram", &[]);
+                let gauge = reg.gauge("relcnn_hammer_level", "hammered gauge", &[]);
+                for i in 0..EVENTS_PER_WRITER {
+                    events.inc();
+                    // Spread across octaves so cumulative emission has
+                    // many occupied buckets to get wrong.
+                    hist.record((i ^ (w as u64) << 40) >> (i % 48));
+                    gauge.set((i % 1000) as i64 - 500);
+                }
+            });
+        }
+    });
+    done.store(true, Ordering::Release);
+    let scrapes = scraper.join().expect("scraper thread");
+    assert!(scrapes > 0, "scraper never completed a page");
+
+    // Final accounting: nothing lost, nothing double-counted.
+    let page = reg.render();
+    let parsed = relcnn_obs::parse::validate(&page).expect("final page valid");
+    let total = (WRITERS as u64 * EVENTS_PER_WRITER) as f64;
+    assert_eq!(parsed.sum("relcnn_hammer_events_total"), total);
+    assert_eq!(parsed.value("relcnn_hammer_value_count", &[]), Some(total));
+    assert_eq!(
+        parsed.value("relcnn_hammer_value_bucket", &[("le", "+Inf")]),
+        Some(total)
+    );
+    println!("hammer: {scrapes} concurrent scrapes validated against {total} events");
+}

@@ -1,0 +1,106 @@
+//! Property tests of the histogram exposition invariants.
+//!
+//! For arbitrary sample sets (log-uniform over the full `u64` range so
+//! every octave of the log-linear layout gets hit), the rendered page
+//! must parse back with every `_bucket` series non-decreasing in `le`
+//! order, `_count` equal to the `+Inf` bucket and to the number of
+//! samples, and `_sum` equal to the wrapping sample sum. The format
+//! validator checks most of this structurally; the test re-derives the
+//! invariants from the raw parsed samples so a validator bug cannot mask
+//! an encoder bug.
+
+use proptest::prelude::*;
+use relcnn_obs::Registry;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bucket_series_are_cumulative_and_count_matches(
+        samples in collection::vec(
+            // v >> s is log-uniform in magnitude: unit buckets through
+            // the top octaves all occur.
+            (any::<u64>(), 0u32..64).prop_map(|(v, s)| v >> s),
+            0..200,
+        )
+    ) {
+        let reg = Registry::new();
+        let hist = reg.histogram("relcnn_prop_latency", "property histogram", &[]);
+        let mut sum = 0u64;
+        for &v in &samples {
+            hist.record(v);
+            sum = sum.wrapping_add(v);
+        }
+        let page = reg.render();
+        let parsed = relcnn_obs::parse::validate(&page)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{page}")))?;
+
+        // _count == +Inf bucket == number of samples.
+        let count = parsed
+            .value("relcnn_prop_latency_count", &[])
+            .ok_or_else(|| TestCaseError::fail("missing _count"))?;
+        let inf = parsed
+            .value("relcnn_prop_latency_bucket", &[("le", "+Inf")])
+            .ok_or_else(|| TestCaseError::fail("missing +Inf bucket"))?;
+        prop_assert_eq!(count, samples.len() as f64);
+        prop_assert_eq!(inf, count, "+Inf bucket must equal _count");
+
+        // _sum renders the exact (wrapping) integer sum.
+        prop_assert!(
+            page.contains(&format!("relcnn_prop_latency_sum {sum}")),
+            "missing `relcnn_prop_latency_sum {}` in:\n{}", sum, page
+        );
+
+        // Every _bucket series, taken in increasing le, is non-decreasing
+        // and tops out at the +Inf value.
+        let mut buckets: Vec<(f64, f64)> = parsed
+            .samples
+            .iter()
+            .filter(|s| s.name == "relcnn_prop_latency_bucket")
+            .map(|s| {
+                let le = &s.labels.iter().find(|(k, _)| k == "le").expect("le label").1;
+                let le = if le == "+Inf" { f64::INFINITY } else { le.parse().expect("le") };
+                (le, s.value)
+            })
+            .collect();
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le ordering"));
+        let mut prev = 0.0f64;
+        for &(le, cum) in &buckets {
+            prop_assert!(
+                cum >= prev,
+                "bucket le={} dropped: {} < {}\n{}", le, cum, prev, page
+            );
+            prev = cum;
+        }
+        prop_assert_eq!(
+            buckets.last().map(|&(_, c)| c),
+            Some(inf),
+            "top bucket must be +Inf's value"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_bracketed_by_min_and_max(
+        samples in collection::vec(0u64..1_000_000, 1..100),
+        q in 0.0f64..1.0,
+    ) {
+        let reg = Registry::new();
+        let hist = reg.histogram("relcnn_prop_q", "quantile histogram", &[]);
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let lo = *samples.iter().min().expect("non-empty");
+        let hi = *samples.iter().max().expect("non-empty");
+        let quant = snap.quantile(q);
+        // Bucket midpoints never leave the recorded range's buckets, and
+        // q=1 is exact-max by contract.
+        prop_assert!(
+            quant <= hi.saturating_mul(2).max(8),
+            "quantile {} above any bucket containing max {}", quant, hi
+        );
+        prop_assert_eq!(snap.quantile(1.0), hi);
+        prop_assert!(snap.quantile(0.0) <= snap.quantile(1.0).max(8));
+        let _ = lo;
+    }
+}

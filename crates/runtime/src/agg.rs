@@ -81,6 +81,12 @@ impl<E> ReorderBuffer<E> {
         self.resident = 0;
     }
 
+    /// Current residency, in trials (the live-gauge counterpart of
+    /// [`max_resident`](ReorderBuffer::max_resident)).
+    pub fn resident(&self) -> u64 {
+        self.resident
+    }
+
     /// Maximum steady-state residency observed over the run, in trials.
     pub fn max_resident(&self) -> u64 {
         self.max_resident

@@ -165,7 +165,31 @@ where
     F: Fn(u64) -> TrialResult + Sync,
     S: Sink<TrialResult>,
 {
-    Engine::with_workers(config.threads).run(
+    run_campaign_sink_on(
+        &Engine::with_workers(config.threads),
+        config,
+        sink,
+        trial_fn,
+    )
+}
+
+/// [`run_campaign_sink`] on a caller-supplied engine — the entry point
+/// for campaigns that should publish live metrics: build the engine once
+/// with [`Engine::observed`](crate::Engine) and run through it. The
+/// engine's worker configuration wins over `config.threads` (the plan —
+/// and with it every deterministic result byte — comes from `config`
+/// either way).
+pub fn run_campaign_sink_on<F, S>(
+    engine: &Engine,
+    config: &CampaignConfig,
+    sink: S,
+    trial_fn: F,
+) -> RunOutcome<S::Summary>
+where
+    F: Fn(u64) -> TrialResult + Sync,
+    S: Sink<TrialResult>,
+{
+    engine.run(
         &plan_of(config),
         &FnTrial::new(move |ctx: &mut TrialCtx| trial_fn(ctx.seed)),
         sink,
@@ -199,7 +223,30 @@ where
     F: Fn(Src::Item, u64) -> TrialResult + Sync,
     S: Sink<TrialResult>,
 {
-    Engine::with_workers(config.threads).run_source(
+    run_campaign_source_on(
+        &Engine::with_workers(config.threads),
+        config,
+        source,
+        sink,
+        trial_fn,
+    )
+}
+
+/// [`run_campaign_source`] on a caller-supplied engine (see
+/// [`run_campaign_sink_on`] for when and why).
+pub fn run_campaign_source_on<Src, F, S>(
+    engine: &Engine,
+    config: &CampaignConfig,
+    source: &Src,
+    sink: S,
+    trial_fn: F,
+) -> RunOutcome<S::Summary>
+where
+    Src: TrialSource,
+    F: Fn(Src::Item, u64) -> TrialResult + Sync,
+    S: Sink<TrialResult>,
+{
+    engine.run_source(
         &plan_of(config),
         source,
         &FnSourcedTrial::new(move |item, ctx: &mut TrialCtx| trial_fn(item, ctx.seed)),

@@ -58,6 +58,7 @@
 
 use crate::agg::{PartialAggregate, ReorderBuffer};
 use crate::hist::LatencyHistogram;
+use crate::metrics::{EngineMetrics, EngineSnapshot};
 pub use crate::sched::WorkerStats;
 use crate::sched::{Chunk, Claim, StealQueue};
 use crate::sink::{Control, Sink};
@@ -66,7 +67,7 @@ use crate::trial::{Indexed, SourcedTrial, Trial, TrialCtx};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Default shard count when the plan does not pin one.
@@ -483,23 +484,55 @@ fn take_block<T>(pool: &Mutex<Vec<Vec<T>>>, cap: usize) -> Vec<T> {
 }
 
 /// The worker-pool engine. Cheap to construct; holds no threads between
-/// runs.
-#[derive(Debug, Clone, Copy, Default)]
+/// runs. Clones share the live-metrics handles (the config is copied),
+/// so a cloned engine publishes into — and
+/// [`stats_snapshot`](Engine::stats_snapshot)s — the same counters.
+#[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EngineConfig,
+    /// Live publication handles, updated by workers and the aggregator
+    /// as a run executes. Unregistered by default (private atomics);
+    /// [`observed`](Engine::observed) swaps in registry-backed handles.
+    /// Strictly write-only from the deterministic path's perspective:
+    /// no control flow ever reads these.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Engine {
     /// An engine with explicit configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config }
+        Engine {
+            config,
+            metrics: Arc::new(EngineMetrics::unregistered()),
+        }
     }
 
     /// An engine with a fixed worker count (0 = available parallelism).
     pub fn with_workers(workers: usize) -> Self {
-        Engine {
-            config: EngineConfig { workers },
-        }
+        Engine::new(EngineConfig { workers })
+    }
+
+    /// Attaches this engine's live metrics to `registry`: subsequent
+    /// runs publish the `relcnn_engine_*` series as they execute, and a
+    /// scrape ([`relcnn_obs::ScrapeServer`]) or interval dump sees them
+    /// mid-run. Registration is idempotent, so every engine attached to
+    /// one registry shares the same series.
+    pub fn observed(mut self, registry: &relcnn_obs::Registry) -> Self {
+        self.metrics = Arc::new(EngineMetrics::registered(registry));
+        self
+    }
+
+    /// The engine's live metric handles (registered or not).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of the live counters — usable *during* a run
+    /// from any thread holding a clone of this engine, without waiting
+    /// for [`RunOutcome`]. Works whether or not the engine is
+    /// [`observed`](Engine::observed).
+    pub fn stats_snapshot(&self) -> EngineSnapshot {
+        self.metrics.snapshot()
     }
 
     /// The worker count this engine will request of a run, with the
@@ -595,6 +628,12 @@ impl Engine {
         let workers = self.effective_workers(plan, chunks.len());
         let mut stats = RunStats::new(workers, shards, chunks.len() as u64);
         let started = Instant::now();
+        // Live publication handles. Every update below is a relaxed
+        // atomic add/store on the side of existing control flow — the
+        // deterministic path never reads them (the CI determinism matrix
+        // byte-diffs artefacts with metrics on vs off to prove it).
+        let em: &EngineMetrics = &self.metrics;
+        em.runs_started.inc();
 
         if plan.trials > 0 {
             let shard_lens: Vec<u64> = (0..shards)
@@ -617,6 +656,7 @@ impl Engine {
             // (replay-path sinks only), so steady state allocates nothing.
             let pool: Mutex<Vec<Vec<T::Output>>> = Mutex::new(Vec::new());
 
+            em.workers_live.add(workers as i64);
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for worker_index in 0..workers {
@@ -633,6 +673,9 @@ impl Engine {
                         let mut hist = LatencyHistogram::new();
                         let mut state = trial.init(worker_index);
                         let mut held: Option<Envelope<T::Output, S::Partial>> = None;
+                        // Send-block time already published (the counter
+                        // takes deltas at chunk granularity).
+                        let mut sb_published = Duration::ZERO;
                         // Per-chunk item buffer: the source fills it
                         // right before the chunk executes, so steady
                         // state allocates nothing and a streamed dataset
@@ -681,6 +724,8 @@ impl Engine {
                             if let Claim::Stolen { taken, .. } = claim {
                                 ws.steals += 1;
                                 ws.chunks_stolen += taken as u64;
+                                em.steals.inc();
+                                em.chunks_stolen.add(taken as u64);
                             }
                             let mut chunk = claim.chunk();
                             // Run-frontier flow control: a chunk lying
@@ -700,12 +745,15 @@ impl Engine {
                                     }
                                 }
                                 ws.frontier_parks += 1;
+                                em.frontier_parks.inc();
                                 let stalled = Instant::now();
                                 let mut fpark = PARK_MIN;
                                 loop {
                                     if cancel.load(Ordering::Relaxed) {
                                         queue.task_done();
-                                        ws.frontier_stall += stalled.elapsed();
+                                        let stall = stalled.elapsed();
+                                        ws.frontier_stall += stall;
+                                        em.frontier_stall_us.add(stall.as_micros() as u64);
                                         break 'work;
                                     }
                                     std::thread::sleep(fpark);
@@ -714,7 +762,9 @@ impl Engine {
                                         break;
                                     }
                                 }
-                                ws.frontier_stall += stalled.elapsed();
+                                let stall = stalled.elapsed();
+                                ws.frontier_stall += stall;
+                                em.frontier_stall_us.add(stall.as_micros() as u64);
                             }
                             // Adaptive sizing: with idle workers and a
                             // divisible chunk in hand, execute the front
@@ -738,6 +788,7 @@ impl Engine {
                                     );
                                     chunk.len = front;
                                     ws.splits += 1;
+                                    em.splits.inc();
                                 }
                             }
                             // Coalesce contiguous same-shard work into the
@@ -792,9 +843,10 @@ impl Engine {
                                 };
                                 let t_trial = Instant::now();
                                 let out = trial.run(&mut state, item, &mut ctx);
-                                hist.record(
-                                    u64::try_from(t_trial.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                                );
+                                let trial_ns =
+                                    u64::try_from(t_trial.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                                hist.record(trial_ns);
+                                em.trial_ns.record(trial_ns);
                                 envelope.partial.fold(index, &out);
                                 if let Some(block) = envelope.results.as_mut() {
                                     block.push(out);
@@ -805,12 +857,25 @@ impl Engine {
                             envelope.elapsed += elapsed;
                             ws.busy += elapsed;
                             ws.chunks_run += 1;
+                            em.trials_executed.add(chunk.len);
+                            em.chunks_executed.inc();
+                            // Publish send-block time accumulated since
+                            // the last chunk boundary as a delta.
+                            if ws.send_block > sb_published {
+                                em.send_block_us
+                                    .add((ws.send_block - sb_published).as_micros() as u64);
+                                sb_published = ws.send_block;
+                            }
                             queue.task_done();
                         }
                         if let Some(full) = held.take() {
                             if !cancel.load(Ordering::Relaxed) {
                                 send_timed(&tx, full, &mut ws);
                             }
+                        }
+                        if ws.send_block > sb_published {
+                            em.send_block_us
+                                .add((ws.send_block - sb_published).as_micros() as u64);
                         }
                         queue.retire();
                         ws.idle = born.elapsed().saturating_sub(ws.busy);
@@ -855,6 +920,7 @@ impl Engine {
                         stats.chunks += 1;
                         stats.busy += envelope.elapsed;
                         shard_elapsed += envelope.elapsed;
+                        em.trials_released.add(envelope.len);
                         if S::NEEDS_RESULTS {
                             let mut block = envelope
                                 .results
@@ -878,6 +944,7 @@ impl Engine {
                             stats.max_shard = stats.max_shard.max(shard_elapsed);
                             shard_elapsed = Duration::ZERO;
                             let completed = frontier_shard;
+                            em.shards_completed.inc();
                             frontier_shard += 1;
                             frontier_offset = 0;
                             while frontier_shard < shards && shard_lens[frontier_shard] == 0 {
@@ -888,6 +955,7 @@ impl Engine {
                                 && frontier_shard < shards
                             {
                                 stats.aborted = true;
+                                em.runs_aborted.inc();
                                 cancel.store(true, Ordering::Relaxed);
                                 pending.clear();
                                 break 'release;
@@ -899,8 +967,12 @@ impl Engine {
                     // stalled frontier — the quantity `reorder_budget`
                     // hard-caps.
                     pending.observe();
+                    let resident = pending.resident() as i64;
+                    em.reorder_resident.set(resident);
+                    em.reorder_peak.set_max(resident);
                 }
                 stats.max_reorder_depth = pending.max_resident();
+                em.reorder_resident.set(0);
 
                 for handle in handles {
                     match handle.join() {
@@ -919,6 +991,7 @@ impl Engine {
                     }
                 }
             });
+            em.workers_live.sub(workers as i64);
         }
 
         stats.wall = started.elapsed();
@@ -929,6 +1002,7 @@ impl Engine {
             }
             stats.mean_trial = stats.busy / (stats.trials as u32).max(1);
         }
+        em.runs_completed.inc();
         RunOutcome {
             summary: sink.finish(&stats),
             stats,
@@ -1320,6 +1394,69 @@ mod tests {
         assert!(json.contains("\"trial_p99_ns\":"));
         assert!(json.contains("workers_detail"));
         assert_eq!(outcome.stats.trial_hist.count(), 10);
+    }
+
+    #[test]
+    fn stats_snapshot_matches_run_outcome_after_the_run() {
+        let engine = Engine::with_workers(4);
+        let outcome = engine.run(
+            &RunPlan::new(300, 11).with_shards(8),
+            &FnTrial::new(|ctx: &mut TrialCtx| ctx.index),
+            CollectSink::new(),
+        );
+        let snap = engine.stats_snapshot();
+        assert!(!snap.in_flight());
+        assert_eq!(snap.runs_started, 1);
+        assert_eq!(snap.runs_completed, 1);
+        assert_eq!(snap.trials_executed, outcome.stats.trials);
+        assert_eq!(snap.trials_released, outcome.stats.trials);
+        assert_eq!(snap.shards_completed, outcome.stats.shards as u64);
+        assert_eq!(snap.steals, outcome.stats.steals);
+        assert_eq!(snap.splits, outcome.stats.splits);
+        assert_eq!(snap.frontier_parks, outcome.stats.frontier_parks);
+        assert_eq!(snap.trials_recorded, outcome.stats.trial_hist.count());
+        assert_eq!(snap.workers_live, 0);
+        assert_eq!(snap.reorder_resident_trials, 0);
+    }
+
+    #[test]
+    fn stats_snapshot_observes_a_run_in_flight() {
+        // A cloned engine shares the metric handles, so a monitor thread
+        // can watch the run progress without waiting for RunOutcome.
+        let engine = Engine::with_workers(2);
+        let monitor = engine.clone();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let watcher = scope.spawn(|| {
+                let mut saw_in_flight = false;
+                let mut last_executed = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = monitor.stats_snapshot();
+                    saw_in_flight |= snap.in_flight() && snap.trials_executed > 0;
+                    assert!(
+                        snap.trials_executed >= last_executed,
+                        "executed-trials counter must be monotone"
+                    );
+                    last_executed = snap.trials_executed;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                saw_in_flight
+            });
+            let outcome = engine.run(
+                &RunPlan::new(64, 7).with_shards(8).with_chunk(2),
+                &FnTrial::new(|ctx: &mut TrialCtx| {
+                    std::thread::sleep(Duration::from_micros(300));
+                    ctx.index
+                }),
+                CollectSink::new(),
+            );
+            done.store(true, Ordering::Relaxed);
+            assert_eq!(outcome.stats.trials, 64);
+            assert!(
+                watcher.join().expect("watcher"),
+                "watcher should observe the run in flight with trials executed"
+            );
+        });
     }
 
     #[test]

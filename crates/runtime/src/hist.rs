@@ -17,9 +17,10 @@
 //! schedule produce schedule-independent percentiles.
 
 /// Total bucket count: 8 unit buckets + 8 sub-buckets for each power of
-/// two from 2^3 through 2^63.
-#[cfg(test)]
-const NUM_BUCKETS: usize = 8 + 61 * 8;
+/// two from 2^3 through 2^63. `relcnn-obs` replicates this layout so
+/// histograms export natively to Prometheus; the equivalence is pinned
+/// by a cross-crate test (`tests/metrics_plane.rs`).
+pub const NUM_BUCKETS: usize = 8 + 61 * 8;
 
 /// A mergeable log-linear histogram of `u64` samples (unit-agnostic).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -111,15 +112,27 @@ impl LatencyHistogram {
         }
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) as the midpoint of the bucket
-    /// holding the rank-`ceil(q·n)` sample. Returns 0 on an empty
-    /// histogram. Bucket midpoints bound the error at ±1/16 of the
-    /// sample's magnitude.
+    /// The `q`-quantile as the midpoint of the bucket holding the
+    /// rank-`ceil(q·n)` sample. Bucket midpoints bound the error at
+    /// ±1/16 of the sample's magnitude.
+    ///
+    /// Boundary behaviour is explicit: an **empty** histogram returns 0
+    /// for every `q`; **`q <= 0.0`** is the minimum sample's bucket
+    /// (rank 1); **`q >= 1.0`** is the *exact* recorded maximum, not a
+    /// bucket midpoint. `q` values outside `[0, 1]` clamp to the nearest
+    /// boundary (a NaN `q` behaves as `q = 0`).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = if q > 0.0 {
+            ((q * self.total as f64).ceil() as u64).clamp(1, self.total)
+        } else {
+            1
+        };
         let mut seen = 0u64;
         for (idx, &n) in self.counts.iter().enumerate() {
             seen += n;
@@ -129,6 +142,19 @@ impl LatencyHistogram {
             }
         }
         self.max
+    }
+
+    /// Dense per-bucket counts in the shared log-linear layout (lazily
+    /// grown, so the slice may be shorter than [`NUM_BUCKETS`]). This is
+    /// the native-export bridge: `relcnn-obs` folds it straight into a
+    /// Prometheus histogram with `Histogram::merge_dense`.
+    pub fn dense_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all recorded samples, saturated to `u64` for exposition.
+    pub fn sum_saturating(&self) -> u64 {
+        self.sum.min(u128::from(u64::MAX)) as u64
     }
 
     /// p50 / p95 / p99 in one call (the triple every report surfaces).
@@ -217,6 +243,44 @@ mod tests {
         let mut a = LatencyHistogram::new();
         a.merge(&h);
         assert_eq!(a, h);
+    }
+
+    #[test]
+    fn quantile_boundaries_are_pinned() {
+        // Empty histogram: every q — boundaries and out-of-range
+        // included — degenerates to 0.
+        let empty = LatencyHistogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0, "empty at q={q}");
+        }
+
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40, 1_000] {
+            h.record(v);
+        }
+        // q <= 0.0 is the minimum's bucket (10 sits in a unit-width
+        // log-linear bucket, so the midpoint is exact).
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(-3.0), 10);
+        // q >= 1.0 is the *exact* max — not the 992 midpoint of 1000's
+        // [960, 1024) bucket.
+        assert_eq!(h.quantile(1.0), 1_000);
+        assert_eq!(h.quantile(7.5), 1_000);
+        // Interior quantiles stay monotone against both boundaries.
+        let mid = h.quantile(0.5);
+        assert!(h.quantile(0.0) <= mid && mid <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn dense_counts_round_trip_count_and_sum() {
+        let mut h = LatencyHistogram::new();
+        let samples = [1u64, 9, 9, 4_000, 250_000];
+        for &v in &samples {
+            h.record(v);
+        }
+        assert!(h.dense_counts().len() <= NUM_BUCKETS);
+        assert_eq!(h.dense_counts().iter().sum::<u64>(), h.count());
+        assert_eq!(h.sum_saturating(), samples.iter().sum::<u64>());
     }
 
     #[test]

@@ -76,7 +76,15 @@
 //! * **Observability** — every run yields [`RunStats`] (throughput,
 //!   busy/idle time, steal/split counts, per-worker send-block time on
 //!   the bounded channel via [`WorkerStats`], tail shard latency) and
-//!   results can be teed to a JSONL artefact with [`JsonlSink`].
+//!   results can be teed to a JSONL artefact with [`JsonlSink`]. Runs
+//!   also publish *live*: workers and the aggregator update shared
+//!   `relcnn-obs` handles as they execute, so
+//!   [`Engine::stats_snapshot`] introspects a run in flight and an
+//!   engine attached to a registry (`Engine::observed`) is scrapeable
+//!   over `GET /metrics` mid-campaign. Publication is write-only side
+//!   traffic — the deterministic result path never reads a metric, and
+//!   the CI determinism matrix byte-diffs artefacts with metrics on vs
+//!   off.
 //!
 //! ## Quickstart: a campaign
 //!
@@ -117,6 +125,7 @@ pub mod campaign;
 mod engine;
 pub mod experiments;
 mod hist;
+pub mod metrics;
 mod sched;
 mod sink;
 mod source;
@@ -125,14 +134,16 @@ mod trial;
 pub use agg::{PartialAggregate, TrialCount};
 pub use batch::BatchClassify;
 pub use campaign::{
-    run_campaign, run_campaign_sink, run_campaign_source, run_campaign_with, CampaignConfig,
-    CampaignReport, CampaignSink, EarlyStop, TrialOutcome, TrialResult,
+    run_campaign, run_campaign_sink, run_campaign_sink_on, run_campaign_source,
+    run_campaign_source_on, run_campaign_with, CampaignConfig, CampaignReport, CampaignSink,
+    EarlyStop, TrialOutcome, TrialResult,
 };
 pub use engine::{
     chunk_rng, shard_rng, Engine, EngineConfig, RunOutcome, RunPlan, RunStats, WorkerStats,
     CHANNEL_DEPTH_PER_WORKER, DEFAULT_CHUNKS_PER_SHARD, DEFAULT_SHARDS, MIN_AUTO_CHUNK,
 };
-pub use hist::LatencyHistogram;
+pub use hist::{LatencyHistogram, NUM_BUCKETS};
+pub use metrics::{EngineMetrics, EngineSnapshot};
 pub use sink::{CollectSink, Control, CountSink, JsonlSink, Sink};
 pub use source::{FnSource, SliceSource, TrialSource};
 pub use trial::{FnSourcedTrial, FnTrial, SourcedTrial, Trial, TrialCtx};

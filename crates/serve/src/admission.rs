@@ -18,6 +18,7 @@
 //! replay drives the same queue single-threaded, so one implementation
 //! serves both the simulator and a future threaded front-end.
 
+use crate::metrics::ServeMetrics;
 use crate::request::Request;
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -33,6 +34,19 @@ pub struct AdmissionCounters {
     pub expired: u64,
     /// Requests handed to a batch.
     pub dispatched: u64,
+}
+
+/// Live-publication handles cloned out of a [`ServeMetrics`] bundle.
+/// Updated under the queue mutex right after each mutation: a few
+/// relaxed atomic stores the replay's control flow never reads, so
+/// observed and unobserved replays stay byte-identical.
+#[derive(Debug)]
+struct QueueMetrics {
+    depth: relcnn_obs::Gauge,
+    offered: relcnn_obs::Counter,
+    shed: relcnn_obs::Counter,
+    expired: relcnn_obs::Counter,
+    dispatched: relcnn_obs::Counter,
 }
 
 #[derive(Debug, Default)]
@@ -67,6 +81,7 @@ pub enum Admission {
 pub struct AdmissionQueue {
     inner: Mutex<Inner>,
     capacity: usize,
+    metrics: Option<QueueMetrics>,
 }
 
 impl AdmissionQueue {
@@ -75,7 +90,22 @@ impl AdmissionQueue {
         AdmissionQueue {
             inner: Mutex::new(Inner::default()),
             capacity: capacity.max(1),
+            metrics: None,
         }
+    }
+
+    /// An empty queue that additionally publishes depth and admission
+    /// counters to the handles in `metrics` on every mutation.
+    pub fn observed(capacity: usize, metrics: &ServeMetrics) -> Self {
+        let mut q = AdmissionQueue::new(capacity);
+        q.metrics = Some(QueueMetrics {
+            depth: metrics.queue_depth.clone(),
+            offered: metrics.offered.clone(),
+            shed: metrics.shed.clone(),
+            expired: metrics.expired.clone(),
+            dispatched: metrics.dispatched.clone(),
+        });
+        q
     }
 
     /// The configured capacity.
@@ -97,6 +127,13 @@ impl AdmissionQueue {
             Admission::Admitted
         };
         inner.check();
+        if let Some(m) = &self.metrics {
+            m.offered.inc();
+            match verdict {
+                Admission::Shed => m.shed.inc(),
+                Admission::Admitted => m.depth.set(inner.queue.len() as i64),
+            }
+        }
         verdict
     }
 
@@ -119,6 +156,10 @@ impl AdmissionQueue {
         });
         inner.counters.expired += dead.len() as u64;
         inner.check();
+        if let Some(m) = &self.metrics {
+            m.expired.add(dead.len() as u64);
+            m.depth.set(inner.queue.len() as i64);
+        }
         dead
     }
 
@@ -132,6 +173,10 @@ impl AdmissionQueue {
         let batch: Vec<Request> = inner.queue.drain(..take).collect();
         inner.counters.dispatched += batch.len() as u64;
         inner.check();
+        if let Some(m) = &self.metrics {
+            m.dispatched.add(batch.len() as u64);
+            m.depth.set(inner.queue.len() as i64);
+        }
         batch
     }
 
@@ -228,6 +273,35 @@ mod tests {
         let c = q.counters();
         assert_eq!(c.dispatched, 5);
         assert_eq!(c.offered, c.shed + c.expired + c.dispatched);
+    }
+
+    #[test]
+    fn observed_queue_publishes_counters_and_depth_live() {
+        let metrics = ServeMetrics::unregistered();
+        let q = AdmissionQueue::observed(2, &metrics);
+        q.offer(req(0, 0, 50));
+        q.offer(req(1, 0, 500));
+        q.offer(req(2, 0, 500)); // shed at capacity
+        assert_eq!(metrics.offered.get(), 3);
+        assert_eq!(metrics.shed.get(), 1);
+        assert_eq!(metrics.queue_depth.get(), 2);
+        q.expire(60);
+        assert_eq!(metrics.expired.get(), 1);
+        assert_eq!(metrics.queue_depth.get(), 1);
+        q.take_batch(4);
+        assert_eq!(metrics.dispatched.get(), 1);
+        assert_eq!(metrics.queue_depth.get(), 0);
+        // Published values mirror the queue's own counters exactly.
+        let c = q.counters();
+        assert_eq!(
+            (c.offered, c.shed, c.expired, c.dispatched),
+            (
+                metrics.offered.get(),
+                metrics.shed.get(),
+                metrics.expired.get(),
+                metrics.dispatched.get()
+            )
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::admission::{Admission, AdmissionQueue};
 use crate::backend::Backend;
+use crate::metrics::ServeMetrics;
 use crate::report::{DispatchStats, ServeReport, ServeRun};
 use crate::request::{Outcome, Request};
 use relcnn_faults::SkewedCost;
@@ -93,6 +94,33 @@ pub fn run_server<B: Backend>(
     backend: &B,
     engine: &Engine,
 ) -> ServeRun<B::Verdict> {
+    run_server_observed(
+        trace,
+        config,
+        backend,
+        engine,
+        &ServeMetrics::unregistered(),
+    )
+}
+
+/// [`run_server`] with live metrics publication: the admission queue
+/// updates `metrics`' depth/shed/expired/dispatched handles on every
+/// mutation and the batcher publishes batch-fill, completion and latency
+/// aggregates at each dispatch, so a registry the bundle was
+/// [`registered`](ServeMetrics::registered) on is scrapeable while the
+/// replay runs. Publication is write-only side traffic — the returned
+/// [`ServeRun`] is identical to the unobserved one (pinned by a test).
+///
+/// # Panics
+///
+/// As [`run_server`].
+pub fn run_server_observed<B: Backend>(
+    trace: &[Request],
+    config: &ServerConfig,
+    backend: &B,
+    engine: &Engine,
+    metrics: &ServeMetrics,
+) -> ServeRun<B::Verdict> {
     for (i, r) in trace.iter().enumerate() {
         assert_eq!(
             r.id, i as u64,
@@ -100,7 +128,8 @@ pub fn run_server<B: Backend>(
             r.id
         );
     }
-    let queue = AdmissionQueue::new(config.queue_capacity);
+    let queue = AdmissionQueue::observed(config.queue_capacity, metrics);
+    metrics.queue_capacity.set(queue.capacity() as i64);
     // Like the admission queue's capacity, a zero close size would make
     // the loop spin on empty batches forever; clamp it to 1.
     let max_batch = config.policy.max_batch.max(1);
@@ -184,6 +213,11 @@ pub fn run_server<B: Backend>(
                     report.completed += 1;
                     report.late += u64::from(late);
                     report.latency.record(latency_us);
+                    metrics.completed.inc();
+                    if late {
+                        metrics.late.inc();
+                    }
+                    metrics.latency_us.record(latency_us);
                     outcomes[r.id as usize] = Some(Outcome::Completed {
                         batch: report.batches,
                         latency_us,
@@ -193,6 +227,8 @@ pub fn run_server<B: Backend>(
                 }
                 report.batches += 1;
                 report.batched_requests += batch.len() as u64;
+                metrics.batches.inc();
+                metrics.batch_fill.record(batch.len() as u64);
                 if let Some(stats) = reply.stats {
                     dispatch.fold(&stats);
                 }
@@ -435,6 +471,63 @@ mod tests {
         // And across reruns.
         let again = run_server(&trace, &config, &EchoBackend, &Engine::with_workers(1));
         assert_eq!(again.outcomes, reference.outcomes);
+    }
+
+    #[test]
+    fn observed_replay_matches_unobserved_and_exposes_conservation() {
+        let trace = LoadGen::new(LoadGenConfig::poisson(300, 0x0B5, 150, 6_000)).generate();
+        let config = cfg(
+            16,
+            6,
+            800,
+            ServiceModel {
+                batch_overhead_us: 60,
+                cost: SkewedCost::periodic(90, 1_200, 13),
+            },
+        );
+        let plain = run_server(&trace, &config, &EchoBackend, &Engine::with_workers(2));
+        let reg = relcnn_obs::Registry::new();
+        let metrics = ServeMetrics::registered(&reg);
+        let observed = run_server_observed(
+            &trace,
+            &config,
+            &EchoBackend,
+            &Engine::with_workers(2),
+            &metrics,
+        );
+        // Metrics publication never perturbs the deterministic replay.
+        assert_eq!(observed.report, plain.report);
+        assert_eq!(observed.outcomes, plain.outcomes);
+        // The scraped page tells the same conservation story as the report.
+        let page = reg.render();
+        let parsed = relcnn_obs::parse::validate(&page).expect("valid exposition");
+        let get = |name: &str| parsed.value(name, &[]).unwrap_or_else(|| panic!("{name}"));
+        assert_eq!(get("relcnn_serve_requests_offered_total"), 300.0);
+        assert_eq!(
+            get("relcnn_serve_requests_offered_total"),
+            get("relcnn_serve_requests_shed_total")
+                + get("relcnn_serve_requests_expired_total")
+                + get("relcnn_serve_requests_dispatched_total"),
+            "{page}"
+        );
+        assert_eq!(
+            get("relcnn_serve_requests_completed_total"),
+            plain.report.completed as f64
+        );
+        assert_eq!(
+            get("relcnn_serve_batches_total"),
+            plain.report.batches as f64
+        );
+        assert_eq!(
+            get("relcnn_serve_batch_fill_requests_count"),
+            plain.report.batches as f64
+        );
+        assert_eq!(
+            get("relcnn_serve_virtual_latency_microseconds_count"),
+            plain.report.completed as f64
+        );
+        assert_eq!(get("relcnn_serve_queue_depth"), 0.0);
+        assert_eq!(get("relcnn_serve_queue_capacity"), 16.0);
     }
 
     #[test]

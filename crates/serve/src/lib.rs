@@ -43,6 +43,12 @@
 //!   worker counts {1, 2, 8} and arrival seeds on exactly this property,
 //!   while the engine's real execution counters are reported separately
 //!   ([`DispatchStats`]).
+//! * **Live metrics** ([`run_server_observed`] + [`ServeMetrics`]) — the
+//!   admission queue and batcher publish queue depth,
+//!   shed/expired/dispatched counters, batch fill and virtual latency to
+//!   shared `relcnn-obs` handles as the replay runs, so a registry is
+//!   scrapeable over `GET /metrics` mid-run. Publication is write-only:
+//!   the observed replay's report is identical to the unobserved one.
 //!
 //! ## Quickstart
 //!
@@ -78,12 +84,14 @@ mod admission;
 mod backend;
 mod batcher;
 mod loadgen;
+pub mod metrics;
 mod report;
 mod request;
 
 pub use admission::{Admission, AdmissionCounters, AdmissionQueue};
 pub use backend::{Backend, BatchReply, CnnBackend, CnnVerdict, EchoBackend};
-pub use batcher::{run_server, BatchPolicy, ServerConfig, ServiceModel};
+pub use batcher::{run_server, run_server_observed, BatchPolicy, ServerConfig, ServiceModel};
 pub use loadgen::{Arrival, LoadGen, LoadGenConfig};
+pub use metrics::ServeMetrics;
 pub use report::{DispatchStats, ServeReport, ServeRun};
 pub use request::{Outcome, Request};

@@ -1,0 +1,134 @@
+//! Live serving metrics: queue depth, shed/expired/dispatched counters
+//! and batch-fill/latency histograms, published while the serving loop
+//! runs.
+//!
+//! [`ServeMetrics`] mirrors the engine-side `EngineMetrics` pattern: a
+//! bundle of `relcnn-obs` handles that is unregistered (private atomics)
+//! by default and registry-backed after
+//! [`ServeMetrics::registered`]. The admission queue updates its
+//! counters under its own mutex (an extra relaxed add — never a read the
+//! replay's control flow could see), and the batcher publishes dispatch
+//! aggregates at each batch boundary, so a scrape during a long replay
+//! watches queue depth, shedding and batch fill move live. The replay's
+//! deterministic [`ServeReport`](crate::ServeReport) is computed exactly
+//! as before; `run_server_observed` with metrics attached produces a
+//! byte-identical report to the unobserved run (pinned by a test).
+
+use relcnn_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Serving-side metric handles. Field names mirror the exported metric
+/// names minus the `relcnn_serve_` prefix.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests currently queued (`relcnn_serve_queue_depth`).
+    pub queue_depth: Gauge,
+    /// Configured queue capacity (`relcnn_serve_queue_capacity`).
+    pub queue_capacity: Gauge,
+    /// Requests offered to admission
+    /// (`relcnn_serve_requests_offered_total`).
+    pub offered: Counter,
+    /// Requests shed at capacity (`relcnn_serve_requests_shed_total`).
+    pub shed: Counter,
+    /// Requests expired past deadline
+    /// (`relcnn_serve_requests_expired_total`).
+    pub expired: Counter,
+    /// Requests handed to batches
+    /// (`relcnn_serve_requests_dispatched_total`).
+    pub dispatched: Counter,
+    /// Batches dispatched (`relcnn_serve_batches_total`).
+    pub batches: Counter,
+    /// Requests served to completion
+    /// (`relcnn_serve_requests_completed_total`).
+    pub completed: Counter,
+    /// Completions past their deadline
+    /// (`relcnn_serve_requests_late_total`).
+    pub late: Counter,
+    /// Requests per dispatched batch
+    /// (`relcnn_serve_batch_fill_requests`).
+    pub batch_fill: Histogram,
+    /// Virtual end-to-end latency of completed requests, µs
+    /// (`relcnn_serve_virtual_latency_microseconds`).
+    pub latency_us: Histogram,
+}
+
+impl ServeMetrics {
+    /// A private, unregistered bundle.
+    pub fn unregistered() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// A bundle registered on `registry` under the `relcnn_serve_*`
+    /// names. Idempotent: repeated attachment shares series.
+    pub fn registered(registry: &Registry) -> Self {
+        let c = |name, help| registry.counter(name, help, &[]);
+        ServeMetrics {
+            queue_depth: registry.gauge(
+                "relcnn_serve_queue_depth",
+                "Requests currently in the admission queue",
+                &[],
+            ),
+            queue_capacity: registry.gauge(
+                "relcnn_serve_queue_capacity",
+                "Configured admission-queue capacity",
+                &[],
+            ),
+            offered: c(
+                "relcnn_serve_requests_offered_total",
+                "Requests presented to admission",
+            ),
+            shed: c(
+                "relcnn_serve_requests_shed_total",
+                "Requests rejected because the queue was at capacity",
+            ),
+            expired: c(
+                "relcnn_serve_requests_expired_total",
+                "Requests dropped past their deadline before dispatch",
+            ),
+            dispatched: c(
+                "relcnn_serve_requests_dispatched_total",
+                "Requests handed to a batch",
+            ),
+            batches: c("relcnn_serve_batches_total", "Batches dispatched"),
+            completed: c(
+                "relcnn_serve_requests_completed_total",
+                "Requests served to completion (late ones included)",
+            ),
+            late: c(
+                "relcnn_serve_requests_late_total",
+                "Completed requests whose batch finished past their deadline",
+            ),
+            batch_fill: registry.histogram(
+                "relcnn_serve_batch_fill_requests",
+                "Requests per dispatched batch",
+                &[],
+            ),
+            latency_us: registry.histogram(
+                "relcnn_serve_virtual_latency_microseconds",
+                "Virtual end-to-end latency of completed requests, microseconds",
+                &[],
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_bundles_share_series_and_render() {
+        let reg = Registry::new();
+        let a = ServeMetrics::registered(&reg);
+        let b = ServeMetrics::registered(&reg);
+        a.offered.add(5);
+        a.queue_depth.set(3);
+        assert_eq!(b.offered.get(), 5);
+        let page = reg.render();
+        assert!(
+            page.contains("relcnn_serve_requests_offered_total 5"),
+            "{page}"
+        );
+        assert!(page.contains("relcnn_serve_queue_depth 3"), "{page}");
+        relcnn_obs::parse::validate(&page).expect("valid exposition");
+    }
+}

@@ -23,7 +23,10 @@
 //!   engine every experiment binary executes on;
 //! * [`serve`] — deadline-aware micro-batching inference serving on the
 //!   runtime engine: seeded open-loop load generation, admission with
-//!   capacity shedding, and deterministic virtual-time replay.
+//!   capacity shedding, and deterministic virtual-time replay;
+//! * [`obs`] — live metrics plane: lock-light Prometheus registry,
+//!   text-exposition encoder and a vendored `GET /metrics` endpoint for
+//!   in-flight campaign and serving introspection.
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ pub use relcnn_core as core;
 pub use relcnn_faults as faults;
 pub use relcnn_gtsrb as gtsrb;
 pub use relcnn_nn as nn;
+pub use relcnn_obs as obs;
 pub use relcnn_relexec as relexec;
 pub use relcnn_runtime as runtime;
 pub use relcnn_sax as sax;
