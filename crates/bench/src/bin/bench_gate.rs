@@ -33,10 +33,13 @@
 //!   tolerance (relative, plus one percentage point of slack) above
 //!   baseline, goodput rate more than the tolerance below baseline, or
 //!   the conservation identity `offered == completed + shed + expired`
-//!   broken. These metrics are virtual-clock deterministic — identical
-//!   on every machine for an unchanged policy — so a deviation is a
-//!   *behavioural* change to admission/batching/expiry, not noise, and
-//!   an intended one must ship a refreshed baseline.
+//!   broken — **in aggregate and per priority class** (`critical` /
+//!   `interactive` / `bulk` each carry their own baseline slice, so a
+//!   regression in one lane can't hide inside a healthy total). These
+//!   metrics are virtual-clock deterministic — identical on every
+//!   machine for an unchanged policy — so a deviation is a
+//!   *behavioural* change to admission/batching/expiry/AIMD control,
+//!   not noise, and an intended one must ship a refreshed baseline.
 //!
 //! The scheduler's frontier counters (`frontier_parks`,
 //! `frontier_stall_us`, `max_reorder_depth`) are carried through the
@@ -104,6 +107,28 @@ struct Scaling {
     speedup_8x_over_1x: f64,
 }
 
+/// One priority class's slice of the serving artefact. Gated class by
+/// class: per-class SLOs are only meaningful if a regression in one lane
+/// can't hide inside a healthy aggregate.
+#[derive(Debug, Deserialize)]
+struct ClassEntry {
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    expired: u64,
+    late: u64,
+    shed_rate: f64,
+    goodput_rate: f64,
+    p99_us: u64,
+}
+
+#[derive(Debug, Deserialize)]
+struct ServingClasses {
+    critical: ClassEntry,
+    interactive: ClassEntry,
+    bulk: ClassEntry,
+}
+
 #[derive(Debug, Deserialize)]
 struct Serving {
     bench: String,
@@ -115,9 +140,12 @@ struct Serving {
     batches: u64,
     shed_rate: f64,
     goodput_rate: f64,
-    p50_virtual_us: u64,
-    p95_virtual_us: u64,
-    p99_virtual_us: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    aimd_clamps: u64,
+    min_admit_cap: u64,
+    classes: ServingClasses,
     throughput_rps: f64,
 }
 
@@ -410,6 +438,60 @@ fn check_skewed(pair: &Baselined<Skewed>, tol: f64, failures: &mut Vec<String>) 
     }
 }
 
+/// Gates one priority class's slice against its own baseline: the
+/// conservation identity, virtual p99, shed rate and goodput, with the
+/// same tolerances as the aggregate.
+fn check_serving_class(
+    label: &str,
+    fresh: &ClassEntry,
+    base: &ClassEntry,
+    tol: f64,
+    failures: &mut Vec<String>,
+) {
+    println!(
+        "  class {:<12} {}",
+        label,
+        relcnn_bench::counters_line(&[
+            ("offered", fresh.offered),
+            ("completed", fresh.completed),
+            ("late", fresh.late),
+            ("shed", fresh.shed),
+            ("expired", fresh.expired),
+            ("p99_us", fresh.p99_us),
+        ])
+    );
+    if fresh.completed + fresh.shed + fresh.expired != fresh.offered {
+        failures.push(format!(
+            "serving_latency[{label}]: conservation broke: {} completed + {} shed + \
+             {} expired != {} offered",
+            fresh.completed, fresh.shed, fresh.expired, fresh.offered
+        ));
+    }
+    gate_not_above(
+        failures,
+        &format!("serving_latency[{label}]: virtual p99 (deterministic)"),
+        fresh.p99_us as f64,
+        base.p99_us as f64,
+        tol,
+        0.0,
+    );
+    gate_not_above(
+        failures,
+        &format!("serving_latency[{label}]: shed rate"),
+        fresh.shed_rate,
+        base.shed_rate,
+        tol,
+        SHED_RATE_SLACK,
+    );
+    gate_not_below(
+        failures,
+        &format!("serving_latency[{label}]: goodput rate"),
+        fresh.goodput_rate,
+        base.goodput_rate,
+        tol,
+    );
+}
+
 fn check_serving(pair: &Baselined<Serving>, tol: f64, failures: &mut Vec<String>) {
     let (fresh, base) = (&pair.fresh, &pair.base);
     assert_eq!(fresh.bench, "serving_latency");
@@ -417,21 +499,24 @@ fn check_serving(pair: &Baselined<Serving>, tol: f64, failures: &mut Vec<String>
         "serving_latency: {} offered -> {} completed ({} late) / {} shed / \
          {} expired in {} batches; virtual p50/p95/p99 {}/{}/{} us \
          (baseline p99 {} us), shed rate {:.1}% (baseline {:.1}%), \
-         goodput {:.1}% (baseline {:.1}%), wall throughput {:.0} req/s",
+         goodput {:.1}% (baseline {:.1}%), {} AIMD clamps (min cap {}), \
+         wall throughput {:.0} req/s",
         fresh.offered,
         fresh.completed,
         fresh.late,
         fresh.shed,
         fresh.expired,
         fresh.batches,
-        fresh.p50_virtual_us,
-        fresh.p95_virtual_us,
-        fresh.p99_virtual_us,
-        base.p99_virtual_us,
+        fresh.p50_us,
+        fresh.p95_us,
+        fresh.p99_us,
+        base.p99_us,
         fresh.shed_rate * 100.0,
         base.shed_rate * 100.0,
         fresh.goodput_rate * 100.0,
         base.goodput_rate * 100.0,
+        fresh.aimd_clamps,
+        fresh.min_admit_cap,
         fresh.throughput_rps,
     );
     // The serve-side conservation counters, in the same shape as the
@@ -459,8 +544,8 @@ fn check_serving(pair: &Baselined<Serving>, tol: f64, failures: &mut Vec<String>
     gate_not_above(
         failures,
         "serving_latency: virtual p99 (deterministic — behavioural change)",
-        fresh.p99_virtual_us as f64,
-        base.p99_virtual_us as f64,
+        fresh.p99_us as f64,
+        base.p99_us as f64,
         tol,
         0.0,
     );
@@ -479,6 +564,18 @@ fn check_serving(pair: &Baselined<Serving>, tol: f64, failures: &mut Vec<String>
         base.goodput_rate,
         tol,
     );
+    // Per-class gates: each lane held to its own baseline slice.
+    for (label, fresh_class, base_class) in [
+        ("critical", &fresh.classes.critical, &base.classes.critical),
+        (
+            "interactive",
+            &fresh.classes.interactive,
+            &base.classes.interactive,
+        ),
+        ("bulk", &fresh.classes.bulk, &base.classes.bulk),
+    ] {
+        check_serving_class(label, fresh_class, base_class, tol, failures);
+    }
 }
 
 fn main() -> ExitCode {

@@ -9,23 +9,30 @@
 //!    [`Engine::stats_snapshot`] until the run is provably in flight,
 //!    and scrapes mid-run — the page must be valid Prometheus text and
 //!    must already carry engine worker/trial/reorder series;
-//! 3. runs an observed **serving replay** (real hybrid-CNN inference on
-//!    the same observed engine) on a background thread and scrapes once
-//!    admission traffic is visible;
+//! 3. runs an observed **serving replay** (three-class mix, real
+//!    hybrid-CNN inference on the same observed engine, via the `Server`
+//!    builder) on a background thread and scrapes once admission traffic
+//!    is visible — the page must carry one `class`-labeled series per
+//!    priority lane;
 //! 4. after both runs complete, scrapes a final page and asserts the
 //!    admission conservation identity (`offered == shed + expired +
-//!    dispatched`) and the dispatch/completion agreement straight off
-//!    the exposition text, using the same parser CI uses.
+//!    dispatched`, summed across class series) and the
+//!    dispatch/completion agreement straight off the exposition text,
+//!    using the same parser CI uses;
+//! 5. runs a **wall-clock front-end** (`WallClock` + `observed`): the
+//!    front-end binds its own scrape endpoint by default, announces it
+//!    through `scrape_notify`, and this smoke scrapes it live mid-run,
+//!    then checks off-the-wire conservation when the run drains.
 //!
-//! Exits non-zero (panics) on any violation. `--quick` shrinks both
+//! Exits non-zero (panics) on any violation. `--quick` shrinks the
 //! workloads.
 
 use relcnn_faults::SkewedCost;
 use relcnn_obs::{scrape_once, Registry, ScrapeServer};
 use relcnn_runtime::{CollectSink, Engine, FnTrial, RunPlan, TrialCtx};
 use relcnn_serve::{
-    run_server_observed, BatchPolicy, CnnBackend, LoadGen, LoadGenConfig, ServeMetrics,
-    ServerConfig, ServiceModel,
+    BatchPolicy, CnnBackend, ControllerConfig, LoadGen, LoadGenConfig, RequestClass, ServeMetrics,
+    Server, ServerConfig, ServiceModel, WallClock,
 };
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -110,33 +117,45 @@ fn main() {
     assert_eq!(outcome.stats.trials, trials);
 
     // --- 2. serving replay, scraped live ----------------------------
-    let serve_metrics = ServeMetrics::registered(&registry);
-    let offered_probe = ServeMetrics::registered(&registry).offered;
+    let offered_probe = ServeMetrics::registered(&registry);
     let requests = if quick { 120 } else { 480 };
+    let serve_config = ServerConfig::new(
+        24,
+        BatchPolicy::new(8, 1_000).with_critical_delay(400),
+        ServiceModel {
+            batch_overhead_us: 150,
+            cost: SkewedCost::periodic(200, 2_800, 13),
+        },
+    )
+    .with_critical_reserve(4)
+    .with_control(ControllerConfig::default());
     let serve = std::thread::spawn({
         let engine = watcher.clone();
+        let registry = registry.clone();
         move || {
             let trace = LoadGen::new(
-                LoadGenConfig::poisson(requests, 0x5E12F, 320, 15_000).with_deadline_jitter(9_000),
+                LoadGenConfig::poisson(requests, 0x5E12F, 320, 15_000)
+                    .with_deadline_jitter(9_000)
+                    .with_class_mix([1, 3, 2])
+                    .with_class_deadlines([4_000, 0, 45_000]),
             )
             .generate();
-            let config = ServerConfig {
-                queue_capacity: 24,
-                policy: BatchPolicy {
-                    max_batch: 8,
-                    max_delay_us: 1_000,
-                },
-                service: ServiceModel {
-                    batch_overhead_us: 150,
-                    cost: SkewedCost::periodic(200, 2_800, 13),
-                },
-            };
             let backend = CnnBackend::tiny(0xC1A55).unwrap_or_else(|e| panic!("backend: {e}"));
-            run_server_observed(&trace, &config, &backend, &engine, &serve_metrics)
+            Server::new(serve_config)
+                .backend(&backend)
+                .engine(&engine)
+                .observed(&registry)
+                .run(&trace)
         }
     });
+    let offered_so_far = |m: &ServeMetrics| -> u64 {
+        RequestClass::ALL
+            .iter()
+            .map(|c| m.class(*c).offered.get())
+            .sum()
+    };
     for _ in 0..5_000 {
-        if offered_probe.get() > 0 {
+        if offered_so_far(&offered_probe) > 0 {
             break;
         }
         std::thread::sleep(Duration::from_millis(1));
@@ -146,19 +165,25 @@ fn main() {
         serve_parsed.has("relcnn_serve_requests_offered_total"),
         "serve page missing admission counters:\n{serve_page}"
     );
+    assert_eq!(
+        serve_parsed.label_values("relcnn_serve_requests_offered_total", "class"),
+        vec!["bulk", "critical", "interactive"],
+        "per-class admission series missing:\n{serve_page}"
+    );
     println!(
-        "serve scrape: {} requests offered so far, page valid",
-        serve_parsed
-            .value("relcnn_serve_requests_offered_total", &[])
-            .unwrap_or(0.0)
+        "serve scrape: {} requests offered so far across {} class series, page valid",
+        serve_parsed.sum("relcnn_serve_requests_offered_total"),
+        RequestClass::COUNT,
     );
     let run = serve.join().expect("serve thread");
 
     // --- 3. final page: conservation straight off the wire ----------
+    // Per-request families are class-labeled, so cross-class totals come
+    // from summing each family across its series.
     let (final_page, fin) = scrape_valid(addr, "final scrape");
     let get = |name: &str| {
-        fin.value(name, &[])
-            .unwrap_or_else(|| panic!("final page missing {name}:\n{final_page}"))
+        assert!(fin.has(name), "final page missing {name}:\n{final_page}");
+        fin.sum(name)
     };
     assert_eq!(
         get("relcnn_serve_requests_offered_total"),
@@ -178,17 +203,98 @@ fn main() {
         "every dispatched request must complete (no mid-batch aborts)"
     );
     assert_eq!(get("relcnn_serve_queue_depth"), 0.0);
+    // Per-class conservation, each lane read off its own series.
+    for class in RequestClass::ALL {
+        let labels = [("class", class.label())];
+        let of = |name: &str| fin.value(name, &labels).unwrap_or(0.0);
+        assert_eq!(
+            of("relcnn_serve_requests_offered_total"),
+            of("relcnn_serve_requests_shed_total")
+                + of("relcnn_serve_requests_expired_total")
+                + of("relcnn_serve_requests_dispatched_total"),
+            "class {} conservation broke on the wire:\n{final_page}",
+            class.label()
+        );
+    }
     // The serving replay dispatched real inference on the observed
     // engine, so engine trial counters moved past the campaign's.
     assert!(
         get("relcnn_engine_trials_executed_total") > trials as f64,
         "serve dispatch should have executed engine trials:\n{final_page}"
     );
-
     server.shutdown();
+
+    // --- 4. wall-clock front-end with its own live endpoint ---------
+    let wall_requests = if quick { 120 } else { 300 };
+    let wall_registry = Registry::new();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let wall_run = std::thread::spawn({
+        let wall_registry = wall_registry.clone();
+        move || {
+            let trace = LoadGen::new(
+                LoadGenConfig::poisson(wall_requests, 0x7A11, 700, 30_000)
+                    .with_class_mix([1, 3, 2])
+                    .with_class_deadlines([6_000, 0, 60_000]),
+            )
+            .generate();
+            let backend = CnnBackend::tiny(0xC1A55).unwrap_or_else(|e| panic!("backend: {e}"));
+            Server::new(
+                ServerConfig::new(
+                    24,
+                    BatchPolicy::new(8, 1_500),
+                    ServiceModel {
+                        batch_overhead_us: 100,
+                        cost: SkewedCost::uniform(250),
+                    },
+                )
+                .with_critical_reserve(3)
+                .with_control(ControllerConfig::default()),
+            )
+            .backend(&backend)
+            .observed(&wall_registry)
+            .clock(WallClock::with_budget(60_000_000))
+            .scrape_notify(tx)
+            .run(&trace)
+        }
+    });
+    // The wall front-end binds its own scrape endpoint by default and
+    // announces it; scrape it while the run is live.
+    let wall_addr = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("wall front-end scrape address");
+    let (wall_page, wall_parsed) = scrape_valid(wall_addr, "wall mid-run scrape");
+    assert!(
+        wall_parsed.has("relcnn_serve_queue_capacity"),
+        "wall page missing serving families:\n{wall_page}"
+    );
+    assert_eq!(
+        wall_parsed.label_values("relcnn_serve_requests_offered_total", "class"),
+        vec!["bulk", "critical", "interactive"],
+        "wall endpoint must export per-class series:\n{wall_page}"
+    );
+    println!(
+        "wall scrape on http://{wall_addr}/metrics: {} offered live, page valid",
+        wall_parsed.sum("relcnn_serve_requests_offered_total"),
+    );
+    let wall = wall_run.join().expect("wall thread");
+    assert!(wall.report.conserved(), "wall report: {:?}", wall.report);
+    let wall_fin = relcnn_obs::parse::validate(&wall_registry.render()).expect("wall final page");
+    assert_eq!(
+        wall_fin.sum("relcnn_serve_requests_offered_total"),
+        wall_requests as f64
+    );
+    assert_eq!(
+        wall_fin.sum("relcnn_serve_requests_shed_total")
+            + wall_fin.sum("relcnn_serve_requests_expired_total")
+            + wall_fin.sum("relcnn_serve_requests_completed_total"),
+        wall_requests as f64,
+        "wall conservation broke off the wire"
+    );
+
     println!(
         "metrics_smoke: OK — {} families on the final page, campaign {trials} trials, \
-         serving {} completed / {} shed / {} expired of {requests}",
+         serving {} completed / {} shed / {} expired of {requests}, wall front-end \
+         {} completed / {} shed / {} expired of {wall_requests}",
         final_page
             .lines()
             .filter(|l| l.starts_with("# TYPE"))
@@ -196,5 +302,8 @@ fn main() {
         run.report.completed,
         run.report.shed,
         run.report.expired(),
+        wall.report.completed,
+        wall.report.shed,
+        wall.report.expired(),
     );
 }

@@ -1,14 +1,18 @@
 //! Serving-latency benchmark: emits `results/serving_latency.json`.
 //!
-//! Replays a fixed overloaded open-loop trace (Poisson arrivals with a
-//! heavy-tail service profile) through the full serving stack —
-//! admission, deadline-aware micro-batching, hybrid-CNN inference via
-//! `classify_many` on the engine — and records two kinds of numbers:
+//! Replays a fixed overloaded open-loop trace (three-class Poisson
+//! arrivals with per-class deadline budgets and a heavy-tail service
+//! profile) through the full serving stack — admission with a critical
+//! reservation, deadline-aware micro-batching under the AIMD overload
+//! controller, hybrid-CNN inference via `classify_many` on the engine —
+//! and records two kinds of numbers:
 //!
 //! * **deterministic serving metrics** (virtual-clock p50/p95/p99
-//!   latency, shed rate, expiry counts, batch fill): pure functions of
-//!   the trace and policy, identical on every machine — these are what
-//!   `bench_gate` holds to the committed baseline;
+//!   latency, shed rate, goodput and expiry counts — aggregate *and per
+//!   class* — plus AIMD clamp counts and the minimum admission cap):
+//!   pure functions of the trace and policy, identical on every
+//!   machine — these are what `bench_gate` holds to the committed
+//!   baseline, class by class;
 //! * **wall-clock execution metrics** (engine dispatch time, per-image
 //!   inference percentiles, end-to-end replay throughput): hardware
 //!   measurement, reported for trajectory but not gated.
@@ -19,7 +23,8 @@
 use relcnn_faults::SkewedCost;
 use relcnn_runtime::Engine;
 use relcnn_serve::{
-    run_server, BatchPolicy, CnnBackend, LoadGen, LoadGenConfig, ServerConfig, ServiceModel,
+    BatchPolicy, CnnBackend, ControllerConfig, LoadGen, LoadGenConfig, RequestClass, Server,
+    ServerConfig, ServiceModel,
 };
 use std::time::Instant;
 
@@ -29,17 +34,16 @@ const DEADLINE_US: u64 = 15_000;
 const WORKERS: usize = 8;
 
 fn server_config() -> ServerConfig {
-    ServerConfig {
-        queue_capacity: 24,
-        policy: BatchPolicy {
-            max_batch: 8,
-            max_delay_us: 1_000,
-        },
-        service: ServiceModel {
+    ServerConfig::new(
+        24,
+        BatchPolicy::new(8, 1_000).with_critical_delay(400),
+        ServiceModel {
             batch_overhead_us: 150,
             cost: SkewedCost::periodic(200, 2_800, 13),
         },
-    }
+    )
+    .with_critical_reserve(4)
+    .with_control(ControllerConfig::default())
 }
 
 fn main() {
@@ -49,14 +53,20 @@ fn main() {
         REQUESTS
     };
     let trace = LoadGen::new(
-        LoadGenConfig::poisson(requests, SEED, 320, DEADLINE_US).with_deadline_jitter(9_000),
+        LoadGenConfig::poisson(requests, SEED, 320, DEADLINE_US)
+            .with_deadline_jitter(9_000)
+            .with_class_mix([1, 3, 2])
+            .with_class_deadlines([4_000, 0, 45_000]),
     )
     .generate();
     let backend = CnnBackend::tiny(0xC1A55).unwrap_or_else(|e| panic!("backend: {e}"));
     let engine = Engine::with_workers(WORKERS);
 
     let t0 = Instant::now();
-    let run = run_server(&trace, &server_config(), &backend, &engine);
+    let run = Server::new(server_config())
+        .backend(&backend)
+        .engine(&engine)
+        .run(&trace);
     let wall = t0.elapsed();
 
     let report = &run.report;
@@ -68,14 +78,38 @@ fn main() {
         0.0
     };
 
+    let classes: Vec<String> = RequestClass::ALL
+        .iter()
+        .map(|c| {
+            let s = report.class(*c);
+            let (cp50, cp95, cp99) = s.latency.percentiles();
+            format!(
+                "    \"{}\": {{\n      \"offered\": {},\n      \"completed\": {},\n      \
+                 \"shed\": {},\n      \"expired\": {},\n      \"late\": {},\n      \
+                 \"shed_rate\": {:.6},\n      \"goodput_rate\": {:.6},\n      \
+                 \"p50_us\": {cp50},\n      \"p95_us\": {cp95},\n      \"p99_us\": {cp99}\n    }}",
+                c.label(),
+                s.offered,
+                s.completed,
+                s.shed,
+                s.expired,
+                s.late,
+                s.shed_rate(),
+                s.goodput_rate(),
+            )
+        })
+        .collect();
+
     let json = format!(
         "{{\n  \"bench\": \"serving_latency\",\n  \"requests\": {requests},\n  \
          \"workers\": {},\n  \"offered\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \
          \"expired\": {},\n  \"late\": {},\n  \"batches\": {},\n  \
          \"mean_batch_fill\": {:.3},\n  \"shed_rate\": {:.6},\n  \
-         \"goodput_rate\": {:.6},\n  \"p50_virtual_us\": {p50},\n  \
-         \"p95_virtual_us\": {p95},\n  \"p99_virtual_us\": {p99},\n  \
-         \"virtual_makespan_us\": {},\n  \"wall_us\": {},\n  \
+         \"goodput_rate\": {:.6},\n  \"p50_us\": {p50},\n  \
+         \"p95_us\": {p95},\n  \"p99_us\": {p99},\n  \
+         \"makespan_us\": {},\n  \"early_closes\": {},\n  \"aimd_clamps\": {},\n  \
+         \"min_admit_cap\": {},\n  \"final_admit_cap\": {},\n  \"classes\": {{\n{}\n  }},\n  \
+         \"wall_us\": {},\n  \
          \"throughput_rps\": {throughput_rps:.3},\n  \"engine_busy_us\": {},\n  \
          \"inference_p50_ns\": {inf_p50},\n  \"inference_p95_ns\": {inf_p95},\n  \
          \"inference_p99_ns\": {inf_p99},\n  \"engine_steals\": {}\n}}\n",
@@ -89,7 +123,12 @@ fn main() {
         report.mean_batch_fill(),
         report.shed_rate(),
         report.goodput_rate(),
-        report.virtual_makespan_us,
+        report.makespan_us,
+        report.early_closes,
+        report.aimd_clamps,
+        report.min_admit_cap,
+        report.final_admit_cap,
+        classes.join(",\n"),
         wall.as_micros(),
         run.dispatch.engine_busy.as_micros(),
         run.dispatch.steals,
@@ -105,8 +144,8 @@ fn main() {
     }
     println!(
         "serving: {} offered -> {} completed ({} late), {} shed ({:.1}%), {} expired, \
-         {} batches (fill {:.2}); virtual p50/p95/p99 {p50}/{p95}/{p99} us; \
-         wall {:.1} ms ({throughput_rps:.0} req/s)",
+         {} batches (fill {:.2}), {} clamps (min cap {}); virtual p50/p95/p99 \
+         {p50}/{p95}/{p99} us; wall {:.1} ms ({throughput_rps:.0} req/s)",
         report.offered,
         report.completed,
         report.late,
@@ -115,11 +154,24 @@ fn main() {
         report.expired(),
         report.batches,
         report.mean_batch_fill(),
+        report.aimd_clamps,
+        report.min_admit_cap,
         wall.as_secs_f64() * 1e3,
     );
-    assert_eq!(
-        report.offered,
-        report.completed + report.shed + report.expired(),
-        "serving conservation broke"
-    );
+    for class in RequestClass::ALL {
+        let s = report.class(class);
+        let (_, _, cp99) = s.latency.percentiles();
+        println!(
+            "  {:<12} offered {:>4} completed {:>4} shed {:>4} expired {:>3} late {:>3} \
+             goodput {:>5.1}% p99 {cp99} us",
+            class.label(),
+            s.offered,
+            s.completed,
+            s.shed,
+            s.expired,
+            s.late,
+            s.goodput_rate() * 100.0,
+        );
+    }
+    assert!(report.conserved(), "serving conservation broke: {report:?}");
 }

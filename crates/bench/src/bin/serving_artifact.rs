@@ -1,15 +1,16 @@
 //! Emits the serving-determinism JSONL artefact.
 //!
-//! Replays a fixed open-loop serving trace — seeded arrivals, admission
-//! with shedding, deadline-aware micro-batching, real hybrid-CNN
-//! inference through `classify_many` on the engine — and writes one JSON
-//! line per request plus a trailing deterministic report line. The
-//! serving history runs on a *virtual* clock with a deterministic
-//! service model, so the artefact is a pure function of
-//! `(arrival seed, arrival process)`: CI runs this binary at workers
-//! {1, 2, 8} × two arrival seeds and diffs the outputs byte for byte.
-//! The worker count only changes *how fast* the batches classify, never
-//! what any line says.
+//! Replays a fixed open-loop serving trace — seeded three-class arrivals
+//! with per-class deadline budgets, admission with a critical
+//! reservation, deadline-aware micro-batching under the AIMD overload
+//! controller, real hybrid-CNN inference through `classify_many` on the
+//! engine — and writes one JSON line per request, a deterministic report
+//! line, and one line per controller decision. The serving history runs
+//! on a *virtual* clock with a deterministic service model, so the
+//! artefact is a pure function of `(arrival seed, arrival process)`:
+//! CI runs this binary at workers {1, 2, 8} × two arrival seeds and
+//! diffs the outputs byte for byte. The worker count only changes *how
+//! fast* the batches classify, never what any line says.
 //!
 //! ```text
 //! serving_artifact --workers 8 --seed 201 --out /tmp/serve.jsonl
@@ -19,8 +20,8 @@
 use relcnn_faults::SkewedCost;
 use relcnn_runtime::Engine;
 use relcnn_serve::{
-    run_server, BatchPolicy, CnnBackend, LoadGen, LoadGenConfig, Outcome, ServerConfig,
-    ServiceModel,
+    BatchPolicy, CnnBackend, ControllerConfig, LoadGen, LoadGenConfig, Outcome, Server,
+    ServerConfig, ServiceModel,
 };
 use std::io::Write;
 
@@ -29,39 +30,40 @@ const DEADLINE_US: u64 = 5_500;
 
 /// The fixed serving configuration of the determinism artefact: enough
 /// overload (heavy-tail service vs. arrival rate, a 16-slot queue) that
-/// completions, shedding, boundary/pre-dispatch expiry and late service
-/// all appear in the artefact.
+/// completions, shedding, boundary/pre-dispatch expiry, late service,
+/// AIMD clamps and early-closed windows all appear in the artefact.
 fn server_config() -> ServerConfig {
-    ServerConfig {
-        queue_capacity: 16,
-        policy: BatchPolicy {
-            max_batch: 6,
-            max_delay_us: 2_000,
-        },
-        service: ServiceModel {
+    ServerConfig::new(
+        16,
+        BatchPolicy::new(6, 2_000).with_critical_delay(500),
+        ServiceModel {
             batch_overhead_us: 150,
             // Every 13th request takes an escalation-grade service hit.
             cost: SkewedCost::periodic(180, 3_000, 13),
         },
-    }
+    )
+    .with_critical_reserve(3)
+    .with_control(ControllerConfig::default())
 }
 
 fn load_config(seed: u64, arrival: &str) -> LoadGenConfig {
     // Jittered deadline budgets (0.7–5.5 ms) make the *pre-dispatch*
     // expiry sweep reachable, not just the batch-boundary one — with
     // uniform budgets the FIFO head always dies first and the boundary
-    // sweep shadows it.
-    match arrival {
-        "poisson" => {
-            LoadGenConfig::poisson(REQUESTS, seed, 300, DEADLINE_US).with_deadline_jitter(4_800)
-        }
-        "burst" => LoadGenConfig::burst(REQUESTS, seed, 24, 20, 9_000, DEADLINE_US)
-            .with_deadline_jitter(4_800),
+    // sweep shadows it. The class mix gives critical a tight budget and
+    // bulk a loose one, so priority dispatch and the reservation both
+    // leave visible marks on the artefact.
+    let base = match arrival {
+        "poisson" => LoadGenConfig::poisson(REQUESTS, seed, 300, DEADLINE_US),
+        "burst" => LoadGenConfig::burst(REQUESTS, seed, 24, 20, 9_000, DEADLINE_US),
         other => {
             eprintln!("unknown arrival process `{other}`");
             usage()
         }
-    }
+    };
+    base.with_deadline_jitter(4_800)
+        .with_class_mix([1, 3, 2])
+        .with_class_deadlines([2_500, 0, 30_000])
 }
 
 fn usage() -> ! {
@@ -102,11 +104,16 @@ fn main() {
     let trace = LoadGen::new(load_config(seed, &arrival)).generate();
     let backend = CnnBackend::tiny(0xC1A55).unwrap_or_else(|e| panic!("backend: {e}"));
     let engine = Engine::with_workers(workers);
-    let run = run_server(&trace, &server_config(), &backend, &engine);
+    let run = Server::new(server_config())
+        .backend(&backend)
+        .engine(&engine)
+        .run(&trace);
 
     let file = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
     let mut w = std::io::BufWriter::new(file);
     for (req, outcome) in trace.iter().zip(&run.outcomes) {
+        // `lane` is the request's priority class; `class` on completed
+        // lines stays the CNN verdict's class index.
         let line = match outcome {
             Outcome::Completed {
                 batch,
@@ -114,34 +121,53 @@ fn main() {
                 late,
                 verdict,
             } => format!(
-                "{{\"req\":{},\"arrival_us\":{},\"outcome\":\"completed\",\"batch\":{batch},\
-                 \"latency_us\":{latency_us},\"late\":{late},\"class\":{},\"qualified\":{},\
-                 \"confidence_bits\":{}}}",
-                req.id, req.arrival_us, verdict.class, verdict.qualified, verdict.confidence_bits
+                "{{\"req\":{},\"arrival_us\":{},\"lane\":\"{}\",\"outcome\":\"completed\",\
+                 \"batch\":{batch},\"latency_us\":{latency_us},\"late\":{late},\"class\":{},\
+                 \"qualified\":{},\"confidence_bits\":{}}}",
+                req.id,
+                req.arrival_us,
+                req.class.label(),
+                verdict.class,
+                verdict.qualified,
+                verdict.confidence_bits
             ),
             Outcome::Shed => format!(
-                "{{\"req\":{},\"arrival_us\":{},\"outcome\":\"shed\"}}",
-                req.id, req.arrival_us
+                "{{\"req\":{},\"arrival_us\":{},\"lane\":\"{}\",\"outcome\":\"shed\"}}",
+                req.id,
+                req.arrival_us,
+                req.class.label()
             ),
             Outcome::Expired => format!(
-                "{{\"req\":{},\"arrival_us\":{},\"outcome\":\"expired\"}}",
-                req.id, req.arrival_us
+                "{{\"req\":{},\"arrival_us\":{},\"lane\":\"{}\",\"outcome\":\"expired\"}}",
+                req.id,
+                req.arrival_us,
+                req.class.label()
             ),
         };
         writeln!(w, "{line}").unwrap_or_else(|e| panic!("write {out}: {e}"));
     }
     writeln!(w, "{{\"report\":{}}}", run.report.to_json())
         .unwrap_or_else(|e| panic!("write report to {out}: {e}"));
+    // The controller's decision log is part of the byte-diff surface:
+    // a nondeterministic cap or early-close decision shows up here.
+    for record in &run.control {
+        writeln!(w, "{{\"control\":{}}}", record.to_json())
+            .unwrap_or_else(|e| panic!("write control to {out}: {e}"));
+    }
     w.flush().unwrap_or_else(|e| panic!("flush {out}: {e}"));
 
     eprintln!(
         "{out}: arrival={arrival} seed={seed} workers={workers} completed={} shed={} \
-         expired={} late={} batches={} (engine: {} images in {} dispatches, {} steals)",
+         expired={} late={} batches={} clamps={} early_closes={} min_cap={} \
+         (engine: {} images in {} dispatches, {} steals)",
         run.report.completed,
         run.report.shed,
         run.report.expired(),
         run.report.late,
         run.report.batches,
+        run.report.aimd_clamps,
+        run.report.early_closes,
+        run.report.min_admit_cap,
         run.dispatch.images,
         run.dispatch.engine_batches,
         run.dispatch.steals,

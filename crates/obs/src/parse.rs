@@ -66,6 +66,23 @@ impl Parsed {
     pub fn has(&self, name: &str) -> bool {
         self.samples.iter().any(|s| s.name == name)
     }
+
+    /// The distinct values the label `key` takes across every series of
+    /// `name`, sorted and deduplicated — e.g. the set of `class` labels
+    /// a per-class family actually exported.
+    pub fn label_values(&self, name: &str, key: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .samples
+            .iter()
+            .filter(|s| s.name == name)
+            .flat_map(|s| s.labels.iter())
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
 }
 
 fn parse_value(s: &str) -> Result<f64, String> {
@@ -306,6 +323,8 @@ h_count 6
         assert_eq!(p.value("g", &[]), Some(-7.0));
         assert_eq!(p.types.get("h").map(String::as_str), Some("histogram"));
         assert!(p.has("h_bucket"));
+        assert_eq!(p.label_values("c", "worker"), vec!["0", "1"]);
+        assert!(p.label_values("g", "worker").is_empty());
     }
 
     #[test]

@@ -2,32 +2,43 @@
 //!
 //! The server is modelled as one logical accelerator fed by the
 //! admission queue: a batch *closes* either when [`BatchPolicy::max_batch`]
-//! requests are waiting with the server free (size close), or when the
-//! oldest admitted request has waited [`BatchPolicy::max_delay_us`]
-//! (deadline-window close) — the classic size-or-timeout micro-batching
-//! rule. Before every dispatch the queue is swept twice for stale
-//! requests: once *at the previous batch's completion boundary* (they
-//! were already dead when the server freed) and once *at dispatch time*
-//! (they died while the batch was forming). Mid-batch work is never
-//! aborted.
+//! requests are waiting with the server free (size close), or when some
+//! lane's oldest admitted request has waited out that lane's window
+//! (deadline-window close: [`BatchPolicy::max_delay_us`], tightened to
+//! [`BatchPolicy::critical_delay_us`] for the safety-critical lane) —
+//! the classic size-or-timeout micro-batching rule with per-class
+//! windows. The overload controller, when configured, can also close a
+//! congested window *early* and clamp the admission cap at every
+//! dispatch boundary ([`ControllerConfig`]). Before every dispatch the
+//! queue is swept twice for stale requests: once *at the previous
+//! batch's completion boundary* (they were already dead when the server
+//! freed) and once *at dispatch time* (they died while the batch was
+//! forming). Mid-batch work is never aborted.
 //!
-//! Time is **virtual**: arrivals carry trace timestamps, and a batch's
-//! service time comes from a deterministic [`ServiceModel`] (overhead +
-//! per-request cost from a [`SkewedCost`] heavy-tail profile) rather
-//! than the wall clock. That makes the entire serving history — batch
-//! composition, shedding, expiry, latencies — a pure function of
-//! `(trace, policy, service model)`, independent of the engine's worker
-//! count, which is what the CI byte-diff of `serving_artifact` across
-//! worker schedules pins. The *real* inference still happens: every
-//! closed batch is dispatched through the backend on the shared engine,
-//! and the engine's wall-clock counters are reported separately in
+//! Time here is **virtual**: arrivals carry trace timestamps, and a
+//! batch's service time comes from a deterministic [`ServiceModel`]
+//! (overhead + per-request cost from a [`SkewedCost`] heavy-tail
+//! profile) rather than the wall clock. That makes the entire serving
+//! history — batch composition, shedding, expiry, controller decisions,
+//! latencies — a pure function of `(trace, server config)`, independent
+//! of the engine's worker count, which is what the CI byte-diff of
+//! `serving_artifact` across worker schedules pins, and what makes the
+//! virtual run the wall-clock front-end's correctness oracle. The
+//! *real* inference still happens: every closed batch is dispatched
+//! through the backend on the shared engine, and the engine's
+//! wall-clock counters are reported separately in
 //! [`DispatchStats`](crate::report::DispatchStats).
+//!
+//! Entry point: the [`Server`](crate::Server) builder (a virtual-clock
+//! run is the default). The free functions [`run_server`] /
+//! [`run_server_observed`] are deprecated shims over it.
 
 use crate::admission::{Admission, AdmissionQueue};
 use crate::backend::Backend;
+use crate::controller::{ControllerConfig, OverloadController};
 use crate::metrics::ServeMetrics;
 use crate::report::{DispatchStats, ServeReport, ServeRun};
-use crate::request::{Outcome, Request};
+use crate::request::{Outcome, Request, RequestClass};
 use relcnn_faults::SkewedCost;
 use relcnn_runtime::Engine;
 
@@ -38,8 +49,50 @@ pub struct BatchPolicy {
     /// server is free.
     pub max_batch: usize,
     /// Deadline-window close: dispatch a partial batch once the oldest
-    /// admitted request has waited this long.
+    /// admitted interactive/bulk request has waited this long.
     pub max_delay_us: u64,
+    /// Window budget for the safety-critical lane: a waiting critical
+    /// request closes the window after this long instead. Equal to
+    /// `max_delay_us` by default ([`BatchPolicy::new`]); production
+    /// configs set it to a small fraction of it.
+    pub critical_delay_us: u64,
+}
+
+impl BatchPolicy {
+    /// A size-or-timeout policy with a uniform window for all classes.
+    pub fn new(max_batch: usize, max_delay_us: u64) -> Self {
+        BatchPolicy {
+            max_batch,
+            max_delay_us,
+            critical_delay_us: max_delay_us,
+        }
+    }
+
+    /// Tightens the safety-critical lane's batch window.
+    pub fn with_critical_delay(mut self, critical_delay_us: u64) -> Self {
+        self.critical_delay_us = critical_delay_us;
+        self
+    }
+
+    /// The window budget of one lane.
+    pub fn delay_us(&self, class: RequestClass) -> u64 {
+        match class {
+            RequestClass::Critical => self.critical_delay_us,
+            _ => self.max_delay_us,
+        }
+    }
+
+    /// The earliest lane-window close over the queued heads, if any lane
+    /// has a waiter.
+    pub(crate) fn window_close_us(
+        &self,
+        heads: &[Option<u64>; RequestClass::COUNT],
+    ) -> Option<u64> {
+        RequestClass::ALL
+            .iter()
+            .filter_map(|&c| heads[c.lane()].map(|h| h.saturating_add(self.delay_us(c))))
+            .min()
+    }
 }
 
 /// Deterministic virtual service-time model of the accelerator.
@@ -72,55 +125,44 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Batch-close policy.
     pub policy: BatchPolicy,
-    /// Virtual service-time model.
+    /// Virtual service-time model (also sets the wall-clock front-end's
+    /// synthetic service sleep for backends without real cost).
     pub service: ServiceModel,
+    /// Queue slots reserved for the safety-critical lane — the floor no
+    /// AIMD clamp can take away.
+    pub critical_reserve: usize,
+    /// Overload controller; `None` (the default) disables AIMD backoff
+    /// and early window closes, reproducing the uncontrolled server.
+    pub control: Option<ControllerConfig>,
 }
 
-/// Replays `trace` through admission, micro-batching and the backend on
-/// `engine`, returning per-request outcomes and the aggregate report.
-///
-/// The trace must be in arrival order with `trace[i].id == i` (what
-/// [`LoadGen::generate`](crate::LoadGen::generate) produces): request
-/// ids index the returned outcome vector.
-///
-/// # Panics
-///
-/// Panics if the trace's ids are not exactly `0..trace.len()` in order,
-/// if the backend returns a wrong-sized verdict vector, or (debug
-/// builds) if the admission-queue conservation invariant breaks.
-pub fn run_server<B: Backend>(
-    trace: &[Request],
-    config: &ServerConfig,
-    backend: &B,
-    engine: &Engine,
-) -> ServeRun<B::Verdict> {
-    run_server_observed(
-        trace,
-        config,
-        backend,
-        engine,
-        &ServeMetrics::unregistered(),
-    )
+impl ServerConfig {
+    /// An uncontrolled single-class-equivalent configuration (no
+    /// reservation, no AIMD).
+    pub fn new(queue_capacity: usize, policy: BatchPolicy, service: ServiceModel) -> Self {
+        ServerConfig {
+            queue_capacity,
+            policy,
+            service,
+            critical_reserve: 0,
+            control: None,
+        }
+    }
+
+    /// Reserves queue slots for the safety-critical lane.
+    pub fn with_critical_reserve(mut self, slots: usize) -> Self {
+        self.critical_reserve = slots;
+        self
+    }
+
+    /// Enables the AIMD overload controller.
+    pub fn with_control(mut self, control: ControllerConfig) -> Self {
+        self.control = Some(control);
+        self
+    }
 }
 
-/// [`run_server`] with live metrics publication: the admission queue
-/// updates `metrics`' depth/shed/expired/dispatched handles on every
-/// mutation and the batcher publishes batch-fill, completion and latency
-/// aggregates at each dispatch, so a registry the bundle was
-/// [`registered`](ServeMetrics::registered) on is scrapeable while the
-/// replay runs. Publication is write-only side traffic — the returned
-/// [`ServeRun`] is identical to the unobserved one (pinned by a test).
-///
-/// # Panics
-///
-/// As [`run_server`].
-pub fn run_server_observed<B: Backend>(
-    trace: &[Request],
-    config: &ServerConfig,
-    backend: &B,
-    engine: &Engine,
-    metrics: &ServeMetrics,
-) -> ServeRun<B::Verdict> {
+pub(crate) fn validate_trace(trace: &[Request]) {
     for (i, r) in trace.iter().enumerate() {
         assert_eq!(
             r.id, i as u64,
@@ -128,12 +170,164 @@ pub fn run_server_observed<B: Backend>(
             r.id
         );
     }
-    let queue = AdmissionQueue::observed(config.queue_capacity, metrics);
+}
+
+/// Shared end-of-run bookkeeping: per-class offered counts from the
+/// trace, controller summary, conservation checks, outcome unwrapping.
+pub(crate) fn finish_run<V: Clone>(
+    trace: &[Request],
+    queue: &AdmissionQueue,
+    controller: Option<OverloadController>,
+    mut report: ServeReport,
+    outcomes: Vec<Option<Outcome<V>>>,
+    dispatch: DispatchStats,
+) -> ServeRun<V> {
+    report.offered = trace.len() as u64;
+    for r in trace {
+        report.classes[r.class.lane()].offered += 1;
+    }
+    let control = match controller {
+        Some(ctl) => {
+            report.early_closes = ctl.early_closes();
+            report.aimd_clamps = ctl.clamps();
+            report.min_admit_cap = ctl.min_cap_seen();
+            report.final_admit_cap = ctl.cap();
+            ctl.log().to_vec()
+        }
+        None => {
+            report.min_admit_cap = queue.capacity() as u64;
+            report.final_admit_cap = queue.capacity() as u64;
+            Vec::new()
+        }
+    };
+    let counters = queue.counters();
+    debug_assert_eq!(counters.offered, report.offered);
+    debug_assert_eq!(counters.shed, report.shed);
+    debug_assert_eq!(counters.expired, report.expired());
+    for class in RequestClass::ALL {
+        let qc = queue.class_counters(class);
+        let rc = report.class(class);
+        debug_assert_eq!(qc.offered, rc.offered, "{} offered", class.label());
+        debug_assert_eq!(qc.shed, rc.shed, "{} shed", class.label());
+        debug_assert_eq!(qc.expired, rc.expired, "{} expired", class.label());
+        debug_assert_eq!(qc.dispatched, rc.completed, "{} dispatched", class.label());
+    }
+    debug_assert!(report.conserved(), "report conservation: {report:?}");
+    let outcomes: Vec<Outcome<V>> = outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(id, o)| o.unwrap_or_else(|| panic!("request {id} has no terminal outcome")))
+        .collect();
+    ServeRun {
+        report,
+        outcomes,
+        dispatch,
+        control,
+    }
+}
+
+pub(crate) fn record_completion<V>(
+    report: &mut ServeReport,
+    metrics: &ServeMetrics,
+    outcomes: &mut [Option<Outcome<V>>],
+    req: &Request,
+    verdict: V,
+    latency_us: u64,
+    late: bool,
+) {
+    report.completed += 1;
+    report.late += u64::from(late);
+    report.latency.record(latency_us);
+    let rc = &mut report.classes[req.class.lane()];
+    rc.completed += 1;
+    rc.late += u64::from(late);
+    rc.latency.record(latency_us);
+    let cm = metrics.class(req.class);
+    cm.completed.inc();
+    if late {
+        cm.late.inc();
+    }
+    cm.latency_us.record(latency_us);
+    outcomes[req.id as usize] = Some(Outcome::Completed {
+        batch: report.batches,
+        latency_us,
+        late,
+        verdict,
+    });
+}
+
+pub(crate) fn admit<V>(
+    queue: &AdmissionQueue,
+    req: &Request,
+    outcomes: &mut [Option<Outcome<V>>],
+    report: &mut ServeReport,
+) {
+    if queue.offer(*req) == Admission::Shed {
+        report.shed += 1;
+        report.classes[req.class.lane()].shed += 1;
+        outcomes[req.id as usize] = Some(Outcome::Shed);
+    }
+}
+
+pub(crate) fn record_expired<V>(
+    report: &mut ServeReport,
+    outcomes: &mut [Option<Outcome<V>>],
+    req: &Request,
+    boundary: bool,
+) {
+    if boundary {
+        report.expired_boundary += 1;
+    } else {
+        report.expired_pre_dispatch += 1;
+    }
+    report.classes[req.class.lane()].expired += 1;
+    outcomes[req.id as usize] = Some(Outcome::Expired);
+}
+
+/// Feeds one dispatch boundary to the controller (when configured),
+/// applying the cap to the queue and publishing decision metrics.
+/// Returns whether the next window closes early.
+pub(crate) fn control_boundary(
+    controller: &mut Option<OverloadController>,
+    queue: &AdmissionQueue,
+    metrics: &ServeMetrics,
+) -> bool {
+    let Some(ctl) = controller.as_mut() else {
+        return false;
+    };
+    let clamps_before = ctl.clamps();
+    let decision = ctl.observe(queue.len() as u64, queue.counters().shed);
+    queue.set_admit_cap(decision.cap as usize);
+    if ctl.clamps() > clamps_before {
+        metrics.aimd_clamps.inc();
+    }
+    if decision.early_close {
+        metrics.early_closes.inc();
+    }
+    decision.early_close
+}
+
+/// The virtual-clock serving loop (see the module docs). Reached through
+/// [`Server::run`](crate::Server::run) with a virtual [`Clock`](crate::Clock).
+pub(crate) fn run_virtual<B: Backend>(
+    trace: &[Request],
+    config: &ServerConfig,
+    backend: &B,
+    engine: &Engine,
+    metrics: &ServeMetrics,
+) -> ServeRun<B::Verdict> {
+    validate_trace(trace);
+    let queue = AdmissionQueue::with_reserve(config.queue_capacity, config.critical_reserve)
+        .observed(metrics);
     metrics.queue_capacity.set(queue.capacity() as i64);
+    metrics.admit_cap.set(queue.admit_cap() as i64);
     // Like the admission queue's capacity, a zero close size would make
     // the loop spin on empty batches forever; clamp it to 1.
     let max_batch = config.policy.max_batch.max(1);
     let policy = &config.policy;
+    let mut controller = config
+        .control
+        .map(|c| OverloadController::new(c, queue.capacity(), queue.critical_reserve()));
     let mut outcomes: Vec<Option<Outcome<B::Verdict>>> = vec![None; trace.len()];
     let mut report = ServeReport::new();
     let mut dispatch = DispatchStats::default();
@@ -142,6 +336,7 @@ pub fn run_server_observed<B: Backend>(
     let mut now = 0u64; // virtual clock
     let mut free_at = 0u64; // when the server finishes its current batch
     let mut boundary_swept = true; // expiry at `free_at` already done?
+    let mut early_close = false; // controller: close next window at free
 
     loop {
         let next_arrival = trace.get(next).map(|r| r.arrival_us);
@@ -154,22 +349,25 @@ pub fn run_server_observed<B: Backend>(
             continue;
         }
 
-        // When would the forming batch close? Size close needs the
-        // server free; window close waits for the oldest request's
-        // max_delay, and never before the server frees either.
-        let head = queue.head_arrival_us().expect("non-empty queue has a head");
-        let close_at = if queue.len() >= max_batch {
+        // When would the forming batch close? Size close (or a
+        // controller early close) needs only a free server; window close
+        // waits for the tightest lane window among the queued heads, and
+        // never before the server frees either.
+        let window = queue.window();
+        let close_at = if window.len >= max_batch || early_close {
             now.max(free_at)
         } else {
-            now.max(free_at)
-                .max(head.saturating_add(policy.max_delay_us))
+            let head_close = policy
+                .window_close_us(&window.head_arrival_us)
+                .expect("non-empty queue has a head");
+            now.max(free_at).max(head_close)
         };
 
         match next_arrival {
             // Arrivals strictly before the close join the queue first; an
             // arrival exactly at the close joins too unless the batch is
             // already full (fixed tie-break, part of the replay contract).
-            Some(t) if t < close_at || (t == close_at && queue.len() < max_batch) => {
+            Some(t) if t < close_at || (t == close_at && window.len < max_batch) => {
                 now = now.max(t);
                 admit(&queue, &trace[next], &mut outcomes, &mut report);
                 next += 1;
@@ -182,16 +380,14 @@ pub fn run_server_observed<B: Backend>(
                     // `close_at` includes `max(free_at)`, so `now` is at
                     // or past the boundary being swept.
                     for r in queue.expire(free_at) {
-                        report.expired_boundary += 1;
-                        outcomes[r.id as usize] = Some(Outcome::Expired);
+                        record_expired(&mut report, &mut outcomes, &r, true);
                     }
                     boundary_swept = true;
                 }
                 // Pre-dispatch sweep: requests that died while the batch
                 // was forming.
                 for r in queue.expire(now) {
-                    report.expired_pre_dispatch += 1;
-                    outcomes[r.id as usize] = Some(Outcome::Expired);
+                    record_expired(&mut report, &mut outcomes, &r, false);
                 }
                 let batch = queue.take_batch(max_batch);
                 if batch.is_empty() {
@@ -210,20 +406,15 @@ pub fn run_server_observed<B: Backend>(
                 for (r, verdict) in batch.iter().zip(reply.verdicts) {
                     let latency_us = done_at - r.arrival_us;
                     let late = done_at > r.deadline_us;
-                    report.completed += 1;
-                    report.late += u64::from(late);
-                    report.latency.record(latency_us);
-                    metrics.completed.inc();
-                    if late {
-                        metrics.late.inc();
-                    }
-                    metrics.latency_us.record(latency_us);
-                    outcomes[r.id as usize] = Some(Outcome::Completed {
-                        batch: report.batches,
+                    record_completion(
+                        &mut report,
+                        metrics,
+                        &mut outcomes,
+                        r,
+                        verdict,
                         latency_us,
                         late,
-                        verdict,
-                    });
+                    );
                 }
                 report.batches += 1;
                 report.batched_requests += batch.len() as u64;
@@ -234,43 +425,49 @@ pub fn run_server_observed<B: Backend>(
                 }
                 free_at = done_at;
                 boundary_swept = false;
+                early_close = control_boundary(&mut controller, &queue, metrics);
             }
         }
     }
 
-    // Drain: trace exhausted and queue empty. Every request must have a
-    // terminal outcome.
-    report.offered = trace.len() as u64;
-    report.virtual_makespan_us = free_at.max(now);
-    let counters = queue.counters();
-    debug_assert_eq!(counters.offered, report.offered);
-    debug_assert_eq!(counters.shed, report.shed);
-    debug_assert_eq!(
-        counters.expired,
-        report.expired_boundary + report.expired_pre_dispatch
-    );
-    let outcomes: Vec<Outcome<B::Verdict>> = outcomes
-        .into_iter()
-        .enumerate()
-        .map(|(id, o)| o.unwrap_or_else(|| panic!("request {id} has no terminal outcome")))
-        .collect();
-    ServeRun {
-        report,
-        outcomes,
-        dispatch,
-    }
+    report.makespan_us = free_at.max(now);
+    finish_run(trace, &queue, controller, report, outcomes, dispatch)
 }
 
-fn admit<V>(
-    queue: &AdmissionQueue,
-    req: &Request,
-    outcomes: &mut [Option<Outcome<V>>],
-    report: &mut ServeReport,
-) {
-    if queue.offer(*req) == Admission::Shed {
-        report.shed += 1;
-        outcomes[req.id as usize] = Some(Outcome::Shed);
-    }
+/// Replays `trace` through admission, micro-batching and the backend on
+/// `engine`, returning per-request outcomes and the aggregate report.
+#[deprecated(
+    since = "0.6.0",
+    note = "use the Server builder: Server::new(config).backend(b).run(trace)"
+)]
+pub fn run_server<B: Backend>(
+    trace: &[Request],
+    config: &ServerConfig,
+    backend: &B,
+    engine: &Engine,
+) -> ServeRun<B::Verdict> {
+    run_virtual(
+        trace,
+        config,
+        backend,
+        engine,
+        &ServeMetrics::unregistered(),
+    )
+}
+
+/// [`run_server`] with live metrics publication.
+#[deprecated(
+    since = "0.6.0",
+    note = "use the Server builder: Server::new(config).backend(b).observed(&registry).run(trace)"
+)]
+pub fn run_server_observed<B: Backend>(
+    trace: &[Request],
+    config: &ServerConfig,
+    backend: &B,
+    engine: &Engine,
+    metrics: &ServeMetrics,
+) -> ServeRun<B::Verdict> {
+    run_virtual(trace, config, backend, engine, metrics)
 }
 
 #[cfg(test)]
@@ -287,14 +484,22 @@ mod tests {
     }
 
     fn cfg(capacity: usize, max_batch: usize, max_delay: u64, svc: ServiceModel) -> ServerConfig {
-        ServerConfig {
-            queue_capacity: capacity,
-            policy: BatchPolicy {
-                max_batch,
-                max_delay_us: max_delay,
-            },
-            service: svc,
-        }
+        ServerConfig::new(capacity, BatchPolicy::new(max_batch, max_delay), svc)
+    }
+
+    fn drive<B: Backend>(
+        trace: &[Request],
+        config: &ServerConfig,
+        backend: &B,
+        engine: &Engine,
+    ) -> ServeRun<B::Verdict> {
+        run_virtual(
+            trace,
+            config,
+            backend,
+            engine,
+            &ServeMetrics::unregistered(),
+        )
     }
 
     fn req(id: u64, arrival: u64, deadline: u64) -> Request {
@@ -303,6 +508,7 @@ mod tests {
             arrival_us: arrival,
             deadline_us: deadline,
             payload_seed: id * 31,
+            class: RequestClass::Interactive,
         }
     }
 
@@ -311,7 +517,7 @@ mod tests {
         // 8 requests arriving back to back, max_batch 4, generous
         // deadlines: exactly two full batches.
         let trace: Vec<Request> = (0..8).map(|i| req(i, i, 1_000_000)).collect();
-        let run = run_server(
+        let run = drive(
             &trace,
             &cfg(16, 4, 10_000, uniform_service(10, 5)),
             &EchoBackend,
@@ -321,6 +527,10 @@ mod tests {
         assert_eq!(run.report.completed, 8);
         assert_eq!(run.report.shed + run.report.expired(), 0);
         assert!((run.report.mean_batch_fill() - 4.0).abs() < 1e-9);
+        // Single-class trace: the whole story sits in the interactive slice.
+        let slice = run.report.class(RequestClass::Interactive);
+        assert_eq!((slice.offered, slice.completed), (8, 8));
+        assert!(run.report.conserved());
     }
 
     #[test]
@@ -328,7 +538,7 @@ mod tests {
         // One lone request: nothing else arrives, so only the max_delay
         // window can close the batch.
         let trace = vec![req(0, 100, 1_000_000)];
-        let run = run_server(
+        let run = drive(
             &trace,
             &cfg(16, 8, 500, uniform_service(40, 10)),
             &EchoBackend,
@@ -348,12 +558,52 @@ mod tests {
     }
 
     #[test]
+    fn critical_delay_tightens_the_window_for_critical_heads() {
+        // Same lone-request shape, but the request rides the critical
+        // lane and the policy gives that lane a 50 µs window: dispatch at
+        // arrival+50 instead of arrival+500.
+        let trace = vec![Request {
+            class: RequestClass::Critical,
+            ..req(0, 100, 1_000_000)
+        }];
+        let policy = BatchPolicy::new(8, 500).with_critical_delay(50);
+        let config = ServerConfig::new(16, policy, uniform_service(40, 10));
+        let run = drive(&trace, &config, &EchoBackend, &Engine::with_workers(1));
+        match &run.outcomes[0] {
+            Outcome::Completed { latency_us, .. } => assert_eq!(*latency_us, 100),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        // A waiting critical head also pulls a mixed batch forward: bulk
+        // at t=0 would wait to 500, critical arriving at t=10 closes the
+        // window at 60 and both dispatch together.
+        let mixed = vec![
+            Request {
+                class: RequestClass::Bulk,
+                ..req(0, 0, 1_000_000)
+            },
+            Request {
+                class: RequestClass::Critical,
+                ..req(1, 10, 1_000_000)
+            },
+        ];
+        let run = drive(&mixed, &config, &EchoBackend, &Engine::with_workers(1));
+        assert_eq!(run.report.batches, 1);
+        match &run.outcomes[1] {
+            Outcome::Completed { latency_us, .. } => {
+                // Closed at 10+50=60, service 2*40+10=90: done 150.
+                assert_eq!(*latency_us, 140);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn capacity_sheds_bursts() {
         // 10 simultaneous arrivals, max_batch 2, capacity 4: the first
         // pair dispatches instantly, four more queue up behind the busy
         // server, and the remaining four hit a full queue and shed.
         let trace: Vec<Request> = (0..10).map(|i| req(i, 0, 1_000_000)).collect();
-        let run = run_server(
+        let run = drive(
             &trace,
             &cfg(4, 2, 1_000, uniform_service(100, 0)),
             &EchoBackend,
@@ -375,7 +625,7 @@ mod tests {
         for i in 1..5 {
             trace.push(req(i, 100, 2_000));
         }
-        let run = run_server(
+        let run = drive(
             &trace,
             &cfg(16, 1, 10, uniform_service(10_000, 0)),
             &EchoBackend,
@@ -407,10 +657,11 @@ mod tests {
                 arrival_us: 100,
                 deadline_us: 600,
                 payload_seed: 1,
+                class: RequestClass::Interactive,
             },
             req(2, 200, 100_000),
         ];
-        let run = run_server(
+        let run = drive(
             &trace,
             &cfg(8, 4, 3_000, uniform_service(500, 0)),
             &EchoBackend,
@@ -428,7 +679,7 @@ mod tests {
         // deadline: served, flagged late, never expired (no mid-batch
         // abort).
         let trace = vec![req(0, 0, 50)];
-        let run = run_server(
+        let run = drive(
             &trace,
             &cfg(4, 1, 0, uniform_service(500, 0)),
             &EchoBackend,
@@ -440,8 +691,69 @@ mod tests {
     }
 
     #[test]
+    fn controller_clamps_under_overload_and_recovers_after() {
+        // A packed burst front-loads shedding, then a sparse tail lets
+        // the cap recover. The controlled run records clamps and a
+        // sub-capacity minimum cap; decisions replay bit-identically.
+        let mut trace: Vec<Request> = (0..40).map(|i| req(i, 0, 1_000_000)).collect();
+        for i in 40..60 {
+            trace.push(req(i, 100_000 + (i - 40) * 5_000, 10_000_000));
+        }
+        let config =
+            cfg(8, 2, 1_000, uniform_service(200, 0)).with_control(ControllerConfig::default());
+        let run = drive(&trace, &config, &EchoBackend, &Engine::with_workers(1));
+        assert!(run.report.aimd_clamps > 0, "{:?}", run.report);
+        assert!(run.report.min_admit_cap < 8, "{:?}", run.report);
+        assert_eq!(
+            run.report.final_admit_cap, 8,
+            "sparse tail should recover the cap fully: {:?}",
+            run.report
+        );
+        assert!(!run.control.is_empty());
+        assert_eq!(run.control.len() as u64, run.report.batches);
+        let replayed = OverloadController::replay(
+            ControllerConfig::default(),
+            config.queue_capacity,
+            config.critical_reserve,
+            &run.control,
+        );
+        assert_eq!(replayed, run.control, "controller purity");
+        assert!(run.report.conserved());
+    }
+
+    #[test]
+    fn controlled_overload_sheds_more_but_never_leaks_requests() {
+        // Same trace with and without the controller: AIMD converts
+        // queueing (expiry/lateness) into admission-time sheds; both
+        // conserve exactly.
+        let trace = LoadGen::new(LoadGenConfig::burst(300, 0xC1, 30, 5, 20_000, 4_000)).generate();
+        let base = cfg(16, 4, 800, uniform_service(300, 50));
+        let uncontrolled = drive(&trace, &base, &EchoBackend, &Engine::with_workers(1));
+        let controlled = drive(
+            &trace,
+            &base.with_control(ControllerConfig::default()),
+            &EchoBackend,
+            &Engine::with_workers(1),
+        );
+        assert!(uncontrolled.report.conserved());
+        assert!(controlled.report.conserved());
+        assert!(
+            controlled.report.shed >= uncontrolled.report.shed,
+            "AIMD rejects at admission: {} vs {}",
+            controlled.report.shed,
+            uncontrolled.report.shed
+        );
+        assert!(controlled.report.aimd_clamps > 0);
+    }
+
+    #[test]
     fn replay_is_deterministic_and_worker_count_independent() {
-        let trace = LoadGen::new(LoadGenConfig::poisson(400, 0xAB, 120, 8_000)).generate();
+        let trace = LoadGen::new(
+            LoadGenConfig::poisson(400, 0xAB, 120, 8_000)
+                .with_class_mix([1, 2, 1])
+                .with_class_deadlines([2_000, 0, 30_000]),
+        )
+        .generate();
         let config = cfg(
             24,
             8,
@@ -450,8 +762,10 @@ mod tests {
                 batch_overhead_us: 80,
                 cost: SkewedCost::periodic(100, 1_500, 17),
             },
-        );
-        let reference = run_server(&trace, &config, &EchoBackend, &Engine::with_workers(1));
+        )
+        .with_critical_reserve(4)
+        .with_control(ControllerConfig::default());
+        let reference = drive(&trace, &config, &EchoBackend, &Engine::with_workers(1));
         assert!(reference.report.completed > 0);
         assert!(
             reference.report.shed > 0 || reference.report.expired() > 0,
@@ -459,23 +773,38 @@ mod tests {
             reference.report
         );
         for workers in [2, 8] {
-            let run = run_server(
+            let r = drive(
                 &trace,
                 &config,
                 &EchoBackend,
                 &Engine::with_workers(workers),
             );
-            assert_eq!(run.report, reference.report, "workers={workers}");
-            assert_eq!(run.outcomes, reference.outcomes, "workers={workers}");
+            assert_eq!(r.report, reference.report, "workers={workers}");
+            assert_eq!(r.outcomes, reference.outcomes, "workers={workers}");
+            assert_eq!(r.control, reference.control, "workers={workers}");
         }
         // And across reruns.
-        let again = run_server(&trace, &config, &EchoBackend, &Engine::with_workers(1));
+        let again = drive(&trace, &config, &EchoBackend, &Engine::with_workers(1));
         assert_eq!(again.outcomes, reference.outcomes);
     }
 
     #[test]
+    fn deprecated_shims_match_the_builder_path() {
+        let trace = LoadGen::new(LoadGenConfig::poisson(120, 0x51A, 150, 6_000)).generate();
+        let config = cfg(16, 6, 800, uniform_service(90, 20));
+        let engine = Engine::with_workers(1);
+        #[allow(deprecated)]
+        let shim = run_server(&trace, &config, &EchoBackend, &engine);
+        let direct = drive(&trace, &config, &EchoBackend, &engine);
+        assert_eq!(shim.report, direct.report);
+        assert_eq!(shim.outcomes, direct.outcomes);
+    }
+
+    #[test]
     fn observed_replay_matches_unobserved_and_exposes_conservation() {
-        let trace = LoadGen::new(LoadGenConfig::poisson(300, 0x0B5, 150, 6_000)).generate();
+        let trace =
+            LoadGen::new(LoadGenConfig::poisson(300, 0x0B5, 150, 6_000).with_class_mix([1, 3, 2]))
+                .generate();
         let config = cfg(
             16,
             6,
@@ -484,11 +813,13 @@ mod tests {
                 batch_overhead_us: 60,
                 cost: SkewedCost::periodic(90, 1_200, 13),
             },
-        );
-        let plain = run_server(&trace, &config, &EchoBackend, &Engine::with_workers(2));
+        )
+        .with_critical_reserve(2)
+        .with_control(ControllerConfig::default());
+        let plain = drive(&trace, &config, &EchoBackend, &Engine::with_workers(2));
         let reg = relcnn_obs::Registry::new();
         let metrics = ServeMetrics::registered(&reg);
-        let observed = run_server_observed(
+        let observed = run_virtual(
             &trace,
             &config,
             &EchoBackend,
@@ -498,36 +829,53 @@ mod tests {
         // Metrics publication never perturbs the deterministic replay.
         assert_eq!(observed.report, plain.report);
         assert_eq!(observed.outcomes, plain.outcomes);
-        // The scraped page tells the same conservation story as the report.
+        assert_eq!(observed.control, plain.control);
+        // The scraped page tells the same conservation story as the
+        // report — per class and in aggregate (family sums).
         let page = reg.render();
         let parsed = relcnn_obs::parse::validate(&page).expect("valid exposition");
-        let get = |name: &str| parsed.value(name, &[]).unwrap_or_else(|| panic!("{name}"));
-        assert_eq!(get("relcnn_serve_requests_offered_total"), 300.0);
+        assert_eq!(parsed.sum("relcnn_serve_requests_offered_total"), 300.0);
         assert_eq!(
-            get("relcnn_serve_requests_offered_total"),
-            get("relcnn_serve_requests_shed_total")
-                + get("relcnn_serve_requests_expired_total")
-                + get("relcnn_serve_requests_dispatched_total"),
+            parsed.sum("relcnn_serve_requests_offered_total"),
+            parsed.sum("relcnn_serve_requests_shed_total")
+                + parsed.sum("relcnn_serve_requests_expired_total")
+                + parsed.sum("relcnn_serve_requests_dispatched_total"),
             "{page}"
         );
+        for class in RequestClass::ALL {
+            let slice = plain.report.class(class);
+            let l = [("class", class.label())];
+            assert_eq!(
+                parsed.value("relcnn_serve_requests_completed_total", &l),
+                Some(slice.completed as f64),
+                "{} completed",
+                class.label()
+            );
+            assert_eq!(
+                parsed.value("relcnn_serve_requests_shed_total", &l),
+                Some(slice.shed as f64),
+                "{} shed",
+                class.label()
+            );
+        }
         assert_eq!(
-            get("relcnn_serve_requests_completed_total"),
+            parsed.value("relcnn_serve_batches_total", &[]),
+            Some(plain.report.batches as f64)
+        );
+        assert_eq!(
+            parsed.value("relcnn_serve_batch_fill_requests_count", &[]),
+            Some(plain.report.batches as f64)
+        );
+        assert_eq!(
+            parsed.sum("relcnn_serve_latency_microseconds_count"),
             plain.report.completed as f64
         );
+        assert_eq!(parsed.sum("relcnn_serve_queue_depth"), 0.0);
+        assert_eq!(parsed.value("relcnn_serve_queue_capacity", &[]), Some(16.0));
         assert_eq!(
-            get("relcnn_serve_batches_total"),
-            plain.report.batches as f64
+            parsed.value("relcnn_serve_admission_cap", &[]),
+            Some(plain.report.final_admit_cap as f64)
         );
-        assert_eq!(
-            get("relcnn_serve_batch_fill_requests_count"),
-            plain.report.batches as f64
-        );
-        assert_eq!(
-            get("relcnn_serve_virtual_latency_microseconds_count"),
-            plain.report.completed as f64
-        );
-        assert_eq!(get("relcnn_serve_queue_depth"), 0.0);
-        assert_eq!(get("relcnn_serve_queue_capacity"), 16.0);
     }
 
     #[test]
@@ -536,7 +884,7 @@ mod tests {
         // true with an always-empty take, freezing the virtual clock in
         // a busy loop. It now behaves as batch size 1.
         let trace: Vec<Request> = (0..4).map(|i| req(i, i * 10, 1_000_000)).collect();
-        let run = run_server(
+        let run = drive(
             &trace,
             &cfg(8, 0, 500, uniform_service(20, 5)),
             &EchoBackend,
@@ -550,7 +898,7 @@ mod tests {
     #[should_panic(expected = "trace ids must be 0..len in order")]
     fn non_contiguous_trace_ids_are_rejected() {
         let trace = vec![req(5, 0, 1_000)];
-        run_server(
+        drive(
             &trace,
             &cfg(4, 2, 100, uniform_service(10, 0)),
             &EchoBackend,
@@ -560,7 +908,7 @@ mod tests {
 
     #[test]
     fn empty_trace_is_a_noop() {
-        let run = run_server(
+        let run = drive(
             &[],
             &cfg(4, 4, 100, uniform_service(10, 1)),
             &EchoBackend,

@@ -1,0 +1,152 @@
+//! The serving time axis: one trait, two physics.
+//!
+//! Everything in the serving stack reasons in microseconds-since-epoch
+//! on a [`Clock`]. A [`VirtualClock`] *jumps* — waiting is free, so a
+//! replay is a pure function of the trace and runs as fast as the
+//! backend can classify. A [`WallClock`] anchors the same axis to
+//! `std::time::Instant` — waiting really sleeps, arrivals really
+//! interleave with dispatches, and overload is produced by physics
+//! instead of a service model. The virtual run is the wall-clock
+//! front-end's correctness oracle: same trace, same admission/batching
+//! code, deterministic history.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotone microsecond time source the serving loops run on.
+pub trait Clock: Send + Sync {
+    /// Current time in µs since the clock's epoch.
+    fn now_us(&self) -> u64;
+
+    /// Blocks (wall) or jumps (virtual) until at least `t_us`, returning
+    /// the observed time afterwards. A target in the past returns
+    /// immediately.
+    fn wait_until(&self, t_us: u64) -> u64;
+
+    /// `true` when waiting is free and the run is schedule-deterministic
+    /// (selects the simulation loop instead of the threaded front-end).
+    fn is_virtual(&self) -> bool;
+
+    /// Hard run budget in µs; past it the serving loop panics rather
+    /// than hang a CI job. `0` (the default) means unbounded.
+    fn budget_us(&self) -> u64 {
+        0
+    }
+}
+
+/// Deterministic simulation time: `wait_until` jumps the clock forward.
+///
+/// The atomic is only there so a shared reference can advance it; the
+/// virtual serving loop is single-threaded by construction.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_us: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at t = 0.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+
+    fn wait_until(&self, t_us: u64) -> u64 {
+        self.now_us.fetch_max(t_us, Ordering::Relaxed);
+        self.now_us()
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+/// Real time: µs elapsed since construction, `wait_until` sleeps.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+    /// Hard wall budget: the serving loop panics past this point rather
+    /// than hang a CI job (0 = no budget).
+    budget_us: u64,
+}
+
+impl WallClock {
+    /// Default hard wall budget (60 s): generous for any smoke-scale
+    /// trace, small enough that a wedged front-end fails a CI job fast.
+    pub const DEFAULT_BUDGET_US: u64 = 60_000_000;
+
+    /// A wall clock whose epoch is *now*, with the default budget.
+    pub fn new() -> Self {
+        WallClock::with_budget(WallClock::DEFAULT_BUDGET_US)
+    }
+
+    /// A wall clock with an explicit hard budget (µs, 0 = unbounded).
+    pub fn with_budget(budget_us: u64) -> Self {
+        WallClock {
+            epoch: Instant::now(),
+            budget_us,
+        }
+    }
+
+    /// The configured hard budget (µs, 0 = unbounded).
+    pub fn budget_us(&self) -> u64 {
+        self.budget_us
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn wait_until(&self, t_us: u64) -> u64 {
+        let now = self.now_us();
+        if t_us > now {
+            std::thread::sleep(Duration::from_micros(t_us - now));
+        }
+        self.now_us()
+    }
+
+    fn is_virtual(&self) -> bool {
+        false
+    }
+
+    fn budget_us(&self) -> u64 {
+        self.budget_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_jumps_and_never_goes_back() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_us(), 0);
+        assert_eq!(c.wait_until(500), 500);
+        assert_eq!(c.wait_until(200), 500, "waiting for the past is a no-op");
+        assert_eq!(c.now_us(), 500);
+        assert!(c.is_virtual());
+    }
+
+    #[test]
+    fn wall_clock_really_elapses() {
+        let c = WallClock::with_budget(0);
+        let t0 = c.now_us();
+        let t1 = c.wait_until(t0 + 2_000);
+        assert!(t1 >= t0 + 2_000, "slept to {t1} aiming at {}", t0 + 2_000);
+        assert!(!c.is_virtual());
+        assert_eq!(c.budget_us(), 0);
+    }
+}

@@ -4,78 +4,112 @@
 //! the workload class the campaign and sweep binaries cannot — an
 //! **open-loop request stream** that keeps arriving whether or not the
 //! server keeps up — and turns it into engine-sized micro-batches under
-//! explicit deadline and capacity policies.
+//! explicit deadline, priority-class and capacity policies, on either
+//! of two interchangeable time axes.
 //!
-//! ## Architecture
+//! ## Architecture: one pipeline, two clocks
 //!
 //! ```text
-//!   LoadGen (seed)            AdmissionQueue             micro-batcher
-//!   ChaCha8 Poisson/burst ──▶ capacity C, FIFO ──▶ close on size OR the
-//!   arrivals + deadlines      shed at capacity     oldest waiter's delay
-//!        │                    expire at deadline          │ batch
-//!        │ open loop          (boundary + pre-dispatch)   ▼
-//!        │                                     BatchClassify::classify_many
-//!        ▼                                     on a shared Engine (worker
-//!   virtual clock (µs) ◀── service model ───── pool; verdicts in order)
-//!                          (SkewedCost heavy tail)
+//!                  ┌────────────────────────────────────────────────┐
+//!   LoadGen (seed) │  AdmissionQueue: capacity C, AIMD cap a ≤ C    │
+//!   ChaCha8 trace ─┼▶ critical ──▶│▒▒│ reserved slots               │
+//!   class mix +    │  interactive ▶│▒▒▒▒│      priority drain ──▶ batcher
+//!   per-class SLOs │  bulk ───────▶│▒▒▒▒▒▒│   (crit > int > bulk)   │ close on size
+//!                  │  shed at cap/capacity, expire at deadline      │ OR lane window
+//!                  └────────────────▲───────────────────────────────┘ OR early close
+//!                                   │ set_admit_cap / early_close        │ batch
+//!                        OverloadController (AIMD)  ◀── observe ─────────┤
+//!                                                      (queued, sheds)   ▼
+//!                                                       Backend::classify_batch
+//!                                                       on a shared Engine
+//!
+//!   Clock axis (µs):   VirtualClock ─ jumps, free waits, deterministic replay
+//!                      WallClock ──── Instant-anchored, real sleeps, threads
 //! ```
 //!
-//! * **Open-loop load generation** ([`LoadGen`]) — arrival traces are a
-//!   pure function of `(seed, config)`: ChaCha8-driven Poisson or burst
-//!   processes, each request carrying an absolute deadline and a payload
-//!   seed. Replays are bit-identical.
-//! * **Admission with shedding** ([`AdmissionQueue`]) — a capacity-bounded
-//!   FIFO that sheds at admission time and expires stale requests, under a
-//!   conservation invariant (`offered == shed + expired + dispatched +
-//!   queued`) that is `debug_assert`-checked after every operation and
-//!   hammered by a dedicated race test.
-//! * **Micro-batching** ([`run_server`]) — batches close on
-//!   size-or-deadline-window ([`BatchPolicy`]) and dispatch through a
-//!   [`Backend`] on a shared engine; deadline-aware early abort drops
-//!   requests past their deadline at batch boundaries and immediately
-//!   before dispatch (never mid-batch).
-//! * **Virtual time** — service cost comes from a deterministic
-//!   [`ServiceModel`] (a [`SkewedCost`](relcnn_faults::SkewedCost)
-//!   heavy-tail profile), so the entire serving history — batch
-//!   composition, shedding, expiry, latency percentiles — is independent
-//!   of the engine's worker count and of wall-clock noise. The CI
-//!   determinism matrix byte-diffs the `serving_artifact` replay across
-//!   worker counts {1, 2, 8} and arrival seeds on exactly this property,
-//!   while the engine's real execution counters are reported separately
-//!   ([`DispatchStats`]).
-//! * **Live metrics** ([`run_server_observed`] + [`ServeMetrics`]) — the
-//!   admission queue and batcher publish queue depth,
-//!   shed/expired/dispatched counters, batch fill and virtual latency to
-//!   shared `relcnn-obs` handles as the replay runs, so a registry is
-//!   scrapeable over `GET /metrics` mid-run. Publication is write-only:
-//!   the observed replay's report is identical to the unobserved one.
+//! * **Virtual clock** (the default): waiting is free, service time
+//!   comes from the deterministic [`ServiceModel`], and the entire
+//!   serving history — batch composition, shedding, controller
+//!   decisions, latencies — is a pure function of `(trace, config)`,
+//!   independent of engine worker count. The CI determinism matrix
+//!   byte-diffs `serving_artifact` across worker counts {1, 2, 8} on
+//!   exactly this property.
+//! * **Wall clock**: a load-generator thread sleeps to each trace
+//!   arrival and offers against the live queue while the batcher thread
+//!   forms and dispatches batches in real time; overload is physics.
+//!   The virtual run is the wall run's correctness oracle: identical
+//!   admission/batching code, and the wall run must still conserve per
+//!   class and replay its controller decisions bit-identically
+//!   ([`OverloadController::replay`]).
 //!
-//! ## Quickstart
+//! Production shaping on both axes:
+//!
+//! * **Priority lanes** ([`RequestClass`]) — safety-critical before
+//!   interactive before bulk, FIFO within a lane, with reserved
+//!   admission slots ([`ServerConfig::with_critical_reserve`]) and a
+//!   tighter batch window ([`BatchPolicy::with_critical_delay`]) for
+//!   the critical lane.
+//! * **Per-class SLOs** ([`LoadGenConfig::with_class_mix`] /
+//!   [`with_class_deadlines`](LoadGenConfig::with_class_deadlines)) —
+//!   each class draws its own deadline budget.
+//! * **AIMD overload control** ([`ControllerConfig`]) — the admission
+//!   cap halves on shed bursts (never below the critical reservation),
+//!   recovers one slot per clean dispatch boundary, and congested batch
+//!   windows close early. Decisions are integer-pure functions of the
+//!   observed queue history.
+//! * **Conservation** — `offered == shed + expired + completed`, per
+//!   class *and* aggregate, `debug_assert`-checked after every queue
+//!   operation and hammered by a three-class race test.
+//! * **Live metrics** ([`Server::observed`] + [`ServeMetrics`]) —
+//!   per-request families carry a `class` label; wall-clock runs serve
+//!   the registry over `GET /metrics` while they run.
+//!
+//! ## Quickstart: the `Server` builder
 //!
 //! ```rust
 //! use relcnn_serve::{
-//!     run_server, BatchPolicy, EchoBackend, LoadGen, LoadGenConfig, ServerConfig, ServiceModel,
+//!     BatchPolicy, ControllerConfig, EchoBackend, LoadGen, LoadGenConfig, Server,
+//!     ServerConfig, ServiceModel, RequestClass,
 //! };
 //! use relcnn_faults::SkewedCost;
 //! use relcnn_runtime::Engine;
 //!
-//! let trace = LoadGen::new(LoadGenConfig::poisson(200, 0xC0FFEE, 300, 10_000)).generate();
-//! let config = ServerConfig {
-//!     queue_capacity: 16,
-//!     policy: BatchPolicy { max_batch: 8, max_delay_us: 1_000 },
-//!     service: ServiceModel {
-//!         batch_overhead_us: 100,
-//!         cost: SkewedCost::periodic(150, 2_000, 13),
-//!     },
-//! };
-//! let run = run_server(&trace, &config, &EchoBackend, &Engine::with_workers(2));
-//! let (p50, p95, p99) = run.report.latency.percentiles();
-//! assert_eq!(
-//!     run.report.offered,
-//!     run.report.completed + run.report.shed + run.report.expired()
+//! // A mixed-class trace: 1:3:2 critical/interactive/bulk, critical on
+//! // a 2 ms budget, bulk on 30 ms.
+//! let trace = LoadGen::new(
+//!     LoadGenConfig::poisson(200, 0xC0FFEE, 300, 10_000)
+//!         .with_class_mix([1, 3, 2])
+//!         .with_class_deadlines([2_000, 0, 30_000]),
+//! )
+//! .generate();
+//!
+//! let config = ServerConfig::new(
+//!     16,
+//!     BatchPolicy::new(8, 1_000).with_critical_delay(200),
+//!     ServiceModel { batch_overhead_us: 100, cost: SkewedCost::periodic(150, 2_000, 13) },
+//! )
+//! .with_critical_reserve(2)
+//! .with_control(ControllerConfig::default());
+//!
+//! let engine = Engine::with_workers(2);
+//! let run = Server::new(config)
+//!     .backend(&EchoBackend)
+//!     .engine(&engine)
+//!     .run(&trace); // default clock: deterministic virtual replay
+//!
+//! assert!(run.report.conserved());
+//! let crit = run.report.class(RequestClass::Critical);
+//! println!(
+//!     "critical: {}/{} on time, shed {:.1}%; cap min {}",
+//!     crit.completed - crit.late, crit.offered,
+//!     crit.shed_rate() * 100.0, run.report.min_admit_cap,
 //! );
-//! println!("p50/p95/p99 {p50}/{p95}/{p99} µs, shed {:.1}%", run.report.shed_rate() * 100.0);
 //! ```
+//!
+//! Swap [`Server::clock`] to a [`WallClock`] and the same builder runs
+//! the threaded real-time front-end (bounded by the clock's hard
+//! budget). The old `run_server` / `run_server_observed` free functions
+//! remain as deprecated shims.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -83,15 +117,24 @@
 mod admission;
 mod backend;
 mod batcher;
+mod clock;
+mod controller;
 mod loadgen;
 pub mod metrics;
 mod report;
 mod request;
+mod server;
+mod wall;
 
-pub use admission::{Admission, AdmissionCounters, AdmissionQueue};
+pub use admission::{Admission, AdmissionCounters, AdmissionQueue, QueueWindow};
 pub use backend::{Backend, BatchReply, CnnBackend, CnnVerdict, EchoBackend};
-pub use batcher::{run_server, run_server_observed, BatchPolicy, ServerConfig, ServiceModel};
+#[allow(deprecated)]
+pub use batcher::{run_server, run_server_observed};
+pub use batcher::{BatchPolicy, ServerConfig, ServiceModel};
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use controller::{ControlRecord, ControllerConfig, Decision, OverloadController};
 pub use loadgen::{Arrival, LoadGen, LoadGenConfig};
-pub use metrics::ServeMetrics;
-pub use report::{DispatchStats, ServeReport, ServeRun};
-pub use request::{Outcome, Request};
+pub use metrics::{ClassMetrics, ServeMetrics};
+pub use report::{ClassReport, DispatchStats, ServeReport, ServeRun};
+pub use request::{Outcome, Request, RequestClass};
+pub use server::{Server, ServerBuilder};

@@ -4,12 +4,20 @@
 //! whether or not the server keeps up — which is what makes overload,
 //! shedding and deadline expiry reachable states at all (a closed loop
 //! self-throttles). [`LoadGen`] materialises an arrival trace as a pure
-//! function of `(seed, config)`: inter-arrival gaps are drawn from a
-//! ChaCha8 stream, so a trace replays bit-identically for the same seed —
-//! the determinism CI byte-diffs serving artefacts across worker counts
-//! and reruns on exactly this property.
+//! function of `(seed, config)`: inter-arrival gaps, class draws and
+//! deadline jitter all come off one ChaCha8 stream, so a trace replays
+//! bit-identically for the same seed — the determinism CI byte-diffs
+//! serving artefacts across worker counts and reruns on exactly this
+//! property.
+//!
+//! Traffic can be a **class mix**: each request draws a
+//! [`RequestClass`] from configured weights, and each class carries its
+//! own deadline budget (safety-critical traffic runs on far tighter
+//! SLOs than bulk). A single-class mix — the default — skips the class
+//! draw entirely, so single-class streams are unperturbed by the mix
+//! machinery.
 
-use crate::request::Request;
+use crate::request::{Request, RequestClass};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -46,7 +54,8 @@ pub struct LoadGenConfig {
     /// Arrival process.
     pub arrival: Arrival,
     /// Relative deadline budget: a request arriving at `t` expires at
-    /// `t + deadline_us` (minus any drawn jitter).
+    /// `t + deadline_us` (minus any drawn jitter). Classes with a
+    /// nonzero entry in `class_deadline_us` override this budget.
     pub deadline_us: u64,
     /// Per-request deadline jitter: each request's budget is shortened
     /// by a uniform draw from `0..=deadline_jitter_us`. With uniform
@@ -55,7 +64,18 @@ pub struct LoadGenConfig {
     /// window is shorter than its budget); jittered budgets are what
     /// make that path reachable under generated load.
     pub deadline_jitter_us: u64,
+    /// Class-draw weights in lane order (critical, interactive, bulk).
+    /// A request's class is drawn proportionally; a mix with a single
+    /// nonzero weight skips the draw, leaving the stream untouched.
+    pub class_weights: [u64; RequestClass::COUNT],
+    /// Per-class deadline budgets in lane order; `0` falls back to
+    /// `deadline_us`. This is where per-class SLOs enter the trace:
+    /// safety-critical budgets are typically a small fraction of bulk's.
+    pub class_deadline_us: [u64; RequestClass::COUNT],
 }
+
+/// Default mix: everything rides the interactive lane.
+const INTERACTIVE_ONLY: [u64; RequestClass::COUNT] = [0, 1, 0];
 
 impl LoadGenConfig {
     /// A Poisson trace.
@@ -66,6 +86,8 @@ impl LoadGenConfig {
             arrival: Arrival::Poisson { mean_gap_us },
             deadline_us,
             deadline_jitter_us: 0,
+            class_weights: INTERACTIVE_ONLY,
+            class_deadline_us: [0; RequestClass::COUNT],
         }
     }
 
@@ -88,6 +110,8 @@ impl LoadGenConfig {
             },
             deadline_us,
             deadline_jitter_us: 0,
+            class_weights: INTERACTIVE_ONLY,
+            class_deadline_us: [0; RequestClass::COUNT],
         }
     }
 
@@ -96,6 +120,33 @@ impl LoadGenConfig {
     pub fn with_deadline_jitter(mut self, jitter_us: u64) -> Self {
         self.deadline_jitter_us = jitter_us;
         self
+    }
+
+    /// Draws each request's class proportionally to `weights` (lane
+    /// order: critical, interactive, bulk). At least one weight must be
+    /// nonzero.
+    pub fn with_class_mix(mut self, weights: [u64; RequestClass::COUNT]) -> Self {
+        assert!(
+            weights.iter().any(|&w| w > 0),
+            "class mix needs a nonzero weight"
+        );
+        self.class_weights = weights;
+        self
+    }
+
+    /// Per-class deadline budgets (lane order); `0` keeps the trace's
+    /// base `deadline_us` for that class.
+    pub fn with_class_deadlines(mut self, budgets_us: [u64; RequestClass::COUNT]) -> Self {
+        self.class_deadline_us = budgets_us;
+        self
+    }
+
+    /// The deadline budget class `class` runs on.
+    pub fn class_budget_us(&self, class: RequestClass) -> u64 {
+        match self.class_deadline_us[class.lane()] {
+            0 => self.deadline_us,
+            b => b,
+        }
     }
 }
 
@@ -127,6 +178,13 @@ impl LoadGen {
     pub fn generate(&self) -> Vec<Request> {
         let cfg = &self.config;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let single_class = if cfg.class_weights.iter().filter(|&&w| w > 0).count() == 1 {
+            let lane = cfg.class_weights.iter().position(|&w| w > 0).unwrap();
+            Some(RequestClass::from_lane(lane))
+        } else {
+            None
+        };
+        let total_weight: u64 = cfg.class_weights.iter().sum();
         let mut out = Vec::with_capacity(cfg.requests as usize);
         let mut now = 0u64;
         for id in 0..cfg.requests {
@@ -147,17 +205,31 @@ impl LoadGen {
                 }
             };
             now += gap;
+            let class = single_class.unwrap_or_else(|| {
+                let mut draw = rng.random::<u64>() % total_weight;
+                let mut chosen = RequestClass::Bulk;
+                for c in RequestClass::ALL {
+                    let w = cfg.class_weights[c.lane()];
+                    if draw < w {
+                        chosen = c;
+                        break;
+                    }
+                    draw -= w;
+                }
+                chosen
+            });
             let jitter = if cfg.deadline_jitter_us > 0 {
                 rng.random::<u64>() % (cfg.deadline_jitter_us + 1)
             } else {
                 0
             };
-            let budget = cfg.deadline_us.saturating_sub(jitter).max(1);
+            let budget = cfg.class_budget_us(class).saturating_sub(jitter).max(1);
             out.push(Request {
                 id,
                 arrival_us: now,
                 deadline_us: now.saturating_add(budget),
                 payload_seed: rng.random::<u64>(),
+                class,
             });
         }
         out
@@ -194,6 +266,7 @@ mod tests {
             for (i, r) in trace.iter().enumerate() {
                 assert_eq!(r.id, i as u64);
                 assert_eq!(r.deadline_us, r.arrival_us + 5_000);
+                assert_eq!(r.class, RequestClass::Interactive, "default mix");
                 if i > 0 {
                     assert!(r.arrival_us >= trace[i - 1].arrival_us);
                 }
@@ -241,6 +314,52 @@ mod tests {
                 continue;
             }
             assert_eq!(gap, 5, "intra-burst spacing at id {}", pair[1].id);
+        }
+    }
+
+    #[test]
+    fn class_mix_draws_every_class_with_per_class_budgets() {
+        let cfg = LoadGenConfig::poisson(600, 11, 300, 20_000)
+            .with_class_mix([1, 3, 4])
+            .with_class_deadlines([2_000, 0, 50_000]);
+        let a = LoadGen::new(cfg).generate();
+        assert_eq!(a, LoadGen::new(cfg).generate(), "mixed traces replay");
+        let mut counts = [0u64; RequestClass::COUNT];
+        for r in &a {
+            counts[r.class.lane()] += 1;
+            let budget = r.deadline_us - r.arrival_us;
+            let want = match r.class {
+                RequestClass::Critical => 2_000,
+                RequestClass::Interactive => 20_000, // 0 falls back
+                RequestClass::Bulk => 50_000,
+            };
+            assert_eq!(budget, want, "class {:?}", r.class);
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "every weighted class appears: {counts:?}"
+        );
+        // Rough proportionality: bulk (weight 4) outnumbers critical
+        // (weight 1) decisively over 600 draws.
+        assert!(counts[2] > counts[0] * 2, "{counts:?}");
+    }
+
+    #[test]
+    fn single_class_mix_leaves_the_stream_untouched() {
+        // An explicit one-class mix must skip the class draw entirely:
+        // same gaps, jitter and payload seeds as the default trace.
+        let base = LoadGenConfig::poisson(256, 21, 250, 8_000).with_deadline_jitter(3_000);
+        let default_trace = LoadGen::new(base).generate();
+        let explicit = LoadGen::new(base.with_class_mix([0, 7, 0])).generate();
+        assert_eq!(default_trace, explicit);
+        let critical = LoadGen::new(base.with_class_mix([5, 0, 0])).generate();
+        for (d, c) in default_trace.iter().zip(&critical) {
+            assert_eq!(c.class, RequestClass::Critical);
+            assert_eq!(
+                (d.arrival_us, d.payload_seed, d.deadline_us),
+                (c.arrival_us, c.payload_seed, c.deadline_us),
+                "only the class may differ"
+            );
         }
     }
 }

@@ -1,33 +1,36 @@
-//! Live serving metrics: queue depth, shed/expired/dispatched counters
-//! and batch-fill/latency histograms, published while the serving loop
-//! runs.
+//! Live serving metrics: per-class queue depth, shed/expired/dispatched
+//! counters and latency histograms, plus the AIMD controller's live cap,
+//! published while the serving loop runs.
 //!
 //! [`ServeMetrics`] mirrors the engine-side `EngineMetrics` pattern: a
 //! bundle of `relcnn-obs` handles that is unregistered (private atomics)
 //! by default and registry-backed after
-//! [`ServeMetrics::registered`]. The admission queue updates its
-//! counters under its own mutex (an extra relaxed add — never a read the
-//! replay's control flow could see), and the batcher publishes dispatch
-//! aggregates at each batch boundary, so a scrape during a long replay
-//! watches queue depth, shedding and batch fill move live. The replay's
-//! deterministic [`ServeReport`](crate::ServeReport) is computed exactly
-//! as before; `run_server_observed` with metrics attached produces a
-//! byte-identical report to the unobserved run (pinned by a test).
+//! [`ServeMetrics::registered`]. Per-request families carry a
+//! **`class` label** — one series per [`RequestClass`] — so a scrape
+//! shows shedding and latency per priority lane; cross-class totals come
+//! from summing the family (`relcnn_obs::parse::Parsed::sum`). The
+//! admission queue updates its lane's counters under its own mutex (an
+//! extra relaxed add — never a read the replay's control flow could
+//! see), and the serving loop publishes dispatch aggregates and
+//! controller decisions at each batch boundary, so a scrape during a
+//! long run watches queue depth, shedding, the admission cap and batch
+//! fill move live. Attaching metrics never changes a replay's
+//! deterministic [`ServeReport`](crate::ServeReport) (pinned by a test).
 
+use crate::request::RequestClass;
 use relcnn_obs::{Counter, Gauge, Histogram, Registry};
 
-/// Serving-side metric handles. Field names mirror the exported metric
-/// names minus the `relcnn_serve_` prefix.
+/// One priority lane's metric handles (one `class`-labeled series of
+/// each per-request family).
 #[derive(Debug, Default)]
-pub struct ServeMetrics {
-    /// Requests currently queued (`relcnn_serve_queue_depth`).
+pub struct ClassMetrics {
+    /// Requests currently queued in this lane
+    /// (`relcnn_serve_queue_depth`).
     pub queue_depth: Gauge,
-    /// Configured queue capacity (`relcnn_serve_queue_capacity`).
-    pub queue_capacity: Gauge,
     /// Requests offered to admission
     /// (`relcnn_serve_requests_offered_total`).
     pub offered: Counter,
-    /// Requests shed at capacity (`relcnn_serve_requests_shed_total`).
+    /// Requests shed at admission (`relcnn_serve_requests_shed_total`).
     pub shed: Counter,
     /// Requests expired past deadline
     /// (`relcnn_serve_requests_expired_total`).
@@ -35,20 +38,38 @@ pub struct ServeMetrics {
     /// Requests handed to batches
     /// (`relcnn_serve_requests_dispatched_total`).
     pub dispatched: Counter,
-    /// Batches dispatched (`relcnn_serve_batches_total`).
-    pub batches: Counter,
     /// Requests served to completion
     /// (`relcnn_serve_requests_completed_total`).
     pub completed: Counter,
     /// Completions past their deadline
     /// (`relcnn_serve_requests_late_total`).
     pub late: Counter,
+    /// End-to-end latency of completed requests, µs on the run's clock
+    /// (`relcnn_serve_latency_microseconds`).
+    pub latency_us: Histogram,
+}
+
+/// Serving-side metric handles. Per-request families live in
+/// [`ClassMetrics`], one per priority lane; the rest are run-global.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Configured queue capacity (`relcnn_serve_queue_capacity`).
+    pub queue_capacity: Gauge,
+    /// Live AIMD admission cap (`relcnn_serve_admission_cap`).
+    pub admit_cap: Gauge,
+    /// Batches dispatched (`relcnn_serve_batches_total`).
+    pub batches: Counter,
     /// Requests per dispatched batch
     /// (`relcnn_serve_batch_fill_requests`).
     pub batch_fill: Histogram,
-    /// Virtual end-to-end latency of completed requests, µs
-    /// (`relcnn_serve_virtual_latency_microseconds`).
-    pub latency_us: Histogram,
+    /// Batch windows the controller closed early
+    /// (`relcnn_serve_window_early_close_total`).
+    pub early_closes: Counter,
+    /// Dispatch boundaries that multiplicatively clamped the cap
+    /// (`relcnn_serve_aimd_clamp_total`).
+    pub aimd_clamps: Counter,
+    /// Per-lane handles, indexed by [`RequestClass::lane`].
+    pub classes: [ClassMetrics; RequestClass::COUNT],
 }
 
 impl ServeMetrics {
@@ -57,56 +78,92 @@ impl ServeMetrics {
         ServeMetrics::default()
     }
 
+    /// One lane's handles.
+    pub fn class(&self, class: RequestClass) -> &ClassMetrics {
+        &self.classes[class.lane()]
+    }
+
     /// A bundle registered on `registry` under the `relcnn_serve_*`
-    /// names. Idempotent: repeated attachment shares series.
+    /// names, per-request families labeled by `class`. Idempotent:
+    /// repeated attachment shares series.
     pub fn registered(registry: &Registry) -> Self {
-        let c = |name, help| registry.counter(name, help, &[]);
+        let class = |class: RequestClass| {
+            let l = [("class", class.label())];
+            ClassMetrics {
+                queue_depth: registry.gauge(
+                    "relcnn_serve_queue_depth",
+                    "Requests currently in the admission queue",
+                    &l,
+                ),
+                offered: registry.counter(
+                    "relcnn_serve_requests_offered_total",
+                    "Requests presented to admission",
+                    &l,
+                ),
+                shed: registry.counter(
+                    "relcnn_serve_requests_shed_total",
+                    "Requests rejected at admission (capacity or AIMD cap)",
+                    &l,
+                ),
+                expired: registry.counter(
+                    "relcnn_serve_requests_expired_total",
+                    "Requests dropped past their deadline before dispatch",
+                    &l,
+                ),
+                dispatched: registry.counter(
+                    "relcnn_serve_requests_dispatched_total",
+                    "Requests handed to a batch",
+                    &l,
+                ),
+                completed: registry.counter(
+                    "relcnn_serve_requests_completed_total",
+                    "Requests served to completion (late ones included)",
+                    &l,
+                ),
+                late: registry.counter(
+                    "relcnn_serve_requests_late_total",
+                    "Completed requests whose batch finished past their deadline",
+                    &l,
+                ),
+                latency_us: registry.histogram(
+                    "relcnn_serve_latency_microseconds",
+                    "End-to-end latency of completed requests, microseconds on the run's clock",
+                    &l,
+                ),
+            }
+        };
         ServeMetrics {
-            queue_depth: registry.gauge(
-                "relcnn_serve_queue_depth",
-                "Requests currently in the admission queue",
-                &[],
-            ),
             queue_capacity: registry.gauge(
                 "relcnn_serve_queue_capacity",
                 "Configured admission-queue capacity",
                 &[],
             ),
-            offered: c(
-                "relcnn_serve_requests_offered_total",
-                "Requests presented to admission",
+            admit_cap: registry.gauge(
+                "relcnn_serve_admission_cap",
+                "Live AIMD admission cap (non-critical classes shed above it)",
+                &[],
             ),
-            shed: c(
-                "relcnn_serve_requests_shed_total",
-                "Requests rejected because the queue was at capacity",
-            ),
-            expired: c(
-                "relcnn_serve_requests_expired_total",
-                "Requests dropped past their deadline before dispatch",
-            ),
-            dispatched: c(
-                "relcnn_serve_requests_dispatched_total",
-                "Requests handed to a batch",
-            ),
-            batches: c("relcnn_serve_batches_total", "Batches dispatched"),
-            completed: c(
-                "relcnn_serve_requests_completed_total",
-                "Requests served to completion (late ones included)",
-            ),
-            late: c(
-                "relcnn_serve_requests_late_total",
-                "Completed requests whose batch finished past their deadline",
-            ),
+            batches: registry.counter("relcnn_serve_batches_total", "Batches dispatched", &[]),
             batch_fill: registry.histogram(
                 "relcnn_serve_batch_fill_requests",
                 "Requests per dispatched batch",
                 &[],
             ),
-            latency_us: registry.histogram(
-                "relcnn_serve_virtual_latency_microseconds",
-                "Virtual end-to-end latency of completed requests, microseconds",
+            early_closes: registry.counter(
+                "relcnn_serve_window_early_close_total",
+                "Batch windows the overload controller closed early",
                 &[],
             ),
+            aimd_clamps: registry.counter(
+                "relcnn_serve_aimd_clamp_total",
+                "Dispatch boundaries that multiplicatively clamped the admission cap",
+                &[],
+            ),
+            classes: [
+                class(RequestClass::Critical),
+                class(RequestClass::Interactive),
+                class(RequestClass::Bulk),
+            ],
         }
     }
 }
@@ -116,19 +173,53 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registered_bundles_share_series_and_render() {
+    fn registered_bundles_share_series_and_render_class_labels() {
         let reg = Registry::new();
         let a = ServeMetrics::registered(&reg);
         let b = ServeMetrics::registered(&reg);
-        a.offered.add(5);
-        a.queue_depth.set(3);
-        assert_eq!(b.offered.get(), 5);
+        a.class(RequestClass::Interactive).offered.add(5);
+        a.class(RequestClass::Critical).queue_depth.set(3);
+        a.admit_cap.set(12);
+        assert_eq!(b.class(RequestClass::Interactive).offered.get(), 5);
         let page = reg.render();
         assert!(
-            page.contains("relcnn_serve_requests_offered_total 5"),
+            page.contains("relcnn_serve_requests_offered_total{class=\"interactive\"} 5"),
             "{page}"
         );
-        assert!(page.contains("relcnn_serve_queue_depth 3"), "{page}");
+        assert!(
+            page.contains("relcnn_serve_queue_depth{class=\"critical\"} 3"),
+            "{page}"
+        );
+        assert!(page.contains("relcnn_serve_admission_cap 12"), "{page}");
         relcnn_obs::parse::validate(&page).expect("valid exposition");
+        // Family sums aggregate across class series.
+        a.class(RequestClass::Bulk).offered.add(7);
+        let parsed = relcnn_obs::parse::validate(&reg.render()).expect("parse");
+        assert_eq!(parsed.sum("relcnn_serve_requests_offered_total"), 12.0);
+        // Registration creates all three class series up front (zeros
+        // included) — a scrape always shows the full label space.
+        assert_eq!(
+            parsed.label_values("relcnn_serve_requests_offered_total", "class"),
+            vec!["bulk", "critical", "interactive"]
+        );
+    }
+
+    #[test]
+    fn every_class_gets_its_own_series() {
+        let reg = Registry::new();
+        let m = ServeMetrics::registered(&reg);
+        for class in RequestClass::ALL {
+            m.class(class).shed.inc();
+        }
+        let page = reg.render();
+        for class in RequestClass::ALL {
+            assert!(
+                page.contains(&format!(
+                    "relcnn_serve_requests_shed_total{{class=\"{}\"}} 1",
+                    class.label()
+                )),
+                "{page}"
+            );
+        }
     }
 }

@@ -1,20 +1,84 @@
 //! Serving-run aggregates.
 
-use crate::request::Outcome;
+use crate::controller::ControlRecord;
+use crate::request::{Outcome, RequestClass};
 use relcnn_runtime::{LatencyHistogram, RunStats};
 use std::time::Duration;
 
-/// Deterministic aggregate of one serving replay: everything here is a
-/// pure function of `(trace, server config)` — no wall-clock quantity —
-/// so it byte-diffs across worker counts and reruns, and the bench gate
-/// can hold p99/shed-rate to a committed baseline exactly.
+/// One priority class's slice of the aggregate. The bench gate holds
+/// each class to its own baseline — per-class SLOs are only meaningful
+/// if regressions are caught per class, not washed out in the total.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassReport {
+    /// Requests of this class in the trace.
+    pub offered: u64,
+    /// Served to completion (late ones included).
+    pub completed: u64,
+    /// Rejected at admission.
+    pub shed: u64,
+    /// Dropped past deadline before dispatch (boundary + pre-dispatch).
+    pub expired: u64,
+    /// Completions past their deadline.
+    pub late: u64,
+    /// Latencies of completed requests (µs on the run's clock).
+    pub latency: LatencyHistogram,
+}
+
+impl ClassReport {
+    /// Fraction of this class's offered requests shed at admission.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of this class's offered requests that met their deadline.
+    pub fn goodput_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.completed - self.late) as f64 / self.offered as f64
+        }
+    }
+
+    /// Conservation check: every offered request reached a terminal
+    /// state.
+    pub fn conserved(&self) -> bool {
+        self.offered == self.completed + self.shed + self.expired
+    }
+
+    fn to_json(&self) -> String {
+        let (p50, p95, p99) = self.latency.percentiles();
+        format!(
+            "{{\"offered\":{},\"completed\":{},\"shed\":{},\"expired\":{},\"late\":{},\
+             \"shed_rate\":{:.6},\"goodput_rate\":{:.6},\
+             \"p50_us\":{p50},\"p95_us\":{p95},\"p99_us\":{p99}}}",
+            self.offered,
+            self.completed,
+            self.shed,
+            self.expired,
+            self.late,
+            self.shed_rate(),
+            self.goodput_rate(),
+        )
+    }
+}
+
+/// Aggregate of one serving run. For a virtual-clock replay everything
+/// here is a pure function of `(trace, server config)` — no wall-clock
+/// quantity — so it byte-diffs across worker counts and reruns, and the
+/// bench gate can hold p99/shed-rate to a committed baseline exactly.
+/// A wall-clock run fills the same shape with measured times (counters
+/// still conserve exactly; latencies are physics).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServeReport {
     /// Requests in the trace.
     pub offered: u64,
     /// Requests served to completion (late ones included).
     pub completed: u64,
-    /// Requests rejected at admission (queue at capacity).
+    /// Requests rejected at admission (queue at capacity or AIMD cap).
     pub shed: u64,
     /// Requests dropped at a batch-completion boundary (already past
     /// deadline when the server freed).
@@ -28,16 +92,32 @@ pub struct ServeReport {
     /// Requests carried by those batches (`completed`, kept separate so
     /// the fill ratio is self-contained).
     pub batched_requests: u64,
-    /// Virtual time at which the last batch completed.
-    pub virtual_makespan_us: u64,
-    /// Histogram of completed requests' virtual latencies (µs).
+    /// Time at which the last batch completed (run-clock µs).
+    pub makespan_us: u64,
+    /// Histogram of completed requests' latencies (µs).
     pub latency: LatencyHistogram,
+    /// Per-class slices, indexed by [`RequestClass::lane`].
+    pub classes: [ClassReport; RequestClass::COUNT],
+    /// Batch windows the overload controller closed early.
+    pub early_closes: u64,
+    /// Dispatch boundaries that multiplicatively clamped the cap.
+    pub aimd_clamps: u64,
+    /// Lowest admission cap any controller decision produced (equals the
+    /// queue capacity when no controller ran).
+    pub min_admit_cap: u64,
+    /// Admission cap at end of run.
+    pub final_admit_cap: u64,
 }
 
 impl ServeReport {
     /// An empty report.
     pub fn new() -> Self {
         ServeReport::default()
+    }
+
+    /// One class's slice.
+    pub fn class(&self, class: RequestClass) -> &ClassReport {
+        &self.classes[class.lane()]
     }
 
     /// Total expired requests (boundary + pre-dispatch sweeps).
@@ -72,17 +152,28 @@ impl ServeReport {
         }
     }
 
-    /// Renders the deterministic aggregate as one JSON object. Field
-    /// values are integers and fixed-precision ratios only, so the
-    /// rendering itself is reproducible.
+    /// Conservation across terminal states, in aggregate and per class.
+    pub fn conserved(&self) -> bool {
+        self.offered == self.completed + self.shed + self.expired()
+            && self.classes.iter().all(|c| c.conserved())
+    }
+
+    /// Renders the aggregate as one JSON object, per-class blocks
+    /// included. Field values are integers and fixed-precision ratios
+    /// only, so the rendering itself is reproducible.
     pub fn to_json(&self) -> String {
         let (p50, p95, p99) = self.latency.percentiles();
+        let classes: Vec<String> = RequestClass::ALL
+            .iter()
+            .map(|c| format!("\"{}\":{}", c.label(), self.class(*c).to_json()))
+            .collect();
         format!(
             "{{\"offered\":{},\"completed\":{},\"shed\":{},\"expired_boundary\":{},\
              \"expired_pre_dispatch\":{},\"late\":{},\"batches\":{},\
              \"mean_batch_fill\":{:.3},\"shed_rate\":{:.6},\"goodput_rate\":{:.6},\
-             \"virtual_makespan_us\":{},\"p50_virtual_us\":{p50},\
-             \"p95_virtual_us\":{p95},\"p99_virtual_us\":{p99}}}",
+             \"makespan_us\":{},\"p50_us\":{p50},\"p95_us\":{p95},\"p99_us\":{p99},\
+             \"early_closes\":{},\"aimd_clamps\":{},\"min_admit_cap\":{},\
+             \"final_admit_cap\":{},\"classes\":{{{}}}}}",
             self.offered,
             self.completed,
             self.shed,
@@ -93,7 +184,12 @@ impl ServeReport {
             self.mean_batch_fill(),
             self.shed_rate(),
             self.goodput_rate(),
-            self.virtual_makespan_us,
+            self.makespan_us,
+            self.early_closes,
+            self.aimd_clamps,
+            self.min_admit_cap,
+            self.final_admit_cap,
+            classes.join(","),
         )
     }
 }
@@ -129,15 +225,18 @@ impl DispatchStats {
     }
 }
 
-/// Everything a serving replay produced.
+/// Everything a serving run produced.
 #[derive(Debug, Clone)]
 pub struct ServeRun<V> {
-    /// Deterministic aggregate.
+    /// Aggregate (deterministic for a virtual-clock replay).
     pub report: ServeReport,
     /// Terminal outcome of every request, indexed by request id.
     pub outcomes: Vec<Outcome<V>>,
     /// Wall-clock engine counters (not deterministic).
     pub dispatch: DispatchStats,
+    /// The overload controller's decision log, one record per dispatch
+    /// boundary (empty when no controller was configured).
+    pub control: Vec<ControlRecord>,
 }
 
 #[cfg(test)]
@@ -150,13 +249,15 @@ mod tests {
         assert_eq!(r.shed_rate(), 0.0);
         assert_eq!(r.goodput_rate(), 0.0);
         assert_eq!(r.mean_batch_fill(), 0.0);
+        assert!(r.conserved());
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"p99_virtual_us\":0"));
+        assert!(json.contains("\"p99_us\":0"));
+        assert!(json.contains("\"classes\":{\"critical\":{"), "{json}");
     }
 
     #[test]
-    fn json_carries_the_gated_fields() {
+    fn json_carries_the_gated_fields_per_class() {
         let mut r = ServeReport::new();
         r.offered = 100;
         r.completed = 80;
@@ -167,9 +268,33 @@ mod tests {
         for i in 0..80 {
             r.latency.record(1_000 + i * 10);
         }
+        let crit = &mut r.classes[RequestClass::Critical.lane()];
+        crit.offered = 30;
+        crit.completed = 28;
+        crit.shed = 2;
+        crit.latency.record(500);
         let json = r.to_json();
         assert!(json.contains("\"shed_rate\":0.150000"), "{json}");
         assert!(json.contains("\"mean_batch_fill\":8.000"), "{json}");
-        assert!(json.contains("\"p50_virtual_us\":"), "{json}");
+        assert!(
+            json.contains("\"critical\":{\"offered\":30,\"completed\":28,\"shed\":2"),
+            "{json}"
+        );
+        assert!(json.contains("\"interactive\":{\"offered\":0"), "{json}");
+    }
+
+    #[test]
+    fn conservation_checks_both_levels() {
+        let mut r = ServeReport::new();
+        r.offered = 10;
+        r.completed = 6;
+        r.shed = 4;
+        assert!(r.conserved(), "aggregate balances, classes all empty");
+        r.classes[0].offered = 5; // class-level leak
+        assert!(!r.conserved());
+        r.classes[0].completed = 5;
+        assert!(r.conserved());
+        r.shed = 3; // aggregate leak
+        assert!(!r.conserved());
     }
 }

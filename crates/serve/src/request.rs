@@ -1,7 +1,63 @@
 //! The unit of serving work.
 
-/// One inference request of an open-loop trace. All times are virtual
-/// microseconds on the trace's clock.
+/// Priority class of a request: which admission lane it rides and how
+/// the batcher trades batch fill against its latency.
+///
+/// Lanes drain in declaration order — [`Critical`](RequestClass::Critical)
+/// first — and the safety-critical lane additionally owns a capacity
+/// reservation the AIMD admission controller can never clamp away (cf.
+/// the DUNE DAQ's priority-tiered readout: safety traffic must survive
+/// exactly the overload that sheds everything else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RequestClass {
+    /// Safety-critical: drains first, short batch windows, reserved
+    /// admission slots that AIMD backoff cannot reclaim.
+    Critical,
+    /// Interactive: ordinary latency-sensitive traffic.
+    Interactive,
+    /// Bulk: best-effort throughput traffic — first to wait, first to
+    /// be shed under overload.
+    Bulk,
+}
+
+impl RequestClass {
+    /// Number of classes (array dimension for per-class state).
+    pub const COUNT: usize = 3;
+
+    /// Every class, in lane-priority (drain) order.
+    pub const ALL: [RequestClass; RequestClass::COUNT] = [
+        RequestClass::Critical,
+        RequestClass::Interactive,
+        RequestClass::Bulk,
+    ];
+
+    /// Lane index (0 = highest priority).
+    pub fn lane(self) -> usize {
+        match self {
+            RequestClass::Critical => 0,
+            RequestClass::Interactive => 1,
+            RequestClass::Bulk => 2,
+        }
+    }
+
+    /// Stable lowercase label (metric label value, JSON key).
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestClass::Critical => "critical",
+            RequestClass::Interactive => "interactive",
+            RequestClass::Bulk => "bulk",
+        }
+    }
+
+    /// Inverse of [`lane`](RequestClass::lane).
+    pub fn from_lane(lane: usize) -> RequestClass {
+        RequestClass::ALL[lane]
+    }
+}
+
+/// One inference request of an open-loop trace. Times are microseconds
+/// on the serving clock's axis — virtual trace time for a replay, real
+/// microseconds since the run epoch for the wall-clock front-end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// Trace-order index (also the artefact line key).
@@ -14,6 +70,8 @@ pub struct Request {
     /// Payload selector: the backend maps it to an input image, the
     /// service model may map it to a cost class.
     pub payload_seed: u64,
+    /// Priority class: admission lane, drain order, batch-window budget.
+    pub class: RequestClass,
 }
 
 impl Request {
@@ -30,7 +88,8 @@ pub enum Outcome<V> {
     Completed {
         /// Index of the batch that carried it.
         batch: u64,
-        /// Virtual completion latency (batch completion − arrival).
+        /// Completion latency on the run's clock (batch completion −
+        /// arrival).
         latency_us: u64,
         /// Whether completion overshot the deadline (dispatched in time,
         /// finished late — mid-batch work is never aborted).
@@ -38,9 +97,27 @@ pub enum Outcome<V> {
         /// The backend's verdict.
         verdict: V,
     },
-    /// Rejected at admission: the queue was at capacity.
+    /// Rejected at admission: the queue (or the AIMD-clamped admission
+    /// cap) was full.
     Shed,
     /// Dropped unserved: already past its deadline when the server
     /// looked at it (at a batch boundary or just before dispatch).
     Expired,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_are_priority_ordered_and_invertible() {
+        assert!(RequestClass::Critical < RequestClass::Interactive);
+        assert!(RequestClass::Interactive < RequestClass::Bulk);
+        for (i, class) in RequestClass::ALL.iter().enumerate() {
+            assert_eq!(class.lane(), i);
+            assert_eq!(RequestClass::from_lane(i), *class);
+        }
+        let labels: Vec<&str> = RequestClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["critical", "interactive", "bulk"]);
+    }
 }

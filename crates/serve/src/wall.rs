@@ -1,0 +1,214 @@
+//! The threaded wall-clock serving front-end.
+//!
+//! Same admission queue, same per-class lanes, same controller — but
+//! arrivals come from a **real-time load generator thread** that sleeps
+//! to each trace timestamp and offers against the live queue, while the
+//! batcher thread forms and dispatches batches under physical time.
+//! Overload here is produced by physics (the generator genuinely
+//! outruns the server) instead of a service model, which is exactly
+//! what the virtual replay cannot exercise: lock contention, condvar
+//! wakeups, arrivals landing *during* a dispatch.
+//!
+//! What stays checkable without determinism:
+//!
+//! * **conservation** — per class and aggregate, the same invariant the
+//!   virtual loop and the hammer test pin: every offered request ends
+//!   shed, expired or completed;
+//! * **controller purity** — AIMD decisions are a pure function of the
+//!   observed `(queued, shed_total)` history, so the recorded decision
+//!   log must replay bit-identically through a fresh controller
+//!   ([`OverloadController::replay`](crate::OverloadController::replay));
+//! * **the virtual oracle** — the same trace replayed on a
+//!   [`VirtualClock`](crate::VirtualClock) is byte-identical across
+//!   engine worker counts; the wall run must agree with it on the
+//!   *structural* story (trace identity, class populations).
+//!
+//! The batcher dispatches the real backend, then sleeps out the
+//! remainder of the [`ServiceModel`](crate::ServiceModel) cost for the
+//! batch — so the modeled accelerator's saturation point holds on the
+//! wall axis too, and tiny test backends still produce overload.
+//!
+//! A [`WallClock`](crate::WallClock) budget bounds the whole run: the
+//! loop panics past it rather than hang a CI job.
+
+use crate::admission::{Admission, AdmissionQueue};
+use crate::backend::Backend;
+use crate::batcher::{
+    control_boundary, finish_run, record_completion, record_expired, validate_trace, ServerConfig,
+};
+use crate::clock::Clock;
+use crate::metrics::ServeMetrics;
+use crate::report::{DispatchStats, ServeReport, ServeRun};
+use crate::request::{Outcome, Request};
+use relcnn_obs::{Registry, ScrapeServer};
+use relcnn_runtime::Engine;
+use std::net::SocketAddr;
+use std::sync::mpsc::Sender;
+use std::time::Duration;
+
+/// Idle re-check interval when the batcher has nothing queued.
+const IDLE_WAIT: Duration = Duration::from_millis(2);
+
+fn check_budget(clock: &dyn Clock, now_us: u64) {
+    let budget = clock.budget_us();
+    assert!(
+        budget == 0 || now_us <= budget,
+        "wall-clock serving run exceeded its hard budget ({now_us} µs > {budget} µs)"
+    );
+}
+
+/// Runs `trace` through the wall-clock front-end (see the module docs).
+/// Reached through [`Server::run`](crate::Server::run) with a
+/// non-virtual [`Clock`].
+// The wall loop threads every collaborator the builder wired up; a
+// param struct would just rename the same eight things.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_wall<B: Backend>(
+    trace: &[Request],
+    config: &ServerConfig,
+    backend: &B,
+    engine: &Engine,
+    metrics: &ServeMetrics,
+    clock: &dyn Clock,
+    registry: Option<&Registry>,
+    scrape_notify: Option<&Sender<SocketAddr>>,
+) -> ServeRun<B::Verdict> {
+    validate_trace(trace);
+    // A live run gets a live scrape endpoint by default: if the server
+    // is observed, its registry is served over GET /metrics for the
+    // duration of the run.
+    let scrape = registry.map(|reg| {
+        let srv = ScrapeServer::bind("127.0.0.1:0", reg.clone()).expect("bind scrape endpoint");
+        if let Some(tx) = scrape_notify {
+            let _ = tx.send(srv.addr());
+        }
+        srv
+    });
+
+    let queue = AdmissionQueue::with_reserve(config.queue_capacity, config.critical_reserve)
+        .observed(metrics);
+    metrics.queue_capacity.set(queue.capacity() as i64);
+    metrics.admit_cap.set(queue.admit_cap() as i64);
+    let max_batch = config.policy.max_batch.max(1);
+    let policy = &config.policy;
+    let mut controller = config
+        .control
+        .map(|c| crate::OverloadController::new(c, queue.capacity(), queue.critical_reserve()));
+    let mut outcomes: Vec<Option<Outcome<B::Verdict>>> = vec![None; trace.len()];
+    let mut report = ServeReport::new();
+    let mut dispatch = DispatchStats::default();
+    let mut free_at = 0u64;
+    let mut boundary_swept = true;
+    let mut early_close = false;
+    let mut makespan = 0u64;
+
+    let shed_requests = std::thread::scope(|scope| {
+        // Load-generator thread: sleep to each arrival, offer, collect
+        // what admission rejects (it cannot touch the report — that
+        // stays single-threaded on the batcher side).
+        let producer = scope.spawn(|| {
+            let mut shed = Vec::new();
+            for r in trace {
+                clock.wait_until(r.arrival_us);
+                if queue.offer(*r) == Admission::Shed {
+                    shed.push(*r);
+                }
+            }
+            queue.close();
+            shed
+        });
+
+        // Batcher: the calling thread.
+        loop {
+            let window = queue.window();
+            let now = clock.now_us();
+            check_budget(clock, now);
+            if window.len == 0 {
+                if window.closed {
+                    break;
+                }
+                queue.wait_for_activity(IDLE_WAIT);
+                continue;
+            }
+            // Same close rule as the virtual loop, on measured time: size
+            // (or controller early-close) as soon as possible, else the
+            // tightest lane window among the queued heads.
+            let close_at = if window.len >= max_batch || early_close {
+                now
+            } else {
+                policy
+                    .window_close_us(&window.head_arrival_us)
+                    .expect("non-empty queue has a head")
+            };
+            if close_at > now {
+                // Park until the window closes — or an arrival lands and
+                // the batch may now be full; recompute either way.
+                queue.wait_for_activity(Duration::from_micros(close_at - now));
+                continue;
+            }
+            if !boundary_swept {
+                for r in queue.expire(free_at) {
+                    record_expired(&mut report, &mut outcomes, &r, true);
+                }
+                boundary_swept = true;
+            }
+            let dispatch_at = clock.now_us();
+            for r in queue.expire(dispatch_at) {
+                record_expired(&mut report, &mut outcomes, &r, false);
+            }
+            let batch = queue.take_batch(max_batch);
+            if batch.is_empty() {
+                continue;
+            }
+            let reply = backend.classify_batch(engine, &batch);
+            assert_eq!(
+                reply.verdicts.len(),
+                batch.len(),
+                "backend returned {} verdicts for a batch of {}",
+                reply.verdicts.len(),
+                batch.len()
+            );
+            // The modeled accelerator cost is a *floor* on the batch's
+            // service time: real inference ran above; sleep out the rest.
+            let done_at = clock.wait_until(dispatch_at + config.service.batch_cost_us(&batch));
+            for (r, verdict) in batch.iter().zip(reply.verdicts) {
+                let latency_us = done_at.saturating_sub(r.arrival_us);
+                let late = done_at > r.deadline_us;
+                record_completion(
+                    &mut report,
+                    metrics,
+                    &mut outcomes,
+                    r,
+                    verdict,
+                    latency_us,
+                    late,
+                );
+            }
+            report.batches += 1;
+            report.batched_requests += batch.len() as u64;
+            metrics.batches.inc();
+            metrics.batch_fill.record(batch.len() as u64);
+            if let Some(stats) = reply.stats {
+                dispatch.fold(&stats);
+            }
+            free_at = done_at;
+            makespan = makespan.max(done_at);
+            boundary_swept = false;
+            early_close = control_boundary(&mut controller, &queue, metrics);
+        }
+
+        producer.join().expect("load-generator thread panicked")
+    });
+
+    // Merge the producer's shed verdicts into the single-threaded record.
+    for r in &shed_requests {
+        report.shed += 1;
+        report.classes[r.class.lane()].shed += 1;
+        outcomes[r.id as usize] = Some(Outcome::Shed);
+    }
+    report.makespan_us = makespan.max(clock.now_us());
+    if let Some(srv) = scrape {
+        srv.shutdown();
+    }
+    finish_run(trace, &queue, controller, report, outcomes, dispatch)
+}

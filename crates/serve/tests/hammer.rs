@@ -3,10 +3,12 @@
 //! The PR 3 queued-counter underflow was found by stress-looping the
 //! determinism binary at `--test-threads 8`; this test applies the same
 //! methodology to the serving layer's shared state. Deadline expiry
-//! races batch dispatch races admission from multiple threads, with the
-//! conservation invariant (`offered == shed + expired + dispatched +
-//! queued`) `debug_assert`-checked inside every queue operation — a lost
-//! or double-counted request trips it immediately in debug builds.
+//! races batch dispatch races admission from multiple threads — across
+//! all three priority lanes, with the AIMD admission cap twitching live
+//! underneath — with the conservation invariant (`offered == shed +
+//! expired + dispatched + queued`) `debug_assert`-checked **per class
+//! and in aggregate** inside every queue operation: a lost or
+//! double-counted request trips it immediately in debug builds.
 //!
 //! Reproduce the hunt with:
 //!
@@ -16,16 +18,21 @@
 //! done
 //! ```
 
-use relcnn_serve::{AdmissionQueue, Request};
+use relcnn_serve::{AdmissionQueue, Request, RequestClass};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn req(id: u64, arrival: u64, deadline: u64) -> Request {
+    classed(id, arrival, deadline, RequestClass::Interactive)
+}
+
+fn classed(id: u64, arrival: u64, deadline: u64, class: RequestClass) -> Request {
     Request {
         id,
         arrival_us: arrival,
         deadline_us: deadline,
         payload_seed: id,
+        class,
     }
 }
 
@@ -161,5 +168,121 @@ fn shedding_stays_conserved_at_capacity() {
     assert!(
         c.shed > 0,
         "capacity 2 under a hot producer must shed: {c:?}"
+    );
+}
+
+/// Three priority classes race admission against expiry, dispatch and a
+/// live-twitching AIMD cap. Conservation must hold *per class* (the
+/// per-class `debug_assert` inside every queue operation) and the
+/// critical reservation must do its job: with bulk/interactive pressure
+/// clamped to the floor, critical traffic still gets through.
+#[test]
+fn three_classes_race_with_a_twitching_admission_cap() {
+    const PER_CLASS: u64 = 6_000;
+    const CAPACITY: usize = 24;
+    const RESERVE: usize = 4;
+
+    let queue = Arc::new(AdmissionQueue::with_reserve(CAPACITY, RESERVE));
+    let clock = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        // One producer per class.
+        for class in RequestClass::ALL {
+            let queue = Arc::clone(&queue);
+            let clock = Arc::clone(&clock);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let base = class.lane() as u64 * PER_CLASS;
+                for i in 0..PER_CLASS {
+                    let now = clock.fetch_add(1, Ordering::Relaxed);
+                    let deadline = match i % 4 {
+                        0 => now, // dead on arrival
+                        1 => now + 11,
+                        _ => u64::MAX,
+                    };
+                    queue.offer(classed(base + i, now, deadline, class));
+                    if i.is_multiple_of(128) {
+                        std::thread::yield_now();
+                    }
+                }
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+        // A controller stand-in twitching the cap between the floor and
+        // fully open — including attempts below the reservation, which
+        // the queue must clamp.
+        {
+            let queue = Arc::clone(&queue);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut cap = CAPACITY;
+                while done.load(Ordering::Acquire) < 3 {
+                    cap = if cap <= 1 { CAPACITY } else { cap / 2 };
+                    queue.set_admit_cap(cap.saturating_sub(RESERVE)); // sometimes < reserve
+                    let got = queue.admit_cap();
+                    assert!(
+                        (RESERVE..=CAPACITY).contains(&got),
+                        "cap escaped its clamp: {got}"
+                    );
+                    std::thread::yield_now();
+                }
+                queue.set_admit_cap(CAPACITY);
+            });
+        }
+        // Two consumers: boundary sweeps + priority dispatch.
+        for _ in 0..2 {
+            let queue = Arc::clone(&queue);
+            let clock = Arc::clone(&clock);
+            scope.spawn(move || loop {
+                let now = clock.fetch_add(2, Ordering::Relaxed);
+                queue.expire(now);
+                let batch = queue.take_batch(5);
+                // Priority drain: a batch never carries a lower lane
+                // before a higher one.
+                for pair in batch.windows(2) {
+                    assert!(
+                        pair[0].class.lane() <= pair[1].class.lane(),
+                        "priority inversion inside a batch: {:?}",
+                        batch.iter().map(|r| r.class).collect::<Vec<_>>()
+                    );
+                }
+                if queue.counters().offered == 3 * PER_CLASS && queue.is_empty() {
+                    break;
+                }
+                if batch.is_empty() {
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    // Per-class and aggregate conservation, on top of the per-operation
+    // debug_asserts that ran throughout.
+    let mut offered_sum = 0;
+    for class in RequestClass::ALL {
+        let c = queue.class_counters(class);
+        assert_eq!(c.offered, PER_CLASS, "{class:?}");
+        assert_eq!(
+            c.offered,
+            c.shed + c.expired + c.dispatched,
+            "per-class conservation broke for {class:?}: {c:?}"
+        );
+        offered_sum += c.offered;
+    }
+    let total = queue.counters();
+    assert_eq!(total.offered, offered_sum);
+    assert_eq!(total.offered, total.shed + total.expired + total.dispatched);
+    // The reservation must do its job: critical traffic dispatches even
+    // while the twitcher pins the non-critical budget at zero (which can
+    // legitimately shed an entire non-critical lane on a busy box), and
+    // critical — shed only at physical capacity — never sheds more than
+    // the bulk lane the cap squeezes.
+    let crit = queue.class_counters(RequestClass::Critical);
+    let bulk = queue.class_counters(RequestClass::Bulk);
+    assert!(crit.dispatched > 0, "critical starved: {crit:?}");
+    assert!(
+        crit.shed <= bulk.shed,
+        "the reservation should shield critical traffic: crit {crit:?} vs bulk {bulk:?}"
     );
 }
