@@ -47,6 +47,14 @@
 //! scaling benches run with an unbounded reorder budget, so the numbers
 //! describe observed reorder pressure, not a gated contract.
 //!
+//! The cluster smoke's loss/requeue counters (`results/cluster_smoke.json`,
+//! run `cargo run --release -p relcnn-bench --bin cluster_smoke` first)
+//! are printed in the same counters-line shape and held to hard
+//! robustness invariants — every seeded chaos leg must have finished
+//! degraded with a lost worker and a requeued task. A missing file is an
+//! informational skip, not a failure, so the other gates stay usable on
+//! their own.
+//!
 //! The gate reads artefacts rather than timing anything itself, so it is
 //! cheap to re-run while iterating on a regression.
 
@@ -578,6 +586,77 @@ fn check_serving(pair: &Baselined<Serving>, tol: f64, failures: &mut Vec<String>
     }
 }
 
+/// The cluster smoke's counter summary (`results/cluster_smoke.json`).
+#[derive(Deserialize)]
+struct ClusterSmoke {
+    topology_legs: u64,
+    chaos_legs: u64,
+    workers_spawned: u64,
+    workers_lost: u64,
+    tasks_requeued: u64,
+    task_retries: u64,
+    corrupt_frames: u64,
+    task_timeouts: u64,
+    local_fallbacks: u64,
+    degraded_runs: u64,
+}
+
+/// Prints the cluster fabric's loss/requeue counters and holds the
+/// robustness invariants. No baseline pair: the counters are
+/// deterministic products of the seeded chaos plans, not measurements —
+/// every chaos leg must have degraded, lost a worker and requeued its
+/// task. Skipped (informationally) when the smoke has not run, so the
+/// gate stays cheap to re-run while iterating on a scaling regression.
+fn check_cluster(failures: &mut Vec<String>) {
+    let path = relcnn_bench::results_dir().join("cluster_smoke.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(_) => {
+            println!(
+                "cluster: no {} — skipped (generate it with \
+                 `cargo run --release -p relcnn-bench --bin cluster_smoke`)",
+                path.display()
+            );
+            return;
+        }
+    };
+    let c: ClusterSmoke = match serde_json::from_str(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            failures.push(format!("{}: parse error: {e}", path.display()));
+            return;
+        }
+    };
+    println!(
+        "cluster: {} topology legs byte-identical, {} chaos legs degraded-but-identical",
+        c.topology_legs, c.chaos_legs
+    );
+    println!(
+        "  counters: {}",
+        relcnn_bench::counters_line(&[
+            ("workers_spawned", c.workers_spawned),
+            ("workers_lost", c.workers_lost),
+            ("tasks_requeued", c.tasks_requeued),
+            ("task_retries", c.task_retries),
+            ("corrupt_frames", c.corrupt_frames),
+            ("task_timeouts", c.task_timeouts),
+            ("local_fallbacks", c.local_fallbacks),
+        ])
+    );
+    if c.degraded_runs != c.chaos_legs {
+        failures.push(format!(
+            "cluster: {} of {} chaos legs finished degraded (all must)",
+            c.degraded_runs, c.chaos_legs
+        ));
+    }
+    if c.workers_lost < c.chaos_legs || c.tasks_requeued < c.chaos_legs {
+        failures.push(format!(
+            "cluster: {} chaos legs but only {} workers lost / {} tasks requeued",
+            c.chaos_legs, c.workers_lost, c.tasks_requeued
+        ));
+    }
+}
+
 fn main() -> ExitCode {
     let tol = tolerance();
     let mut failures: Vec<String> = Vec::new();
@@ -596,6 +675,7 @@ fn main() -> ExitCode {
         Ok(pair) => check_serving(&pair, tol, &mut failures),
         Err(e) => failures.push(e),
     }
+    check_cluster(&mut failures);
 
     if failures.is_empty() {
         println!("bench gate: OK");

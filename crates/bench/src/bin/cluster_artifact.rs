@@ -1,0 +1,135 @@
+//! Emits the multi-process determinism artefact.
+//!
+//! Runs the canonical campaign (`relcnn_bench::workload`) over the
+//! cluster fabric — head process, N forked workers, shard-range tasks on
+//! checksummed pipes — and writes the stitched JSONL stream plus the
+//! merged `{"partial_aggregate":...}` footer. The output is required
+//! byte-identical to `determinism_artifact --no-abort` at the same
+//! profile and to every other `--procs/--threads` topology, including
+//! `--procs 0` (head computes everything in-process, no forks): the
+//! process count joins the worker count, chunk size and steal schedule
+//! on the list of things the artefact must not depend on.
+//!
+//! ```text
+//! cluster_artifact --procs 4 --threads 2 --out /tmp/p4t2.jsonl
+//! cluster_artifact --procs 1 --threads 8 --profile cpu --out /tmp/p1t8c.jsonl
+//! cluster_artifact --procs 3 --threads 2 --chaos kill --out /tmp/chaos.jsonl
+//! ```
+//!
+//! `--chaos kill|corrupt|hang` injects the named deterministic fault
+//! (victim derived from the campaign seed); the run must then finish
+//! *degraded* — nonzero loss/requeue counters in the stats line — with
+//! the same bytes.
+
+use relcnn_bench::workload::{cluster_job, cluster_task, merge_cluster_outputs, Profile, SHARDS};
+use relcnn_cluster::{run_cluster, run_worker_if_spawned, ChaosPlan, ClusterConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cluster_artifact --procs N --out PATH [--threads T] [--profile latency|cpu] \
+         [--task-shards W] [--chaos none|kill|corrupt|hang] [--task-timeout-ms MS]\n\
+         Writes the stitched JSONL artefact of the canonical campaign run over the\n\
+         multi-process cluster fabric. --procs 0 computes every task in the head\n\
+         process (the no-fork reference topology)."
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    // Must run before argument parsing: a forked worker re-enters this
+    // same binary and must never fall through into head code.
+    run_worker_if_spawned(cluster_task);
+
+    let mut procs = 1usize;
+    let mut threads = 2usize;
+    let mut task_shards = 2usize;
+    let mut task_timeout_ms: Option<u64> = None;
+    let mut profile = Profile::Latency;
+    let mut chaos_name = String::from("none");
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--procs" => {
+                procs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--task-shards" => {
+                task_shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--task-timeout-ms" => {
+                task_timeout_ms = args.next().and_then(|v| v.parse().ok());
+                if task_timeout_ms.is_none() {
+                    usage()
+                }
+            }
+            "--profile" => {
+                profile = args
+                    .next()
+                    .as_deref()
+                    .and_then(Profile::parse)
+                    .unwrap_or_else(|| usage())
+            }
+            "--chaos" => chaos_name = args.next().unwrap_or_else(|| usage()),
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let Some(out) = out else { usage() };
+
+    let job = cluster_job(profile, threads);
+    let chaos = match chaos_name.as_str() {
+        "none" => ChaosPlan::none(),
+        "kill" => ChaosPlan::kill_one(job.seed, procs),
+        "corrupt" => ChaosPlan::corrupt_one(job.seed, procs),
+        "hang" => ChaosPlan::hang_one(job.seed, procs),
+        _ => usage(),
+    };
+    if !chaos.is_none() && procs == 0 {
+        eprintln!("--chaos needs worker processes to injure (--procs >= 1)");
+        std::process::exit(2);
+    }
+
+    let mut config = ClusterConfig::new(procs)
+        .with_task_shards(task_shards)
+        .with_chaos(chaos);
+    if let Some(ms) = task_timeout_ms {
+        config = config.with_task_timeout_ms(ms);
+    }
+
+    let outcome = run_cluster(&config, &job, cluster_task)
+        .unwrap_or_else(|e| panic!("cluster run failed: {e}"));
+    let (merged, payload) = merge_cluster_outputs(&outcome.outputs);
+
+    let report = serde_json::to_string(&merged)
+        .unwrap_or_else(|e| panic!("serialize merged aggregate: {e}"));
+    let artefact = format!("{payload}{{\"partial_aggregate\":{report}}}\n");
+    std::fs::write(&out, artefact).unwrap_or_else(|e| panic!("write {out}: {e}"));
+
+    let s = &outcome.stats;
+    eprintln!(
+        "{out}: profile={} procs={procs} threads={threads} task_shards={task_shards}/{SHARDS} \
+         chaos={chaos_name} degraded={} stats={}",
+        profile.name(),
+        s.degraded,
+        s.to_json(),
+    );
+    if !chaos.is_none() {
+        assert!(
+            s.degraded && s.workers_lost > 0 && s.tasks_requeued > 0,
+            "chaos run must finish degraded with loss/requeue counters: {}",
+            s.to_json()
+        );
+    }
+}

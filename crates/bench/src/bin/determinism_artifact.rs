@@ -18,7 +18,7 @@
 //!
 //! Two workload profiles cover the engine's two scheduling regimes:
 //!
-//! * `latency` (default) — trials sleep per [`SkewedCost`], so
+//! * `latency` (default) — trials sleep per `SkewedCost`, so
 //!   multi-worker runs overlap waits and steal even on a 1-core host;
 //! * `cpu` — trials spin through a skewed number of injector exposures
 //!   with no sleeps, driving the *partial-aggregation* result path the
@@ -50,79 +50,11 @@
 //! match the replayed aggregate — so the CI byte-diff covers both result
 //! paths, not just the raw replay that feeds the JSONL lines.
 
-use relcnn_faults::{BerInjector, FaultInjector, FaultSite, OpContext, SkewedCost};
+use relcnn_bench::workload::{Profile, BASE_SEED, SHARDS, TRIALS};
 use relcnn_runtime::{
     run_campaign_sink_on, run_campaign_source_on, CampaignConfig, CampaignSink, EarlyStop, Engine,
-    FnSource, JsonlSink, RunOutcome, Sink, SliceSource, TrialOutcome, TrialResult,
+    FnSource, JsonlSink, RunOutcome, Sink, SliceSource, TrialResult,
 };
-use std::time::Duration;
-
-const TRIALS: u64 = 240;
-const BASE_SEED: u64 = 0xD17E;
-const SHARDS: usize = 12;
-
-/// Maps the fault pattern of a trial's first 16 injector exposures to an
-/// outcome. Both profiles share it (and the `(seed, 0.3)` injector), so
-/// they make the same early-stop decision at the same shard — only the
-/// exposure counts in the artefact differ.
-fn outcome_of(inj: &mut BerInjector, extra_ops: u64) -> TrialOutcome {
-    let mut flips = 0u32;
-    let mut acc = 0.0f32;
-    for op in 0..(16 + extra_ops) {
-        let v = inj.perturb(OpContext::new(FaultSite::Multiplier, op), 1.0);
-        if op < 16 && v != 1.0 {
-            flips += 1;
-        }
-        acc += v;
-    }
-    std::hint::black_box(acc);
-    match flips {
-        0 => TrialOutcome::Correct,
-        1..=3 => TrialOutcome::DetectedRecovered,
-        4..=6 => TrialOutcome::DetectedAborted,
-        _ => TrialOutcome::SilentCorruption,
-    }
-}
-
-/// The campaign workload, split into the *dataset* half (a per-trial
-/// cost descriptor derived from the trial index — what the ingestion
-/// paths deliver by different routes) and the *execution* half (what a
-/// trial does with its descriptor and seed).
-#[derive(Clone, Copy)]
-enum Profile {
-    /// Sleeps per descriptor milliseconds (steals even on one core).
-    Latency,
-    /// Spins through descriptor extra injector exposures (pure compute).
-    Cpu,
-}
-
-impl Profile {
-    /// The per-trial workload descriptor — the "dataset item" for trial
-    /// `index`. A pure function of the index, as every `TrialSource`
-    /// must be.
-    fn item(self, index: u64) -> u64 {
-        match self {
-            Profile::Latency => SkewedCost::tail(0, 2, TRIALS / 3).evals(index),
-            Profile::Cpu => SkewedCost::tail(512, 8192, TRIALS / 3).evals(index),
-        }
-    }
-
-    /// Executes one trial on its pulled descriptor.
-    fn run(self, item: u64, seed: u64) -> TrialResult {
-        let mut inj = BerInjector::new(seed, 0.3).with_sites(vec![FaultSite::Multiplier]);
-        let outcome = match self {
-            Profile::Latency => {
-                std::thread::sleep(Duration::from_millis(item));
-                outcome_of(&mut inj, 0)
-            }
-            Profile::Cpu => outcome_of(&mut inj, item),
-        };
-        TrialResult {
-            outcome,
-            injector: inj.stats(),
-        }
-    }
-}
 
 /// Which route delivers the workload descriptors to the workers.
 #[derive(Clone, Copy, PartialEq)]
@@ -215,11 +147,11 @@ fn main() {
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--no-abort" => early_stop = false,
             "--profile" => {
-                profile = match args.next().as_deref() {
-                    Some("latency") => Profile::Latency,
-                    Some("cpu") => Profile::Cpu,
-                    _ => usage(),
-                }
+                profile = args
+                    .next()
+                    .as_deref()
+                    .and_then(Profile::parse)
+                    .unwrap_or_else(|| usage())
             }
             "--source" => {
                 source = match args.next().as_deref() {
@@ -330,10 +262,7 @@ fn main() {
         );
     }
 
-    let profile_name = match profile {
-        Profile::Latency => "latency",
-        Profile::Cpu => "cpu",
-    };
+    let profile_name = profile.name();
     let source_name = match source {
         Source::Plan => "plan",
         Source::Eager => "eager",

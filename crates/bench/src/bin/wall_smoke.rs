@@ -19,8 +19,9 @@
 //!    trace structure is clock-independent).
 //!
 //! Exits non-zero (panics) on any violation. `--quick` shrinks the
-//! trace. The wall budget (60 s) bounds CI wall time: a hung front-end
-//! trips the budget panic instead of timing out the job.
+//! trace. The wall budget (60 s by default, `RELCNN_WALL_BUDGET_US`
+//! microseconds when set) bounds CI wall time: a hung front-end trips
+//! the budget panic instead of timing out the job.
 
 use relcnn_faults::SkewedCost;
 use relcnn_runtime::Engine;
@@ -30,7 +31,6 @@ use relcnn_serve::{
 };
 
 const SEED: u64 = 0x3A11;
-const WALL_BUDGET_US: u64 = 60_000_000;
 
 fn server_config() -> ServerConfig {
     ServerConfig::new(
@@ -66,7 +66,7 @@ fn main() {
     // --- 1. wall run under a hard budget ----------------------------
     let wall = Server::new(config)
         .backend(&backend)
-        .clock(WallClock::with_budget(WALL_BUDGET_US))
+        .clock(WallClock::with_budget(relcnn_bench::wall_budget_us()))
         .run(&trace);
     let report = &wall.report;
     println!(

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod workload;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -74,6 +76,27 @@ pub fn counters_line(pairs: &[(&str, u64)]) -> String {
         .map(|(name, value)| format!("{name} {value}"))
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+/// Default hard wall budget for the smoke binaries, in microseconds.
+pub const DEFAULT_WALL_BUDGET_US: u64 = 60_000_000;
+
+/// Hard wall budget for smoke binaries: `RELCNN_WALL_BUDGET_US`
+/// (microseconds) when set, else [`DEFAULT_WALL_BUDGET_US`]. The CI
+/// knob for slow or instrumented runners — a hung run trips the budget
+/// panic instead of timing out the job.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a number — a silently
+/// ignored budget override would defeat the point of setting one.
+pub fn wall_budget_us() -> u64 {
+    match std::env::var("RELCNN_WALL_BUDGET_US") {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            panic!("RELCNN_WALL_BUDGET_US must be a microsecond count, got {v:?}")
+        }),
+        Err(_) => DEFAULT_WALL_BUDGET_US,
+    }
 }
 
 /// Returns true when the binary should run at smoke scale

@@ -1,0 +1,245 @@
+//! Length-prefixed, CRC-checksummed message framing for the cluster
+//! pipes.
+//!
+//! Every head↔worker message travels as one frame:
+//!
+//! ```text
+//! ┌──────────┬─────────────┬────────────┬────────────────┐
+//! │ magic    │ length (LE) │ CRC32 (LE) │ payload        │
+//! │ 4 bytes  │ u32         │ u32        │ `length` bytes │
+//! └──────────┴─────────────┴────────────┴────────────────┘
+//! ```
+//!
+//! The checksum is IEEE CRC-32 over the payload only, so a frame whose
+//! length prefix survives but whose body was bit-flipped in transit is
+//! *detected*, not parsed — the head treats a checksum mismatch exactly
+//! like losing the worker. Every way a stream can go wrong surfaces as a
+//! typed [`FrameError`], never a panic or a silent short read: a clean
+//! close between frames is [`FrameError::Closed`], a close *inside* a
+//! frame is [`FrameError::Truncated`], garbage where the magic should be
+//! is [`FrameError::BadMagic`], and a length prefix beyond
+//! [`MAX_FRAME_LEN`] is [`FrameError::Oversize`] (refused before any
+//! allocation).
+
+use std::fmt;
+use std::io::{self, ErrorKind, Read, Write};
+
+/// Frame preamble: identifies the stream as relcnn cluster frames and
+/// desynchronised streams fail fast with [`FrameError::BadMagic`].
+pub const FRAME_MAGIC: [u8; 4] = *b"RCLF";
+
+/// Hard cap on a single frame's payload. Campaign task results are a few
+/// hundred KiB at most; a length prefix past this is corruption, and
+/// refusing it up front keeps a flipped length byte from provoking a
+/// gigabyte allocation.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Everything that can go wrong reading or writing one frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The stream ended cleanly on a frame boundary (peer hung up).
+    Closed,
+    /// The stream ended mid-frame: `got` of `expected` bytes arrived.
+    Truncated {
+        /// Bytes the current header or payload section required.
+        expected: usize,
+        /// Bytes actually read before the stream ended.
+        got: usize,
+    },
+    /// The frame preamble was not [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversize(u32),
+    /// The payload arrived whole but its CRC-32 disagreed.
+    Checksum {
+        /// Checksum the header promised.
+        expected: u32,
+        /// Checksum of the bytes that arrived.
+        got: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+            FrameError::Closed => write!(f, "stream closed on a frame boundary"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "stream ended mid-frame: {got} of {expected} bytes")
+            }
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::Oversize(len) => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME_LEN}")
+            }
+            FrameError::Checksum { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#010x}, payload {got:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// IEEE CRC-32 (reflected polynomial `0xEDB88320`) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Encodes `payload` as one complete frame (header + body) without
+/// writing it anywhere. The chaos layer uses this to flip a bit *after*
+/// the checksum is computed — producing exactly the corruption the codec
+/// must catch.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(12 + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Writes one frame and flushes (frames carry control traffic; a frame
+/// sitting in a BufWriter is a heartbeat the head never sees).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN as usize,
+        "frame payload exceeds MAX_FRAME_LEN"
+    );
+    w.write_all(&encode_frame(payload))?;
+    w.flush()
+}
+
+/// Reads exactly `buf.len()` bytes. `at_boundary` marks the read that
+/// starts a frame: EOF there is a clean close, EOF anywhere else is a
+/// truncated frame.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 && at_boundary {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated {
+                        expected: buf.len(),
+                        got,
+                    }
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, verifying magic, length cap and checksum. Never
+/// panics and never returns a partial payload: every failure mode is a
+/// typed [`FrameError`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut magic = [0u8; 4];
+    read_exact_or(r, &mut magic, true)?;
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let mut word = [0u8; 4];
+    read_exact_or(r, &mut word, false)?;
+    let len = u32::from_le_bytes(word);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversize(len));
+    }
+    read_exact_or(r, &mut word, false)?;
+    let expected = u32::from_le_bytes(word);
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, false)?;
+    let got = crc32(&payload);
+    if got != expected {
+        return Err(FrameError::Checksum { expected, got });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn roundtrip_and_clean_close() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversize_length_is_refused_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&FRAME_MAGIC);
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(FrameError::Oversize(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut wire = encode_frame(b"payload");
+        wire[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(FrameError::BadMagic(_))
+        ));
+    }
+}

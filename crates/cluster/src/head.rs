@@ -1,0 +1,667 @@
+//! Head-process orchestration: spawn, assign, detect loss, requeue.
+//!
+//! The head cuts the job's shard axis into fixed-width contiguous
+//! *tasks* — the unit of distribution, sized independently of the
+//! process count, so every topology computes the same task set and a
+//! requeued task recomputes byte-identical results on any survivor.
+//! Workers are the current binary re-invoked with
+//! [`WORKER_ENV`] set; frames travel over the
+//! children's stdin/stdout pipes, one reader thread per worker funnelling
+//! into a single event channel.
+//!
+//! Failure detection has three disjoint paths, one per failure mode:
+//! a **crash** surfaces as pipe EOF (fast); a **corrupt frame** surfaces
+//! as a codec checksum (or parse) error; a **hang** — the worker still
+//! heartbeats but a result never comes — surfaces when the per-task
+//! deadline expires. All three converge on the same recovery: kill the
+//! worker, requeue its unacknowledged task with bounded exponential
+//! backoff, and mark the run *degraded*. A task that exhausts its
+//! retries — or outlives the last worker — is computed in-process by the
+//! head, so the run always terminates with the complete, byte-identical
+//! aggregate.
+
+use crate::chaos::ChaosPlan;
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::metrics::ClusterMetrics;
+use crate::proto::{decode, encode, FromWorker, JobSpec, ToWorker};
+use crate::worker::WORKER_ENV;
+use relcnn_obs::Registry;
+use std::io;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Head-side fabric configuration (the job itself lives in [`JobSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Worker processes to spawn. `0` runs every task in-process — the
+    /// degenerate local topology, useful as a cluster-free reference.
+    pub workers: usize,
+    /// Shards per task: the fixed distribution width. Must not depend
+    /// on `workers`, or topologies would compute different task sets.
+    pub task_shards: usize,
+    /// Worker heartbeat period.
+    pub heartbeat_ms: u64,
+    /// A task unacknowledged this long after assignment means the worker
+    /// is hung (it may well still be heartbeating).
+    pub task_timeout_ms: u64,
+    /// Heartbeat silence after which an *idle* worker is presumed dead.
+    pub liveness_timeout_ms: u64,
+    /// Requeue attempts per task before the head computes it locally.
+    pub max_retries: u32,
+    /// Base of the requeue backoff: retry `n` waits
+    /// `backoff_base_ms << (n-1)`, capped at `backoff_cap_ms`.
+    pub backoff_base_ms: u64,
+    /// Cap on the exponential requeue backoff.
+    pub backoff_cap_ms: u64,
+    /// Deterministic fault schedule shipped to every worker.
+    pub chaos: ChaosPlan,
+}
+
+impl ClusterConfig {
+    /// Defaults tuned for campaign-scale tasks: 50 ms heartbeats, a 30 s
+    /// task deadline, two retries with 10 ms → 500 ms backoff.
+    pub fn new(workers: usize) -> Self {
+        ClusterConfig {
+            workers,
+            task_shards: 1,
+            heartbeat_ms: 50,
+            task_timeout_ms: 30_000,
+            liveness_timeout_ms: 1_000,
+            max_retries: 2,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 500,
+            chaos: ChaosPlan::none(),
+        }
+    }
+
+    /// Sets the task width (shards per task).
+    pub fn with_task_shards(mut self, shards: usize) -> Self {
+        self.task_shards = shards;
+        self
+    }
+
+    /// Sets the per-task deadline.
+    pub fn with_task_timeout_ms(mut self, ms: u64) -> Self {
+        self.task_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the heartbeat period and scales the liveness deadline to
+    /// twenty periods.
+    pub fn with_heartbeat_ms(mut self, ms: u64) -> Self {
+        self.heartbeat_ms = ms.max(1);
+        self.liveness_timeout_ms = self.heartbeat_ms * 20;
+        self
+    }
+
+    /// Sets the retry budget per task.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the requeue backoff base and cap.
+    pub fn with_backoff_ms(mut self, base: u64, cap: u64) -> Self {
+        self.backoff_base_ms = base.max(1);
+        self.backoff_cap_ms = cap.max(base.max(1));
+        self
+    }
+
+    /// Installs a chaos schedule.
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    fn backoff(&self, retries: u32) -> Duration {
+        let exp = retries.saturating_sub(1).min(16);
+        Duration::from_millis((self.backoff_base_ms << exp).min(self.backoff_cap_ms))
+    }
+}
+
+/// One completed task: the shard window it covered plus the caller's
+/// `(partial, payload)` result pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskOutput {
+    /// Task id (position in shard order).
+    pub task: usize,
+    /// First shard of the window.
+    pub shard_lo: usize,
+    /// One past the last shard of the window.
+    pub shard_hi: usize,
+    /// Caller-defined partial aggregate, JSON-encoded.
+    pub partial: String,
+    /// Caller-defined artefact slice.
+    pub payload: String,
+}
+
+/// Fabric counters for one cluster run — the distribution-level analog
+/// of the engine's `RunStats`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterStats {
+    /// Worker processes spawned.
+    pub workers_spawned: u64,
+    /// Workers declared lost (crash, hang or corrupt frame).
+    pub workers_lost: u64,
+    /// Tasks in the job.
+    pub tasks: u64,
+    /// Tasks completed by workers.
+    pub tasks_completed: u64,
+    /// Tasks requeued after a worker loss.
+    pub tasks_requeued: u64,
+    /// Assignments that were retries of a previously failed task.
+    pub task_retries: u64,
+    /// Frames written to workers.
+    pub frames_sent: u64,
+    /// Frames received from workers (including rejected ones).
+    pub frames_received: u64,
+    /// Frames rejected by the codec checksum or message parser.
+    pub corrupt_frames: u64,
+    /// Per-task deadline expiries (hung workers).
+    pub task_timeouts: u64,
+    /// Heartbeat liveness expiries (silent idle workers).
+    pub heartbeat_timeouts: u64,
+    /// Tasks the head computed in-process (retries exhausted, no
+    /// survivors, or the zero-worker topology).
+    pub local_fallbacks: u64,
+    /// Whether any worker was lost: the run finished on the recovery
+    /// path. The aggregate is byte-identical either way.
+    pub degraded: bool,
+    /// Wall-clock time of the whole cluster run, µs.
+    pub wall_us: u64,
+}
+
+impl ClusterStats {
+    /// Renders the counters as a JSON object (for JSONL run logs).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers_spawned\":{},\"workers_lost\":{},\"tasks\":{},\
+             \"tasks_completed\":{},\"tasks_requeued\":{},\"task_retries\":{},\
+             \"frames_sent\":{},\"frames_received\":{},\"corrupt_frames\":{},\
+             \"task_timeouts\":{},\"heartbeat_timeouts\":{},\"local_fallbacks\":{},\
+             \"degraded\":{},\"wall_us\":{}}}",
+            self.workers_spawned,
+            self.workers_lost,
+            self.tasks,
+            self.tasks_completed,
+            self.tasks_requeued,
+            self.task_retries,
+            self.frames_sent,
+            self.frames_received,
+            self.corrupt_frames,
+            self.task_timeouts,
+            self.heartbeat_timeouts,
+            self.local_fallbacks,
+            self.degraded,
+            self.wall_us
+        )
+    }
+}
+
+/// Result of [`run_cluster`]: every task's output in task (= shard)
+/// order, plus the fabric counters.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Per-task outputs, indexed by task id. Concatenating `payload`s in
+    /// this order reproduces the single-process artefact byte for byte;
+    /// merging `partial`s in this order reproduces the full aggregate.
+    pub outputs: Vec<TaskOutput>,
+    /// Fabric counters.
+    pub stats: ClusterStats,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum TaskState {
+    Pending,
+    Running,
+    Done,
+}
+
+struct Task {
+    lo: usize,
+    hi: usize,
+    retries: u32,
+    not_before: Instant,
+    state: TaskState,
+}
+
+enum Event {
+    Msg(FromWorker),
+    Corrupt(String),
+    Eof,
+}
+
+struct Seat {
+    child: Child,
+    stdin: ChildStdin,
+    alive: bool,
+    last_seen: Instant,
+    running: Option<(usize, Instant)>,
+}
+
+/// Runs `job` over `config.workers` worker processes with unregistered
+/// metrics. See [`run_cluster_observed`] for the scrapeable variant.
+///
+/// `task_fn` is used twice: shipped implicitly (the workers are this
+/// binary, whose `main` passes the same function to
+/// [`run_worker_if_spawned`](crate::run_worker_if_spawned)), and called
+/// directly by the head for local fallback. It must be a pure function
+/// of `(job, shard_lo, shard_hi)`.
+pub fn run_cluster<F>(
+    config: &ClusterConfig,
+    job: &JobSpec,
+    task_fn: F,
+) -> io::Result<ClusterOutcome>
+where
+    F: Fn(&JobSpec, usize, usize) -> (String, String),
+{
+    run_cluster_with(config, job, task_fn, &ClusterMetrics::unregistered())
+}
+
+/// [`run_cluster`] publishing live `relcnn_cluster_*` metrics on
+/// `registry`.
+pub fn run_cluster_observed<F>(
+    config: &ClusterConfig,
+    job: &JobSpec,
+    task_fn: F,
+    registry: &Registry,
+) -> io::Result<ClusterOutcome>
+where
+    F: Fn(&JobSpec, usize, usize) -> (String, String),
+{
+    run_cluster_with(config, job, task_fn, &ClusterMetrics::registered(registry))
+}
+
+fn send_to(seat: &mut Seat, msg: &ToWorker, stats: &mut ClusterStats, cm: &ClusterMetrics) -> bool {
+    let ok = write_frame(&mut seat.stdin, &encode(msg)).is_ok();
+    if ok {
+        stats.frames_sent += 1;
+        cm.frames_sent.inc();
+    }
+    ok
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lose_worker(
+    w: usize,
+    reason: &str,
+    seat: &mut Seat,
+    tasks: &mut [Task],
+    config: &ClusterConfig,
+    stats: &mut ClusterStats,
+    cm: &ClusterMetrics,
+) {
+    if !seat.alive {
+        return;
+    }
+    seat.alive = false;
+    stats.workers_lost += 1;
+    stats.degraded = true;
+    cm.workers_lost.inc();
+    cm.workers_live.sub(1);
+    cm.degraded.set(1);
+    let _ = seat.child.kill();
+    let _ = seat.child.wait();
+    if let Some((t, _)) = seat.running.take() {
+        if tasks[t].state == TaskState::Running {
+            tasks[t].state = TaskState::Pending;
+            tasks[t].retries += 1;
+            tasks[t].not_before = Instant::now() + config.backoff(tasks[t].retries);
+            stats.tasks_requeued += 1;
+            cm.tasks_requeued.inc();
+            eprintln!(
+                "[cluster] worker {w} lost ({reason}); task {t} requeued (retry {})",
+                tasks[t].retries
+            );
+            return;
+        }
+    }
+    eprintln!("[cluster] worker {w} lost ({reason}); nothing in flight");
+}
+
+fn run_cluster_with<F>(
+    config: &ClusterConfig,
+    job: &JobSpec,
+    task_fn: F,
+    cm: &ClusterMetrics,
+) -> io::Result<ClusterOutcome>
+where
+    F: Fn(&JobSpec, usize, usize) -> (String, String),
+{
+    let started = Instant::now();
+    let mut stats = ClusterStats::default();
+    cm.degraded.set(0);
+
+    let width = config.task_shards.max(1);
+    let now = Instant::now();
+    let mut tasks: Vec<Task> = (0..job.shards)
+        .step_by(width)
+        .map(|lo| Task {
+            lo,
+            hi: (lo + width).min(job.shards),
+            retries: 0,
+            not_before: now,
+            state: TaskState::Pending,
+        })
+        .collect();
+    stats.tasks = tasks.len() as u64;
+    let mut outputs: Vec<Option<TaskOutput>> = tasks.iter().map(|_| None).collect();
+    let run_local = |i: usize,
+                     tasks: &mut Vec<Task>,
+                     outputs: &mut Vec<Option<TaskOutput>>,
+                     stats: &mut ClusterStats| {
+        let (partial, payload) = task_fn(job, tasks[i].lo, tasks[i].hi);
+        outputs[i] = Some(TaskOutput {
+            task: i,
+            shard_lo: tasks[i].lo,
+            shard_hi: tasks[i].hi,
+            partial,
+            payload,
+        });
+        tasks[i].state = TaskState::Done;
+        stats.local_fallbacks += 1;
+        cm.local_fallbacks.inc();
+    };
+
+    if config.workers == 0 {
+        // Degenerate local topology: no processes, no pipes, no chaos.
+        for i in 0..tasks.len() {
+            run_local(i, &mut tasks, &mut outputs, &mut stats);
+        }
+        stats.wall_us = started.elapsed().as_micros() as u64;
+        return Ok(ClusterOutcome {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("local task"))
+                .collect(),
+            stats,
+        });
+    }
+
+    let exe = std::env::current_exe()?;
+    let (tx, rx) = mpsc::channel::<(usize, Event)>();
+    let mut seats: Vec<Seat> = Vec::with_capacity(config.workers);
+    let mut readers = Vec::with_capacity(config.workers);
+    for w in 0..config.workers {
+        let mut child = Command::new(&exe)
+            .env(WORKER_ENV, w.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        stats.workers_spawned += 1;
+        cm.workers_spawned.inc();
+        cm.workers_live.add(1);
+        let stdin = child.stdin.take().expect("piped child stdin");
+        let mut stdout = child.stdout.take().expect("piped child stdout");
+        let tx = tx.clone();
+        readers.push(std::thread::spawn(move || loop {
+            match read_frame(&mut stdout) {
+                Ok(bytes) => match decode::<FromWorker>(&bytes) {
+                    Ok(msg) => {
+                        if tx.send((w, Event::Msg(msg))).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send((w, Event::Corrupt(format!("message parse: {e}"))));
+                        return;
+                    }
+                },
+                Err(FrameError::Closed) => {
+                    let _ = tx.send((w, Event::Eof));
+                    return;
+                }
+                Err(e) => {
+                    // After a framing error the stream has no recoverable
+                    // sync point; stop reading and let the head kill us.
+                    let _ = tx.send((w, Event::Corrupt(e.to_string())));
+                    return;
+                }
+            }
+        }));
+        let mut seat = Seat {
+            child,
+            stdin,
+            alive: true,
+            last_seen: Instant::now(),
+            running: None,
+        };
+        let setup = ToWorker::Setup {
+            worker: w,
+            job: job.clone(),
+            heartbeat_ms: config.heartbeat_ms,
+            chaos: config.chaos,
+        };
+        if !send_to(&mut seat, &setup, &mut stats, cm) {
+            lose_worker(
+                w,
+                "setup write failed",
+                &mut seat,
+                &mut tasks,
+                config,
+                &mut stats,
+                cm,
+            );
+        }
+        seats.push(seat);
+    }
+    drop(tx);
+
+    let tick = Duration::from_millis(config.heartbeat_ms.clamp(5, 50));
+    let mut remaining = tasks.len();
+    while remaining > 0 {
+        // Retry budget exhausted → the head computes the task itself:
+        // guaranteed forward progress no matter what the fleet does.
+        for i in 0..tasks.len() {
+            if tasks[i].state == TaskState::Pending && tasks[i].retries > config.max_retries {
+                eprintln!("[cluster] task {i} exhausted retries; computing locally");
+                run_local(i, &mut tasks, &mut outputs, &mut stats);
+                remaining -= 1;
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        // No survivors → everything still pending runs locally.
+        if seats.iter().all(|s| !s.alive) {
+            for i in 0..tasks.len() {
+                if tasks[i].state != TaskState::Done {
+                    run_local(i, &mut tasks, &mut outputs, &mut stats);
+                }
+            }
+            break;
+        }
+        // Assign ready tasks to idle survivors.
+        let now = Instant::now();
+        for (w, seat) in seats.iter_mut().enumerate() {
+            if !seat.alive || seat.running.is_some() {
+                continue;
+            }
+            let Some(i) = tasks
+                .iter()
+                .position(|t| t.state == TaskState::Pending && t.not_before <= now)
+            else {
+                break;
+            };
+            let assign = ToWorker::Assign {
+                task: i,
+                shard_lo: tasks[i].lo,
+                shard_hi: tasks[i].hi,
+            };
+            if send_to(seat, &assign, &mut stats, cm) {
+                tasks[i].state = TaskState::Running;
+                seat.running = Some((i, now));
+                if tasks[i].retries > 0 {
+                    stats.task_retries += 1;
+                    cm.task_retries.inc();
+                }
+            } else {
+                lose_worker(
+                    w,
+                    "assign write failed",
+                    seat,
+                    &mut tasks,
+                    config,
+                    &mut stats,
+                    cm,
+                );
+            }
+        }
+        // Drain events (or wait one tick).
+        match rx.recv_timeout(tick) {
+            Ok((w, event)) => {
+                if seats[w].alive {
+                    match event {
+                        Event::Msg(msg) => {
+                            stats.frames_received += 1;
+                            cm.frames_received.inc();
+                            seats[w].last_seen = Instant::now();
+                            if let FromWorker::Done {
+                                task,
+                                partial,
+                                payload,
+                                ..
+                            } = msg
+                            {
+                                if task >= tasks.len() {
+                                    stats.corrupt_frames += 1;
+                                    cm.corrupt_frames.inc();
+                                    lose_worker(
+                                        w,
+                                        "task id out of range",
+                                        &mut seats[w],
+                                        &mut tasks,
+                                        config,
+                                        &mut stats,
+                                        cm,
+                                    );
+                                    continue;
+                                }
+                                seats[w].running = None;
+                                if outputs[task].is_none() {
+                                    outputs[task] = Some(TaskOutput {
+                                        task,
+                                        shard_lo: tasks[task].lo,
+                                        shard_hi: tasks[task].hi,
+                                        partial,
+                                        payload,
+                                    });
+                                    tasks[task].state = TaskState::Done;
+                                    remaining -= 1;
+                                    stats.tasks_completed += 1;
+                                    cm.tasks_completed.inc();
+                                }
+                            }
+                        }
+                        Event::Corrupt(detail) => {
+                            stats.frames_received += 1;
+                            stats.corrupt_frames += 1;
+                            cm.frames_received.inc();
+                            cm.corrupt_frames.inc();
+                            lose_worker(
+                                w,
+                                &format!("corrupt frame: {detail}"),
+                                &mut seats[w],
+                                &mut tasks,
+                                config,
+                                &mut stats,
+                                cm,
+                            );
+                        }
+                        Event::Eof => {
+                            lose_worker(
+                                w,
+                                "pipe closed (crash)",
+                                &mut seats[w],
+                                &mut tasks,
+                                config,
+                                &mut stats,
+                                cm,
+                            );
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Every reader exited and every event was drained; any
+                // seat still marked alive is unreachable.
+                for (w, seat) in seats.iter_mut().enumerate() {
+                    lose_worker(
+                        w,
+                        "event channel drained",
+                        seat,
+                        &mut tasks,
+                        config,
+                        &mut stats,
+                        cm,
+                    );
+                }
+            }
+        }
+        // Deadlines: a running task past its deadline means a hung
+        // worker (heartbeats notwithstanding); an idle worker silent
+        // past the liveness window is dead.
+        let now = Instant::now();
+        for (w, seat) in seats.iter_mut().enumerate() {
+            if !seat.alive {
+                continue;
+            }
+            if let Some((t, at)) = seat.running {
+                if now.duration_since(at) > Duration::from_millis(config.task_timeout_ms) {
+                    stats.task_timeouts += 1;
+                    cm.task_timeouts.inc();
+                    lose_worker(
+                        w,
+                        &format!("task {t} deadline"),
+                        seat,
+                        &mut tasks,
+                        config,
+                        &mut stats,
+                        cm,
+                    );
+                }
+            } else if now.duration_since(seat.last_seen)
+                > Duration::from_millis(config.liveness_timeout_ms)
+            {
+                stats.heartbeat_timeouts += 1;
+                cm.heartbeat_timeouts.inc();
+                lose_worker(
+                    w,
+                    "heartbeat silence",
+                    seat,
+                    &mut tasks,
+                    config,
+                    &mut stats,
+                    cm,
+                );
+            }
+        }
+    }
+
+    // Clean shutdown: command, close the pipe, reap.
+    for seat in seats.iter_mut() {
+        if seat.alive {
+            let _ = send_to(seat, &ToWorker::Shutdown, &mut stats, cm);
+            cm.workers_live.sub(1);
+        }
+    }
+    for mut seat in seats {
+        drop(seat.stdin);
+        let _ = seat.child.wait();
+    }
+    for reader in readers {
+        let _ = reader.join();
+    }
+
+    stats.wall_us = started.elapsed().as_micros() as u64;
+    Ok(ClusterOutcome {
+        outputs: outputs
+            .into_iter()
+            .map(|o| o.expect("every task completed or fell back locally"))
+            .collect(),
+        stats,
+    })
+}

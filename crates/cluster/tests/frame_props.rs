@@ -1,0 +1,138 @@
+//! Property tests of the frame codec's corruption contract.
+//!
+//! For arbitrary payloads the roundtrip must be exact, and *every*
+//! mangled wire image — truncated anywhere (including mid
+//! length-prefix), or with any single bit flipped — must surface as a
+//! typed [`FrameError`], never a panic and never a silent short read
+//! that hands back wrong bytes as `Ok`.
+
+use proptest::prelude::*;
+use relcnn_cluster::{encode_frame, read_frame, write_frame, FrameError};
+
+/// Header layout: 4-byte magic, 4-byte length, 4-byte CRC.
+const HEADER_LEN: usize = 12;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_payloads_roundtrip(
+        payload in collection::vec(any::<u8>(), 0..600)
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        prop_assert_eq!(&wire, &encode_frame(&payload));
+
+        let mut reader = wire.as_slice();
+        let back = read_frame(&mut reader)
+            .map_err(|e| TestCaseError::fail(format!("roundtrip: {e}")))?;
+        prop_assert_eq!(back, payload);
+        // The stream is exactly one frame long: the next read is a
+        // clean close, not a truncation.
+        prop_assert!(matches!(read_frame(&mut reader), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error(
+        payload in collection::vec(any::<u8>(), 0..300),
+        keep_seed in any::<usize>(),
+    ) {
+        let wire = encode_frame(&payload);
+        // Keep a strict prefix: anywhere from nothing to all-but-one
+        // byte, so the cut lands in the magic, the length prefix, the
+        // checksum and the payload across cases.
+        let keep = keep_seed % wire.len();
+        match read_frame(&mut &wire[..keep]) {
+            Err(FrameError::Closed) => prop_assert_eq!(keep, 0),
+            Err(FrameError::Truncated { expected, got }) => prop_assert!(got < expected),
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "cut at {keep}/{} gave {other:?}", wire.len()
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn a_cut_inside_the_length_prefix_is_truncated(
+        payload in collection::vec(any::<u8>(), 0..100),
+        keep in 4usize..8,
+    ) {
+        // Bytes 4..8 are the length prefix; keeping 4..=7 bytes cuts
+        // mid-prefix after a whole magic.
+        let wire = encode_frame(&payload);
+        let got = read_frame(&mut &wire[..keep]);
+        prop_assert!(
+            matches!(got, Err(FrameError::Truncated { expected: 4, got }) if got < 4),
+            "cut at {} gave {:?}", keep, got
+        );
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        payload in collection::vec(any::<u8>(), 1..300),
+        pos_seed in any::<usize>(),
+        bit in 0u32..8,
+    ) {
+        let mut wire = encode_frame(&payload);
+        let pos = pos_seed % wire.len();
+        wire[pos] ^= 1 << bit;
+
+        match read_frame(&mut wire.as_slice()) {
+            Ok(other) => {
+                return Err(TestCaseError::fail(format!(
+                    "flip at byte {pos} bit {bit} still decoded {} bytes",
+                    other.len()
+                )));
+            }
+            Err(FrameError::BadMagic(_)) => prop_assert!(pos < 4),
+            // A flip in the length prefix reads the wrong span:
+            // shorter → checksum mismatch, longer → truncated or
+            // refused outright by the size cap.
+            Err(FrameError::Truncated { .. }) | Err(FrameError::Oversize(_)) => {
+                prop_assert!((4..8).contains(&pos))
+            }
+            Err(FrameError::Checksum { expected, got }) => {
+                prop_assert_ne!(expected, got);
+                prop_assert!(pos >= 4, "magic flip misreported as checksum");
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!(
+                    "flip at byte {pos} bit {bit} gave unexpected {other}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_field_flips_report_both_sides(
+        payload in collection::vec(any::<u8>(), 0..100),
+        bit in 0u32..32,
+    ) {
+        // Bytes 8..12 are the stored CRC; flipping exactly one of its
+        // bits must produce a Checksum error whose `expected` differs
+        // from `got` by that bit.
+        let mut wire = encode_frame(&payload);
+        let byte = 8 + (bit / 8) as usize;
+        wire[byte] ^= 1 << (bit % 8);
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::Checksum { expected, got }) => {
+                prop_assert_eq!(expected ^ got, 1u32 << bit);
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "CRC bit {bit} flip gave {other:?}"
+                )));
+            }
+        }
+    }
+}
+
+#[test]
+fn header_layout_matches_the_tests_assumptions() {
+    // The property tests slice by offset; pin the layout they assume.
+    let wire = encode_frame(b"x");
+    assert_eq!(wire.len(), HEADER_LEN + 1);
+    assert_eq!(&wire[..4], b"RCLF");
+    assert_eq!(u32::from_le_bytes(wire[4..8].try_into().unwrap()), 1);
+}

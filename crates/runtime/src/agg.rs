@@ -111,6 +111,22 @@ pub trait PartialAggregate<T>: Default + Send {
     fn merge(&mut self, other: Self);
 }
 
+/// Merges a sequence of partials — each covering a disjoint, ascending
+/// slice of the trial space (e.g. one shard window per cluster task) —
+/// into a single aggregate, exactly as the in-process aggregator would
+/// have: identity fold, then `merge` in iteration order. The cluster
+/// head's merge entry point.
+pub fn merge_in_order<T, P>(parts: impl IntoIterator<Item = P>) -> P
+where
+    P: PartialAggregate<T>,
+{
+    let mut acc = P::default();
+    for part in parts {
+        acc.merge(part);
+    }
+    acc
+}
+
 /// The trivial partial for sinks that need every raw result: folds to
 /// nothing, so worker-side aggregation compiles away entirely.
 impl<T> PartialAggregate<T> for () {

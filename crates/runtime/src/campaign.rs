@@ -254,6 +254,35 @@ where
     )
 }
 
+/// Runs only the shards in `[shard_lo, shard_hi)` of `config`'s campaign
+/// — the cluster worker's entry point. The plan (and with it the shard
+/// partition, every trial's global index, seed and RNG stream) is the
+/// *full* campaign's, so the windowed result stream is bit-identical to
+/// the corresponding slice of a single-process run and disjoint windows
+/// merged in shard order ([`merge_in_order`](crate::merge_in_order))
+/// reproduce the full aggregate exactly.
+///
+/// No early-stop policy parameter on purpose: a stop decision taken on
+/// one window's prefix would not be the decision the full run takes, so
+/// distributed campaigns run every assigned trial.
+pub fn run_campaign_window_sink<F, S>(
+    config: &CampaignConfig,
+    shard_lo: usize,
+    shard_hi: usize,
+    sink: S,
+    trial_fn: F,
+) -> RunOutcome<S::Summary>
+where
+    F: Fn(u64) -> TrialResult + Sync,
+    S: Sink<TrialResult>,
+{
+    Engine::with_workers(config.threads).run(
+        &plan_of(config).with_shard_window(shard_lo, shard_hi),
+        &FnTrial::new(move |ctx: &mut TrialCtx| trial_fn(ctx.seed)),
+        sink,
+    )
+}
+
 /// Runs a campaign with an early-stop policy, returning the aggregate and
 /// the engine's throughput/latency counters.
 pub fn run_campaign_with<F>(
@@ -378,6 +407,40 @@ mod tests {
         assert!(outcome.stats.aborted);
         assert!(outcome.summary.detected_aborted >= 5);
         assert!(outcome.summary.trials < 5_000);
+    }
+
+    #[test]
+    fn windowed_campaigns_merge_into_the_full_report() {
+        // Distribution contract: disjoint shard windows, each run with a
+        // different thread count, merged in shard order must equal the
+        // single-process campaign exactly.
+        let config = CampaignConfig::new(240, 0xD17E).with_shards(12);
+        let trial = |seed: u64| {
+            let mut inj = BerInjector::new(seed, 0.5);
+            let v = inj.perturb(OpContext::new(FaultSite::Multiplier, 0), 1.0);
+            fake_trial(if v == 1.0 {
+                TrialOutcome::Correct
+            } else {
+                TrialOutcome::SilentCorruption
+            })
+        };
+        let full = run_campaign(&config, trial);
+        let parts: Vec<CampaignReport> = [(0usize, 5usize, 1), (5, 8, 2), (8, 12, 4)]
+            .iter()
+            .map(|&(lo, hi, threads)| {
+                let config = config.with_threads(threads);
+                run_campaign_window_sink(
+                    &config,
+                    lo,
+                    hi,
+                    CampaignSink::new(EarlyStop::never()),
+                    trial,
+                )
+                .summary
+            })
+            .collect();
+        let merged = crate::agg::merge_in_order::<TrialResult, _>(parts);
+        assert_eq!(merged, full);
     }
 
     #[test]

@@ -142,6 +142,14 @@ pub struct RunPlan {
     /// worker parallelism for bounded reorder memory
     /// (`reorder_budget = 1` serializes release entirely).
     pub reorder_budget: u64,
+    /// Restricts execution to the shards in `[lo, hi)` of the *full*
+    /// plan (`None` = every shard). The shard partition, per-shard RNG
+    /// streams and global trial indices are those of the unwindowed
+    /// plan, so a windowed run's result stream is bit-identical to the
+    /// corresponding contiguous slice of the full run — the unit of
+    /// distribution for multi-process campaigns: each cluster worker
+    /// runs one window and the head stitches the slices back together.
+    pub shard_window: Option<(usize, usize)>,
 }
 
 impl RunPlan {
@@ -155,6 +163,7 @@ impl RunPlan {
             chunk: 0,
             adaptive: true,
             reorder_budget: 0,
+            shard_window: None,
         }
     }
 
@@ -189,6 +198,16 @@ impl RunPlan {
         self
     }
 
+    /// Restricts execution to the shards in `[lo, hi)` of the full plan
+    /// (clamped to the effective shard count at run time). Trial
+    /// identity — shard partition, RNG streams, global indices, seeds —
+    /// is untouched, so the windowed result stream is exactly the
+    /// full run's slice for those shards. See [`RunPlan::shard_window`].
+    pub fn with_shard_window(mut self, lo: usize, hi: usize) -> Self {
+        self.shard_window = Some((lo, hi));
+        self
+    }
+
     fn effective_shards(&self) -> usize {
         let requested = if self.shards > 0 {
             self.shards
@@ -211,6 +230,19 @@ impl RunPlan {
             .min(base)
     }
 
+    /// The effective shard window `[lo, hi)`: the whole plan unless
+    /// [`with_shard_window`](RunPlan::with_shard_window) narrowed it,
+    /// clamped so `lo <= hi <= shards`.
+    fn window(&self, shards: usize) -> (usize, usize) {
+        match self.shard_window {
+            Some((lo, hi)) => {
+                let lo = lo.min(shards);
+                (lo, hi.min(shards).max(lo))
+            }
+            None => (0, shards),
+        }
+    }
+
     /// Trial-index range of one shard (balanced contiguous blocks).
     fn shard_range(&self, shard: usize, shards: usize) -> std::ops::Range<u64> {
         let shards_u = shards as u64;
@@ -222,13 +254,14 @@ impl RunPlan {
         start..start + len
     }
 
-    /// The full chunk schedule in `(shard, offset)` order. The
-    /// aggregator's watermark runs on in-shard *offsets* (see
+    /// The chunk schedule of the plan's shard window in
+    /// `(shard, offset)` order — the full plan unless a window narrows
+    /// it. The aggregator's watermark runs on in-shard *offsets* (see
     /// [`Engine::run`]), so the schedule is purely the workers' initial
     /// deal.
-    fn chunk_schedule(&self, shards: usize, chunk_size: u64) -> Vec<Chunk> {
+    fn chunk_schedule(&self, shards: usize, chunk_size: u64, window: (usize, usize)) -> Vec<Chunk> {
         let mut chunks = Vec::new();
-        for shard in 0..shards {
+        for shard in window.0..window.1 {
             let range = self.shard_range(shard, shards);
             let len = range.end - range.start;
             let mut offset = 0u64;
@@ -620,13 +653,14 @@ impl Engine {
         );
         let shards = plan.effective_shards();
         let chunk_size = plan.effective_chunk(shards);
+        let (win_lo, win_hi) = plan.window(shards);
         let chunks = if plan.trials > 0 {
-            plan.chunk_schedule(shards, chunk_size)
+            plan.chunk_schedule(shards, chunk_size, (win_lo, win_hi))
         } else {
             Vec::new()
         };
         let workers = self.effective_workers(plan, chunks.len());
-        let mut stats = RunStats::new(workers, shards, chunks.len() as u64);
+        let mut stats = RunStats::new(workers, win_hi - win_lo, chunks.len() as u64);
         let started = Instant::now();
         // Live publication handles. Every update below is a relaxed
         // atomic add/store on the side of existing control flow — the
@@ -635,7 +669,7 @@ impl Engine {
         let em: &EngineMetrics = &self.metrics;
         em.runs_started.inc();
 
-        if plan.trials > 0 {
+        if !chunks.is_empty() {
             let shard_lens: Vec<u64> = (0..shards)
                 .map(|s| {
                     let range = plan.shard_range(s, shards);
@@ -893,16 +927,23 @@ impl Engine {
                 let frontier = queue.frontier();
                 let mut pending: ReorderBuffer<Envelope<T::Output, S::Partial>> =
                     ReorderBuffer::new();
-                let mut frontier_shard = 0usize;
+                let mut frontier_shard = win_lo;
                 let mut frontier_offset = 0u64;
                 let mut shard_elapsed = Duration::ZERO;
+                // A windowed run starts mid-plan: advance the shared
+                // frontier past every trial below the window, because
+                // chunk starts are *global* indices and budget admission
+                // must key on the same axis.
+                if win_lo > 0 {
+                    frontier.advance(plan.shard_range(win_lo, shards).start);
+                }
                 // Defensive: step over shards the plan gave no trials
                 // (impossible after the shards<=trials clamp, but an empty
                 // shard must never stall the watermark).
-                while frontier_shard < shards && shard_lens[frontier_shard] == 0 {
+                while frontier_shard < win_hi && shard_lens[frontier_shard] == 0 {
                     frontier_shard += 1;
                 }
-                stats.shards = frontier_shard;
+                stats.shards = frontier_shard - win_lo;
                 while let Ok(envelope) = rx.recv() {
                     if stats.aborted {
                         continue; // drain: results beyond the abort point are discarded
@@ -938,7 +979,7 @@ impl Engine {
                         }
                         frontier_offset += envelope.len;
                         frontier.advance(envelope.len);
-                        while frontier_shard < shards
+                        while frontier_shard < win_hi
                             && frontier_offset == shard_lens[frontier_shard]
                         {
                             stats.max_shard = stats.max_shard.max(shard_elapsed);
@@ -947,12 +988,12 @@ impl Engine {
                             em.shards_completed.inc();
                             frontier_shard += 1;
                             frontier_offset = 0;
-                            while frontier_shard < shards && shard_lens[frontier_shard] == 0 {
+                            while frontier_shard < win_hi && shard_lens[frontier_shard] == 0 {
                                 frontier_shard += 1;
                             }
-                            stats.shards = frontier_shard;
+                            stats.shards = frontier_shard - win_lo;
                             if matches!(sink.checkpoint(completed), Control::Stop)
-                                && frontier_shard < shards
+                                && frontier_shard < win_hi
                             {
                                 stats.aborted = true;
                                 em.runs_aborted.inc();
@@ -1029,7 +1070,7 @@ mod tests {
     #[test]
     fn chunk_schedule_partitions_every_shard() {
         let plan = RunPlan::new(103, 0).with_shards(8).with_chunk(5);
-        let chunks = plan.chunk_schedule(8, 5);
+        let chunks = plan.chunk_schedule(8, 5, (0, 8));
         let mut covered = Vec::new();
         for c in &chunks {
             assert!(c.len <= 5 && c.len > 0);
@@ -1359,6 +1400,74 @@ mod tests {
                 outcome.stats.max_reorder_depth
             );
         }
+    }
+
+    #[test]
+    fn shard_windows_stitch_back_into_the_full_run() {
+        // The cluster contract: windowed runs are exact slices of the
+        // full plan — same indices, seeds and RNG draws — so running
+        // the windows separately (at a different worker count) and
+        // concatenating reproduces the full stream bit for bit.
+        let plan = RunPlan::new(103, 77).with_shards(8).with_chunk(4);
+        let trial =
+            FnTrial::new(|ctx: &mut TrialCtx| (ctx.index, ctx.seed, ctx.rng.random::<u64>()));
+        let full = Engine::with_workers(4)
+            .run(&plan, &trial, CollectSink::new())
+            .summary;
+        let mut stitched = Vec::new();
+        for (lo, hi) in [(0usize, 3usize), (3, 4), (4, 8)] {
+            let part = Engine::with_workers(2).run(
+                &plan.with_shard_window(lo, hi),
+                &trial,
+                CollectSink::new(),
+            );
+            assert_eq!(part.stats.planned_shards, hi - lo);
+            assert_eq!(part.stats.shards, hi - lo);
+            assert!(!part.stats.aborted);
+            stitched.extend(part.summary);
+        }
+        assert_eq!(stitched, full);
+    }
+
+    #[test]
+    fn shard_window_respects_a_finite_reorder_budget() {
+        // A window starting mid-plan must pre-advance the run frontier
+        // past the excluded prefix, or budget admission would compare
+        // global chunk starts against a zero watermark and park every
+        // worker forever.
+        let plan = RunPlan::new(96, 17)
+            .with_shards(8)
+            .with_chunk(4)
+            .with_reorder_budget(8);
+        let trial = FnTrial::new(|ctx: &mut TrialCtx| ctx.rng.random::<u64>());
+        let full = Engine::with_workers(1)
+            .run(
+                &RunPlan::new(96, 17).with_shards(8),
+                &trial,
+                CollectSink::new(),
+            )
+            .summary;
+        let windowed = Engine::with_workers(4)
+            .run(&plan.with_shard_window(5, 8), &trial, CollectSink::new())
+            .summary;
+        // Shards 5..8 of 96 trials over 8 shards cover indices 60..96.
+        assert_eq!(windowed, full[60..].to_vec());
+    }
+
+    #[test]
+    fn empty_and_clamped_shard_windows_are_safe() {
+        let trial = FnTrial::new(|ctx: &mut TrialCtx| ctx.index);
+        let plan = RunPlan::new(40, 1).with_shards(4);
+        let empty =
+            Engine::with_workers(2).run(&plan.with_shard_window(2, 2), &trial, CollectSink::new());
+        assert!(empty.summary.is_empty());
+        assert_eq!(empty.stats.trials, 0);
+        // A window reaching past the shard count clamps instead of
+        // panicking on the shard-length table.
+        let clamped =
+            Engine::with_workers(2).run(&plan.with_shard_window(3, 99), &trial, CollectSink::new());
+        assert_eq!(clamped.summary, (30..40).collect::<Vec<_>>());
+        assert_eq!(clamped.stats.planned_shards, 1);
     }
 
     #[test]

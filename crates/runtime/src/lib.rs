@@ -8,7 +8,7 @@
 //! ## Architecture
 //!
 //! ```text
-//!   RunPlan { trials, seed, shards, chunk, adaptive, reorder_budget }
+//!   RunPlan { trials, seed, shards, chunk, adaptive, reorder_budget, shard_window }
 //!        │             ┌────────────────┐ pop front  ┌─────────┐ pull chunk items
 //!        ├─ shards ────│ deque worker 0 │───────────▶│ worker 0│◀── TrialSource
 //!        │  × chunks   │ deque ...      │ steal back │ ...     │ fold chunk into
@@ -131,12 +131,12 @@ mod sink;
 mod source;
 mod trial;
 
-pub use agg::{PartialAggregate, TrialCount};
+pub use agg::{merge_in_order, PartialAggregate, TrialCount};
 pub use batch::BatchClassify;
 pub use campaign::{
     run_campaign, run_campaign_sink, run_campaign_sink_on, run_campaign_source,
-    run_campaign_source_on, run_campaign_with, CampaignConfig, CampaignReport, CampaignSink,
-    EarlyStop, TrialOutcome, TrialResult,
+    run_campaign_source_on, run_campaign_window_sink, run_campaign_with, CampaignConfig,
+    CampaignReport, CampaignSink, EarlyStop, TrialOutcome, TrialResult,
 };
 pub use engine::{
     chunk_rng, shard_rng, Engine, EngineConfig, RunOutcome, RunPlan, RunStats, WorkerStats,

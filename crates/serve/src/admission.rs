@@ -108,8 +108,11 @@ impl Inner {
     }
 
     fn check(&self) {
+        if !crate::checks::conservation_checks_enabled() {
+            return;
+        }
         for (lane, c) in self.by_class.iter().enumerate() {
-            debug_assert_eq!(
+            assert_eq!(
                 c.offered,
                 c.shed + c.expired + c.dispatched + self.lanes[lane].len() as u64,
                 "admission-queue conservation violated for class {}: {c:?} with {} queued",

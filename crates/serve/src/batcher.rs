@@ -30,8 +30,7 @@
 //! [`DispatchStats`](crate::report::DispatchStats).
 //!
 //! Entry point: the [`Server`](crate::Server) builder (a virtual-clock
-//! run is the default). The free functions [`run_server`] /
-//! [`run_server_observed`] are deprecated shims over it.
+//! run is the default).
 
 use crate::admission::{Admission, AdmissionQueue};
 use crate::backend::Backend;
@@ -200,19 +199,21 @@ pub(crate) fn finish_run<V: Clone>(
             Vec::new()
         }
     };
-    let counters = queue.counters();
-    debug_assert_eq!(counters.offered, report.offered);
-    debug_assert_eq!(counters.shed, report.shed);
-    debug_assert_eq!(counters.expired, report.expired());
-    for class in RequestClass::ALL {
-        let qc = queue.class_counters(class);
-        let rc = report.class(class);
-        debug_assert_eq!(qc.offered, rc.offered, "{} offered", class.label());
-        debug_assert_eq!(qc.shed, rc.shed, "{} shed", class.label());
-        debug_assert_eq!(qc.expired, rc.expired, "{} expired", class.label());
-        debug_assert_eq!(qc.dispatched, rc.completed, "{} dispatched", class.label());
+    if crate::checks::conservation_checks_enabled() {
+        let counters = queue.counters();
+        assert_eq!(counters.offered, report.offered);
+        assert_eq!(counters.shed, report.shed);
+        assert_eq!(counters.expired, report.expired());
+        for class in RequestClass::ALL {
+            let qc = queue.class_counters(class);
+            let rc = report.class(class);
+            assert_eq!(qc.offered, rc.offered, "{} offered", class.label());
+            assert_eq!(qc.shed, rc.shed, "{} shed", class.label());
+            assert_eq!(qc.expired, rc.expired, "{} expired", class.label());
+            assert_eq!(qc.dispatched, rc.completed, "{} dispatched", class.label());
+        }
+        assert!(report.conserved(), "report conservation: {report:?}");
     }
-    debug_assert!(report.conserved(), "report conservation: {report:?}");
     let outcomes: Vec<Outcome<V>> = outcomes
         .into_iter()
         .enumerate()
@@ -432,42 +433,6 @@ pub(crate) fn run_virtual<B: Backend>(
 
     report.makespan_us = free_at.max(now);
     finish_run(trace, &queue, controller, report, outcomes, dispatch)
-}
-
-/// Replays `trace` through admission, micro-batching and the backend on
-/// `engine`, returning per-request outcomes and the aggregate report.
-#[deprecated(
-    since = "0.6.0",
-    note = "use the Server builder: Server::new(config).backend(b).run(trace)"
-)]
-pub fn run_server<B: Backend>(
-    trace: &[Request],
-    config: &ServerConfig,
-    backend: &B,
-    engine: &Engine,
-) -> ServeRun<B::Verdict> {
-    run_virtual(
-        trace,
-        config,
-        backend,
-        engine,
-        &ServeMetrics::unregistered(),
-    )
-}
-
-/// [`run_server`] with live metrics publication.
-#[deprecated(
-    since = "0.6.0",
-    note = "use the Server builder: Server::new(config).backend(b).observed(&registry).run(trace)"
-)]
-pub fn run_server_observed<B: Backend>(
-    trace: &[Request],
-    config: &ServerConfig,
-    backend: &B,
-    engine: &Engine,
-    metrics: &ServeMetrics,
-) -> ServeRun<B::Verdict> {
-    run_virtual(trace, config, backend, engine, metrics)
 }
 
 #[cfg(test)]
@@ -789,15 +754,17 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_the_builder_path() {
+    fn builder_matches_the_direct_virtual_path() {
         let trace = LoadGen::new(LoadGenConfig::poisson(120, 0x51A, 150, 6_000)).generate();
         let config = cfg(16, 6, 800, uniform_service(90, 20));
         let engine = Engine::with_workers(1);
-        #[allow(deprecated)]
-        let shim = run_server(&trace, &config, &EchoBackend, &engine);
+        let built = crate::Server::new(config)
+            .backend(&EchoBackend)
+            .engine(&engine)
+            .run(&trace);
         let direct = drive(&trace, &config, &EchoBackend, &engine);
-        assert_eq!(shim.report, direct.report);
-        assert_eq!(shim.outcomes, direct.outcomes);
+        assert_eq!(built.report, direct.report);
+        assert_eq!(built.outcomes, direct.outcomes);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Runtime switch for the serving conservation audits.
+//!
+//! The admission queue and the batcher's end-of-run reconciliation
+//! carry conservation invariants (`offered == shed + expired +
+//! dispatched + queued`, per class and in aggregate). They used to be
+//! `debug_assert`s — free in release, which is exactly where CI's
+//! long-trace smokes and the wall-clock front-end actually run. This
+//! module promotes them to real assertions that are **on in every debug
+//! build and on in release when `RELCNN_CHECK_CONSERVATION=1`**, so a
+//! release-mode CI leg can hold the invariant on the physics path
+//! without taxing production-shaped runs that didn't opt in.
+
+use std::sync::OnceLock;
+
+/// Environment variable that turns the conservation audits on in
+/// release builds (`=1`).
+pub const CHECK_CONSERVATION_ENV: &str = "RELCNN_CHECK_CONSERVATION";
+
+/// Whether the conservation audits run: always under
+/// `debug_assertions`, and in release when
+/// [`CHECK_CONSERVATION_ENV`] is `1`. Read once — flipping the variable
+/// mid-process does not toggle checks mid-run.
+pub fn conservation_checks_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        cfg!(debug_assertions)
+            || std::env::var(CHECK_CONSERVATION_ENV)
+                .map(|v| v == "1")
+                .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_in_debug_builds_regardless_of_env() {
+        // Tests compile with debug_assertions on, so the env var must
+        // not be needed for the audits to run here.
+        assert!(conservation_checks_enabled());
+    }
+}

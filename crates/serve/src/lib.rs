@@ -108,8 +108,7 @@
 //!
 //! Swap [`Server::clock`] to a [`WallClock`] and the same builder runs
 //! the threaded real-time front-end (bounded by the clock's hard
-//! budget). The old `run_server` / `run_server_observed` free functions
-//! remain as deprecated shims.
+//! budget).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -117,6 +116,7 @@
 mod admission;
 mod backend;
 mod batcher;
+mod checks;
 mod clock;
 mod controller;
 mod loadgen;
@@ -128,9 +128,8 @@ mod wall;
 
 pub use admission::{Admission, AdmissionCounters, AdmissionQueue, QueueWindow};
 pub use backend::{Backend, BatchReply, CnnBackend, CnnVerdict, EchoBackend};
-#[allow(deprecated)]
-pub use batcher::{run_server, run_server_observed};
 pub use batcher::{BatchPolicy, ServerConfig, ServiceModel};
+pub use checks::{conservation_checks_enabled, CHECK_CONSERVATION_ENV};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use controller::{ControlRecord, ControllerConfig, Decision, OverloadController};
 pub use loadgen::{Arrival, LoadGen, LoadGenConfig};

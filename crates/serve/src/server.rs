@@ -16,10 +16,10 @@
 //! assert!(run.report.conserved());
 //! ```
 //!
-//! The builder replaces the old `run_server` / `run_server_observed`
-//! free functions (kept as deprecated shims): configuration that used
-//! to be positional arguments — backend, engine, metrics registry —
-//! is now named, and the **clock** joins it as a first-class choice.
+//! The builder replaced the old `run_server` / `run_server_observed`
+//! free functions (now removed): configuration that used to be
+//! positional arguments — backend, engine, metrics registry — is
+//! named, and the **clock** joins it as a first-class choice.
 //! [`Server::clock`] with a [`VirtualClock`] (the default) runs the
 //! deterministic replay loop; a [`WallClock`] runs the threaded
 //! real-time front-end, scrape endpoint included when observed.
