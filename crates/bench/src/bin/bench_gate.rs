@@ -55,6 +55,13 @@
 //! informational skip, not a failure, so the other gates stay usable on
 //! their own.
 //!
+//! The flight-recorder smoke's event counters (`results/trace_smoke.json`,
+//! run `cargo run --release -p relcnn-bench --bin trace_smoke` first) are
+//! printed the same way — recorded/dropped events per subsystem are
+//! informational — with one hard invariant: the chaos leg's merged
+//! timeline must contain at least one `requeue` event. Also an
+//! informational skip when missing.
+//!
 //! The gate reads artefacts rather than timing anything itself, so it is
 //! cheap to re-run while iterating on a regression.
 
@@ -657,6 +664,76 @@ fn check_cluster(failures: &mut Vec<String>) {
     }
 }
 
+/// The trace smoke's event summary (`results/trace_smoke.json`).
+#[derive(Deserialize)]
+struct TraceSmoke {
+    campaign_events: u64,
+    campaign_dropped: u64,
+    serving_events: u64,
+    serving_dropped: u64,
+    cluster_events: u64,
+    cluster_dropped: u64,
+    cluster_pid_tracks: u64,
+    kill_events: u64,
+    requeue_events: u64,
+    degraded_completion_events: u64,
+    byte_identical_legs: u64,
+}
+
+/// Prints the flight recorder's per-subsystem recorded/dropped event
+/// counters (informational — ring sizing varies with the workload) and
+/// holds one hard invariant: the chaos leg's merged timeline must
+/// contain at least one `requeue` event, or the recovery story the
+/// recorder exists to tell has gone missing. Skipped (informationally)
+/// when the smoke has not run.
+fn check_trace(failures: &mut Vec<String>) {
+    let path = relcnn_bench::results_dir().join("trace_smoke.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(_) => {
+            println!(
+                "trace: no {} — skipped (generate it with \
+                 `cargo run --release -p relcnn-bench --bin trace_smoke`)",
+                path.display()
+            );
+            return;
+        }
+    };
+    let t: TraceSmoke = match serde_json::from_str(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            failures.push(format!("{}: parse error: {e}", path.display()));
+            return;
+        }
+    };
+    println!(
+        "trace: {} legs byte-identical trace-on vs trace-off; chaos timeline \
+         spans {} pid tracks",
+        t.byte_identical_legs, t.cluster_pid_tracks
+    );
+    println!(
+        "  events: {}",
+        relcnn_bench::counters_line(&[
+            ("campaign_recorded", t.campaign_events),
+            ("campaign_dropped", t.campaign_dropped),
+            ("serving_recorded", t.serving_events),
+            ("serving_dropped", t.serving_dropped),
+            ("cluster_recorded", t.cluster_events),
+            ("cluster_dropped", t.cluster_dropped),
+            ("kill_events", t.kill_events),
+            ("requeue_events", t.requeue_events),
+            ("degraded_completions", t.degraded_completion_events),
+        ])
+    );
+    if t.requeue_events < 1 {
+        failures.push(
+            "trace: chaos timeline recorded no requeue events (the kill->requeue \
+             recovery story is missing)"
+                .into(),
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let tol = tolerance();
     let mut failures: Vec<String> = Vec::new();
@@ -676,6 +753,7 @@ fn main() -> ExitCode {
         Err(e) => failures.push(e),
     }
     check_cluster(&mut failures);
+    check_trace(&mut failures);
 
     if failures.is_empty() {
         println!("bench gate: OK");

@@ -22,15 +22,20 @@
 //! the same bytes.
 
 use relcnn_bench::workload::{cluster_job, cluster_task, merge_cluster_outputs, Profile, SHARDS};
-use relcnn_cluster::{run_cluster, run_worker_if_spawned, ChaosPlan, ClusterConfig};
+use relcnn_cluster::ClusterHooks;
+use relcnn_cluster::{run_cluster_hooked, run_worker_if_spawned, ChaosPlan, ClusterConfig};
+use relcnn_obs::trace::{export_chrome, validate, TraceRecorder};
 
 fn usage() -> ! {
     eprintln!(
         "usage: cluster_artifact --procs N --out PATH [--threads T] [--profile latency|cpu] \
-         [--task-shards W] [--chaos none|kill|corrupt|hang] [--task-timeout-ms MS]\n\
+         [--task-shards W] [--chaos none|kill|corrupt|hang] [--task-timeout-ms MS] \
+         [--trace PATH]\n\
          Writes the stitched JSONL artefact of the canonical campaign run over the\n\
          multi-process cluster fabric. --procs 0 computes every task in the head\n\
-         process (the no-fork reference topology)."
+         process (the no-fork reference topology). --trace flight-records the head\n\
+         and every worker and writes the merged Chrome-trace timeline to PATH;\n\
+         the artefact stays byte-identical either way."
     );
     std::process::exit(2)
 }
@@ -47,6 +52,7 @@ fn main() {
     let mut profile = Profile::Latency;
     let mut chaos_name = String::from("none");
     let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -83,6 +89,7 @@ fn main() {
             }
             "--chaos" => chaos_name = args.next().unwrap_or_else(|| usage()),
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -108,7 +115,17 @@ fn main() {
         config = config.with_task_timeout_ms(ms);
     }
 
-    let outcome = run_cluster(&config, &job, cluster_task)
+    let recorder = if trace_out.is_some() {
+        TraceRecorder::new("cluster-head")
+    } else {
+        TraceRecorder::off()
+    };
+    let mut hooks = ClusterHooks::none();
+    if trace_out.is_some() {
+        hooks = hooks.with_trace(&recorder);
+    }
+
+    let outcome = run_cluster_hooked(&config, &job, cluster_task, &hooks)
         .unwrap_or_else(|e| panic!("cluster run failed: {e}"));
     let (merged, payload) = merge_cluster_outputs(&outcome.outputs);
 
@@ -116,6 +133,24 @@ fn main() {
         .unwrap_or_else(|e| panic!("serialize merged aggregate: {e}"));
     let artefact = format!("{payload}{{\"partial_aggregate\":{report}}}\n");
     std::fs::write(&out, artefact).unwrap_or_else(|e| panic!("write {out}: {e}"));
+
+    if let Some(trace_path) = trace_out {
+        // Merged multi-process timeline: head drain first (pid 1), then
+        // every worker snapshot that made it home, in worker order.
+        let mut snapshots = vec![recorder.drain()];
+        snapshots.extend(outcome.traces.iter().cloned());
+        let chrome = export_chrome(&snapshots);
+        let parsed =
+            validate(&chrome).unwrap_or_else(|e| panic!("exported trace failed validation: {e}"));
+        std::fs::write(&trace_path, &chrome).unwrap_or_else(|e| panic!("write {trace_path}: {e}"));
+        eprintln!(
+            "{trace_path}: {} events across {} pid tracks ({} recorded, {} dropped)",
+            parsed.event_count(),
+            parsed.pids().len(),
+            snapshots.iter().map(|s| s.recorded_events()).sum::<u64>(),
+            snapshots.iter().map(|s| s.dropped_events()).sum::<u64>(),
+        );
+    }
 
     let s = &outcome.stats;
     eprintln!(

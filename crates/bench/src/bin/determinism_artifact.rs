@@ -44,6 +44,13 @@
 //! proves metrics publication is write-only side traffic off the
 //! deterministic path.
 //!
+//! `--trace` runs the same campaign on a flight-recorded engine (ring
+//! buffers on, spans recorded for every chunk, steal, park and release).
+//! The exported Chrome-trace JSON is validated in-process and the
+//! artefact must again be byte-identical to the trace-off reference —
+//! the matrix leg that proves tracing is equally off the deterministic
+//! path.
+//!
 //! Each artefact ends with a `{"partial_aggregate":...}` line produced by
 //! a second run of the same campaign on the bare partial-aggregation
 //! result path (no raw trials cross the channel), asserted in-process to
@@ -104,11 +111,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: determinism_artifact --workers N --out PATH [--chunk C] [--no-abort] \
          [--profile latency|cpu] [--source plan|eager|streaming] [--reorder-budget B] \
-         [--metrics]\n\
+         [--metrics] [--trace]\n\
          Writes the footerless JSONL result stream of a fixed skewed campaign.\n\
          --metrics runs the campaign on a registry-observed engine (live metrics \
-         publication on); the artefact bytes must be identical either way — the \
-         CI matrix diffs exactly that."
+         publication on); --trace runs it on a flight-recorded engine (span rings \
+         on, export validated in-process); the artefact bytes must be identical \
+         either way — the CI matrix diffs exactly that."
     );
     std::process::exit(2)
 }
@@ -120,12 +128,14 @@ fn main() {
     let mut out: Option<String> = None;
     let mut early_stop = true;
     let mut metrics = false;
+    let mut trace = false;
     let mut profile = Profile::Latency;
     let mut source = Source::Plan;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics" => metrics = true,
+            "--trace" => trace = true,
             "--workers" => {
                 workers = args
                     .next()
@@ -184,9 +194,20 @@ fn main() {
     // engine — live publication on, artefact bytes required identical
     // (the CI matrix leg byte-diffs metrics-on vs metrics-off).
     let registry = relcnn_obs::Registry::new();
+    // With `--trace` the same campaign runs on a flight-recorded engine —
+    // rings on, spans recorded; the artefact bytes must again be
+    // identical (the CI matrix leg byte-diffs trace-on vs trace-off).
+    let recorder = if trace {
+        relcnn_obs::TraceRecorder::new("determinism_artifact")
+    } else {
+        relcnn_obs::TraceRecorder::off()
+    };
     let mut engine = Engine::with_workers(workers);
     if metrics {
         engine = engine.observed(&registry);
+    }
+    if trace {
+        engine = engine.traced(&recorder);
     }
 
     // `JsonlSink` buffers internally, so the raw file handle is enough.
@@ -259,6 +280,36 @@ fn main() {
             "{out}: metrics on — registry valid, {} families, {executed} trials executed \
              across both runs ({released} released)",
             page.lines().filter(|l| l.starts_with("# TYPE")).count(),
+        );
+    }
+
+    // When traced, the recorder must hold both runs' timelines and the
+    // Chrome-trace export must be validator-clean (stderr only — the
+    // artefact file never sees a trace event).
+    if trace {
+        let snapshot = recorder.drain();
+        let recorded = snapshot.recorded_events();
+        let dropped = snapshot.dropped_events();
+        let chrome = relcnn_obs::trace::export_chrome(&[snapshot]);
+        let parsed = relcnn_obs::trace::validate(&chrome)
+            .unwrap_or_else(|e| panic!("traced run exported an invalid timeline: {e}"));
+        assert_eq!(
+            parsed.count('B', "run"),
+            2,
+            "recorder should hold a run span per campaign run"
+        );
+        assert!(
+            parsed.count('B', "chunk") > 0,
+            "traced campaign recorded no chunk spans"
+        );
+        assert!(
+            parsed.count('i', "release") > 0,
+            "traced campaign recorded no aggregator releases"
+        );
+        eprintln!(
+            "{out}: trace on — {} events exported ({recorded} recorded, {dropped} dropped), \
+             validator clean",
+            parsed.event_count(),
         );
     }
 

@@ -25,10 +25,13 @@ use crate::frame::{read_frame, write_frame, FrameError};
 use crate::metrics::ClusterMetrics;
 use crate::proto::{decode, encode, FromWorker, JobSpec, ToWorker};
 use crate::worker::WORKER_ENV;
-use relcnn_obs::Registry;
+use relcnn_obs::trace::{Arg, TraceRecorder, TraceSnapshot};
+use relcnn_obs::{Registry, ScrapeServer};
 use std::io;
+use std::net::SocketAddr;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc;
+use std::sync::mpsc::Sender;
 use std::time::{Duration, Instant};
 
 /// Head-side fabric configuration (the job itself lives in [`JobSpec`]).
@@ -209,6 +212,57 @@ pub struct ClusterOutcome {
     pub outputs: Vec<TaskOutput>,
     /// Fabric counters.
     pub stats: ClusterStats,
+    /// Flight-recorder snapshots shipped by traced workers, sorted by
+    /// worker index. Empty when tracing is off (no hooks recorder) — and
+    /// best-effort when on: a worker that died before shipping simply
+    /// contributes no track. Merge with the head's own drained recorder
+    /// via [`relcnn_obs::trace::export_chrome`] for one multi-process
+    /// timeline.
+    pub traces: Vec<TraceSnapshot>,
+}
+
+/// Optional observability side-channels for a cluster run. All of them
+/// are write-only taps: hooking a run cannot change a byte of its
+/// aggregate (CI byte-diffs hooked vs bare runs at every topology).
+#[derive(Default)]
+pub struct ClusterHooks<'a> {
+    /// Publish live `relcnn_cluster_*` metrics here. When set, the head
+    /// also binds a live `GET /metrics` scrape endpoint on
+    /// `127.0.0.1:0` for the duration of the run — the same
+    /// observed-by-default behaviour as the wall-clock serving loop.
+    pub registry: Option<&'a Registry>,
+    /// Flight-record the head's orchestration timeline on this recorder
+    /// (ring `"head"`), and tell every worker to record too — their
+    /// shipped rings land in [`ClusterOutcome::traces`].
+    pub trace: Option<&'a TraceRecorder>,
+    /// Announces the scrape endpoint's bound address once it is up
+    /// (only meaningful with `registry` set).
+    pub scrape_notify: Option<&'a Sender<SocketAddr>>,
+}
+
+impl<'a> ClusterHooks<'a> {
+    /// No hooks: bare run.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the metrics registry (and thereby the live scrape endpoint).
+    pub fn with_registry(mut self, registry: &'a Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Sets the flight recorder.
+    pub fn with_trace(mut self, recorder: &'a TraceRecorder) -> Self {
+        self.trace = Some(recorder);
+        self
+    }
+
+    /// Sets the scrape-address announcement channel.
+    pub fn with_scrape_notify(mut self, tx: &'a Sender<SocketAddr>) -> Self {
+        self.scrape_notify = Some(tx);
+        self
+    }
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -256,11 +310,12 @@ pub fn run_cluster<F>(
 where
     F: Fn(&JobSpec, usize, usize) -> (String, String),
 {
-    run_cluster_with(config, job, task_fn, &ClusterMetrics::unregistered())
+    run_cluster_hooked(config, job, task_fn, &ClusterHooks::none())
 }
 
 /// [`run_cluster`] publishing live `relcnn_cluster_*` metrics on
-/// `registry`.
+/// `registry` (including a live scrape endpoint; see
+/// [`ClusterHooks::registry`]).
 pub fn run_cluster_observed<F>(
     config: &ClusterConfig,
     job: &JobSpec,
@@ -270,7 +325,31 @@ pub fn run_cluster_observed<F>(
 where
     F: Fn(&JobSpec, usize, usize) -> (String, String),
 {
-    run_cluster_with(config, job, task_fn, &ClusterMetrics::registered(registry))
+    run_cluster_hooked(
+        config,
+        job,
+        task_fn,
+        &ClusterHooks::none().with_registry(registry),
+    )
+}
+
+/// [`run_cluster`] with the full set of observability side-channels:
+/// metrics + live scrape endpoint, flight-recorder tracing across the
+/// head and every worker, and scrape-address announcement.
+pub fn run_cluster_hooked<F>(
+    config: &ClusterConfig,
+    job: &JobSpec,
+    task_fn: F,
+    hooks: &ClusterHooks<'_>,
+) -> io::Result<ClusterOutcome>
+where
+    F: Fn(&JobSpec, usize, usize) -> (String, String),
+{
+    let cm = match hooks.registry {
+        Some(registry) => ClusterMetrics::registered(registry),
+        None => ClusterMetrics::unregistered(),
+    };
+    run_cluster_with(config, job, task_fn, &cm, hooks)
 }
 
 fn send_to(seat: &mut Seat, msg: &ToWorker, stats: &mut ClusterStats, cm: &ClusterMetrics) -> bool {
@@ -291,6 +370,7 @@ fn lose_worker(
     config: &ClusterConfig,
     stats: &mut ClusterStats,
     cm: &ClusterMetrics,
+    flight: &Flight,
 ) {
     if !seat.alive {
         return;
@@ -301,6 +381,12 @@ fn lose_worker(
     cm.workers_lost.inc();
     cm.workers_live.sub(1);
     cm.degraded.set(1);
+    flight.ring.instant(
+        "kill",
+        "cluster",
+        flight.rec.now_us(),
+        &[Arg::U("worker", w as u64), Arg::S("reason", reason)],
+    );
     let _ = seat.child.kill();
     let _ = seat.child.wait();
     if let Some((t, _)) = seat.running.take() {
@@ -310,6 +396,15 @@ fn lose_worker(
             tasks[t].not_before = Instant::now() + config.backoff(tasks[t].retries);
             stats.tasks_requeued += 1;
             cm.tasks_requeued.inc();
+            flight.ring.instant(
+                "requeue",
+                "cluster",
+                flight.rec.now_us(),
+                &[
+                    Arg::U("task", t as u64),
+                    Arg::U("retry", u64::from(tasks[t].retries)),
+                ],
+            );
             eprintln!(
                 "[cluster] worker {w} lost ({reason}); task {t} requeued (retry {})",
                 tasks[t].retries
@@ -320,11 +415,19 @@ fn lose_worker(
     eprintln!("[cluster] worker {w} lost ({reason}); nothing in flight");
 }
 
+/// The head's own flight-recorder handles, bundled so `lose_worker` and
+/// the event loop can narrate without another pair of parameters each.
+struct Flight {
+    rec: TraceRecorder,
+    ring: relcnn_obs::TraceRing,
+}
+
 fn run_cluster_with<F>(
     config: &ClusterConfig,
     job: &JobSpec,
     task_fn: F,
     cm: &ClusterMetrics,
+    hooks: &ClusterHooks<'_>,
 ) -> io::Result<ClusterOutcome>
 where
     F: Fn(&JobSpec, usize, usize) -> (String, String),
@@ -332,6 +435,25 @@ where
     let started = Instant::now();
     let mut stats = ClusterStats::default();
     cm.degraded.set(0);
+
+    // Head-side flight recorder (off = every record call is a no-op).
+    let rec = hooks.trace.cloned().unwrap_or_default();
+    let ring = rec.ring("head");
+    let run_begin = rec.now_us();
+    let flight = Flight {
+        ring: ring.clone(),
+        rec: rec.clone(),
+    };
+
+    // Observed head runs get a live scrape endpoint by default,
+    // mirroring the wall-clock serving front-end.
+    let scrape = hooks.registry.map(|reg| {
+        let srv = ScrapeServer::bind("127.0.0.1:0", reg.clone()).expect("bind scrape endpoint");
+        if let Some(tx) = hooks.scrape_notify {
+            let _ = tx.send(srv.addr());
+        }
+        srv
+    });
 
     let width = config.task_shards.max(1);
     let now = Instant::now();
@@ -351,7 +473,19 @@ where
                      tasks: &mut Vec<Task>,
                      outputs: &mut Vec<Option<TaskOutput>>,
                      stats: &mut ClusterStats| {
+        let fallback_begin = rec.now_us();
         let (partial, payload) = task_fn(job, tasks[i].lo, tasks[i].hi);
+        ring.span(
+            "local_fallback",
+            "cluster",
+            fallback_begin,
+            rec.now_us(),
+            &[
+                Arg::U("task", i as u64),
+                Arg::U("shard_lo", tasks[i].lo as u64),
+                Arg::U("shard_hi", tasks[i].hi as u64),
+            ],
+        );
         outputs[i] = Some(TaskOutput {
             task: i,
             shard_lo: tasks[i].lo,
@@ -363,6 +497,31 @@ where
         stats.local_fallbacks += 1;
         cm.local_fallbacks.inc();
     };
+    let finish_trace = |stats: &ClusterStats| {
+        if stats.degraded {
+            ring.instant(
+                "degraded_completion",
+                "cluster",
+                rec.now_us(),
+                &[
+                    Arg::U("workers_lost", stats.workers_lost),
+                    Arg::U("tasks_requeued", stats.tasks_requeued),
+                    Arg::U("local_fallbacks", stats.local_fallbacks),
+                ],
+            );
+        }
+        ring.span(
+            "cluster_run",
+            "cluster",
+            run_begin,
+            rec.now_us(),
+            &[
+                Arg::U("workers", config.workers as u64),
+                Arg::U("tasks", stats.tasks),
+                Arg::U("degraded", u64::from(stats.degraded)),
+            ],
+        );
+    };
 
     if config.workers == 0 {
         // Degenerate local topology: no processes, no pipes, no chaos.
@@ -370,12 +529,17 @@ where
             run_local(i, &mut tasks, &mut outputs, &mut stats);
         }
         stats.wall_us = started.elapsed().as_micros() as u64;
+        finish_trace(&stats);
+        if let Some(srv) = scrape {
+            srv.shutdown();
+        }
         return Ok(ClusterOutcome {
             outputs: outputs
                 .into_iter()
                 .map(|o| o.expect("local task"))
                 .collect(),
             stats,
+            traces: Vec::new(),
         });
     }
 
@@ -393,6 +557,12 @@ where
         stats.workers_spawned += 1;
         cm.workers_spawned.inc();
         cm.workers_live.add(1);
+        ring.instant(
+            "spawn",
+            "cluster",
+            rec.now_us(),
+            &[Arg::U("worker", w as u64)],
+        );
         let stdin = child.stdin.take().expect("piped child stdin");
         let mut stdout = child.stdout.take().expect("piped child stdout");
         let tx = tx.clone();
@@ -433,6 +603,7 @@ where
             job: job.clone(),
             heartbeat_ms: config.heartbeat_ms,
             chaos: config.chaos,
+            trace: rec.is_on(),
         };
         if !send_to(&mut seat, &setup, &mut stats, cm) {
             lose_worker(
@@ -443,11 +614,16 @@ where
                 config,
                 &mut stats,
                 cm,
+                &flight,
             );
         }
         seats.push(seat);
     }
     drop(tx);
+
+    // Traced workers ship their drained rings home; collected here and
+    // sorted by worker index into the outcome's merged timeline.
+    let mut worker_traces: Vec<(usize, TraceSnapshot)> = Vec::new();
 
     let tick = Duration::from_millis(config.heartbeat_ms.clamp(5, 50));
     let mut remaining = tasks.len();
@@ -497,6 +673,18 @@ where
                     stats.task_retries += 1;
                     cm.task_retries.inc();
                 }
+                ring.instant(
+                    "assign",
+                    "cluster",
+                    rec.now_us(),
+                    &[
+                        Arg::U("worker", w as u64),
+                        Arg::U("task", i as u64),
+                        Arg::U("shard_lo", tasks[i].lo as u64),
+                        Arg::U("shard_hi", tasks[i].hi as u64),
+                        Arg::U("retry", u64::from(tasks[i].retries)),
+                    ],
+                );
             } else {
                 lose_worker(
                     w,
@@ -506,12 +694,25 @@ where
                     config,
                     &mut stats,
                     cm,
+                    &flight,
                 );
             }
         }
         // Drain events (or wait one tick).
         match rx.recv_timeout(tick) {
             Ok((w, event)) => {
+                // Trace frames are observability side traffic: collected
+                // even from seats already marked dead (a chaos-killed
+                // worker ships its ring right before exiting), and kept
+                // out of the fabric counters so `ClusterStats` stays
+                // identical between trace-on and trace-off runs.
+                let event = match event {
+                    Event::Msg(FromWorker::Trace { worker, snapshot }) => {
+                        worker_traces.push((worker, snapshot));
+                        continue;
+                    }
+                    other => other,
+                };
                 if seats[w].alive {
                     match event {
                         Event::Msg(msg) => {
@@ -536,6 +737,7 @@ where
                                         config,
                                         &mut stats,
                                         cm,
+                                        &flight,
                                     );
                                     continue;
                                 }
@@ -552,6 +754,12 @@ where
                                     remaining -= 1;
                                     stats.tasks_completed += 1;
                                     cm.tasks_completed.inc();
+                                    ring.instant(
+                                        "task_done",
+                                        "cluster",
+                                        rec.now_us(),
+                                        &[Arg::U("worker", w as u64), Arg::U("task", task as u64)],
+                                    );
                                 }
                             }
                         }
@@ -560,6 +768,12 @@ where
                             stats.corrupt_frames += 1;
                             cm.frames_received.inc();
                             cm.corrupt_frames.inc();
+                            ring.instant(
+                                "corrupt_frame",
+                                "cluster",
+                                rec.now_us(),
+                                &[Arg::U("worker", w as u64)],
+                            );
                             lose_worker(
                                 w,
                                 &format!("corrupt frame: {detail}"),
@@ -568,6 +782,7 @@ where
                                 config,
                                 &mut stats,
                                 cm,
+                                &flight,
                             );
                         }
                         Event::Eof => {
@@ -579,6 +794,7 @@ where
                                 config,
                                 &mut stats,
                                 cm,
+                                &flight,
                             );
                         }
                     }
@@ -597,6 +813,7 @@ where
                         config,
                         &mut stats,
                         cm,
+                        &flight,
                     );
                 }
             }
@@ -613,6 +830,12 @@ where
                 if now.duration_since(at) > Duration::from_millis(config.task_timeout_ms) {
                     stats.task_timeouts += 1;
                     cm.task_timeouts.inc();
+                    ring.instant(
+                        "task_timeout",
+                        "cluster",
+                        rec.now_us(),
+                        &[Arg::U("worker", w as u64), Arg::U("task", t as u64)],
+                    );
                     lose_worker(
                         w,
                         &format!("task {t} deadline"),
@@ -621,6 +844,7 @@ where
                         config,
                         &mut stats,
                         cm,
+                        &flight,
                     );
                 }
             } else if now.duration_since(seat.last_seen)
@@ -628,6 +852,12 @@ where
             {
                 stats.heartbeat_timeouts += 1;
                 cm.heartbeat_timeouts.inc();
+                ring.instant(
+                    "heartbeat_timeout",
+                    "cluster",
+                    rec.now_us(),
+                    &[Arg::U("worker", w as u64)],
+                );
                 lose_worker(
                     w,
                     "heartbeat silence",
@@ -636,6 +866,7 @@ where
                     config,
                     &mut stats,
                     cm,
+                    &flight,
                 );
             }
         }
@@ -655,13 +886,112 @@ where
     for reader in readers {
         let _ = reader.join();
     }
+    // Cleanly shut-down workers ship their rings in response to
+    // `Shutdown` — after the event loop stopped listening. Every reader
+    // has exited, so the channel holds whatever arrived last.
+    for (_, event) in rx.try_iter() {
+        if let Event::Msg(FromWorker::Trace { worker, snapshot }) = event {
+            worker_traces.push((worker, snapshot));
+        }
+    }
+    worker_traces.sort_by_key(|(w, _)| *w);
 
     stats.wall_us = started.elapsed().as_micros() as u64;
+    finish_trace(&stats);
+    if let Some(srv) = scrape {
+        srv.shutdown();
+    }
     Ok(ClusterOutcome {
         outputs: outputs
             .into_iter()
             .map(|o| o.expect("every task completed or fell back locally"))
             .collect(),
         stats,
+        traces: worker_traces.into_iter().map(|(_, s)| s).collect(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcnn_obs::trace::export_chrome;
+    use std::sync::Mutex;
+
+    fn tiny_job() -> JobSpec {
+        JobSpec {
+            workload: "test".into(),
+            trials: 8,
+            seed: 7,
+            shards: 4,
+            chunk: 0,
+            threads: 1,
+        }
+    }
+
+    /// The no-fork topology exercises every hook without spawning
+    /// processes (the test binary's `main` is not worker-aware): the
+    /// scrape endpoint must be live *during* the run — proven by
+    /// scraping it from inside the task function — announced on the
+    /// notify channel, and the head's flight recorder must narrate a
+    /// validator-clean timeline without changing the outputs.
+    #[test]
+    fn hooked_local_run_scrapes_live_announces_and_traces() {
+        let registry = Registry::new();
+        let recorder = TraceRecorder::new("cluster-head");
+        let (tx, rx) = mpsc::channel::<SocketAddr>();
+        let scraped: Mutex<Option<String>> = Mutex::new(None);
+
+        let config = ClusterConfig::new(0).with_task_shards(2);
+        let job = tiny_job();
+        let task_fn = |job: &JobSpec, lo: usize, hi: usize| {
+            let mut page = scraped.lock().expect("scrape cell");
+            if page.is_none() {
+                let addr = rx.recv().expect("scrape address announced");
+                let (status, body) =
+                    relcnn_obs::scrape_once(addr, "/metrics").expect("live scrape");
+                assert!(status.contains("200"), "{status}");
+                *page = Some(body);
+            }
+            (
+                format!("{{\"trials\":{}}}", job.trials),
+                format!("{lo}..{hi}\n"),
+            )
+        };
+        let hooks = ClusterHooks::none()
+            .with_registry(&registry)
+            .with_trace(&recorder)
+            .with_scrape_notify(&tx);
+        let outcome = run_cluster_hooked(&config, &job, task_fn, &hooks).expect("local run");
+
+        assert_eq!(outcome.outputs.len(), 2);
+        assert_eq!(outcome.outputs[1].payload, "2..4\n");
+        assert_eq!(outcome.stats.local_fallbacks, 2);
+        assert!(outcome.traces.is_empty(), "no workers, no shipped rings");
+        let page = scraped.lock().expect("scrape cell");
+        let page = page.as_deref().expect("task scraped the live endpoint");
+        assert!(
+            page.contains("relcnn_cluster_local_fallbacks_total"),
+            "{page}"
+        );
+
+        let chrome = export_chrome(&[recorder.drain()]);
+        let parsed = relcnn_obs::trace::validate(&chrome).expect("validator-clean export");
+        assert_eq!(parsed.count('B', "cluster_run"), 1);
+        assert_eq!(parsed.count('B', "local_fallback"), 2);
+        assert_eq!(parsed.count('i', "degraded_completion"), 0);
+    }
+
+    /// Bare runs keep tracing fully off: the outcome carries no
+    /// snapshots and an off recorder records nothing.
+    #[test]
+    fn unhooked_local_run_records_nothing() {
+        let config = ClusterConfig::new(0);
+        let outcome = run_cluster(&config, &tiny_job(), |_, lo, hi| {
+            (String::from("{}"), format!("{lo}..{hi}\n"))
+        })
+        .expect("local run");
+        assert_eq!(outcome.outputs.len(), 4);
+        assert!(outcome.traces.is_empty());
+        assert!(!outcome.stats.degraded);
+    }
 }

@@ -9,6 +9,7 @@
 //! concatenates in task order.
 
 use crate::chaos::ChaosPlan;
+use relcnn_obs::trace::TraceSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// The campaign one cluster run executes, broadcast to every worker in
@@ -44,6 +45,9 @@ pub enum ToWorker {
         heartbeat_ms: u64,
         /// Deterministic fault schedule (often [`ChaosPlan::none`]).
         chaos: ChaosPlan,
+        /// Whether the worker should flight-record its task timeline
+        /// and ship it back as a [`FromWorker::Trace`] frame.
+        trace: bool,
     },
     /// Compute shards `[shard_lo, shard_hi)` of the job.
     Assign {
@@ -85,6 +89,16 @@ pub enum FromWorker {
         /// Caller-defined artefact slice (concatenated in task order).
         payload: String,
     },
+    /// The worker's drained flight-recorder ring, shipped when tracing
+    /// is on: before a clean shutdown, and best-effort right before a
+    /// chaos kill or corrupt exit — so even a murdered worker leaves a
+    /// timeline for the head to merge as its own pid track.
+    Trace {
+        /// Sender's worker index.
+        worker: usize,
+        /// The drained recorder.
+        snapshot: TraceSnapshot,
+    },
 }
 
 /// Encodes a message for the wire.
@@ -123,6 +137,7 @@ mod tests {
                 job: job(),
                 heartbeat_ms: 100,
                 chaos: ChaosPlan::kill_one(9, 4),
+                trace: true,
             },
             ToWorker::Assign {
                 task: 3,
@@ -143,6 +158,22 @@ mod tests {
         };
         let back: FromWorker = decode(&encode(&done)).unwrap();
         assert_eq!(back, done);
+        // A trace frame nests a full snapshot through the same codec.
+        let rec = relcnn_obs::TraceRecorder::new("worker-1");
+        let ring = rec.ring("tasks");
+        ring.span(
+            "task",
+            "cluster",
+            10,
+            20,
+            &[relcnn_obs::trace::Arg::U("task", 3)],
+        );
+        let trace = FromWorker::Trace {
+            worker: 1,
+            snapshot: rec.drain(),
+        };
+        let back: FromWorker = decode(&encode(&trace)).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]

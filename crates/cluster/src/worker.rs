@@ -17,6 +17,7 @@
 
 use crate::frame::{encode_frame, read_frame, write_frame, FrameError};
 use crate::proto::{decode, encode, FromWorker, JobSpec, ToWorker};
+use relcnn_obs::trace::{Arg, TraceRecorder};
 use std::io::Write as _;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -71,11 +72,23 @@ where
         job,
         heartbeat_ms,
         chaos,
+        trace,
     } = setup
     else {
         panic!("worker {me}: first frame must be Setup, got {setup:?}");
     };
     assert_eq!(worker, me, "setup frame addressed to the wrong worker");
+
+    // Flight recorder: a traced worker records its task timeline and
+    // ships the drained ring home as a `Trace` frame — on clean
+    // shutdown, and best-effort right before a chaos kill/corrupt exit,
+    // so even a murdered worker leaves a pid track in the merged view.
+    let rec = if trace {
+        TraceRecorder::new(format!("worker-{me}"))
+    } else {
+        TraceRecorder::off()
+    };
+    let ring = rec.ring("tasks");
 
     {
         let output = Arc::clone(&output);
@@ -108,16 +121,42 @@ where
                 shard_lo,
                 shard_hi,
             }) => {
+                let task_begin = rec.now_us();
                 let (partial, payload) = task_fn(&job, shard_lo, shard_hi);
+                ring.span(
+                    "task",
+                    "cluster",
+                    task_begin,
+                    rec.now_us(),
+                    &[
+                        Arg::U("task", task as u64),
+                        Arg::U("shard_lo", shard_lo as u64),
+                        Arg::U("shard_hi", shard_hi as u64),
+                    ],
+                );
                 // Chaos triggers sit between compute and send: the work
                 // is genuinely done (and paid for) when the fault fires,
                 // which is what makes the requeue path interesting.
                 if chaos.kill_worker == Some(me) && completed == chaos.kill_after_tasks {
                     eprintln!("[worker {me}] chaos kill before sending task {task}");
+                    ring.instant(
+                        "chaos_kill",
+                        "cluster",
+                        rec.now_us(),
+                        &[Arg::U("task", task as u64)],
+                    );
+                    ship_trace(&output, me, &rec);
                     std::process::exit(CHAOS_KILL_EXIT);
                 }
                 if chaos.hang_worker == Some(me) && completed == chaos.hang_result {
                     eprintln!("[worker {me}] chaos hang withholding task {task}");
+                    ring.instant(
+                        "chaos_hang",
+                        "cluster",
+                        rec.now_us(),
+                        &[Arg::U("task", task as u64)],
+                    );
+                    ship_trace(&output, me, &rec);
                     // Heartbeats continue; only the per-task deadline
                     // can end this.
                     loop {
@@ -130,8 +169,22 @@ where
                     partial,
                     payload,
                 });
+                let corrupting =
+                    chaos.corrupt_worker == Some(me) && completed == chaos.corrupt_result;
+                if corrupting {
+                    // The trace must leave *before* the corrupted frame:
+                    // the head stops reading this pipe at the checksum
+                    // failure.
+                    ring.instant(
+                        "chaos_corrupt",
+                        "cluster",
+                        rec.now_us(),
+                        &[Arg::U("task", task as u64)],
+                    );
+                    ship_trace(&output, me, &rec);
+                }
                 let mut out = output.lock().expect("worker stdout poisoned");
-                if chaos.corrupt_worker == Some(me) && completed == chaos.corrupt_result {
+                if corrupting {
                     eprintln!("[worker {me}] chaos corrupting result frame of task {task}");
                     let mut frame = encode_frame(&msg);
                     // Flip one payload bit *after* the checksum was
@@ -152,4 +205,20 @@ where
             Err(e) => panic!("worker {me}: command decode: {e}"),
         }
     }
+    ship_trace(&output, me, &rec);
+}
+
+/// Drains the worker's recorder and writes it home as a `Trace` frame
+/// (no-op when tracing is off; send errors are ignored — the head may
+/// already be gone).
+fn ship_trace(output: &Mutex<std::io::Stdout>, me: usize, rec: &TraceRecorder) {
+    if !rec.is_on() {
+        return;
+    }
+    let msg = encode(&FromWorker::Trace {
+        worker: me,
+        snapshot: rec.drain(),
+    });
+    let mut out = output.lock().expect("worker stdout poisoned");
+    let _ = write_frame(&mut *out, &msg);
 }

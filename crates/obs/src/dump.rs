@@ -9,6 +9,7 @@
 //! call [`Registry::render`] themselves from whatever trigger they own.
 
 use crate::registry::Registry;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -58,6 +59,33 @@ impl IntervalDumper {
         }
     }
 
+    /// Starts dumping `registry` every `period` into sequence-numbered
+    /// files `dir/{prefix}-NNNNN.prom`.
+    ///
+    /// Each dump — periodic or the final one flushed by
+    /// [`stop`](IntervalDumper::stop) — takes the next sequence number,
+    /// so the final dump can never clobber the last periodic dump even
+    /// when both land within the same interval (the path-collision bug
+    /// a fixed "latest" filename invites).
+    pub fn start_files(
+        registry: Registry,
+        period: Duration,
+        dir: impl Into<PathBuf>,
+        prefix: &str,
+    ) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let prefix = prefix.to_string();
+        let mut seq = 0u64;
+        Ok(Self::start(registry, period, move |page| {
+            let path = dir.join(format!("{prefix}-{seq:05}.prom"));
+            seq += 1;
+            if let Err(e) = std::fs::write(&path, page) {
+                eprintln!("relcnn-obs dump: write {}: {e}", path.display());
+            }
+        }))
+    }
+
     /// Stops the dumper after one final dump and joins the thread.
     pub fn stop(mut self) {
         self.stop_and_join();
@@ -96,5 +124,48 @@ mod tests {
         let pages = pages.lock().unwrap();
         assert!(!pages.is_empty(), "stop() must flush a final dump");
         assert!(pages.last().unwrap().contains("dump_test_total 7"));
+    }
+
+    #[test]
+    fn final_dump_never_clobbers_the_last_periodic_dump() {
+        let dir = std::env::temp_dir().join(format!("relcnn_obs_dump_seq_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = Registry::new();
+        let c = reg.counter("dump_seq_total", "h", &[]);
+        c.add(1);
+        let dumper = IntervalDumper::start_files(reg, Duration::from_millis(30), &dir, "page")
+            .expect("start file dumper");
+        // Wait until at least one periodic dump has landed, then move
+        // the counter so the final dump is distinguishable.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0) == 0 {
+            assert!(std::time::Instant::now() < deadline, "no periodic dump");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        c.add(6);
+        dumper.stop();
+        let mut files: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dump dir")
+            .map(|e| e.expect("dir entry").file_name().into_string().unwrap())
+            .collect();
+        files.sort();
+        assert!(
+            files.len() >= 2,
+            "periodic and final dumps must be separate files, got {files:?}"
+        );
+        // Sequence numbers are distinct and the final dump (highest
+        // sequence) carries the latest counter value while an earlier
+        // periodic dump survives alongside it.
+        let mut dedup = files.clone();
+        dedup.dedup();
+        assert_eq!(dedup, files, "sequence numbers must never collide");
+        let last = std::fs::read_to_string(dir.join(files.last().unwrap())).unwrap();
+        assert!(
+            last.contains("dump_seq_total 7"),
+            "final dump stale: {last}"
+        );
+        let first = std::fs::read_to_string(dir.join(&files[0])).unwrap();
+        assert!(first.contains("dump_seq_total"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

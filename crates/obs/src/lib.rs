@@ -35,8 +35,10 @@ pub mod http;
 pub mod metric;
 pub mod parse;
 pub mod registry;
+pub mod trace;
 
 pub use dump::IntervalDumper;
 pub use http::{scrape_once, ScrapeServer};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{FamilySnapshot, MetricKind, Registry, SeriesSnapshot, Snapshot, ValueSnapshot};
+pub use trace::{TraceRecorder, TraceRing, TraceSnapshot};

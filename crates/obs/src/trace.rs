@@ -1,0 +1,953 @@
+//! Flight-recorder tracing plane: bounded per-thread rings of structured
+//! span/instant events with a Chrome trace-event JSON exporter.
+//!
+//! The recorder is the timeline counterpart to the metrics [`Registry`]:
+//! where metrics answer *how much*, the flight recorder answers *what
+//! happened, in what order*. Subsystems record into per-thread
+//! [`TraceRing`]s — each a bounded keep-newest ring behind its own
+//! uncontended mutex — and a drainer turns the rings into a
+//! [`TraceSnapshot`] that [`export_chrome`] renders as a Chrome
+//! trace-event JSON file loadable in Perfetto or `chrome://tracing`.
+//!
+//! Three properties drive the design:
+//!
+//! * **Off-state is free.** A [`TraceRecorder::off`] recorder carries no
+//!   allocation and every record call is a no-op on an `Option` that is
+//!   `None`; instrumented code never branches on a config flag.
+//! * **Wrap never tears a span.** A span is recorded as *one* ring
+//!   record carrying both its begin and end timestamps, written at end
+//!   time. Keep-newest eviction drops whole records, so a drained
+//!   snapshot can never contain a begin without its end — the exporter
+//!   expands each span into an adjacent `"B"`/`"E"` pair.
+//! * **Loss is accounted.** Each ring counts recorded and dropped
+//!   *events* (a span is two events, an instant one); the drop counter
+//!   exactly equals events lost to eviction, so a timeline with gaps is
+//!   detectable rather than silently misleading.
+//!
+//! [`Registry`]: crate::Registry
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default per-ring capacity, in records (not events).
+pub const DEFAULT_RING_CAPACITY: usize = 8192;
+
+// ---------------------------------------------------------------------------
+// Record model
+// ---------------------------------------------------------------------------
+
+/// A borrowed argument at a record site: zero allocation when the ring
+/// is off, converted to an owned [`TraceArg`] only when recording.
+#[derive(Debug, Clone, Copy)]
+pub enum Arg<'a> {
+    /// Unsigned integer argument.
+    U(&'static str, u64),
+    /// Signed integer argument.
+    I(&'static str, i64),
+    /// String argument.
+    S(&'static str, &'a str),
+}
+
+impl Arg<'_> {
+    fn to_owned_arg(self) -> TraceArg {
+        match self {
+            Arg::U(k, v) => TraceArg {
+                key: k.to_string(),
+                value: ArgValue::U64(v),
+            },
+            Arg::I(k, v) => TraceArg {
+                key: k.to_string(),
+                value: ArgValue::I64(v),
+            },
+            Arg::S(k, v) => TraceArg {
+                key: k.to_string(),
+                value: ArgValue::Str(v.to_string()),
+            },
+        }
+    }
+}
+
+/// An owned, serialisable argument value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// String.
+    Str(String),
+}
+
+/// An owned key/value argument attached to a record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceArg {
+    /// Argument name.
+    pub key: String,
+    /// Argument value.
+    pub value: ArgValue,
+}
+
+/// One drained flight-recorder record.
+///
+/// Spans carry both endpoints in a single record (written at end time)
+/// so ring eviction can never separate a begin from its end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// A duration span: `begin_us ..= end_us` on the recording thread.
+    Span {
+        /// Per-ring sequence number (strictly increasing, never reused).
+        seq: u64,
+        /// Event name, e.g. `chunk`.
+        name: String,
+        /// Category, e.g. `engine`.
+        cat: String,
+        /// Span start, microseconds on the recorder's clock.
+        begin_us: u64,
+        /// Span end, microseconds on the recorder's clock.
+        end_us: u64,
+        /// Typed arguments.
+        args: Vec<TraceArg>,
+    },
+    /// A point-in-time event.
+    Instant {
+        /// Per-ring sequence number (strictly increasing, never reused).
+        seq: u64,
+        /// Event name, e.g. `requeue`.
+        name: String,
+        /// Category, e.g. `cluster`.
+        cat: String,
+        /// Timestamp, microseconds on the recorder's clock.
+        ts_us: u64,
+        /// Typed arguments.
+        args: Vec<TraceArg>,
+    },
+}
+
+impl TraceRecord {
+    /// Number of Chrome trace events this record expands to (span = 2,
+    /// instant = 1). Drop/recorded counters are denominated in events.
+    pub fn events(&self) -> u64 {
+        match self {
+            TraceRecord::Span { .. } => 2,
+            TraceRecord::Instant { .. } => 1,
+        }
+    }
+
+    /// The record's per-ring sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            TraceRecord::Span { seq, .. } | TraceRecord::Instant { seq, .. } => *seq,
+        }
+    }
+
+    /// The record's event name.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceRecord::Span { name, .. } | TraceRecord::Instant { name, .. } => name,
+        }
+    }
+}
+
+/// Drained state of one ring: its records in sequence order plus the
+/// cumulative recorded/dropped event counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadSnapshot {
+    /// Stable thread-track id within the recorder.
+    pub tid: u64,
+    /// Human-readable track label, e.g. `worker-3`.
+    pub label: String,
+    /// Cumulative events recorded into this ring (including dropped).
+    pub recorded_events: u64,
+    /// Cumulative events lost to keep-newest eviction.
+    pub dropped_events: u64,
+    /// Retained records, oldest first, in strictly increasing `seq`.
+    pub records: Vec<TraceRecord>,
+}
+
+/// A drained recorder: one process track with its thread tracks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSnapshot {
+    /// Process-track label, e.g. `head` or `worker-2`.
+    pub process: String,
+    /// Per-ring snapshots, ordered by `tid`.
+    pub threads: Vec<ThreadSnapshot>,
+}
+
+impl TraceSnapshot {
+    /// Total events recorded across all rings (including dropped).
+    pub fn recorded_events(&self) -> u64 {
+        self.threads.iter().map(|t| t.recorded_events).sum()
+    }
+
+    /// Total events lost to eviction across all rings.
+    pub fn dropped_events(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped_events).sum()
+    }
+
+    /// True when no ring retained any record.
+    pub fn is_empty(&self) -> bool {
+        self.threads.iter().all(|t| t.records.is_empty())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+struct RingState {
+    records: VecDeque<TraceRecord>,
+    next_seq: u64,
+    recorded_events: u64,
+    dropped_events: u64,
+}
+
+struct Ring {
+    tid: u64,
+    label: String,
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl Ring {
+    fn push(&self, record: impl FnOnce(u64) -> TraceRecord) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let rec = record(seq);
+        st.recorded_events += rec.events();
+        if st.records.len() == self.capacity {
+            if let Some(old) = st.records.pop_front() {
+                st.dropped_events += old.events();
+            }
+        }
+        st.records.push_back(rec);
+    }
+
+    fn drain(&self) -> ThreadSnapshot {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        ThreadSnapshot {
+            tid: self.tid,
+            label: self.label.clone(),
+            recorded_events: st.recorded_events,
+            dropped_events: st.dropped_events,
+            records: std::mem::take(&mut st.records).into(),
+        }
+    }
+}
+
+struct RecorderInner {
+    process: String,
+    capacity: usize,
+    epoch: Instant,
+    rings: Mutex<Vec<Arc<Ring>>>,
+}
+
+/// A process-wide flight recorder handing out per-thread [`TraceRing`]s.
+///
+/// Clones share the same rings. The default/[`off`](Self::off) state
+/// carries no allocation and records nothing.
+#[derive(Clone, Default)]
+pub struct TraceRecorder {
+    inner: Option<Arc<RecorderInner>>,
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => write!(f, "TraceRecorder({:?})", inner.process),
+            None => write!(f, "TraceRecorder(off)"),
+        }
+    }
+}
+
+impl TraceRecorder {
+    /// A live recorder labelled `process` with the default ring capacity.
+    pub fn new(process: impl Into<String>) -> Self {
+        Self::with_capacity(process, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A live recorder with an explicit per-ring capacity (in records).
+    pub fn with_capacity(process: impl Into<String>, capacity: usize) -> Self {
+        TraceRecorder {
+            inner: Some(Arc::new(RecorderInner {
+                process: process.into(),
+                capacity: capacity.max(1),
+                epoch: Instant::now(),
+                rings: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The no-op recorder: every ring it hands out records nothing.
+    pub fn off() -> Self {
+        TraceRecorder { inner: None }
+    }
+
+    /// True when this recorder actually records.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the recorder was created (0 when off).
+    ///
+    /// Engine and cluster record sites use this wall-anchored clock;
+    /// serving record sites pass their own `Clock` timestamps instead.
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// The ring labelled `label`, creating it on first use.
+    ///
+    /// Labels are stable keys: asking twice returns the same ring, so a
+    /// subsystem that runs repeatedly (e.g. one engine run per batch)
+    /// reuses its tracks instead of growing the ring set without bound.
+    pub fn ring(&self, label: &str) -> TraceRing {
+        let Some(inner) = &self.inner else {
+            return TraceRing { ring: None };
+        };
+        let mut rings = inner.rings.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = rings.iter().find(|r| r.label == label) {
+            return TraceRing {
+                ring: Some(Arc::clone(existing)),
+            };
+        }
+        let ring = Arc::new(Ring {
+            tid: rings.len() as u64,
+            label: label.to_string(),
+            capacity: inner.capacity,
+            state: Mutex::new(RingState {
+                records: VecDeque::with_capacity(inner.capacity.min(1024)),
+                next_seq: 0,
+                recorded_events: 0,
+                dropped_events: 0,
+            }),
+        });
+        rings.push(Arc::clone(&ring));
+        TraceRing { ring: Some(ring) }
+    }
+
+    /// Drains every ring into a snapshot, leaving the rings registered
+    /// (and their counters cumulative) for continued recording.
+    pub fn drain(&self) -> TraceSnapshot {
+        let Some(inner) = &self.inner else {
+            return TraceSnapshot {
+                process: String::new(),
+                threads: Vec::new(),
+            };
+        };
+        let rings: Vec<Arc<Ring>> = inner
+            .rings
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let mut threads: Vec<ThreadSnapshot> = rings.iter().map(|r| r.drain()).collect();
+        threads.sort_by_key(|t| t.tid);
+        TraceSnapshot {
+            process: inner.process.clone(),
+            threads,
+        }
+    }
+}
+
+/// A handle to one bounded ring; the unit of lock-light recording.
+///
+/// Each recording thread holds its own ring, so the mutex inside is
+/// uncontended on the hot path (the drainer touches it only at drain
+/// time). The off-state handle records nothing.
+#[derive(Clone, Default)]
+pub struct TraceRing {
+    ring: Option<Arc<Ring>>,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.ring {
+            Some(ring) => write!(f, "TraceRing({:?})", ring.label),
+            None => write!(f, "TraceRing(off)"),
+        }
+    }
+}
+
+impl TraceRing {
+    /// The no-op ring.
+    pub fn off() -> Self {
+        TraceRing { ring: None }
+    }
+
+    /// True when this ring actually records.
+    pub fn is_on(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Records a point-in-time event.
+    pub fn instant(&self, name: &str, cat: &str, ts_us: u64, args: &[Arg<'_>]) {
+        if let Some(ring) = &self.ring {
+            ring.push(|seq| TraceRecord::Instant {
+                seq,
+                name: name.to_string(),
+                cat: cat.to_string(),
+                ts_us,
+                args: args.iter().map(|a| a.to_owned_arg()).collect(),
+            });
+        }
+    }
+
+    /// Records a completed span (`begin_us ..= end_us`) as one record.
+    pub fn span(&self, name: &str, cat: &str, begin_us: u64, end_us: u64, args: &[Arg<'_>]) {
+        if let Some(ring) = &self.ring {
+            ring.push(|seq| TraceRecord::Span {
+                seq,
+                name: name.to_string(),
+                cat: cat.to_string(),
+                begin_us,
+                end_us: end_us.max(begin_us),
+                args: args.iter().map(|a| a.to_owned_arg()).collect(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event exporter
+// ---------------------------------------------------------------------------
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_args(out: &mut String, args: &[TraceArg]) {
+    out.push_str(",\"args\":{");
+    for (i, arg) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, &arg.key);
+        out.push(':');
+        match &arg.value {
+            ArgValue::U64(v) => out.push_str(&v.to_string()),
+            ArgValue::I64(v) => out.push_str(&v.to_string()),
+            ArgValue::Str(v) => push_json_string(out, v),
+        }
+    }
+    out.push('}');
+}
+
+fn push_event_head(out: &mut String, name: &str, cat: &str, ph: char, pid: usize, tid: u64) {
+    out.push_str("{\"name\":");
+    push_json_string(out, name);
+    if !cat.is_empty() {
+        out.push_str(",\"cat\":");
+        push_json_string(out, cat);
+    }
+    out.push_str(&format!(",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid}"));
+}
+
+/// Renders snapshots as a Chrome trace-event JSON document.
+///
+/// Each snapshot becomes one `pid` track (1-based, in slice order) with
+/// `"M"` metadata naming the process and its threads; spans expand to
+/// adjacent `"B"`/`"E"` pairs and instants to thread-scoped `"i"`
+/// events, each in per-ring sequence order. The output is stable for a
+/// given input (one event per line, no timestamps of its own), loadable
+/// in Perfetto or `chrome://tracing`, and checkable with [`validate`].
+pub fn export_chrome(snapshots: &[TraceSnapshot]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for (i, snap) in snapshots.iter().enumerate() {
+        let pid = i + 1;
+        sep(&mut out);
+        push_event_head(&mut out, "process_name", "", 'M', pid, 0);
+        out.push_str(",\"args\":{\"name\":");
+        push_json_string(&mut out, &snap.process);
+        out.push_str("}}");
+        for thread in &snap.threads {
+            sep(&mut out);
+            push_event_head(&mut out, "thread_name", "", 'M', pid, thread.tid);
+            out.push_str(",\"args\":{\"name\":");
+            push_json_string(&mut out, &thread.label);
+            out.push_str("}}");
+            for record in &thread.records {
+                match record {
+                    TraceRecord::Span {
+                        name,
+                        cat,
+                        begin_us,
+                        end_us,
+                        args,
+                        ..
+                    } => {
+                        sep(&mut out);
+                        push_event_head(&mut out, name, cat, 'B', pid, thread.tid);
+                        out.push_str(&format!(",\"ts\":{begin_us}"));
+                        push_args(&mut out, args);
+                        out.push('}');
+                        sep(&mut out);
+                        push_event_head(&mut out, name, cat, 'E', pid, thread.tid);
+                        out.push_str(&format!(",\"ts\":{end_us}"));
+                        out.push('}');
+                    }
+                    TraceRecord::Instant {
+                        name,
+                        cat,
+                        ts_us,
+                        args,
+                        ..
+                    } => {
+                        sep(&mut out);
+                        push_event_head(&mut out, name, cat, 'i', pid, thread.tid);
+                        out.push_str(&format!(",\"ts\":{ts_us},\"s\":\"t\""));
+                        push_args(&mut out, args);
+                        out.push('}');
+                    }
+                }
+            }
+            if thread.dropped_events > 0 {
+                sep(&mut out);
+                push_event_head(&mut out, "ring_dropped", "trace", 'i', pid, thread.tid);
+                out.push_str(",\"ts\":0,\"s\":\"t\"");
+                push_args(
+                    &mut out,
+                    &[Arg::U("dropped_events", thread.dropped_events).to_owned_arg()],
+                );
+                out.push('}');
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------------
+
+/// One structurally validated Chrome trace event (summary view).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEventSummary {
+    /// Event name.
+    pub name: String,
+    /// Category (empty when absent).
+    pub cat: String,
+    /// Phase: one of `B`, `E`, `i`, `M`.
+    pub ph: char,
+    /// Process track.
+    pub pid: i64,
+    /// Thread track.
+    pub tid: i64,
+    /// Timestamp in microseconds (0 for metadata events).
+    pub ts: u64,
+}
+
+/// A structurally validated trace document with query helpers.
+#[derive(Debug, Clone)]
+pub struct ParsedTrace {
+    /// Every event in document order.
+    pub events: Vec<TraceEventSummary>,
+}
+
+impl ParsedTrace {
+    /// Distinct pids carrying at least one non-metadata event, sorted.
+    pub fn pids(&self) -> Vec<i64> {
+        let mut pids: Vec<i64> = self
+            .events
+            .iter()
+            .filter(|e| e.ph != 'M')
+            .map(|e| e.pid)
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        pids
+    }
+
+    /// Number of events with the given phase and name.
+    pub fn count(&self, ph: char, name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.ph == ph && e.name == name)
+            .count()
+    }
+
+    /// Number of non-metadata events.
+    pub fn event_count(&self) -> usize {
+        self.events.iter().filter(|e| e.ph != 'M').count()
+    }
+}
+
+/// Wrapper whose `Deserialize` impl captures the raw value tree, giving
+/// the validator a generic JSON view through the vendored serde.
+struct Raw(serde::Value);
+
+impl Deserialize for Raw {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Raw(value.clone()))
+    }
+}
+
+fn field<'a>(map: &'a [(String, serde::Value)], key: &str) -> Option<&'a serde::Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn int_field(map: &[(String, serde::Value)], key: &str, at: usize) -> Result<i64, String> {
+    match field(map, key) {
+        Some(serde::Value::Int(v)) => {
+            i64::try_from(*v).map_err(|_| format!("event {at}: {key} out of range"))
+        }
+        Some(_) => Err(format!("event {at}: {key} must be an integer")),
+        None => Err(format!("event {at}: missing {key}")),
+    }
+}
+
+/// Validates a Chrome trace-event JSON document.
+///
+/// Structural checks, in the spirit of [`crate::parse::validate`]:
+/// the root is an object with a `traceEvents` array; every event has a
+/// non-empty `name`, a `ph` in `B/E/i/M`, integer `pid`/`tid`, and a
+/// non-negative integer `ts` (metadata excepted); `i` events carry a
+/// scope `s` in `t/p/g`; `M` events are `process_name`/`thread_name`
+/// with an `args.name` string, at most one per track; and on every
+/// `(pid, tid)` track the `B`/`E` events balance in document order with
+/// matching names.
+pub fn validate(text: &str) -> Result<ParsedTrace, String> {
+    let root = serde_json::from_str::<Raw>(text)
+        .map_err(|e| format!("trace JSON: {e}"))?
+        .0;
+    let serde::Value::Map(root) = root else {
+        return Err("root must be an object".to_string());
+    };
+    let Some(events_v) = field(&root, "traceEvents") else {
+        return Err("root missing traceEvents".to_string());
+    };
+    let serde::Value::Seq(raw_events) = events_v else {
+        return Err("traceEvents must be an array".to_string());
+    };
+
+    let mut events = Vec::with_capacity(raw_events.len());
+    // Open-span stack per (pid, tid) track, for B/E discipline.
+    let mut stacks: Vec<((i64, i64), Vec<String>)> = Vec::new();
+    let mut named_tracks: Vec<(i64, Option<i64>)> = Vec::new();
+
+    for (at, ev) in raw_events.iter().enumerate() {
+        let serde::Value::Map(ev) = ev else {
+            return Err(format!("event {at}: must be an object"));
+        };
+        let name = match field(ev, "name") {
+            Some(serde::Value::Str(s)) if !s.is_empty() => s.clone(),
+            Some(serde::Value::Str(_)) => return Err(format!("event {at}: empty name")),
+            _ => return Err(format!("event {at}: missing name")),
+        };
+        let ph = match field(ev, "ph") {
+            Some(serde::Value::Str(s)) if s.len() == 1 => s.chars().next().unwrap(),
+            _ => return Err(format!("event {at}: ph must be a single character")),
+        };
+        if !matches!(ph, 'B' | 'E' | 'i' | 'M') {
+            return Err(format!("event {at}: unsupported ph {ph:?}"));
+        }
+        let pid = int_field(ev, "pid", at)?;
+        let tid = int_field(ev, "tid", at)?;
+        if pid < 0 || tid < 0 {
+            return Err(format!("event {at}: negative pid/tid"));
+        }
+        if let Some(args) = field(ev, "args") {
+            if !matches!(args, serde::Value::Map(_)) {
+                return Err(format!("event {at}: args must be an object"));
+            }
+        }
+        let ts = if ph == 'M' {
+            0
+        } else {
+            let ts = int_field(ev, "ts", at)?;
+            if ts < 0 {
+                return Err(format!("event {at}: negative ts"));
+            }
+            ts as u64
+        };
+        match ph {
+            'B' => {
+                let key = (pid, tid);
+                match stacks.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, stack)) => stack.push(name.clone()),
+                    None => stacks.push((key, vec![name.clone()])),
+                }
+            }
+            'E' => {
+                let key = (pid, tid);
+                let open = stacks
+                    .iter_mut()
+                    .find(|(k, _)| *k == key)
+                    .and_then(|(_, stack)| stack.pop());
+                match open {
+                    Some(opened) if opened == name => {}
+                    Some(opened) => {
+                        return Err(format!(
+                        "event {at}: E {name:?} closes open span {opened:?} on pid {pid} tid {tid}"
+                    ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "event {at}: E {name:?} with no open span on pid {pid} tid {tid}"
+                        ))
+                    }
+                }
+            }
+            'i' => match field(ev, "s") {
+                Some(serde::Value::Str(s)) if matches!(s.as_str(), "t" | "p" | "g") => {}
+                Some(_) => return Err(format!("event {at}: instant scope must be t/p/g")),
+                None => return Err(format!("event {at}: instant missing scope s")),
+            },
+            'M' => {
+                let track = match name.as_str() {
+                    "process_name" => (pid, None),
+                    "thread_name" => (pid, Some(tid)),
+                    other => return Err(format!("event {at}: unknown metadata {other:?}")),
+                };
+                if named_tracks.contains(&track) {
+                    return Err(format!(
+                        "event {at}: duplicate {name} metadata for pid {pid} tid {tid}"
+                    ));
+                }
+                named_tracks.push(track);
+                let ok = field(ev, "args")
+                    .and_then(|a| match a {
+                        serde::Value::Map(m) => field(m, "name"),
+                        _ => None,
+                    })
+                    .is_some_and(|v| matches!(v, serde::Value::Str(s) if !s.is_empty()));
+                if !ok {
+                    return Err(format!("event {at}: metadata missing args.name"));
+                }
+            }
+            _ => unreachable!(),
+        }
+        let cat = match field(ev, "cat") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        events.push(TraceEventSummary {
+            name,
+            cat,
+            ph,
+            pid,
+            tid,
+            ts,
+        });
+    }
+
+    for ((pid, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "unclosed span {open:?} on pid {pid} tid {tid} at end of trace"
+            ));
+        }
+    }
+    Ok(ParsedTrace { events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_is_free() {
+        let tr = TraceRecorder::off();
+        assert!(!tr.is_on());
+        assert_eq!(tr.now_us(), 0);
+        let ring = tr.ring("anything");
+        assert!(!ring.is_on());
+        ring.instant("x", "t", 1, &[]);
+        ring.span("y", "t", 1, 2, &[Arg::U("k", 3)]);
+        let snap = tr.drain();
+        assert!(snap.is_empty());
+        assert_eq!(snap.recorded_events(), 0);
+    }
+
+    #[test]
+    fn records_drain_in_sequence_order() {
+        let tr = TraceRecorder::new("test");
+        let ring = tr.ring("main");
+        ring.instant("start", "t", 5, &[Arg::S("who", "me")]);
+        ring.span("work", "t", 10, 20, &[Arg::U("n", 7), Arg::I("d", -1)]);
+        ring.instant("stop", "t", 25, &[]);
+        let snap = tr.drain();
+        assert_eq!(snap.process, "test");
+        assert_eq!(snap.threads.len(), 1);
+        let t = &snap.threads[0];
+        assert_eq!(t.label, "main");
+        assert_eq!(t.recorded_events, 4);
+        assert_eq!(t.dropped_events, 0);
+        let seqs: Vec<u64> = t.records.iter().map(|r| r.seq()).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        // Rings persist across drains; counters stay cumulative.
+        ring.instant("again", "t", 30, &[]);
+        let snap2 = tr.drain();
+        assert_eq!(snap2.threads[0].recorded_events, 5);
+        assert_eq!(snap2.threads[0].records.len(), 1);
+        assert_eq!(snap2.threads[0].records[0].seq(), 3);
+    }
+
+    #[test]
+    fn ring_labels_are_stable_keys() {
+        let tr = TraceRecorder::new("test");
+        let a = tr.ring("alpha");
+        let b = tr.ring("beta");
+        let a2 = tr.ring("alpha");
+        a.instant("one", "t", 1, &[]);
+        a2.instant("two", "t", 2, &[]);
+        b.instant("three", "t", 3, &[]);
+        let snap = tr.drain();
+        assert_eq!(snap.threads.len(), 2);
+        assert_eq!(snap.threads[0].records.len(), 2);
+        assert_eq!(snap.threads[1].records.len(), 1);
+    }
+
+    #[test]
+    fn wrap_drops_whole_records_and_counts_events() {
+        let tr = TraceRecorder::with_capacity("test", 2);
+        let ring = tr.ring("r");
+        ring.span("a", "t", 0, 1, &[]); // 2 events, will be evicted
+        ring.instant("b", "t", 2, &[]); // 1 event, will be evicted
+        ring.span("c", "t", 3, 4, &[]);
+        ring.instant("d", "t", 5, &[]);
+        let snap = tr.drain();
+        let t = &snap.threads[0];
+        assert_eq!(t.recorded_events, 6);
+        assert_eq!(t.dropped_events, 3);
+        let names: Vec<&str> = t.records.iter().map(|r| r.name()).collect();
+        assert_eq!(names, vec!["c", "d"]);
+    }
+
+    #[test]
+    fn export_roundtrips_through_validator() {
+        let tr = TraceRecorder::new("proc-a");
+        let ring = tr.ring("worker-0");
+        ring.span("chunk", "engine", 10, 30, &[Arg::U("shard", 2)]);
+        ring.instant("steal", "engine", 12, &[Arg::S("from", "w1")]);
+        let other = TraceSnapshot {
+            process: "proc-b".to_string(),
+            threads: vec![ThreadSnapshot {
+                tid: 0,
+                label: "tasks".to_string(),
+                recorded_events: 1,
+                dropped_events: 0,
+                records: vec![TraceRecord::Instant {
+                    seq: 0,
+                    name: "requeue".to_string(),
+                    cat: "cluster".to_string(),
+                    ts_us: 40,
+                    args: vec![],
+                }],
+            }],
+        };
+        let json = export_chrome(&[tr.drain(), other]);
+        let parsed = validate(&json).expect("exported trace must validate");
+        assert_eq!(parsed.pids(), vec![1, 2]);
+        assert_eq!(parsed.count('B', "chunk"), 1);
+        assert_eq!(parsed.count('E', "chunk"), 1);
+        assert_eq!(parsed.count('i', "steal"), 1);
+        assert_eq!(parsed.count('i', "requeue"), 1);
+        assert_eq!(parsed.count('M', "process_name"), 2);
+        assert_eq!(parsed.event_count(), 4);
+    }
+
+    #[test]
+    fn export_escapes_and_marks_drops() {
+        let tr = TraceRecorder::with_capacity("q\"uote", 1);
+        let ring = tr.ring("line\nbreak");
+        ring.instant("first", "t", 1, &[]);
+        ring.instant("second", "t", 2, &[Arg::S("msg", "tab\there")]);
+        let json = export_chrome(&[tr.drain()]);
+        let parsed = validate(&json).expect("escaped trace must validate");
+        assert_eq!(parsed.count('i', "ring_dropped"), 1);
+        assert_eq!(parsed.count('i', "first"), 0);
+        assert_eq!(parsed.count('i', "second"), 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate("[]").is_err());
+        assert!(validate("{\"traceEvents\":3}").is_err());
+        // Missing name.
+        assert!(
+            validate(r#"{"traceEvents":[{"ph":"i","pid":1,"tid":0,"ts":1,"s":"t"}]}"#).is_err()
+        );
+        // Unknown phase.
+        assert!(
+            validate(r#"{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":0,"ts":1}]}"#).is_err()
+        );
+        // E without B.
+        assert!(
+            validate(r#"{"traceEvents":[{"name":"x","ph":"E","pid":1,"tid":0,"ts":1}]}"#).is_err()
+        );
+        // B without E.
+        assert!(
+            validate(r#"{"traceEvents":[{"name":"x","ph":"B","pid":1,"tid":0,"ts":1}]}"#).is_err()
+        );
+        // Mismatched E name.
+        assert!(validate(
+            r#"{"traceEvents":[{"name":"a","ph":"B","pid":1,"tid":0,"ts":1},{"name":"b","ph":"E","pid":1,"tid":0,"ts":2}]}"#
+        )
+        .is_err());
+        // Instant without scope.
+        assert!(
+            validate(r#"{"traceEvents":[{"name":"x","ph":"i","pid":1,"tid":0,"ts":1}]}"#).is_err()
+        );
+        // Metadata without args.name.
+        assert!(
+            validate(r#"{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"tid":0}]}"#)
+                .is_err()
+        );
+        // Duplicate process metadata.
+        assert!(validate(
+            r#"{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"a"}},{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"b"}}]}"#
+        )
+        .is_err());
+        // A well-formed document passes.
+        let ok = validate(
+            r#"{"traceEvents":[{"name":"a","ph":"B","pid":1,"tid":0,"ts":1},{"name":"a","ph":"E","pid":1,"tid":0,"ts":2}]}"#,
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let tr = TraceRecorder::new("roundtrip");
+        let ring = tr.ring("r");
+        ring.span(
+            "s",
+            "c",
+            1,
+            2,
+            &[Arg::U("u", 1), Arg::I("i", -2), Arg::S("s", "x")],
+        );
+        ring.instant("i", "c", 3, &[]);
+        let snap = tr.drain();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: TraceSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+    }
+}

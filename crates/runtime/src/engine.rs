@@ -66,6 +66,7 @@ use crate::source::{IndexSource, TrialSource};
 use crate::trial::{Indexed, SourcedTrial, Trial, TrialCtx};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use relcnn_obs::trace::{Arg, TraceRecorder};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -529,6 +530,11 @@ pub struct Engine {
     /// Strictly write-only from the deterministic path's perspective:
     /// no control flow ever reads these.
     metrics: Arc<EngineMetrics>,
+    /// Flight-recorder handle, off by default. Like the metrics, every
+    /// record call is write-only side traffic: the deterministic path
+    /// never reads the rings (the CI matrix byte-diffs trace-on vs
+    /// trace-off artefacts to prove it).
+    trace: TraceRecorder,
 }
 
 impl Engine {
@@ -537,6 +543,7 @@ impl Engine {
         Engine {
             config,
             metrics: Arc::new(EngineMetrics::unregistered()),
+            trace: TraceRecorder::off(),
         }
     }
 
@@ -552,6 +559,16 @@ impl Engine {
     /// one registry shares the same series.
     pub fn observed(mut self, registry: &relcnn_obs::Registry) -> Self {
         self.metrics = Arc::new(EngineMetrics::registered(registry));
+        self
+    }
+
+    /// Attaches a flight recorder: subsequent runs record span/instant
+    /// events (run lifecycle, chunk execution, steals, splits, frontier
+    /// parks, envelope flushes, aggregator releases) into `recorder`'s
+    /// per-worker rings. Off by default; recording is bounded-memory and
+    /// never read by the run itself.
+    pub fn traced(mut self, recorder: &TraceRecorder) -> Self {
+        self.trace = recorder.clone();
         self
     }
 
@@ -668,6 +685,12 @@ impl Engine {
         // byte-diffs artefacts with metrics on vs off to prove it).
         let em: &EngineMetrics = &self.metrics;
         em.runs_started.inc();
+        // Flight-recorder handles: same write-only contract as the
+        // metrics above. Ring labels are stable keys, so repeated runs
+        // (one per serving batch, say) reuse their tracks.
+        let tr = &self.trace;
+        let agg_ring = tr.ring("aggregate");
+        let run_begin = tr.now_us();
 
         if !chunks.is_empty() {
             let shard_lens: Vec<u64> = (0..shards)
@@ -698,6 +721,7 @@ impl Engine {
                     let queue = &queue;
                     let cancel = &cancel;
                     let pool = &pool;
+                    let wring = tr.ring(&format!("worker-{worker_index}"));
                     handles.push(scope.spawn(move || {
                         let born = Instant::now();
                         let mut ws = WorkerStats {
@@ -760,6 +784,12 @@ impl Engine {
                                 ws.chunks_stolen += taken as u64;
                                 em.steals.inc();
                                 em.chunks_stolen.add(taken as u64);
+                                wring.instant(
+                                    "steal",
+                                    "engine",
+                                    tr.now_us(),
+                                    &[Arg::U("taken", taken as u64)],
+                                );
                             }
                             let mut chunk = claim.chunk();
                             // Run-frontier flow control: a chunk lying
@@ -773,14 +803,22 @@ impl Engine {
                             // deadlock the run.
                             if !frontier.admits(chunk.start, chunk.len) {
                                 if let Some(full) = held.take() {
+                                    let flush_len = full.len;
                                     if !send_timed(&tx, full, &mut ws) {
                                         queue.task_done();
                                         break 'work;
                                     }
+                                    wring.instant(
+                                        "flush",
+                                        "engine",
+                                        tr.now_us(),
+                                        &[Arg::U("len", flush_len)],
+                                    );
                                 }
                                 ws.frontier_parks += 1;
                                 em.frontier_parks.inc();
                                 let stalled = Instant::now();
+                                let park_begin = tr.now_us();
                                 let mut fpark = PARK_MIN;
                                 loop {
                                     if cancel.load(Ordering::Relaxed) {
@@ -788,6 +826,13 @@ impl Engine {
                                         let stall = stalled.elapsed();
                                         ws.frontier_stall += stall;
                                         em.frontier_stall_us.add(stall.as_micros() as u64);
+                                        wring.span(
+                                            "frontier_park",
+                                            "engine",
+                                            park_begin,
+                                            tr.now_us(),
+                                            &[Arg::U("start", chunk.start)],
+                                        );
                                         break 'work;
                                     }
                                     std::thread::sleep(fpark);
@@ -799,6 +844,13 @@ impl Engine {
                                 let stall = stalled.elapsed();
                                 ws.frontier_stall += stall;
                                 em.frontier_stall_us.add(stall.as_micros() as u64);
+                                wring.span(
+                                    "frontier_park",
+                                    "engine",
+                                    park_begin,
+                                    tr.now_us(),
+                                    &[Arg::U("start", chunk.start)],
+                                );
                             }
                             // Adaptive sizing: with idle workers and a
                             // divisible chunk in hand, execute the front
@@ -823,6 +875,12 @@ impl Engine {
                                     chunk.len = front;
                                     ws.splits += 1;
                                     em.splits.inc();
+                                    wring.instant(
+                                        "split",
+                                        "engine",
+                                        tr.now_us(),
+                                        &[Arg::U("at", chunk.start + front), Arg::U("back", back)],
+                                    );
                                 }
                             }
                             // Coalesce contiguous same-shard work into the
@@ -834,6 +892,7 @@ impl Engine {
                             });
                             if !extends {
                                 if let Some(full) = held.take() {
+                                    let flush_len = full.len;
                                     if !send_timed(&tx, full, &mut ws) {
                                         // Claimed but never executed:
                                         // release the executing mark so
@@ -841,9 +900,16 @@ impl Engine {
                                         queue.task_done();
                                         break 'work;
                                     }
+                                    wring.instant(
+                                        "flush",
+                                        "engine",
+                                        tr.now_us(),
+                                        &[Arg::U("len", flush_len)],
+                                    );
                                 }
                             }
                             let t0 = Instant::now();
+                            let chunk_begin = tr.now_us();
                             // Pull the chunk's inputs (chunk-granular
                             // streaming ingestion: the only part of the
                             // dataset this worker ever materialises).
@@ -893,6 +959,17 @@ impl Engine {
                             ws.chunks_run += 1;
                             em.trials_executed.add(chunk.len);
                             em.chunks_executed.inc();
+                            wring.span(
+                                "chunk",
+                                "engine",
+                                chunk_begin,
+                                tr.now_us(),
+                                &[
+                                    Arg::U("shard", chunk.shard as u64),
+                                    Arg::U("start", chunk.start),
+                                    Arg::U("len", chunk.len),
+                                ],
+                            );
                             // Publish send-block time accumulated since
                             // the last chunk boundary as a delta.
                             if ws.send_block > sb_published {
@@ -904,7 +981,15 @@ impl Engine {
                         }
                         if let Some(full) = held.take() {
                             if !cancel.load(Ordering::Relaxed) {
-                                send_timed(&tx, full, &mut ws);
+                                let flush_len = full.len;
+                                if send_timed(&tx, full, &mut ws) {
+                                    wring.instant(
+                                        "flush",
+                                        "engine",
+                                        tr.now_us(),
+                                        &[Arg::U("len", flush_len)],
+                                    );
+                                }
                             }
                         }
                         if ws.send_block > sb_published {
@@ -979,6 +1064,16 @@ impl Engine {
                         }
                         frontier_offset += envelope.len;
                         frontier.advance(envelope.len);
+                        agg_ring.instant(
+                            "release",
+                            "engine",
+                            tr.now_us(),
+                            &[
+                                Arg::U("shard", envelope.shard as u64),
+                                Arg::U("offset", envelope.shard_offset),
+                                Arg::U("len", envelope.len),
+                            ],
+                        );
                         while frontier_shard < win_hi
                             && frontier_offset == shard_lens[frontier_shard]
                         {
@@ -986,6 +1081,12 @@ impl Engine {
                             shard_elapsed = Duration::ZERO;
                             let completed = frontier_shard;
                             em.shards_completed.inc();
+                            agg_ring.instant(
+                                "shard_complete",
+                                "engine",
+                                tr.now_us(),
+                                &[Arg::U("shard", completed as u64)],
+                            );
                             frontier_shard += 1;
                             frontier_offset = 0;
                             while frontier_shard < win_hi && shard_lens[frontier_shard] == 0 {
@@ -997,6 +1098,12 @@ impl Engine {
                             {
                                 stats.aborted = true;
                                 em.runs_aborted.inc();
+                                agg_ring.instant(
+                                    "abort",
+                                    "engine",
+                                    tr.now_us(),
+                                    &[Arg::U("shard", completed as u64)],
+                                );
                                 cancel.store(true, Ordering::Relaxed);
                                 pending.clear();
                                 break 'release;
@@ -1044,6 +1151,17 @@ impl Engine {
             stats.mean_trial = stats.busy / (stats.trials as u32).max(1);
         }
         em.runs_completed.inc();
+        agg_ring.span(
+            "run",
+            "engine",
+            run_begin,
+            tr.now_us(),
+            &[
+                Arg::U("trials", stats.trials),
+                Arg::U("shards", stats.shards as u64),
+                Arg::U("aborted", u64::from(stats.aborted)),
+            ],
+        );
         RunOutcome {
             summary: sink.finish(&stats),
             stats,
@@ -1093,6 +1211,38 @@ mod tests {
             assert_eq!(outcome.stats.trials, 200);
             assert!(!outcome.stats.aborted);
         }
+    }
+
+    #[test]
+    fn traced_run_records_a_validator_clean_timeline_without_changing_results() {
+        let plan = RunPlan::new(96, 42).with_shards(8).with_chunk(4);
+        let trial = FnTrial::new(|ctx: &mut TrialCtx| ctx.index * 3);
+        let bare = Engine::with_workers(4).run(&plan, &trial, CollectSink::new());
+        let recorder = TraceRecorder::new("test-engine");
+        let traced =
+            Engine::with_workers(4)
+                .traced(&recorder)
+                .run(&plan, &trial, CollectSink::new());
+        assert_eq!(
+            traced.summary, bare.summary,
+            "tracing must not perturb results"
+        );
+
+        let snap = recorder.drain();
+        assert!(snap.recorded_events() > 0);
+        let json = relcnn_obs::trace::export_chrome(&[snap]);
+        let parsed = relcnn_obs::trace::validate(&json).expect("engine trace must validate");
+        assert_eq!(parsed.count('B', "run"), 1, "one run span");
+        assert!(parsed.count('B', "chunk") > 0, "chunk spans recorded");
+        assert!(
+            parsed.count('i', "release") > 0,
+            "aggregator releases recorded"
+        );
+        assert_eq!(
+            parsed.count('i', "shard_complete"),
+            8,
+            "every shard completion"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::metrics::ServeMetrics;
 use crate::report::{DispatchStats, ServeReport, ServeRun};
 use crate::request::{Outcome, Request, RequestClass};
 use relcnn_faults::SkewedCost;
+use relcnn_obs::trace::{Arg, TraceRecorder, TraceRing};
 use relcnn_runtime::Engine;
 
 /// When a forming batch closes.
@@ -257,17 +258,20 @@ pub(crate) fn record_completion<V>(
     });
 }
 
+/// Offers one request; returns whether admission shed it.
 pub(crate) fn admit<V>(
     queue: &AdmissionQueue,
     req: &Request,
     outcomes: &mut [Option<Outcome<V>>],
     report: &mut ServeReport,
-) {
+) -> bool {
     if queue.offer(*req) == Admission::Shed {
         report.shed += 1;
         report.classes[req.class.lane()].shed += 1;
         outcomes[req.id as usize] = Some(Outcome::Shed);
+        return true;
     }
+    false
 }
 
 pub(crate) fn record_expired<V>(
@@ -292,6 +296,8 @@ pub(crate) fn control_boundary(
     controller: &mut Option<OverloadController>,
     queue: &AdmissionQueue,
     metrics: &ServeMetrics,
+    ring: &TraceRing,
+    ts_us: u64,
 ) -> bool {
     let Some(ctl) = controller.as_mut() else {
         return false;
@@ -305,6 +311,15 @@ pub(crate) fn control_boundary(
     if decision.early_close {
         metrics.early_closes.inc();
     }
+    ring.instant(
+        "control",
+        "serve",
+        ts_us,
+        &[
+            Arg::U("cap", decision.cap),
+            Arg::U("early_close", u64::from(decision.early_close)),
+        ],
+    );
     decision.early_close
 }
 
@@ -316,8 +331,14 @@ pub(crate) fn run_virtual<B: Backend>(
     backend: &B,
     engine: &Engine,
     metrics: &ServeMetrics,
+    flight: &TraceRecorder,
 ) -> ServeRun<B::Verdict> {
     validate_trace(trace);
+    // Flight-recorder track for the replay loop. Timestamps below are
+    // the *virtual* clock's — the recorded timeline shares the time
+    // axis of the serving history it narrates. Write-only side traffic:
+    // the replay never reads the ring.
+    let ring = flight.ring("serve");
     let queue = AdmissionQueue::with_reserve(config.queue_capacity, config.critical_reserve)
         .observed(metrics);
     metrics.queue_capacity.set(queue.capacity() as i64);
@@ -345,7 +366,16 @@ pub(crate) fn run_virtual<B: Backend>(
             // Nothing admitted: the only possible event is an arrival.
             let Some(t) = next_arrival else { break };
             now = now.max(t);
-            admit(&queue, &trace[next], &mut outcomes, &mut report);
+            let shed = admit(&queue, &trace[next], &mut outcomes, &mut report);
+            ring.instant(
+                if shed { "shed" } else { "admit" },
+                "serve",
+                now,
+                &[
+                    Arg::U("id", trace[next].id),
+                    Arg::S("class", trace[next].class.label()),
+                ],
+            );
             next += 1;
             continue;
         }
@@ -370,7 +400,16 @@ pub(crate) fn run_virtual<B: Backend>(
             // already full (fixed tie-break, part of the replay contract).
             Some(t) if t < close_at || (t == close_at && window.len < max_batch) => {
                 now = now.max(t);
-                admit(&queue, &trace[next], &mut outcomes, &mut report);
+                let shed = admit(&queue, &trace[next], &mut outcomes, &mut report);
+                ring.instant(
+                    if shed { "shed" } else { "admit" },
+                    "serve",
+                    now,
+                    &[
+                        Arg::U("id", trace[next].id),
+                        Arg::S("class", trace[next].class.label()),
+                    ],
+                );
                 next += 1;
             }
             _ => {
@@ -382,6 +421,12 @@ pub(crate) fn run_virtual<B: Backend>(
                     // or past the boundary being swept.
                     for r in queue.expire(free_at) {
                         record_expired(&mut report, &mut outcomes, &r, true);
+                        ring.instant(
+                            "expire",
+                            "serve",
+                            free_at,
+                            &[Arg::U("id", r.id), Arg::U("boundary", 1)],
+                        );
                     }
                     boundary_swept = true;
                 }
@@ -389,6 +434,12 @@ pub(crate) fn run_virtual<B: Backend>(
                 // was forming.
                 for r in queue.expire(now) {
                     record_expired(&mut report, &mut outcomes, &r, false);
+                    ring.instant(
+                        "expire",
+                        "serve",
+                        now,
+                        &[Arg::U("id", r.id), Arg::U("boundary", 0)],
+                    );
                 }
                 let batch = queue.take_batch(max_batch);
                 if batch.is_empty() {
@@ -396,6 +447,17 @@ pub(crate) fn run_virtual<B: Backend>(
                 }
                 let service_us = config.service.batch_cost_us(&batch);
                 let done_at = now + service_us;
+                ring.span(
+                    "batch",
+                    "serve",
+                    now,
+                    done_at,
+                    &[
+                        Arg::U("batch", report.batches),
+                        Arg::U("fill", batch.len() as u64),
+                        Arg::U("service_us", service_us),
+                    ],
+                );
                 let reply = backend.classify_batch(engine, &batch);
                 assert_eq!(
                     reply.verdicts.len(),
@@ -416,6 +478,16 @@ pub(crate) fn run_virtual<B: Backend>(
                         latency_us,
                         late,
                     );
+                    ring.instant(
+                        "complete",
+                        "serve",
+                        done_at,
+                        &[
+                            Arg::U("id", r.id),
+                            Arg::U("latency_us", latency_us),
+                            Arg::U("late", u64::from(late)),
+                        ],
+                    );
                 }
                 report.batches += 1;
                 report.batched_requests += batch.len() as u64;
@@ -426,7 +498,7 @@ pub(crate) fn run_virtual<B: Backend>(
                 }
                 free_at = done_at;
                 boundary_swept = false;
-                early_close = control_boundary(&mut controller, &queue, metrics);
+                early_close = control_boundary(&mut controller, &queue, metrics, &ring, done_at);
             }
         }
     }
@@ -464,6 +536,7 @@ mod tests {
             backend,
             engine,
             &ServeMetrics::unregistered(),
+            &TraceRecorder::off(),
         )
     }
 
@@ -792,6 +865,7 @@ mod tests {
             &EchoBackend,
             &Engine::with_workers(2),
             &metrics,
+            &TraceRecorder::off(),
         );
         // Metrics publication never perturbs the deterministic replay.
         assert_eq!(observed.report, plain.report);
@@ -843,6 +917,43 @@ mod tests {
             parsed.value("relcnn_serve_admission_cap", &[]),
             Some(plain.report.final_admit_cap as f64)
         );
+    }
+
+    #[test]
+    fn traced_replay_matches_untraced_and_narrates_every_outcome() {
+        // A trace with sheds, expiries and completions: the flight
+        // recorder must narrate each terminal outcome exactly once, on
+        // the virtual time axis, without perturbing the replay.
+        let trace = LoadGen::new(LoadGenConfig::burst(200, 0x71, 25, 5, 15_000, 3_000)).generate();
+        let config = cfg(12, 4, 800, uniform_service(300, 50))
+            .with_control(crate::controller::ControllerConfig::default());
+        let plain = drive(&trace, &config, &EchoBackend, &Engine::with_workers(1));
+        let recorder = TraceRecorder::new("serve-test");
+        let traced = run_virtual(
+            &trace,
+            &config,
+            &EchoBackend,
+            &Engine::with_workers(1),
+            &ServeMetrics::unregistered(),
+            &recorder,
+        );
+        assert_eq!(
+            traced.report, plain.report,
+            "tracing must not perturb the replay"
+        );
+        assert_eq!(traced.outcomes, plain.outcomes);
+
+        let json = relcnn_obs::trace::export_chrome(&[recorder.drain()]);
+        let parsed = relcnn_obs::trace::validate(&json).expect("serve trace must validate");
+        assert_eq!(
+            parsed.count('i', "admit") as u64,
+            plain.report.offered - plain.report.shed
+        );
+        assert_eq!(parsed.count('i', "shed") as u64, plain.report.shed);
+        assert_eq!(parsed.count('i', "expire") as u64, plain.report.expired());
+        assert_eq!(parsed.count('i', "complete") as u64, plain.report.completed);
+        assert_eq!(parsed.count('B', "batch") as u64, plain.report.batches);
+        assert_eq!(parsed.count('i', "control") as u64, plain.report.batches);
     }
 
     #[test]

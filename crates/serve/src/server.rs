@@ -31,6 +31,7 @@ use crate::metrics::ServeMetrics;
 use crate::report::ServeRun;
 use crate::request::Request;
 use crate::wall::run_wall;
+use relcnn_obs::trace::TraceRecorder;
 use relcnn_obs::Registry;
 use relcnn_runtime::Engine;
 use std::net::SocketAddr;
@@ -55,6 +56,7 @@ impl ServerBuilder {
             registry: None,
             metrics: ServeMetrics::unregistered(),
             scrape_notify: None,
+            trace_rec: TraceRecorder::off(),
         }
     }
 }
@@ -69,6 +71,7 @@ pub struct Server<'a, B> {
     registry: Option<Registry>,
     metrics: ServeMetrics,
     scrape_notify: Option<Sender<SocketAddr>>,
+    trace_rec: TraceRecorder,
 }
 
 impl Server<'static, ()> {
@@ -95,6 +98,15 @@ impl<'a, B: Backend> Server<'a, B> {
     pub fn observed(mut self, registry: &Registry) -> Self {
         self.metrics = ServeMetrics::registered(registry);
         self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Attaches a flight recorder: the run records its serving
+    /// timeline (admit/shed/expire/complete instants, batch spans,
+    /// controller decisions) into `recorder`'s rings, on whichever
+    /// clock the run uses. Off by default; never read by the run.
+    pub fn traced(mut self, recorder: &TraceRecorder) -> Self {
+        self.trace_rec = recorder.clone();
         self
     }
 
@@ -134,7 +146,14 @@ impl<'a, B: Backend> Server<'a, B> {
             }
         };
         if self.clock.is_virtual() {
-            run_virtual(trace, &self.config, self.backend, engine, &self.metrics)
+            run_virtual(
+                trace,
+                &self.config,
+                self.backend,
+                engine,
+                &self.metrics,
+                &self.trace_rec,
+            )
         } else {
             run_wall(
                 trace,
@@ -145,6 +164,7 @@ impl<'a, B: Backend> Server<'a, B> {
                 self.clock.as_ref(),
                 self.registry.as_ref(),
                 self.scrape_notify.as_ref(),
+                &self.trace_rec,
             )
         }
     }

@@ -40,6 +40,7 @@ use crate::clock::Clock;
 use crate::metrics::ServeMetrics;
 use crate::report::{DispatchStats, ServeReport, ServeRun};
 use crate::request::{Outcome, Request};
+use relcnn_obs::trace::{Arg, TraceRecorder};
 use relcnn_obs::{Registry, ScrapeServer};
 use relcnn_runtime::Engine;
 use std::net::SocketAddr;
@@ -72,8 +73,13 @@ pub(crate) fn run_wall<B: Backend>(
     clock: &dyn Clock,
     registry: Option<&Registry>,
     scrape_notify: Option<&Sender<SocketAddr>>,
+    flight: &TraceRecorder,
 ) -> ServeRun<B::Verdict> {
     validate_trace(trace);
+    // Flight-recorder tracks: the load generator and the batcher each
+    // own a ring, timestamped on the wall clock they actually live on.
+    let loadgen_ring = flight.ring("loadgen");
+    let ring = flight.ring("serve");
     // A live run gets a live scrape endpoint by default: if the server
     // is observed, its registry is served over GET /metrics for the
     // duration of the run.
@@ -110,7 +116,14 @@ pub(crate) fn run_wall<B: Backend>(
             let mut shed = Vec::new();
             for r in trace {
                 clock.wait_until(r.arrival_us);
-                if queue.offer(*r) == Admission::Shed {
+                let rejected = queue.offer(*r) == Admission::Shed;
+                loadgen_ring.instant(
+                    if rejected { "shed" } else { "admit" },
+                    "serve",
+                    clock.now_us(),
+                    &[Arg::U("id", r.id), Arg::S("class", r.class.label())],
+                );
+                if rejected {
                     shed.push(*r);
                 }
             }
@@ -149,12 +162,24 @@ pub(crate) fn run_wall<B: Backend>(
             if !boundary_swept {
                 for r in queue.expire(free_at) {
                     record_expired(&mut report, &mut outcomes, &r, true);
+                    ring.instant(
+                        "expire",
+                        "serve",
+                        free_at,
+                        &[Arg::U("id", r.id), Arg::U("boundary", 1)],
+                    );
                 }
                 boundary_swept = true;
             }
             let dispatch_at = clock.now_us();
             for r in queue.expire(dispatch_at) {
                 record_expired(&mut report, &mut outcomes, &r, false);
+                ring.instant(
+                    "expire",
+                    "serve",
+                    dispatch_at,
+                    &[Arg::U("id", r.id), Arg::U("boundary", 0)],
+                );
             }
             let batch = queue.take_batch(max_batch);
             if batch.is_empty() {
@@ -171,6 +196,16 @@ pub(crate) fn run_wall<B: Backend>(
             // The modeled accelerator cost is a *floor* on the batch's
             // service time: real inference ran above; sleep out the rest.
             let done_at = clock.wait_until(dispatch_at + config.service.batch_cost_us(&batch));
+            ring.span(
+                "batch",
+                "serve",
+                dispatch_at,
+                done_at,
+                &[
+                    Arg::U("batch", report.batches),
+                    Arg::U("fill", batch.len() as u64),
+                ],
+            );
             for (r, verdict) in batch.iter().zip(reply.verdicts) {
                 let latency_us = done_at.saturating_sub(r.arrival_us);
                 let late = done_at > r.deadline_us;
@@ -183,6 +218,16 @@ pub(crate) fn run_wall<B: Backend>(
                     latency_us,
                     late,
                 );
+                ring.instant(
+                    "complete",
+                    "serve",
+                    done_at,
+                    &[
+                        Arg::U("id", r.id),
+                        Arg::U("latency_us", latency_us),
+                        Arg::U("late", u64::from(late)),
+                    ],
+                );
             }
             report.batches += 1;
             report.batched_requests += batch.len() as u64;
@@ -194,7 +239,7 @@ pub(crate) fn run_wall<B: Backend>(
             free_at = done_at;
             makespan = makespan.max(done_at);
             boundary_swept = false;
-            early_close = control_boundary(&mut controller, &queue, metrics);
+            early_close = control_boundary(&mut controller, &queue, metrics, &ring, done_at);
         }
 
         producer.join().expect("load-generator thread panicked")
