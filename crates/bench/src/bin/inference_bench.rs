@@ -1,0 +1,199 @@
+//! Per-image inference-latency benchmark: emits
+//! `results/inference_latency.json`.
+//!
+//! Runs the scaled AlexNet (the serving model: 8 classes, 96×96 RGB)
+//! over a fixed pool of synthetic images in a dedicated steady-state
+//! loop and times every single forward pass, reporting exact sorted
+//! percentiles for two legs:
+//!
+//! * **alloc** — the pre-optimisation allocating path: `Mode::Eval`
+//!   forward with the conv weight-matrix cache invalidated before every
+//!   image, faithfully reproducing the old per-call reshape-clone plus
+//!   fresh im2col/output tensors (the allocating `im2col` and
+//!   `Tensor::matmul` kernels are untouched by the optimisation — they
+//!   *are* the pre-change kernels);
+//! * **scratch** — the zero-allocation path: `forward_scratch` through
+//!   one warmed per-worker `InferScratch` arena with register-tiled
+//!   blocked GEMM/GEMV kernels writing into caller-owned buffers.
+//!
+//! Both legs run the same weights over the same images and the bench
+//! asserts their logits are **bit-identical** before reporting —
+//! a latency number for a kernel that drifted by one ulp would be
+//! meaningless in this workspace.
+//!
+//! Measurement discipline: the two legs are interleaved sample by
+//! sample (slow machine phases hit both legs equally instead of
+//! skewing whichever leg ran in that window), and each recorded sample
+//! is the best of [`TRIES`] back-to-back passes — scheduler
+//! preemptions on a shared core are filtered out while systematic
+//! per-image costs (the allocating leg pays its mmap/page-fault churn
+//! on *every* pass) survive the min. `bench_gate` holds `speedup_p99`
+//! to the hard floor and `scratch_p99_us` to the committed baseline.
+//!
+//! `--quick` (or `RELCNN_QUICK=1`) runs a quarter of the rounds for
+//! smoke coverage and skips the artefact write so the gated file is
+//! never clobbered by a smoke run.
+
+use relcnn_nn::{alexnet, InferScratch, Mode, Network};
+use relcnn_tensor::init::{Init, Rand};
+use relcnn_tensor::{Shape, Tensor};
+use std::time::Instant;
+
+const CLASSES: usize = 8;
+const IMAGE_PX: usize = 96;
+const IMAGES: usize = 12;
+const ROUNDS: usize = 24;
+const TRIES: usize = 3;
+const NET_SEED: u64 = 0x1FE7;
+const IMAGE_SEED: u64 = 9_000;
+
+/// Exact percentile over a sorted sample: nearest-rank on the
+/// (n-1)-scaled index, no interpolation — small sample sets stay honest.
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    assert!(!sorted_ns.is_empty(), "empty sample set");
+    let idx = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+fn images(count: usize) -> Vec<Tensor> {
+    (0..count)
+        .map(|i| {
+            let mut r = Rand::seeded(IMAGE_SEED + i as u64);
+            r.tensor(
+                Shape::d3(3, IMAGE_PX, IMAGE_PX),
+                Init::Uniform { lo: -1.0, hi: 1.0 },
+            )
+        })
+        .collect()
+}
+
+/// One timed sample of the allocating leg: best of [`TRIES`] passes.
+/// Dropping the borrow from `params()` before each pass invalidates the
+/// conv weight-matrix cache, so every pass pays the historical
+/// reshape-clone exactly as the pre-arena kernel did.
+fn alloc_sample(net: &mut Network, img: &Tensor) -> (u64, Tensor) {
+    let mut best = u64::MAX;
+    let mut out = None;
+    for _ in 0..TRIES {
+        let _ = net.params();
+        let t0 = Instant::now();
+        let y = net
+            .forward(img, Mode::Eval)
+            .unwrap_or_else(|e| panic!("alloc leg forward: {e}"));
+        best = best.min(t0.elapsed().as_nanos() as u64);
+        out = Some(y);
+    }
+    (best, out.expect("TRIES >= 1"))
+}
+
+/// One timed sample of the zero-allocation leg: best of [`TRIES`]
+/// passes through the warmed arena.
+fn scratch_sample(net: &mut Network, img: &Tensor, arena: &mut InferScratch) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..TRIES {
+        let t0 = Instant::now();
+        net.forward_scratch(img, arena)
+            .unwrap_or_else(|e| panic!("scratch forward: {e}"));
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+fn assert_bit_identical(oracle: &Tensor, arena: &InferScratch) {
+    let out = arena.front().as_slice();
+    assert_eq!(out.len(), oracle.len(), "logit length drift");
+    for (a, b) in out.iter().zip(oracle.iter()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "scratch leg diverged from allocating leg: {a} vs {b}"
+        );
+    }
+}
+
+fn main() {
+    let rounds = if relcnn_bench::quick_mode() {
+        (ROUNDS / 4).max(1)
+    } else {
+        ROUNDS
+    };
+    let pool = images(IMAGES);
+
+    // One set of weights serves both legs — bit-identity between the
+    // legs is only meaningful when the parameters are the same object.
+    let mut rng = Rand::seeded(NET_SEED);
+    let mut net = alexnet::alexnet_gtsrb(CLASSES, IMAGE_PX, &mut rng)
+        .unwrap_or_else(|e| panic!("network: {e}"));
+
+    // Warmup: size the arena and fault in both paths' working sets.
+    let mut arena = InferScratch::new();
+    for img in &pool {
+        let _ = net
+            .forward(img, Mode::Eval)
+            .unwrap_or_else(|e| panic!("warmup forward: {e}"));
+        net.forward_scratch(img, &mut arena)
+            .unwrap_or_else(|e| panic!("warmup scratch: {e}"));
+    }
+    let grow_events = arena.grow_events();
+
+    let mut alloc_ns = Vec::with_capacity(rounds * pool.len());
+    let mut scratch_ns = Vec::with_capacity(rounds * pool.len());
+    for _ in 0..rounds {
+        for img in &pool {
+            let (a_ns, oracle) = alloc_sample(&mut net, img);
+            let s_ns = scratch_sample(&mut net, img, &mut arena);
+            assert_bit_identical(&oracle, &arena);
+            alloc_ns.push(a_ns);
+            scratch_ns.push(s_ns);
+        }
+    }
+    assert_eq!(
+        arena.grow_events(),
+        grow_events,
+        "arena regrew after warmup"
+    );
+    alloc_ns.sort_unstable();
+    scratch_ns.sort_unstable();
+
+    let (a50, a95, a99) = (
+        percentile_us(&alloc_ns, 50.0),
+        percentile_us(&alloc_ns, 95.0),
+        percentile_us(&alloc_ns, 99.0),
+    );
+    let (s50, s95, s99) = (
+        percentile_us(&scratch_ns, 50.0),
+        percentile_us(&scratch_ns, 95.0),
+        percentile_us(&scratch_ns, 99.0),
+    );
+    let speedup_p50 = a50 / s50;
+    let speedup_p99 = a99 / s99;
+    let samples = scratch_ns.len();
+
+    let json = format!(
+        "{{\n  \"bench\": \"inference_latency\",\n  \"classes\": {CLASSES},\n  \
+         \"image_px\": {IMAGE_PX},\n  \"images\": {IMAGES},\n  \"rounds\": {rounds},\n  \
+         \"tries_per_sample\": {TRIES},\n  \"samples\": {samples},\n  \
+         \"alloc_p50_us\": {a50:.3},\n  \
+         \"alloc_p95_us\": {a95:.3},\n  \"alloc_p99_us\": {a99:.3},\n  \
+         \"scratch_p50_us\": {s50:.3},\n  \"scratch_p95_us\": {s95:.3},\n  \
+         \"scratch_p99_us\": {s99:.3},\n  \"speedup_p50\": {speedup_p50:.3},\n  \
+         \"speedup_p99\": {speedup_p99:.3},\n  \"arena_grow_events\": {grow_events}\n}}\n"
+    );
+
+    let path = relcnn_bench::results_dir().join("inference_latency.json");
+    // The quick smoke run must not clobber the gated full-scale artefact.
+    if relcnn_bench::quick_mode() {
+        println!("quick mode: skipping write of {}", path.display());
+    } else {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+    println!(
+        "inference: {samples} samples/leg over {IMAGES} images x {rounds} rounds \
+         (best of {TRIES} passes each); \
+         alloc p50/p95/p99 {a50:.0}/{a95:.0}/{a99:.0} us, \
+         scratch p50/p95/p99 {s50:.0}/{s95:.0}/{s99:.0} us; \
+         speedup p50 {speedup_p50:.2}x p99 {speedup_p99:.2}x; \
+         {grow_events} arena grow events (warmup only)"
+    );
+}

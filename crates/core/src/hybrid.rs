@@ -5,13 +5,13 @@ use relcnn_faults::{FaultInjector, NoFaults};
 use relcnn_gtsrb::{ShapeKind, SignClass, SyntheticGtsrb};
 use relcnn_nn::freeze::{FilterPin, FreezePolicy};
 use relcnn_nn::metrics::ConfusionMatrix;
-use relcnn_nn::softmax;
 use relcnn_nn::train::{evaluate, train, TrainConfig};
-use relcnn_nn::{alexnet, Mode, Network};
+use relcnn_nn::{alexnet, InferScratch, Network};
 use relcnn_relexec::conv::{reliable_conv2d, ReliableConvConfig};
 use relcnn_relexec::{DmrAlu, PlainAlu, RedundancyMode, TmrAlu};
 use relcnn_tensor::conv::ConvGeometry;
 use relcnn_tensor::init::Rand;
+use relcnn_tensor::ops::argmax_slice;
 use relcnn_tensor::{Shape, Tensor};
 use relcnn_vision::rgb_to_gray;
 use relcnn_vision::sobel::{extended_sobel, SobelAxis};
@@ -210,6 +210,10 @@ pub struct HybridCnn {
     sobel_x_filter: usize,
     /// conv-1 filter index carrying the all-channels Sobel-y bank.
     sobel_y_filter: usize,
+    /// Per-worker inference arena for the unprotected tail. Cloning a
+    /// `HybridCnn` (how the runtime hands each worker its own copy)
+    /// yields a fresh, empty arena — scratch memory is never shared.
+    scratch: InferScratch,
 }
 
 /// Builds an `[in_c, k, k]` filter with every channel set to the same
@@ -304,6 +308,7 @@ impl HybridCnn {
             pins,
             sobel_x_filter: 0,
             sobel_y_filter: 1,
+            scratch: InferScratch::new(),
         })
     }
 
@@ -387,18 +392,19 @@ impl HybridCnn {
         }
 
         // --- Reliable partition: conv-1 under qualified operations. -----
-        let (filters, bias, geom) = {
-            let conv = self.net.conv2d_at(0).expect("validated at construction");
-            let geom = ConvGeometry::new(
-                image.shape().dim(1),
-                image.shape().dim(2),
-                conv.kernel_size(),
-                conv.kernel_size(),
-                conv.stride(),
-                conv.padding(),
-            )?;
-            (conv.filters().clone(), conv.bias().clone(), geom)
-        };
+        // Filters and bias are borrowed straight from the layer — the old
+        // path cloned both tensors (for conv-1 that is ~139 KB of weights
+        // per image) before every classification.
+        let conv = self.net.conv2d_at(0).expect("validated at construction");
+        let geom = ConvGeometry::new(
+            image.shape().dim(1),
+            image.shape().dim(2),
+            conv.kernel_size(),
+            conv.kernel_size(),
+            conv.stride(),
+            conv.padding(),
+        )?;
+        let (filters, bias) = (conv.filters(), conv.bias());
         // The ALU takes ownership of (a clone of) the injector; the
         // evolved injector state is copied back afterwards so callers can
         // read its counters and so consecutive classifications draw fresh
@@ -409,8 +415,8 @@ impl HybridCnn {
                 let mut alu = PlainAlu::new(injector.clone());
                 let out = reliable_conv2d(
                     image,
-                    &filters,
-                    Some(&bias),
+                    filters,
+                    Some(bias),
                     &geom,
                     &mut alu,
                     &self.config.conv,
@@ -422,8 +428,8 @@ impl HybridCnn {
                 let mut alu = DmrAlu::new(injector.clone());
                 let out = reliable_conv2d(
                     image,
-                    &filters,
-                    Some(&bias),
+                    filters,
+                    Some(bias),
                     &geom,
                     &mut alu,
                     &self.config.conv,
@@ -435,8 +441,8 @@ impl HybridCnn {
                 let mut alu = TmrAlu::new(injector.clone());
                 let out = reliable_conv2d(
                     image,
-                    &filters,
-                    Some(&bias),
+                    filters,
+                    Some(bias),
                     &geom,
                     &mut alu,
                     &self.config.conv,
@@ -501,12 +507,19 @@ impl HybridCnn {
         let guarantee = GuaranteeReport::from_stats(self.config.redundancy, &stats);
 
         // --- Unprotected remainder of the CNN. ---------------------------
-        let logits = self.net.forward_from(&conv_out, tail_start, Mode::Eval)?;
-        let probs = softmax(&logits);
-        let class = probs.argmax().ok_or_else(|| HybridError::BadConfig {
-            reason: "empty class output".into(),
-        })?;
-        let confidence = probs.as_slice()[class];
+        // Runs through the per-worker scratch arena: bit-identical to the
+        // allocating `forward_from(.., Mode::Eval)` + `softmax` +
+        // `argmax` path (pinned by the nn crate's scratch_parity tests),
+        // but allocation-free after the first image warms the arena.
+        self.net
+            .forward_from_scratch(&conv_out, tail_start, &mut self.scratch)?;
+        let (class, confidence) = {
+            let probs = self.scratch.softmax_front();
+            let class = argmax_slice(probs).ok_or_else(|| HybridError::BadConfig {
+                reason: "empty class output".into(),
+            })?;
+            (class, probs[class])
+        };
 
         // --- Qualifier. --------------------------------------------------
         let safety_critical = self
@@ -630,6 +643,40 @@ mod tests {
         } else {
             assert!(v.is_qualified());
             assert!(v.qualifier().is_none());
+        }
+    }
+
+    #[test]
+    fn classify_is_bit_stable_across_scratch_reuse_and_clones() {
+        // The scratch arena recycles buffers between classifications and
+        // clones start with fresh arenas — neither may move a single bit
+        // of the verdict.
+        let mut hybrid = tiny_hybrid(17);
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| render(SignClass::ALL[i % SignClass::COUNT], 48, 30 + i as u64))
+            .collect();
+        let first: Vec<_> = images
+            .iter()
+            .map(|im| hybrid.classify(im).unwrap())
+            .collect();
+        // Re-classify through the now-warm arena, interleaved.
+        let mut fresh_worker = hybrid.clone();
+        for round in 0..2 {
+            for (im, expect) in images.iter().zip(&first) {
+                let again = hybrid.classify(im).unwrap();
+                assert_eq!(again.class(), expect.class(), "round {round}");
+                assert_eq!(
+                    again.confidence().to_bits(),
+                    expect.confidence().to_bits(),
+                    "round {round}: confidence bits drifted"
+                );
+                let cloned = fresh_worker.classify(im).unwrap();
+                assert_eq!(
+                    cloned.confidence().to_bits(),
+                    expect.confidence().to_bits(),
+                    "round {round}: per-worker clone drifted"
+                );
+            }
         }
     }
 

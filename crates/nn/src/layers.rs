@@ -1,6 +1,8 @@
 use crate::error::NnError;
-use relcnn_tensor::conv::{col2im, im2col, max_pool2d, ConvGeometry};
+use crate::scratch::ScratchBuf;
+use relcnn_tensor::conv::{col2im, im2col, im2col_into, max_pool2d, max_pool2d_into, ConvGeometry};
 use relcnn_tensor::init::{Init, Rand};
+use relcnn_tensor::ops::{gemm_bias_into, gemm_into};
 use relcnn_tensor::{Shape, Tensor};
 use std::fmt;
 
@@ -56,6 +58,31 @@ pub trait Layer: fmt::Debug + Send + Sync {
     /// training-mode forward.
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError>;
 
+    /// Zero-allocation inference step: reads `input`, writes the layer
+    /// output into `out`, optionally using `cols` as lowering scratch.
+    ///
+    /// **Contract:** bit-identical to `forward(input, Mode::Eval)` on
+    /// every output bit (the only exception is the codegen-defined
+    /// payload of a NaN formed from two NaN operands, which no real
+    /// input produces), with the same cache side-effects as an `Eval`
+    /// forward. The hot-path layers override
+    /// this with arena-backed kernels; the default falls back to the
+    /// allocating forward so exotic layers stay correct.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Layer::forward`].
+    fn infer(
+        &mut self,
+        input: &ScratchBuf,
+        out: &mut ScratchBuf,
+        _cols: &mut ScratchBuf,
+    ) -> Result<(), NnError> {
+        let x = input.to_tensor()?;
+        let y = self.forward(&x, Mode::Eval)?;
+        out.copy_from_tensor(&y)
+    }
+
     /// Learnable parameters (empty for stateless layers).
     fn params(&mut self) -> Vec<Param<'_>> {
         Vec::new()
@@ -101,6 +128,11 @@ pub struct Conv2d {
     /// Filters whose gradients are masked to zero ("frozen").
     frozen: Vec<bool>,
     cache: Option<ConvCache>,
+    /// Cached `[out_c, in_c*k*k]` view of `weight` — the GEMM operand.
+    /// Rebuilt lazily; invalidated whenever the weight can change
+    /// ([`Conv2d::set_filter`] and [`Layer::params`], which hands out
+    /// `&mut weight`).
+    w_mat: Option<Tensor>,
 }
 
 #[derive(Debug, Clone)]
@@ -136,6 +168,7 @@ impl Conv2d {
             padding,
             frozen: vec![false; out_c],
             cache: None,
+            w_mat: None,
         }
     }
 
@@ -216,6 +249,7 @@ impl Conv2d {
         let per_filter = self.in_c * self.kernel * self.kernel;
         let dst = &mut self.weight.as_mut_slice()[index * per_filter..(index + 1) * per_filter];
         dst.copy_from_slice(values.as_slice());
+        self.w_mat = None;
         Ok(())
     }
 
@@ -257,6 +291,20 @@ impl Conv2d {
         )
         .map_err(NnError::from)
     }
+
+    /// The cached `[out_c, in_c*k*k]` weight matrix, rebuilding it if a
+    /// weight update invalidated it. Both the training forward/backward
+    /// and the scratch inference path go through here, so the reshape
+    /// clone happens once per weight update instead of once per call.
+    fn weight_matrix(&mut self) -> Result<&Tensor, NnError> {
+        if self.w_mat.is_none() {
+            self.w_mat = Some(
+                self.weight
+                    .reshape(vec![self.out_c, self.in_c * self.kernel * self.kernel])?,
+            );
+        }
+        Ok(self.w_mat.as_ref().expect("just rebuilt"))
+    }
 }
 
 impl Layer for Conv2d {
@@ -271,10 +319,7 @@ impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
         let geom = self.geometry_for(input)?;
         let cols = im2col(input, &geom)?;
-        let w = self
-            .weight
-            .reshape(vec![self.out_c, self.in_c * self.kernel * self.kernel])?;
-        let mut out = w.matmul(&cols)?;
+        let mut out = self.weight_matrix()?.matmul(&cols)?;
         let positions = geom.positions();
         {
             let slice = out.as_mut_slice();
@@ -330,13 +375,63 @@ impl Layer for Conv2d {
             }
         }
         // dX = col2im(Wᵀ · dY)
-        let w = self.weight.reshape(vec![self.out_c, per_filter])?;
-        let dcols = w.transpose()?.matmul(&dy)?;
+        let dcols = self.weight_matrix()?.transpose()?.matmul(&dy)?;
         let dx = col2im(&dcols, self.in_c, &cache.geom)?;
         Ok(dx)
     }
 
+    fn infer(
+        &mut self,
+        input: &ScratchBuf,
+        out: &mut ScratchBuf,
+        cols: &mut ScratchBuf,
+    ) -> Result<(), NnError> {
+        let dims = input.dims();
+        if dims.len() != 3 || dims[0] != self.in_c {
+            return Err(NnError::BadInput {
+                layer: "conv2d",
+                reason: format!("expected [{}, h, w], got {dims:?}", self.in_c),
+            });
+        }
+        let geom = ConvGeometry::new(
+            dims[1],
+            dims[2],
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.padding,
+        )?;
+        let rows = self.in_c * self.kernel * self.kernel;
+        let positions = geom.positions();
+        cols.set_dims(&[rows, positions])?;
+        im2col_into(input.as_slice(), self.in_c, &geom, cols.as_mut_slice())?;
+        out.set_dims(&[self.out_c, geom.out_h(), geom.out_w()])?;
+        let out_c = self.out_c;
+        self.weight_matrix()?;
+        let w = self
+            .w_mat
+            .as_ref()
+            .expect("weight_matrix populated the cache");
+        // Fused bias: added per element at GEMM store time, after that
+        // element's k-accumulation completes — the same op order as the
+        // separate "matmul, then add bias per row" pass, so the fusion is
+        // bit-invisible (pinned by the scratch-parity tests).
+        gemm_bias_into(
+            out_c,
+            rows,
+            positions,
+            w.as_slice(),
+            cols.as_slice(),
+            self.bias.as_slice(),
+            out.as_mut_slice(),
+        )?;
+        self.cache = None;
+        Ok(())
+    }
+
     fn params(&mut self) -> Vec<Param<'_>> {
+        // The caller receives `&mut weight`: assume it changes.
+        self.w_mat = None;
         vec![
             Param {
                 name: "conv2d.weight",
@@ -415,6 +510,19 @@ impl Layer for ReLU {
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
         Ok(Tensor::from_vec(grad_output.shape().clone(), data)?)
+    }
+
+    fn infer(
+        &mut self,
+        input: &ScratchBuf,
+        out: &mut ScratchBuf,
+        _cols: &mut ScratchBuf,
+    ) -> Result<(), NnError> {
+        out.set_dims(input.dims())?;
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = v.max(0.0);
+        }
+        Ok(())
     }
 }
 
@@ -501,6 +609,26 @@ impl Layer for MaxPool2d {
         }
         Ok(dx)
     }
+
+    fn infer(
+        &mut self,
+        input: &ScratchBuf,
+        out: &mut ScratchBuf,
+        _cols: &mut ScratchBuf,
+    ) -> Result<(), NnError> {
+        let dims = input.dims();
+        if dims.len() != 3 {
+            return Err(NnError::BadInput {
+                layer: "max_pool2d",
+                reason: format!("expected CHW, got {dims:?}"),
+            });
+        }
+        let geom = ConvGeometry::new(dims[1], dims[2], self.kernel, self.kernel, self.stride, 0)?;
+        out.set_dims(&[dims[0], geom.out_h(), geom.out_w()])?;
+        max_pool2d_into(input.as_slice(), dims[0], &geom, out.as_mut_slice())?;
+        self.cache = None;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -542,6 +670,17 @@ impl Layer for Flatten {
             .take()
             .ok_or(NnError::NoForwardCache { layer: "flatten" })?;
         Ok(grad_output.reshape(shape.dims().to_vec())?)
+    }
+
+    fn infer(
+        &mut self,
+        input: &ScratchBuf,
+        out: &mut ScratchBuf,
+        _cols: &mut ScratchBuf,
+    ) -> Result<(), NnError> {
+        out.set_dims(&[input.volume()])?;
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+        Ok(())
     }
 }
 
@@ -671,6 +810,37 @@ impl Layer for Dense {
         Ok(Tensor::from_vec(Shape::d1(self.in_dim), dx)?)
     }
 
+    fn infer(
+        &mut self,
+        input: &ScratchBuf,
+        out: &mut ScratchBuf,
+        _cols: &mut ScratchBuf,
+    ) -> Result<(), NnError> {
+        if input.volume() != self.in_dim {
+            return Err(NnError::BadInput {
+                layer: "dense",
+                reason: format!("expected {} inputs, got {}", self.in_dim, input.volume()),
+            });
+        }
+        out.set_dims(&[self.out_dim])?;
+        // n = 1 GEMV through the same blocked kernel; bit-identical to
+        // `weight.matmul(x)` because the per-element k order is the naive
+        // order.
+        gemm_into(
+            self.out_dim,
+            self.in_dim,
+            1,
+            self.weight.as_slice(),
+            input.as_slice(),
+            out.as_mut_slice(),
+        )?;
+        for (v, b) in out.as_mut_slice().iter_mut().zip(self.bias.iter()) {
+            *v += b;
+        }
+        self.cache = None;
+        Ok(())
+    }
+
     fn params(&mut self) -> Vec<Param<'_>> {
         vec![
             Param {
@@ -761,6 +931,19 @@ impl Layer for Dropout {
             .map(|(&g, &m)| g * m)
             .collect();
         Ok(Tensor::from_vec(grad_output.shape().clone(), data)?)
+    }
+
+    fn infer(
+        &mut self,
+        input: &ScratchBuf,
+        out: &mut ScratchBuf,
+        _cols: &mut ScratchBuf,
+    ) -> Result<(), NnError> {
+        // Inference-mode dropout is the identity.
+        out.set_dims(input.dims())?;
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+        self.mask = None;
+        Ok(())
     }
 }
 
@@ -903,6 +1086,44 @@ impl Layer for LocalResponseNorm {
         }
         Ok(Tensor::from_vec(input.shape().clone(), dx)?)
     }
+
+    fn infer(
+        &mut self,
+        input: &ScratchBuf,
+        out: &mut ScratchBuf,
+        _cols: &mut ScratchBuf,
+    ) -> Result<(), NnError> {
+        let dims = input.dims();
+        if dims.len() != 3 {
+            return Err(NnError::BadInput {
+                layer: "lrn",
+                reason: format!("expected CHW, got {dims:?}"),
+            });
+        }
+        out.set_dims(dims)?;
+        // Fused denominators: same accumulation order and the same
+        // `k + α/n·Σ` / `x·d^(−β)` expressions as the allocating forward,
+        // so every output bit matches.
+        let (c, plane) = (dims[0], dims[1] * dims[2]);
+        let half = self.n / 2;
+        let x = input.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..c {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half).min(c - 1);
+            for p in 0..plane {
+                let mut acc = 0.0f32;
+                for j in lo..=hi {
+                    let v = x[j * plane + p];
+                    acc += v * v;
+                }
+                let d = self.k + self.alpha / self.n as f32 * acc;
+                o[i * plane + p] = x[i * plane + p] * d.powf(-self.beta);
+            }
+        }
+        self.cache = None;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -973,12 +1194,17 @@ mod tests {
         let analytic = conv.w_grad.clone();
         let eps = 1e-2f32;
         for &i in &[0usize, 5, 11, 17] {
+            // Mutating the weight field directly bypasses the public
+            // invalidation points, so drop the cached view by hand.
             let orig = conv.weight.as_slice()[i];
             conv.weight.as_mut_slice()[i] = orig + eps;
+            conv.w_mat = None;
             let f_plus = conv.forward(&input, Mode::Eval).unwrap().sum();
             conv.weight.as_mut_slice()[i] = orig - eps;
+            conv.w_mat = None;
             let f_minus = conv.forward(&input, Mode::Eval).unwrap().sum();
             conv.weight.as_mut_slice()[i] = orig;
+            conv.w_mat = None;
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             let a = analytic.as_slice()[i];
             assert!(
@@ -1147,6 +1373,65 @@ mod tests {
         assert!(lrn
             .forward(&Tensor::zeros(Shape::d1(4)), Mode::Eval)
             .is_err());
+    }
+
+    #[test]
+    fn weight_matrix_cache_invalidates_on_update() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut r);
+        let input = r.tensor(Shape::d3(2, 6, 6), Init::Uniform { lo: -1.0, hi: 1.0 });
+        let before = conv.forward(&input, Mode::Eval).unwrap();
+        assert!(conv.w_mat.is_some(), "forward populates the cache");
+        // Repeated forwards reuse the cached view and stay bit-identical.
+        let again = conv.forward(&input, Mode::Eval).unwrap();
+        for (a, b) in again.iter().zip(before.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // set_filter invalidates, and the next forward sees the new weights.
+        let new_filter = Tensor::from_fn(Shape::d3(2, 3, 3), |i| i[1] as f32 - 1.0);
+        conv.set_filter(0, &new_filter).unwrap();
+        assert!(conv.w_mat.is_none(), "set_filter drops the cache");
+        let after = conv.forward(&input, Mode::Eval).unwrap();
+        assert!(
+            after.iter().zip(before.iter()).any(|(a, b)| a != b),
+            "new filter changed the output"
+        );
+        // params() hands out &mut weight — the optimiser path — so it
+        // must invalidate too, on the training path as well as eval.
+        let _ = conv.forward(&input, Mode::Train).unwrap();
+        assert!(conv.w_mat.is_some());
+        for p in conv.params() {
+            if p.name == "conv2d.weight" {
+                for v in p.value.iter_mut() {
+                    *v += 0.25;
+                }
+            }
+        }
+        assert!(conv.w_mat.is_none(), "params() drops the cache");
+        let shifted = conv.forward(&input, Mode::Eval).unwrap();
+        assert!(
+            shifted.iter().zip(after.iter()).any(|(a, b)| a != b),
+            "optimiser-updated weights reach the cached matrix"
+        );
+    }
+
+    #[test]
+    fn conv2d_infer_matches_eval_forward_bitwise() {
+        use crate::scratch::InferScratch;
+        let mut r = rng();
+        // Padded, strided conv — exercises the zero-filled cols path.
+        let mut conv = Conv2d::new(3, 4, 3, 2, 1, &mut r);
+        let input = r.tensor(Shape::d3(3, 9, 9), Init::Uniform { lo: -1.0, hi: 1.0 });
+        let oracle = conv.forward(&input, Mode::Eval).unwrap();
+        let mut arena = InferScratch::new();
+        arena.load_input(&input).unwrap();
+        let (front, back, cols) = arena.frames();
+        conv.infer(front, back, cols).unwrap();
+        arena.swap();
+        assert_eq!(arena.front().dims(), oracle.shape().dims());
+        for (a, b) in arena.front().as_slice().iter().zip(oracle.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -49,14 +49,16 @@ mod layers;
 pub mod loss;
 mod network;
 mod optim;
+pub mod scratch;
 
 pub use error::NnError;
 pub use layers::{
     Conv2d, Dense, Dropout, Flatten, Layer, LocalResponseNorm, MaxPool2d, Mode, Param, ReLU,
 };
-pub use loss::{softmax, CrossEntropyLoss};
+pub use loss::{softmax, softmax_in_place, CrossEntropyLoss};
 pub use network::Network;
 pub use optim::{Sgd, SgdConfig};
+pub use scratch::{InferScratch, ScratchBuf};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, NnError>;

@@ -17,6 +17,25 @@ pub fn softmax(logits: &Tensor) -> Tensor {
     .expect("same length")
 }
 
+/// In-place softmax over a mutable slice, bit-identical to [`softmax`]
+/// applied to the same values — the zero-allocation variant the scratch
+/// inference path uses.
+///
+/// Bit-identity holds because the operation sequence per element is the
+/// same: max-fold over the inputs, `(v - max).exp()`, a left-to-right sum
+/// of the exponentials, then one divide by `sum.max(f32::MIN_POSITIVE)`.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for v in xs.iter_mut() {
+        *v = (*v - max).exp();
+    }
+    let sum: f32 = xs.iter().sum();
+    let denom = sum.max(f32::MIN_POSITIVE);
+    for v in xs.iter_mut() {
+        *v /= denom;
+    }
+}
+
 /// Softmax + cross-entropy against an integer class label.
 ///
 /// Fusing the two keeps the backward pass the textbook `p - onehot`,
@@ -99,6 +118,24 @@ mod tests {
         }
         let huge = softmax(&logits(vec![1e30, -1e30]));
         assert!(huge.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_in_place_bit_identical_to_softmax() {
+        for raw in [
+            vec![1.0, 3.0, 2.0],
+            vec![-5.5, 0.0, 5.5, 17.25],
+            vec![1e30, -1e30],
+            vec![f32::NEG_INFINITY, 0.0, 1.0],
+            vec![42.0],
+        ] {
+            let oracle = softmax(&logits(raw.clone()));
+            let mut buf = raw;
+            softmax_in_place(&mut buf);
+            for (a, b) in buf.iter().zip(oracle.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use crate::error::NnError;
 use crate::layers::{Conv2d, Layer, Mode, Param};
 use crate::loss::softmax;
+use crate::scratch::InferScratch;
 use relcnn_tensor::Tensor;
 
 /// A sequential network: layers applied in order, single-sample tensors.
@@ -93,6 +94,52 @@ impl Network {
             x = layer.forward(&x, mode)?;
         }
         Ok(x)
+    }
+
+    /// Runs the zero-allocation inference forward pass through a
+    /// reusable scratch arena. After the call, `scratch.front()` holds
+    /// the network output — **bit-identical** to
+    /// `forward(input, Mode::Eval)`, pinned by the `scratch_parity`
+    /// integration tests. After a warmup pass sized the arena, repeated
+    /// calls perform zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        scratch: &mut InferScratch,
+    ) -> Result<(), NnError> {
+        self.forward_from_scratch(input, 0, scratch)
+    }
+
+    /// Scratch-arena variant of [`Network::forward_from`] — the hybrid
+    /// network's tail executes through this after the reliable partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when `start > len()`; propagates
+    /// layer shape errors.
+    pub fn forward_from_scratch(
+        &mut self,
+        input: &Tensor,
+        start: usize,
+        scratch: &mut InferScratch,
+    ) -> Result<(), NnError> {
+        if start > self.layers.len() {
+            return Err(NnError::BadInput {
+                layer: "network",
+                reason: format!("start layer {start} > {} layers", self.layers.len()),
+            });
+        }
+        scratch.load_input(input)?;
+        for layer in &mut self.layers[start..] {
+            let (front, back, cols) = scratch.frames();
+            layer.infer(front, back, cols)?;
+            scratch.swap();
+        }
+        Ok(())
     }
 
     /// Runs the forward pass, returning every layer's output (the input

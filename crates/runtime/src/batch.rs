@@ -8,6 +8,13 @@
 //! worker count by construction *and* by the engine's ordered result
 //! stream.
 //!
+//! The per-worker clone in [`SourcedTrial::init`] is also what threads
+//! the zero-allocation inference arena through the engine: a cloned
+//! `HybridCnn` starts with a fresh `InferScratch`, so every worker warms
+//! its own arena on its first image and recycles it for the rest of the
+//! run — scratch memory is never shared across workers, and steady-state
+//! classification performs no per-image heap allocation in the CNN tail.
+//!
 //! Images arrive through a [`TrialSource`]: an in-memory batch is the
 //! eager [`SliceSource`] case ([`classify_many`]), while
 //! [`classify_source`] accepts any source — e.g. an [`FnSource`] that

@@ -49,6 +49,12 @@ pub struct CnnVerdict {
 /// dispatched through the engine's batched-classification path. The
 /// request's payload seed selects the image, so a trace replays the
 /// exact same inputs.
+///
+/// Per-batch dispatch clones the hybrid per worker
+/// (`BatchClassify`/`SourcedTrial::init`), and each clone carries its
+/// own fresh `InferScratch` arena — the borrowed-pool image source plus
+/// the per-worker arena make the serving inner loop allocation-free
+/// once warmed up.
 pub struct CnnBackend {
     hybrid: HybridCnn,
     images: Vec<Tensor>,

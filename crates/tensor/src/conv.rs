@@ -308,6 +308,97 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError
     Tensor::from_vec(Shape::d2(rows, positions), out)
 }
 
+/// Allocation-free [`im2col`]: lowers a CHW input slice into a caller-owned
+/// patch buffer of length `in_c * k_h * k_w * positions` — byte-for-byte
+/// identical to the tensor returned by [`im2col`], which stays the oracle.
+///
+/// When the geometry has no padding every cell of `out` is written, so the
+/// (possibly stale) scratch contents are never zero-filled — the pass the
+/// allocating kernel pays via `vec![0.0; …]` simply disappears. Padded
+/// geometries zero the buffer first because padding cells are never
+/// visited by the gather loop.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when `x` or `out` disagrees
+/// with the geometry for `in_c` channels.
+pub fn im2col_into(
+    x: &[f32],
+    in_c: usize,
+    geom: &ConvGeometry,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    let (k_h, k_w) = (geom.k_h(), geom.k_w());
+    let (in_h, in_w) = (geom.in_h(), geom.in_w());
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let positions = out_h * out_w;
+    let rows = in_c * k_h * k_w;
+    if x.len() != in_c * in_h * in_w {
+        return Err(TensorError::LengthMismatch {
+            expected: in_c * in_h * in_w,
+            actual: x.len(),
+        });
+    }
+    if out.len() != rows * positions {
+        return Err(TensorError::LengthMismatch {
+            expected: rows * positions,
+            actual: out.len(),
+        });
+    }
+    let stride = geom.stride();
+    let pad = geom.padding() as isize;
+    if geom.padding() > 0 {
+        out.fill(0.0);
+    }
+    for ic in 0..in_c {
+        for ky in 0..k_h {
+            for kx in 0..k_w {
+                let row = (ic * k_h + ky) * k_w + kx;
+                let row_base = row * positions;
+                // Hoist the valid-ox window out of the copy loop: ox is
+                // in bounds iff `0 <= ox*stride + kx - pad < in_w`, so the
+                // interior is a branch-free strided gather (a straight
+                // memcpy when stride == 1) instead of a per-element
+                // bounds-and-padding check. Same elements land in the
+                // same slots as the allocating `im2col` — this is pure
+                // data movement, pinned byte-for-byte by proptests.
+                let lo = if kx as isize >= pad {
+                    0
+                } else {
+                    ((pad - kx as isize) as usize).div_ceil(stride)
+                };
+                let hi_num = in_w as isize - 1 - kx as isize + pad;
+                if hi_num < 0 {
+                    continue;
+                }
+                let hi = (hi_num as usize / stride + 1).min(out_w);
+                if lo >= hi {
+                    continue;
+                }
+                for oy in 0..out_h {
+                    let iy = (oy * stride) as isize + ky as isize - pad;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue;
+                    }
+                    let x_row = ic * in_h * in_w + iy as usize * in_w;
+                    let o_row = row_base + oy * out_w;
+                    let x_start = x_row + (lo * stride + kx) - pad as usize;
+                    let width = hi - lo;
+                    if stride == 1 {
+                        out[o_row + lo..o_row + hi].copy_from_slice(&x[x_start..x_start + width]);
+                    } else {
+                        let src = x[x_start..].iter().step_by(stride);
+                        for (o, &v) in out[o_row + lo..o_row + hi].iter_mut().zip(src) {
+                            *o = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Inverse of [`im2col`]: scatter-adds a patch matrix of shape
 /// `[in_c * k_h * k_w, out_h * out_w]` back into a CHW tensor of shape
 /// `[in_c, in_h, in_w]`. Overlapping window positions accumulate — exactly
@@ -468,6 +559,104 @@ pub fn max_pool2d(
         }
     }
     Ok((Tensor::from_vec(Shape::d3(in_c, out_h, out_w), out)?, arg))
+}
+
+/// Allocation-free forward-only max pooling: writes the pooled CHW slab
+/// into a caller-owned buffer of length `in_c * out_h * out_w`, skipping
+/// the argmax bookkeeping (inference needs no backward routing). The
+/// pooled values are bit-identical to [`max_pool2d`]'s first component.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidGeometry`] for padded geometries and
+/// [`TensorError::LengthMismatch`] when a slice length disagrees with the
+/// geometry for `in_c` channels.
+pub fn max_pool2d_into(
+    x: &[f32],
+    in_c: usize,
+    geom: &ConvGeometry,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    if geom.padding() != 0 {
+        return Err(TensorError::InvalidGeometry {
+            reason: "max_pool2d does not support padding".into(),
+        });
+    }
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let (k_h, k_w) = (geom.k_h(), geom.k_w());
+    let (in_h, in_w) = (geom.in_h(), geom.in_w());
+    if x.len() != in_c * in_h * in_w {
+        return Err(TensorError::LengthMismatch {
+            expected: in_c * in_h * in_w,
+            actual: x.len(),
+        });
+    }
+    if out.len() != in_c * out_h * out_w {
+        return Err(TensorError::LengthMismatch {
+            expected: in_c * out_h * out_w,
+            actual: out.len(),
+        });
+    }
+    let stride = geom.stride();
+    // Every AlexNet pooling geometry has fully interior windows (the
+    // floor-mode output size never lets a window overhang), so the hot
+    // path scans each window through row slices with the clip checks
+    // and per-element index arithmetic hoisted out. The window scan
+    // order (ky then kx, ascending) is the same as the general loop —
+    // it determines which signed zero survives a `v > best` tie, so it
+    // is part of the bit-exactness contract.
+    let interior = out_h > 0
+        && out_w > 0
+        && (out_h - 1) * stride + k_h <= in_h
+        && (out_w - 1) * stride + k_w <= in_w;
+    if interior {
+        for c in 0..in_c {
+            let plane = &x[c * in_h * in_w..(c + 1) * in_h * in_w];
+            let o_plane = &mut out[c * out_h * out_w..(c + 1) * out_h * out_w];
+            for oy in 0..out_h {
+                let o_row = &mut o_plane[oy * out_w..(oy + 1) * out_w];
+                for (ox, o) in o_row.iter_mut().enumerate() {
+                    let x0 = ox * stride;
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..k_h {
+                        let row = (oy * stride + ky) * in_w;
+                        for &v in &plane[row + x0..row + x0 + k_w] {
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    *o = best;
+                }
+            }
+        }
+        return Ok(());
+    }
+    for c in 0..in_c {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..k_h {
+                    let iy = oy * stride + ky;
+                    if iy >= in_h {
+                        continue;
+                    }
+                    for kx in 0..k_w {
+                        let ix = ox * stride + kx;
+                        if ix >= in_w {
+                            continue;
+                        }
+                        let v = x[c * in_h * in_w + iy * in_w + ix];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                out[c * out_h * out_w + oy * out_w + ox] = best;
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -641,5 +830,61 @@ mod tests {
         let input = chw(1, 4, 4, |_| 0.0);
         let g = ConvGeometry::new(4, 4, 2, 2, 2, 1).unwrap();
         assert!(max_pool2d(&input, &g).is_err());
+    }
+
+    #[test]
+    fn im2col_into_matches_im2col_byte_for_byte() {
+        let input = chw(2, 7, 7, |i| {
+            ((i[0] * 37 + i[1] * 11 + i[2] * 5) % 17) as f32 / 3.0 - 2.5
+        });
+        for (stride, pad) in [(1usize, 0usize), (2, 0), (1, 1), (3, 2)] {
+            let g = ConvGeometry::new(7, 7, 3, 3, stride, pad).unwrap();
+            let oracle = im2col(&input, &g).unwrap();
+            // Garbage-prefill: pad==0 geometries must still overwrite every
+            // cell; padded ones must zero the stale contents.
+            let mut out = vec![f32::NAN; oracle.len()];
+            im2col_into(input.as_slice(), 2, &g, &mut out).unwrap();
+            for (a, b) in out.iter().zip(oracle.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "stride={stride} pad={pad}");
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_into_validates_lengths() {
+        let g = ConvGeometry::new(4, 4, 2, 2, 1, 0).unwrap();
+        let x = vec![0.0f32; 16];
+        let mut out = vec![0.0f32; 4 * 9];
+        assert!(im2col_into(&x, 1, &g, &mut out).is_ok());
+        assert!(im2col_into(&x[..15], 1, &g, &mut out).is_err());
+        assert!(im2col_into(&x, 1, &g, &mut out[..35]).is_err());
+    }
+
+    #[test]
+    fn max_pool2d_into_matches_max_pool2d() {
+        let input = chw(2, 5, 5, |i| {
+            ((i[0] * 13 + i[1] * 7 + i[2] * 3) % 11) as f32 - 5.0
+        });
+        for (k, stride) in [(2usize, 2usize), (3, 2), (3, 1)] {
+            let g = ConvGeometry::new(5, 5, k, k, stride, 0).unwrap();
+            let (oracle, _) = max_pool2d(&input, &g).unwrap();
+            let mut out = vec![f32::NAN; oracle.len()];
+            max_pool2d_into(input.as_slice(), 2, &g, &mut out).unwrap();
+            for (a, b) in out.iter().zip(oracle.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "k={k} stride={stride}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_pool2d_into_validates() {
+        let g = ConvGeometry::new(4, 4, 2, 2, 2, 0).unwrap();
+        let x = vec![0.0f32; 16];
+        let mut out = vec![0.0f32; 4];
+        assert!(max_pool2d_into(&x, 1, &g, &mut out).is_ok());
+        assert!(max_pool2d_into(&x[..15], 1, &g, &mut out).is_err());
+        assert!(max_pool2d_into(&x, 1, &g, &mut out[..3]).is_err());
+        let padded = ConvGeometry::new(4, 4, 2, 2, 2, 1).unwrap();
+        assert!(max_pool2d_into(&x, 1, &padded, &mut out).is_err());
     }
 }
